@@ -1,0 +1,74 @@
+//! Criterion bench for the memory-hierarchy model: segment accesses
+//! through L2/L3/DRAM and the congestion bookkeeping.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use numa_sim::{AccessKind, CoreId, Machine, StreamId, SEG_BYTES};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_model");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("access_l2_hit", |b| {
+        let mut m = Machine::opteron_4x4();
+        let sp = m.create_space();
+        let r = m.alloc(sp, SEG_BYTES);
+        let seg = r.segment(0);
+        m.access_segment(CoreId(0), seg, AccessKind::Read, StreamId(0));
+        b.iter(|| black_box(m.access_segment(CoreId(0), seg, AccessKind::Read, StreamId(0))));
+    });
+
+    g.bench_function("access_dram_stream", |b| {
+        let mut m = Machine::opteron_4x4();
+        let sp = m.create_space();
+        // Far larger than L3: every access in the cycle is a miss.
+        let r = m.alloc(sp, 1024 * SEG_BYTES);
+        let segs: Vec<_> = r.segments().collect();
+        let mut i = 0;
+        b.iter(|| {
+            let seg = segs[i % segs.len()];
+            i += 1;
+            black_box(m.access_segment(CoreId(0), seg, AccessKind::Read, StreamId(0)))
+        });
+    });
+
+    g.bench_function("access_remote_stream", |b| {
+        let mut m = Machine::opteron_4x4();
+        let sp = m.create_space();
+        let r = m.alloc(sp, 1024 * SEG_BYTES);
+        // Home everything on node 0 first.
+        for seg in r.segments() {
+            m.access_segment(CoreId(0), seg, AccessKind::Write, StreamId(0));
+        }
+        let segs: Vec<_> = r.segments().collect();
+        let mut i = 0;
+        b.iter(|| {
+            let seg = segs[i % segs.len()];
+            i += 1;
+            // Core 15 is on node 3: always remote.
+            black_box(m.access_segment(CoreId(15), seg, AccessKind::Read, StreamId(0)))
+        });
+    });
+
+    g.bench_function("end_tick", |b| {
+        let mut m = Machine::opteron_4x4();
+        b.iter(|| {
+            m.end_tick();
+            black_box(())
+        });
+    });
+
+    g.finish();
+}
+
+
+/// Quick Criterion config: the benches are smoke-level performance
+/// tracking, not publication numbers.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+criterion_group!{name = benches; config = quick(); targets = bench_cache}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for a complete tiny experiment: a Q6 run through the
+//! full stack (machine, kernel, engine, client, mechanism), comparing the
+//! OS baseline against the adaptive mechanism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emca_harness::{run, Alloc, RunConfig};
+use std::hint::black_box;
+use volcano_db::client::Workload;
+use volcano_db::tpch::{QuerySpec, TpchData, TpchScale};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let data = TpchData::generate(TpchScale::test_tiny());
+    let workload = Workload::Repeat {
+        spec: QuerySpec::Q6 { variant: 0 },
+        iterations: 2,
+    };
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for alloc in [Alloc::OsAll, Alloc::Adaptive] {
+        g.bench_function(format!("{alloc:?}"), |b| {
+            b.iter(|| {
+                let out = run(
+                    RunConfig::new(alloc, 2, workload.clone()).with_scale(data.scale),
+                    &data,
+                );
+                black_box(out.results.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+
+/// Quick Criterion config: the benches are smoke-level performance
+/// tracking, not publication numbers.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+criterion_group!{name = benches; config = quick(); targets = bench_end_to_end}
+criterion_main!(benches);

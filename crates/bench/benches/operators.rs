@@ -1,0 +1,73 @@
+//! Criterion bench for the columnar operators' real evaluation paths
+//! (the compute the simulation memoises).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use volcano_db::exec::eval;
+use volcano_db::exec::plan::{AggKind, ArithOp, CmpOp, ScalarPred};
+use volcano_db::storage::ColData;
+
+const N: usize = 1 << 18;
+
+fn data_f64() -> ColData {
+    ColData::F64(Arc::new((0..N).map(|i| (i % 50) as f64).collect()))
+}
+
+fn data_i64() -> ColData {
+    ColData::I64(Arc::new((0..N as i64).map(|i| i % 1000).collect()))
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("operators");
+    g.throughput(Throughput::Elements(N as u64));
+
+    let qty = data_f64();
+    g.bench_function("scan_select", |b| {
+        let pred = ScalarPred::Cmp(CmpOp::Lt, 24.0);
+        b.iter(|| black_box(eval::scan_select(&qty, 0, N, &pred)));
+    });
+
+    let cands: Vec<u32> = (0..N as u32).step_by(2).collect();
+    g.bench_function("select_and", |b| {
+        let pred = ScalarPred::Between(10.0, 30.0);
+        b.iter(|| black_box(eval::select_and(&cands, &qty, &pred)));
+    });
+
+    g.bench_function("project", |b| {
+        b.iter(|| black_box(eval::project(&cands, &qty)));
+    });
+
+    let left = data_f64();
+    let right = data_f64();
+    g.bench_function("bin_op_mul", |b| {
+        b.iter(|| black_box(eval::bin_op(&left, &right, ArithOp::Mul, 0, N)));
+    });
+
+    g.bench_function("aggr_sum", |b| {
+        b.iter(|| black_box(eval::aggr_sum(&left, 0, N)));
+    });
+
+    let keys = data_i64();
+    g.bench_function("group_agg_sum", |b| {
+        b.iter(|| black_box(eval::group_agg(&keys, Some(&left), AggKind::Sum, 0, N)));
+    });
+
+    g.bench_function("build_hash", |b| {
+        b.iter(|| black_box(eval::build_hash(&keys, 0, N)));
+    });
+
+    g.finish();
+}
+
+
+/// Quick Criterion config: the benches are smoke-level performance
+/// tracking, not publication numbers.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+criterion_group!{name = benches; config = quick(); targets = bench_operators}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for the PrT rule-condition-action step (the §V
+//! overhead table): one full token flow through the 5-place net per
+//! iteration, for each sub-net path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prt_petrinet::{ElasticNet, Thresholds};
+use std::hint::black_box;
+
+fn bench_petrinet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("petrinet_step");
+    g.bench_function("stable_path", |b| {
+        let mut net = ElasticNet::new(Thresholds::cpu_load_default(), 16, 4);
+        b.iter(|| black_box(net.step(black_box(40))));
+    });
+    g.bench_function("overload_release_cycle", |b| {
+        let mut net = ElasticNet::new(Thresholds::cpu_load_default(), 16, 4);
+        b.iter(|| {
+            black_box(net.step(black_box(99)));
+            black_box(net.step(black_box(5)));
+        });
+    });
+    g.bench_function("incidence_matrix", |b| {
+        let net = ElasticNet::new(Thresholds::cpu_load_default(), 16, 1);
+        b.iter(|| black_box(net.net().incidence()));
+    });
+    g.finish();
+}
+
+
+/// Quick Criterion config: the benches are smoke-level performance
+/// tracking, not publication numbers.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+criterion_group!{name = benches; config = quick(); targets = bench_petrinet}
+criterion_main!(benches);

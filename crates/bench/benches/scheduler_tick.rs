@@ -1,0 +1,42 @@
+//! Criterion bench for the simulated kernel's tick loop (the hot path of
+//! every experiment): 16 cores, a spread of spinning threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emca_metrics::SimDuration;
+use os_sim::{CoreMask, Kernel, SpinWork};
+use std::hint::black_box;
+
+fn bench_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_tick");
+    for &threads in &[16usize, 64, 272] {
+        g.bench_with_input(BenchmarkId::new("run_tick", threads), &threads, |b, &n| {
+            let mut kernel = Kernel::opteron_4x4();
+            let group = kernel.create_group(CoreMask::all(kernel.machine().topology()));
+            for i in 0..n {
+                kernel.spawn(
+                    format!("w{i}"),
+                    group,
+                    None,
+                    Box::new(SpinWork::new(SimDuration::from_secs(3600))),
+                );
+            }
+            b.iter(|| {
+                kernel.run_tick();
+                black_box(kernel.now())
+            });
+        });
+    }
+    g.finish();
+}
+
+
+/// Quick Criterion config: the benches are smoke-level performance
+/// tracking, not publication numbers.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10)
+}
+criterion_group!{name = benches; config = quick(); targets = bench_tick}
+criterion_main!(benches);

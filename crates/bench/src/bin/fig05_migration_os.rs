@@ -1,0 +1,32 @@
+//! Fig. 5 — lifespan and core migration of the threads spawned for a
+//! single-client Q6 under the plain OS scheduler with all 16 cores.
+
+use emca_bench::{emit, env_sf};
+use emca_harness::{report, run, Alloc, RunConfig};
+use volcano_db::client::Workload;
+use volcano_db::tpch::{QuerySpec, TpchData};
+
+fn main() {
+    let scale = env_sf();
+    let data = TpchData::generate(scale);
+    eprintln!("fig05: sf={}", scale.sf);
+    let out = run(
+        RunConfig::new(
+            Alloc::OsAll,
+            1,
+            Workload::Repeat {
+                spec: QuerySpec::Q6 { variant: 0 },
+                iterations: 1,
+            },
+        )
+        .with_scale(scale)
+        .with_trace(),
+        &data,
+    );
+    let trace = out.trace.as_ref().expect("tracing enabled");
+    let topo = numa_sim::Topology::opteron_4x4();
+    let table = report::render_migration_map("Fig. 5 — OS/MonetDB thread migration map", trace, &topo);
+    let (threads, migrations) = report::migration_summary(trace);
+    emit(&table, "fig05_migration_os.csv");
+    println!("threads traced: {threads}, total core migrations: {migrations}");
+}

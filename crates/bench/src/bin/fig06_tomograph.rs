@@ -1,0 +1,27 @@
+//! Fig. 6 — Tomograph view of Q6: per-MAL-operator calls and total time
+//! across the worker threads.
+
+use emca_bench::{emit, env_sf};
+use emca_harness::{report, run, Alloc, RunConfig};
+use volcano_db::client::Workload;
+use volcano_db::tpch::{QuerySpec, TpchData};
+
+fn main() {
+    let scale = env_sf();
+    let data = TpchData::generate(scale);
+    eprintln!("fig06: sf={}", scale.sf);
+    let out = run(
+        RunConfig::new(
+            Alloc::OsAll,
+            1,
+            Workload::Repeat {
+                spec: QuerySpec::Q6 { variant: 0 },
+                iterations: 1,
+            },
+        )
+        .with_scale(scale),
+        &data,
+    );
+    let table = report::render_tomograph("Fig. 6 — Tomograph of Q6 (operator calls and time)", &out);
+    emit(&table, "fig06_tomograph.csv");
+}

@@ -1,0 +1,67 @@
+//! Calibration probe: quick OS-vs-Adaptive comparison plus real-time
+//! cost measurement. Not a paper figure; used to sanity-check the
+//! simulation before running the full harness.
+
+use emca_harness::{run, Alloc, RunConfig};
+use volcano_db::client::Workload;
+use volcano_db::tpch::{QuerySpec, TpchData, TpchScale};
+
+fn main() {
+    let scale = TpchScale {
+        sf: std::env::args()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.05),
+        seed: 42,
+    };
+    let clients: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let iters: u32 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+
+    eprintln!("generating sf={} ...", scale.sf);
+    let t0 = std::time::Instant::now();
+    let data = TpchData::generate(scale);
+    eprintln!("generated {} MB in {:?}", data.raw_bytes() / 1_000_000, t0.elapsed());
+
+    let workload = Workload::Repeat {
+        spec: QuerySpec::Q6 { variant: 0 },
+        iterations: iters,
+    };
+    for alloc in [Alloc::OsAll, Alloc::Adaptive, Alloc::Dense, Alloc::Sparse] {
+        let t0 = std::time::Instant::now();
+        let out = run(
+            RunConfig::new(alloc, clients, workload.clone()).with_scale(scale),
+            &data,
+        );
+        let real = t0.elapsed();
+        let imc = out.imc_bytes_per_socket();
+        let imc_total: u64 = imc.iter().sum();
+        let l3 = out.l3_misses_per_socket();
+        println!(
+            "{:<10} wall={:>9} qps={:>7.2} ht={:>6.1}GB imc={:>6.1}GB imc_rate={:>5.2}GB/s imc/skt={:?} l3hit={:>5.1}% faults={:>7} steals={:>5} migr={:>6} cores_end={:>3}  [real {:?}]",
+            format!("{alloc:?}"),
+            format!("{}", out.wall),
+            out.throughput_qps(),
+            out.ht_bytes() as f64 / 1e9,
+            imc_total as f64 / 1e9,
+            out.wall.rate_per_sec(imc_total) / 1e9,
+            imc.iter().map(|b| (b / 1_000_000_000) as u32).collect::<Vec<_>>(),
+            {
+                let hits: u64 = out.hw_after.l3_hits.iter().sum::<u64>()
+                    - out.hw_before.l3_hits.iter().sum::<u64>();
+                let misses: u64 = l3.iter().sum();
+                100.0 * hits as f64 / (hits + misses).max(1) as f64
+            },
+            out.minor_faults(),
+            out.sched.steals,
+            out.sched.migrations,
+            out.cores_series.last().map(|(_, v)| v).unwrap_or(0.0),
+            real,
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Headline summary table (§I / §VII): maximum and average speedup and
+//! HT/IMC traffic-ratio reduction of the adaptive mode vs the OS
+//! scheduler, for both engine flavors, plus the total energy saving —
+//! side by side with the paper's reported numbers.
+
+use emca_bench::{emit, env_clients, env_iters, env_sf};
+use emca_harness::{report, run, Alloc, RunConfig};
+use emca_metrics::stats;
+use emca_metrics::table::{fnum, Table};
+use numa_sim::EnergyModel;
+use volcano_db::client::Workload;
+use volcano_db::exec::engine::Flavor;
+use volcano_db::tpch::{QuerySpec, TpchData};
+
+fn main() {
+    let scale = env_sf();
+    let users = env_clients(64);
+    let iters = env_iters(6);
+    let data = TpchData::generate(scale);
+    eprintln!("tab_summary: sf={} users={users} iters={iters}", scale.sf);
+    let specs: Vec<QuerySpec> = (1..=22)
+        .flat_map(|n| (0..4).map(move |v| QuerySpec::Tpch { number: n, variant: v }))
+        .collect();
+    let workload = Workload::Mixed {
+        specs,
+        iterations: iters,
+        seed: 7,
+    };
+
+    let mut t = Table::new(
+        "Summary — adaptive vs OS (paper values in parentheses)",
+        &["flavor", "metric", "measured", "paper"],
+    );
+    let model = EnergyModel::opteron_8387();
+    for (flavor, paper_speed_max, paper_speed_avg, paper_ratio_max, paper_ratio_avg) in [
+        (Flavor::MonetDb, "1.53", "1.29", "3.87", "2.47"),
+        (Flavor::SqlServer, "1.27", "1.14", "3.70", "2.57"),
+    ] {
+        let os = run(
+            RunConfig::new(Alloc::OsAll, users, workload.clone())
+                .with_scale(scale)
+                .with_flavor(flavor),
+            &data,
+        );
+        let ad = run(
+            RunConfig::new(Alloc::Adaptive, users, workload.clone())
+                .with_scale(scale)
+                .with_flavor(flavor),
+            &data,
+        );
+        let speedups: Vec<f64> = report::speedup_by_tag(&os.results, &ad.results)
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
+        let os_tags = report::by_tag(&os.results);
+        let ad_tags: emca_metrics::FxHashMap<u32, report::TagStats> =
+            report::by_tag(&ad.results).into_iter().collect();
+        let ratio_reductions: Vec<f64> = os_tags
+            .iter()
+            .filter_map(|(tag, o)| {
+                let a = ad_tags.get(tag)?;
+                if a.mean_ht_imc > 1e-6 {
+                    Some(o.mean_ht_imc / a.mean_ht_imc)
+                } else if o.mean_ht_imc > 1e-6 {
+                    // Adaptive produced (near-)zero remote traffic.
+                    Some(o.mean_ht_imc / 1e-6)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let fname = match flavor {
+            Flavor::MonetDb => "MonetDB",
+            Flavor::SqlServer => "SQL Server",
+        };
+        t.row(vec![
+            fname.into(),
+            "max speedup".into(),
+            stats::max(&speedups).map(|v| fnum(v, 2)).unwrap_or_default(),
+            paper_speed_max.into(),
+        ]);
+        t.row(vec![
+            fname.into(),
+            "avg speedup".into(),
+            stats::mean(&speedups).map(|v| fnum(v, 2)).unwrap_or_default(),
+            paper_speed_avg.into(),
+        ]);
+        t.row(vec![
+            fname.into(),
+            "max HT/IMC reduction".into(),
+            stats::max(&ratio_reductions)
+                .map(|v| fnum(v.min(999.0), 2))
+                .unwrap_or_default(),
+            paper_ratio_max.into(),
+        ]);
+        t.row(vec![
+            fname.into(),
+            "avg HT/IMC reduction".into(),
+            stats::mean(&ratio_reductions)
+                .map(|v| fnum(v.min(999.0), 2))
+                .unwrap_or_default(),
+            paper_ratio_avg.into(),
+        ]);
+        if flavor == Flavor::MonetDb {
+            let e_os: f64 = report::energy_by_tag(&os.results, &model, 4)
+                .iter()
+                .map(|(_, e)| e.total())
+                .sum();
+            let e_ad: f64 = report::energy_by_tag(&ad.results, &model, 4)
+                .iter()
+                .map(|(_, e)| e.total())
+                .sum();
+            t.row(vec![
+                fname.into(),
+                "total energy saving %".into(),
+                fnum(stats::saving_pct(e_os, e_ad).unwrap_or(0.0), 2),
+                "26.05".into(),
+            ]);
+        }
+    }
+    emit(&t, "tab_summary.csv");
+}

@@ -1,0 +1,57 @@
+//! # emca-bench — figure and table regeneration
+//!
+//! One binary per figure/table of the paper (see DESIGN.md §5 for the
+//! index). Shared environment knobs:
+//!
+//! - `EMCA_SF` — TPC-H scale factor (default 0.25; the paper uses 1.0,
+//!   which the binaries accept but takes proportionally longer);
+//! - `EMCA_CLIENTS` — caps the largest client count of sweeps;
+//! - `EMCA_ITERS` — per-client iterations (workload length).
+//!
+//! Every binary prints aligned tables and writes CSVs under `results/`.
+
+use volcano_db::tpch::TpchScale;
+
+/// Scale factor from `EMCA_SF` (default 0.25).
+pub fn env_sf() -> TpchScale {
+    let sf = std::env::var("EMCA_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    TpchScale { sf, seed: 42 }
+}
+
+/// Client-count cap from `EMCA_CLIENTS` (default `default_cap`).
+pub fn env_clients(default_cap: usize) -> usize {
+    std::env::var("EMCA_CLIENTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_cap)
+}
+
+/// Iterations from `EMCA_ITERS` (default `default`).
+pub fn env_iters(default: u32) -> u32 {
+    std::env::var("EMCA_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The paper's user-count sweep {1, 4, 16, 64, 256}, capped.
+pub fn user_sweep(cap: usize) -> Vec<usize> {
+    [1usize, 4, 16, 64, 256]
+        .into_iter()
+        .filter(|&u| u <= cap)
+        .collect()
+}
+
+/// Prints a table and writes its CSV under `results/`.
+pub fn emit(table: &emca_metrics::table::Table, csv_name: &str) {
+    println!("{}", table.render());
+    let path = emca_harness::results_path(csv_name);
+    if let Err(e) = table.write_csv(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("[csv] {}", path.display());
+    }
+}

@@ -1,0 +1,45 @@
+//! # elastic-core — the elastic multi-core allocation mechanism
+//!
+//! The primary contribution of *"An Elastic Multi-Core Allocation
+//! Mechanism for Database Systems"* (ICDE 2018), implemented over the
+//! workspace's simulated NUMA machine and OS:
+//!
+//! - [`Monitor`]: samples CPU load (mpstat analogue) or the HT/IMC
+//!   traffic ratio (likwid analogue), plus pages-per-node statistics;
+//! - [`NodePriorityQueue`]: ranks NUMA nodes by the DBMS's resident
+//!   pages (§IV-B2);
+//! - allocation modes [`DenseMode`], [`SparseMode`] and [`AdaptiveMode`]
+//!   deciding *where* cores are allocated/released (§IV-B);
+//! - [`ElasticMechanism`]: the rule-condition-action pipeline driving the
+//!   PetriNet PrT model and actuating cpuset masks (§III);
+//! - [`lonc`]: the Local Optimum Number of Cores analysis (§IV-A).
+//!
+//! ```no_run
+//! use elastic_core::{ElasticMechanism, MechanismConfig, AdaptiveMode};
+//! use os_sim::{Kernel, CoreMask};
+//! use emca_metrics::SimTime;
+//!
+//! let mut kernel = Kernel::opteron_4x4();
+//! let group = kernel.create_group(CoreMask::all(kernel.machine().topology()));
+//! let space = kernel.machine_mut().create_space();
+//! let mut mech = ElasticMechanism::install(
+//!     &mut kernel, group, space,
+//!     Box::new(AdaptiveMode::default()),
+//!     MechanismConfig::cpu_load().with_mode_latency("adaptive"),
+//! );
+//! mech.run_with(&mut kernel, SimTime::from_secs(1));
+//! println!("LONC so far: {} cores", mech.nalloc());
+//! ```
+
+pub mod lonc;
+pub mod mechanism;
+pub mod sla;
+pub mod modes;
+pub mod monitor;
+pub mod priority_queue;
+
+pub use mechanism::{ElasticMechanism, MechanismConfig, TransitionEvent};
+pub use modes::{mode_by_name, AdaptiveMode, AllocationMode, DenseMode, ModeCtx, SparseMode};
+pub use monitor::{MetricKind, Monitor, MonitorSample};
+pub use priority_queue::NodePriorityQueue;
+pub use sla::{SlaGovernor, SlaPolicy};

@@ -1,0 +1,141 @@
+//! The Local Optimum Number of Cores (§IV-A, Equation 1).
+//!
+//! > ∀w ∃ nalloc | (thmin < u < thmax) ∧ p(nalloc) ≥ p(ntotal)
+//!
+//! The LONC is reached when the per-core load of the allocated set sits
+//! inside the stable band. [`LoncTracker`] observes the mechanism's
+//! transition log and reports whether/when the allocation converged and
+//! to how many cores — the quantity Fig. 7 visualises.
+
+use crate::mechanism::TransitionEvent;
+use emca_metrics::SimTime;
+use prt_petrinet::{StateKind, Thresholds};
+
+/// Checks the stable-band predicate of Equation 1.
+pub fn in_stable_band(u: i64, thresholds: Thresholds) -> bool {
+    u > thresholds.thmin && u < thresholds.thmax
+}
+
+/// Convergence summary derived from a transition log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoncReport {
+    /// The core count held during the longest stable streak.
+    pub lonc: u32,
+    /// When that streak started.
+    pub reached_at: SimTime,
+    /// Length of the streak in control steps.
+    pub streak: usize,
+    /// Total allocations performed before the streak.
+    pub allocations_before: usize,
+}
+
+/// Scans a transition log for the longest stable run.
+pub fn analyze(events: &[TransitionEvent]) -> Option<LoncReport> {
+    let mut best: Option<LoncReport> = None;
+    let mut i = 0usize;
+    while i < events.len() {
+        if events[i].state == StateKind::Stable {
+            let cur_start = i;
+            let nalloc = events[i].nalloc;
+            let mut j = i;
+            while j < events.len()
+                && events[j].state == StateKind::Stable
+                && events[j].nalloc == nalloc
+            {
+                j += 1;
+            }
+            let streak = j - cur_start;
+            if best.as_ref().is_none_or(|b| streak > b.streak) {
+                let allocations_before = events[..cur_start]
+                    .iter()
+                    .filter(|e| e.action == prt_petrinet::AllocAction::Allocate)
+                    .count();
+                best = Some(LoncReport {
+                    lonc: nalloc,
+                    reached_at: events[cur_start].at,
+                    streak,
+                    allocations_before,
+                });
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prt_petrinet::AllocAction;
+
+    fn ev(ms: u64, state: StateKind, action: AllocAction, nalloc: u32) -> TransitionEvent {
+        TransitionEvent {
+            at: SimTime::from_millis(ms),
+            label: String::new(),
+            state,
+            action,
+            u: 50,
+            cpu_load_pct: 50.0,
+            nalloc,
+        }
+    }
+
+    #[test]
+    fn band_predicate() {
+        let th = Thresholds::cpu_load_default();
+        assert!(in_stable_band(40, th));
+        assert!(!in_stable_band(10, th));
+        assert!(!in_stable_band(70, th));
+        assert!(in_stable_band(11, th));
+        assert!(in_stable_band(69, th));
+    }
+
+    #[test]
+    fn analyze_finds_longest_streak() {
+        use AllocAction::{Allocate, Hold};
+        use StateKind::{Overload, Stable};
+        let events = vec![
+            ev(0, Overload, Allocate, 2),
+            ev(10, Overload, Allocate, 3),
+            ev(20, Stable, Hold, 3),
+            ev(30, Stable, Hold, 3),
+            ev(40, Overload, Allocate, 4),
+            ev(50, Stable, Hold, 4),
+            ev(60, Stable, Hold, 4),
+            ev(70, Stable, Hold, 4),
+        ];
+        let report = analyze(&events).expect("stable streaks exist");
+        assert_eq!(report.lonc, 4);
+        assert_eq!(report.streak, 3);
+        assert_eq!(report.reached_at, SimTime::from_millis(50));
+        assert_eq!(report.allocations_before, 3);
+    }
+
+    #[test]
+    fn analyze_empty_and_unstable() {
+        assert_eq!(analyze(&[]), None);
+        let events = vec![ev(
+            0,
+            StateKind::Overload,
+            AllocAction::Allocate,
+            2,
+        )];
+        assert_eq!(analyze(&events), None);
+    }
+
+    #[test]
+    fn nalloc_change_breaks_streak() {
+        use AllocAction::Hold;
+        use StateKind::Stable;
+        let events = vec![
+            ev(0, Stable, Hold, 3),
+            ev(10, Stable, Hold, 4), // different nalloc: new streak
+            ev(20, Stable, Hold, 4),
+        ];
+        let report = analyze(&events).unwrap();
+        assert_eq!(report.lonc, 4);
+        assert_eq!(report.streak, 2);
+    }
+}

@@ -1,0 +1,460 @@
+//! The elastic multi-core allocation mechanism (the paper's §III–§IV
+//! pipeline, assembled).
+//!
+//! Every control interval the mechanism:
+//!
+//! 1. **rule** — samples resource usage through the [`Monitor`]
+//!    (mpstat/likwid analogues) and refreshes the page statistics;
+//! 2. **condition** — injects the measured `u` into the PetriNet
+//!    ([`ElasticNet::step`]), which classifies the performance state and
+//!    decides whether a core must be allocated or released;
+//! 3. **action** — asks the [`AllocationMode`] *where*, and applies the
+//!    new cpuset mask to the DBMS group after the mode's actuation
+//!    latency (the paper's measured token-flow times: dense 17 ms,
+//!    sparse 21 ms, adaptive 31 ms).
+//!
+//! A single mechanism instance supports all DBMS clients (§V).
+
+use crate::modes::{AllocationMode, ModeCtx};
+use crate::monitor::{MetricKind, Monitor, MonitorSample};
+use emca_metrics::{SimDuration, SimTime};
+use numa_sim::SpaceId;
+use os_sim::{CoreMask, GroupId, Kernel};
+use prt_petrinet::{AllocAction, ElasticNet, StateKind, Thresholds};
+
+/// Mechanism configuration.
+#[derive(Clone, Debug)]
+pub struct MechanismConfig {
+    /// Metric driving the PrT transitions.
+    pub metric: MetricKind,
+    /// PrT thresholds (defaults depend on the metric).
+    pub thresholds: Thresholds,
+    /// Control interval (sampling + one PrT step).
+    pub interval: SimDuration,
+    /// Delay between deciding an action and the cpuset taking effect
+    /// (the token-flow overhead measured in §V).
+    pub actuation_latency: SimDuration,
+    /// Cores handed to the OS at start (the paper defaults to 1).
+    pub initial_cores: u32,
+    /// Memory-saturation guard implementing Eq. 1's `p(nalloc) ≥
+    /// p(ntotal)` condition: when the peak memory-controller utilisation
+    /// is at or above this threshold, an Overload classification is
+    /// damped to Stable — extra cores cannot improve a memory-bound
+    /// workload, only scatter it. `None` disables the guard (ablation).
+    pub saturation_guard: Option<f64>,
+}
+
+impl MechanismConfig {
+    /// Paper defaults for the CPU-load strategy.
+    pub fn cpu_load() -> Self {
+        MechanismConfig {
+            metric: MetricKind::CpuLoad,
+            thresholds: Thresholds::cpu_load_default(),
+            interval: SimDuration::from_millis(50),
+            actuation_latency: SimDuration::from_millis(31),
+            initial_cores: 1,
+            saturation_guard: Some(0.9),
+        }
+    }
+
+    /// Paper defaults for the HT/IMC strategy (§V-B).
+    pub fn ht_imc() -> Self {
+        MechanismConfig {
+            metric: MetricKind::HtImcRatio,
+            thresholds: Thresholds::ht_imc_default(),
+            ..Self::cpu_load()
+        }
+    }
+
+    /// Sets the actuation latency from the paper's per-mode token-flow
+    /// measurements.
+    pub fn with_mode_latency(mut self, mode_name: &str) -> Self {
+        self.actuation_latency = match mode_name {
+            "dense" => SimDuration::from_millis(17),
+            "sparse" => SimDuration::from_millis(21),
+            "adaptive" => SimDuration::from_millis(31),
+            _ => self.actuation_latency,
+        };
+        self
+    }
+}
+
+/// One recorded state transition (Fig. 7's X axis).
+#[derive(Clone, Debug)]
+pub struct TransitionEvent {
+    /// When the control step ran.
+    pub at: SimTime,
+    /// The fired-path label, e.g. `"t1-Overload-t5"`.
+    pub label: String,
+    /// Classified state.
+    pub state: StateKind,
+    /// Action taken.
+    pub action: AllocAction,
+    /// Metric value consumed.
+    pub u: i64,
+    /// CPU load (%) at the sample, regardless of metric.
+    pub cpu_load_pct: f64,
+    /// Allocated cores after the step.
+    pub nalloc: u32,
+}
+
+/// The assembled mechanism.
+pub struct ElasticMechanism {
+    cfg: MechanismConfig,
+    net: ElasticNet,
+    mode: Box<dyn AllocationMode>,
+    monitor: Monitor,
+    group: GroupId,
+    next_control: SimTime,
+    /// A decided-but-not-yet-applied mask (actuation latency).
+    pending: Option<(SimTime, CoreMask)>,
+    /// Transition log (Fig. 7).
+    pub events: Vec<TransitionEvent>,
+    /// Number of control steps executed.
+    pub steps: u64,
+}
+
+impl ElasticMechanism {
+    /// Installs the mechanism on a kernel: shrinks the group's cpuset to
+    /// the initial allocation (chosen by the mode) and arms the control
+    /// timer.
+    pub fn install(
+        kernel: &mut Kernel,
+        group: GroupId,
+        space: SpaceId,
+        mut mode: Box<dyn AllocationMode>,
+        cfg: MechanismConfig,
+    ) -> Self {
+        let topo = kernel.machine().topology().clone();
+        let ntotal = topo.n_cores() as u32;
+        assert!(
+            (1..=ntotal).contains(&cfg.initial_cores),
+            "initial_cores out of range"
+        );
+        // Build the initial mask by asking the mode for cores one by one.
+        let pages = kernel.machine().mem().pages_per_node(space).to_vec();
+        let mut mask = CoreMask::EMPTY;
+        for _ in 0..cfg.initial_cores {
+            let ctx = ModeCtx {
+                topology: &topo,
+                current: mask,
+                pages_per_node: &pages,
+            };
+            let core = mode.next_core(&ctx).expect("initial cores available");
+            mask.insert(core);
+        }
+        kernel.set_group_mask(group, mask);
+        let net = ElasticNet::new(cfg.thresholds, ntotal, cfg.initial_cores);
+        let monitor = Monitor::new(kernel, group, space, cfg.metric);
+        let next_control = kernel.now() + cfg.interval;
+        ElasticMechanism {
+            cfg,
+            net,
+            mode,
+            monitor,
+            group,
+            next_control,
+            pending: None,
+            events: Vec::new(),
+            steps: 0,
+        }
+    }
+
+    /// The controlled group.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// Currently allocated cores (the `Provision` token).
+    pub fn nalloc(&self) -> u32 {
+        self.net.nalloc()
+    }
+
+    /// The underlying PrT net (incidence matrix export etc.).
+    pub fn net(&self) -> &ElasticNet {
+        &self.net
+    }
+
+    /// The allocation mode's name.
+    pub fn mode_name(&self) -> &'static str {
+        self.mode.name()
+    }
+
+    /// Drives the mechanism; call once per simulation tick (cheap when
+    /// nothing is due). Applies pending actuations and runs control steps
+    /// on schedule.
+    pub fn poll(&mut self, kernel: &mut Kernel) {
+        let now = kernel.now();
+        if let Some((due, mask)) = self.pending {
+            if now >= due {
+                kernel.set_group_mask(self.group, mask);
+                self.pending = None;
+            }
+        }
+        if now >= self.next_control && self.pending.is_none() {
+            self.control(kernel);
+            self.next_control = now + self.cfg.interval;
+        }
+    }
+
+    /// One rule-condition-action step.
+    fn control(&mut self, kernel: &mut Kernel) {
+        self.steps += 1;
+        let sample = self.monitor.sample(kernel);
+        // Eq. 1 guard: a memory-bound system gains nothing from more
+        // cores — damp Overload to the stable band while the memory
+        // controllers are saturated.
+        let mut u = sample.u;
+        if let Some(guard) = self.cfg.saturation_guard {
+            let th = self.cfg.thresholds;
+            if u >= th.thmax && sample.mc_pressure >= guard {
+                u = (th.thmin + th.thmax) / 2;
+            }
+        }
+        let report = self.net.step(u);
+        let current = kernel.group_mask(self.group);
+        let topo = kernel.machine().topology().clone();
+        let ctx = ModeCtx {
+            topology: &topo,
+            current,
+            pages_per_node: &sample.pages_per_node,
+        };
+        let new_mask = match report.action {
+            AllocAction::Allocate => match self.mode.next_core(&ctx) {
+                Some(core) => {
+                    let mut m = current;
+                    m.insert(core);
+                    Some(m)
+                }
+                None => {
+                    // The model thought a core was available but the mode
+                    // found none: resync the Provision token.
+                    self.net.set_nalloc(current.count() as u32);
+                    None
+                }
+            },
+            AllocAction::Release => match self.mode.release_core(&ctx) {
+                Some(core) => {
+                    let mut m = current;
+                    m.remove(core);
+                    Some(m)
+                }
+                None => {
+                    self.net.set_nalloc(current.count() as u32);
+                    None
+                }
+            },
+            AllocAction::Hold => None,
+        };
+        if let Some(mask) = new_mask {
+            debug_assert_eq!(mask.count() as u32, self.net.nalloc());
+            self.pending = Some((kernel.now() + self.cfg.actuation_latency, mask));
+        }
+        self.record(&sample, &report);
+    }
+
+    fn record(&mut self, sample: &MonitorSample, report: &prt_petrinet::StepReport) {
+        self.events.push(TransitionEvent {
+            at: sample.at,
+            label: report.label.clone(),
+            state: report.state,
+            action: report.action,
+            u: report.u,
+            cpu_load_pct: sample.cpu_load_pct,
+            nalloc: report.nalloc,
+        });
+    }
+
+    /// Runs the kernel to `deadline`, polling the mechanism every tick —
+    /// the main driver loop of every mechanism experiment.
+    pub fn run_with(&mut self, kernel: &mut Kernel, deadline: SimTime) {
+        while kernel.now() < deadline {
+            kernel.run_tick();
+            self.poll(kernel);
+        }
+    }
+
+    /// Like [`ElasticMechanism::run_with`] but stops early when `pred`
+    /// holds. Returns true if the predicate fired.
+    pub fn run_with_until(
+        &mut self,
+        kernel: &mut Kernel,
+        deadline: SimTime,
+        mut pred: impl FnMut(&Kernel) -> bool,
+    ) -> bool {
+        while kernel.now() < deadline {
+            if pred(kernel) {
+                return true;
+            }
+            kernel.run_tick();
+            self.poll(kernel);
+        }
+        pred(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::{AdaptiveMode, DenseMode, SparseMode};
+    use emca_metrics::SimDuration;
+    use numa_sim::CoreId;
+    use os_sim::SpinWork;
+
+    fn setup() -> (Kernel, GroupId, SpaceId) {
+        let mut k = Kernel::opteron_4x4();
+        let all = CoreMask::all(k.machine().topology());
+        let g = k.create_group(all);
+        let space = k.machine_mut().create_space();
+        (k, g, space)
+    }
+
+    fn fast_cfg() -> MechanismConfig {
+        MechanismConfig {
+            interval: SimDuration::from_millis(5),
+            actuation_latency: SimDuration::from_millis(1),
+            ..MechanismConfig::cpu_load()
+        }
+    }
+
+    #[test]
+    fn install_shrinks_to_initial_core() {
+        let (mut k, g, space) = setup();
+        let mech =
+            ElasticMechanism::install(&mut k, g, space, Box::new(DenseMode), fast_cfg());
+        assert_eq!(k.group_mask(g).count(), 1);
+        assert_eq!(k.group_mask(g).first(), Some(CoreId(0)));
+        assert_eq!(mech.nalloc(), 1);
+        assert_eq!(mech.mode_name(), "dense");
+    }
+
+    #[test]
+    fn overload_grows_allocation() {
+        let (mut k, g, space) = setup();
+        let mut mech =
+            ElasticMechanism::install(&mut k, g, space, Box::new(DenseMode), fast_cfg());
+        // Ten CPU-hungry threads on one allowed core: load saturates.
+        for i in 0..10 {
+            k.spawn(
+                format!("burn{i}"),
+                g,
+                None,
+                Box::new(SpinWork::new(SimDuration::from_secs(10))),
+            );
+        }
+        mech.run_with(&mut k, SimTime::from_millis(400));
+        assert!(
+            mech.nalloc() >= 4,
+            "allocation did not grow: nalloc={} events={:?}",
+            mech.nalloc(),
+            mech.events.last()
+        );
+        assert_eq!(k.group_mask(g).count() as u32, mech.nalloc());
+        assert!(mech
+            .events
+            .iter()
+            .any(|e| e.label == "t1-Overload-t5"));
+    }
+
+    #[test]
+    fn idle_shrinks_allocation() {
+        let (mut k, g, space) = setup();
+        let cfg = MechanismConfig {
+            initial_cores: 6,
+            ..fast_cfg()
+        };
+        let mut mech = ElasticMechanism::install(&mut k, g, space, Box::new(DenseMode), cfg);
+        assert_eq!(mech.nalloc(), 6);
+        // No load at all: the mechanism must release down to one core.
+        mech.run_with(&mut k, SimTime::from_millis(500));
+        assert_eq!(mech.nalloc(), 1, "idle system should shrink to 1 core");
+        assert!(mech.events.iter().any(|e| e.label == "t0-Idle-t4"));
+        assert!(mech.events.iter().any(|e| e.label == "t0-Idle-t7"));
+    }
+
+    #[test]
+    fn stable_load_holds_allocation() {
+        let (mut k, g, space) = setup();
+        let cfg = MechanismConfig {
+            initial_cores: 2,
+            ..fast_cfg()
+        };
+        let mut mech = ElasticMechanism::install(&mut k, g, space, Box::new(DenseMode), cfg);
+        // One spinning thread over 2 cores ≈ 50% group load: stable band.
+        k.spawn(
+            "halfload",
+            g,
+            None,
+            Box::new(SpinWork::new(SimDuration::from_secs(10))),
+        );
+        mech.run_with(&mut k, SimTime::from_millis(300));
+        assert_eq!(mech.nalloc(), 2, "stable load must hold the allocation");
+        assert!(mech.events.iter().any(|e| e.label == "t2-Stable-t3"));
+    }
+
+    #[test]
+    fn sparse_mode_spreads_allocations() {
+        let (mut k, g, space) = setup();
+        let mut mech =
+            ElasticMechanism::install(&mut k, g, space, Box::new(SparseMode), fast_cfg());
+        for i in 0..12 {
+            k.spawn(
+                format!("burn{i}"),
+                g,
+                None,
+                Box::new(SpinWork::new(SimDuration::from_secs(10))),
+            );
+        }
+        mech.run_with(&mut k, SimTime::from_millis(300));
+        let mask = k.group_mask(g);
+        assert!(mask.count() >= 4, "expected growth, got {mask:?}");
+        // Sparse must touch several nodes early.
+        let per_node = mask.count_per_node(k.machine().topology());
+        let nodes_used = per_node.iter().filter(|&&c| c > 0).count();
+        assert!(nodes_used >= 3, "sparse should spread: {per_node:?}");
+        drop(mech);
+    }
+
+    #[test]
+    fn adaptive_mode_follows_pages() {
+        let (mut k, g, space) = setup();
+        // Home DBMS pages on node 2 before installing.
+        let region = k.machine_mut().alloc(space, 8 * numa_sim::SEG_BYTES);
+        for seg in region.segments() {
+            k.machine_mut().access_segment(
+                CoreId(8),
+                seg,
+                numa_sim::AccessKind::Write,
+                numa_sim::StreamId(0),
+            );
+        }
+        let mech = ElasticMechanism::install(
+            &mut k,
+            g,
+            space,
+            Box::new(AdaptiveMode::default()),
+            fast_cfg(),
+        );
+        // The initial core must be on node 2 (the hottest node).
+        let first = k.group_mask(g).first().expect("one core");
+        assert_eq!(k.machine().topology().node_of(first), numa_sim::NodeId(2));
+        assert_eq!(mech.mode_name(), "adaptive");
+    }
+
+    #[test]
+    fn actuation_latency_defaults_match_paper() {
+        let cfg = MechanismConfig::cpu_load().with_mode_latency("dense");
+        assert_eq!(cfg.actuation_latency, SimDuration::from_millis(17));
+        let cfg = MechanismConfig::cpu_load().with_mode_latency("sparse");
+        assert_eq!(cfg.actuation_latency, SimDuration::from_millis(21));
+        let cfg = MechanismConfig::cpu_load().with_mode_latency("adaptive");
+        assert_eq!(cfg.actuation_latency, SimDuration::from_millis(31));
+    }
+
+    #[test]
+    fn ht_imc_config_uses_ratio_thresholds() {
+        let cfg = MechanismConfig::ht_imc();
+        assert_eq!(cfg.metric, MetricKind::HtImcRatio);
+        assert_eq!(cfg.thresholds, Thresholds::ht_imc_default());
+    }
+}

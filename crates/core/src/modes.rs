@@ -1,0 +1,276 @@
+//! The multi-core allocation modes (§IV-B).
+//!
+//! All three modes answer the same two questions: *which core do we hand
+//! to the OS next* when the PetriNet decides to allocate, and *which do
+//! we take back* when it decides to release.
+//!
+//! - [`DenseMode`]: `core(i, j) = d·i + j` iterating `j` innermost — fill
+//!   a node before moving to the next (Fig. 12b);
+//! - [`SparseMode`]: iterate `i` innermost — one core per node round-robin
+//!   (Fig. 12a);
+//! - [`AdaptiveMode`]: consult the page-count priority queue — allocate
+//!   on the node with the most resident DBMS pages, release on the node
+//!   with the fewest (§IV-B2).
+
+use crate::priority_queue::NodePriorityQueue;
+use numa_sim::{CoreId, Topology};
+use os_sim::CoreMask;
+
+/// Context handed to a mode when it must pick a core.
+pub struct ModeCtx<'a> {
+    /// Machine shape.
+    pub topology: &'a Topology,
+    /// Cores currently handed to the OS.
+    pub current: CoreMask,
+    /// Fresh pages-per-node statistics of the DBMS address space.
+    pub pages_per_node: &'a [u64],
+}
+
+/// A core allocation policy.
+pub trait AllocationMode {
+    /// Short name (`"dense"`, `"sparse"`, `"adaptive"`).
+    fn name(&self) -> &'static str;
+
+    /// The next core to add (must not already be in `current`); `None`
+    /// when every core is allocated.
+    fn next_core(&mut self, ctx: &ModeCtx<'_>) -> Option<CoreId>;
+
+    /// The core to release (must be in `current`); `None` when only one
+    /// core remains (the mechanism never drops below one).
+    fn release_core(&mut self, ctx: &ModeCtx<'_>) -> Option<CoreId>;
+}
+
+/// Fill each node before moving on: allocation order 0,1,2,3, 4,5,...
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DenseMode;
+
+impl AllocationMode for DenseMode {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn next_core(&mut self, ctx: &ModeCtx<'_>) -> Option<CoreId> {
+        let d = ctx.topology.cores_per_node();
+        (0..ctx.topology.n_nodes())
+            .flat_map(|i| (0..d).map(move |j| (i, j)))
+            .map(|(i, j)| CoreId((i * d + j) as u16))
+            .find(|c| !ctx.current.contains(*c))
+    }
+
+    fn release_core(&mut self, ctx: &ModeCtx<'_>) -> Option<CoreId> {
+        if ctx.current.count() <= 1 {
+            return None;
+        }
+        // Reverse allocation order: the most recently addable core goes
+        // first.
+        ctx.current.iter().max_by_key(|c| c.idx())
+    }
+}
+
+/// One core per node round-robin: allocation order 0,4,8,12, 1,5,...
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SparseMode;
+
+impl AllocationMode for SparseMode {
+    fn name(&self) -> &'static str {
+        "sparse"
+    }
+
+    fn next_core(&mut self, ctx: &ModeCtx<'_>) -> Option<CoreId> {
+        let d = ctx.topology.cores_per_node();
+        let n = ctx.topology.n_nodes();
+        (0..d)
+            .flat_map(|j| (0..n).map(move |i| (i, j)))
+            .map(|(i, j)| CoreId((i * d + j) as u16))
+            .find(|c| !ctx.current.contains(*c))
+    }
+
+    fn release_core(&mut self, ctx: &ModeCtx<'_>) -> Option<CoreId> {
+        if ctx.current.count() <= 1 {
+            return None;
+        }
+        // Reverse of the sparse order: highest (j, i) pair allocated.
+        let d = ctx.topology.cores_per_node();
+        ctx.current
+            .iter()
+            .max_by_key(|c| (c.idx() % d, c.idx() / d))
+    }
+}
+
+/// Page-priority-driven allocation (the paper's contribution).
+#[derive(Clone, Debug, Default)]
+pub struct AdaptiveMode {
+    queue: NodePriorityQueue,
+}
+
+impl AllocationMode for AdaptiveMode {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn next_core(&mut self, ctx: &ModeCtx<'_>) -> Option<CoreId> {
+        self.queue.refresh(ctx.pages_per_node);
+        // Highest-priority node with a free core; fall back down the
+        // ranking.
+        for node in self.queue.descending() {
+            if let Some(core) = ctx
+                .topology
+                .cores_of(node)
+                .find(|c| !ctx.current.contains(*c))
+            {
+                return Some(core);
+            }
+        }
+        None
+    }
+
+    fn release_core(&mut self, ctx: &ModeCtx<'_>) -> Option<CoreId> {
+        if ctx.current.count() <= 1 {
+            return None;
+        }
+        self.queue.refresh(ctx.pages_per_node);
+        // Lowest-priority node that still holds an allocated core.
+        for node in self.queue.ascending() {
+            let on_node = ctx.current.on_node(ctx.topology, node);
+            if let Some(core) = on_node.iter().max_by_key(|c| c.idx()) {
+                return Some(core);
+            }
+        }
+        None
+    }
+}
+
+/// The paper's three modes by name (harness configuration).
+pub fn mode_by_name(name: &str) -> Box<dyn AllocationMode> {
+    match name {
+        "dense" => Box::new(DenseMode),
+        "sparse" => Box::new(SparseMode),
+        "adaptive" => Box::new(AdaptiveMode::default()),
+        other => panic!("unknown allocation mode {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(
+        topo: &'a Topology,
+        current: CoreMask,
+        pages: &'a [u64],
+    ) -> ModeCtx<'a> {
+        ModeCtx {
+            topology: topo,
+            current,
+            pages_per_node: pages,
+        }
+    }
+
+    fn alloc_sequence(mode: &mut dyn AllocationMode, topo: &Topology, pages: &[u64]) -> Vec<u16> {
+        let mut mask = CoreMask::EMPTY;
+        let mut seq = Vec::new();
+        while let Some(c) = mode.next_core(&ctx(topo, mask, pages)) {
+            seq.push(c.0);
+            mask.insert(c);
+        }
+        seq
+    }
+
+    #[test]
+    fn dense_order_matches_fig12b() {
+        let topo = Topology::opteron_4x4();
+        let seq = alloc_sequence(&mut DenseMode, &topo, &[0; 4]);
+        assert_eq!(seq, (0..16).collect::<Vec<u16>>());
+    }
+
+    #[test]
+    fn sparse_order_matches_fig12a() {
+        let topo = Topology::opteron_4x4();
+        let seq = alloc_sequence(&mut SparseMode, &topo, &[0; 4]);
+        assert_eq!(
+            seq,
+            vec![0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15]
+        );
+    }
+
+    #[test]
+    fn dense_release_reverses() {
+        let topo = Topology::opteron_4x4();
+        let mask = CoreMask::from_cores([CoreId(0), CoreId(1), CoreId(2)]);
+        let mut m = DenseMode;
+        assert_eq!(m.release_core(&ctx(&topo, mask, &[0; 4])), Some(CoreId(2)));
+    }
+
+    #[test]
+    fn sparse_release_reverses() {
+        let topo = Topology::opteron_4x4();
+        // Sparse allocated 0, 4, 8: releasing should drop 8 (latest in
+        // sparse order).
+        let mask = CoreMask::from_cores([CoreId(0), CoreId(4), CoreId(8)]);
+        let mut m = SparseMode;
+        assert_eq!(m.release_core(&ctx(&topo, mask, &[0; 4])), Some(CoreId(8)));
+    }
+
+    #[test]
+    fn adaptive_allocates_on_hottest_node() {
+        let topo = Topology::opteron_4x4();
+        let mut m = AdaptiveMode::default();
+        // Node 2 has the most pages: first allocation goes there.
+        let pages = [10, 5, 100, 0];
+        let c = m.next_core(&ctx(&topo, CoreMask::EMPTY, &pages)).unwrap();
+        assert_eq!(topo.node_of(c), numa_sim::NodeId(2));
+        // Node 2 full -> falls back to node 0 (next priority).
+        let full2 = CoreMask::from_cores(topo.cores_of(numa_sim::NodeId(2)));
+        let c = m.next_core(&ctx(&topo, full2, &pages)).unwrap();
+        assert_eq!(topo.node_of(c), numa_sim::NodeId(0));
+    }
+
+    #[test]
+    fn adaptive_releases_on_coldest_node() {
+        let topo = Topology::opteron_4x4();
+        let mut m = AdaptiveMode::default();
+        let mask = CoreMask::from_cores([CoreId(0), CoreId(4), CoreId(8)]);
+        // Node 1 (core 4) has the fewest pages among allocated nodes.
+        let pages = [100, 1, 50, 999];
+        assert_eq!(m.release_core(&ctx(&topo, mask, &pages)), Some(CoreId(4)));
+    }
+
+    #[test]
+    fn release_never_drops_last_core() {
+        let topo = Topology::opteron_4x4();
+        let mask = CoreMask::single(CoreId(3));
+        let pages = [0; 4];
+        assert_eq!(DenseMode.release_core(&ctx(&topo, mask, &pages)), None);
+        assert_eq!(SparseMode.release_core(&ctx(&topo, mask, &pages)), None);
+        assert_eq!(
+            AdaptiveMode::default().release_core(&ctx(&topo, mask, &pages)),
+            None
+        );
+    }
+
+    #[test]
+    fn full_machine_has_no_next() {
+        let topo = Topology::opteron_4x4();
+        let all = CoreMask::all(&topo);
+        let pages = [1; 4];
+        assert_eq!(DenseMode.next_core(&ctx(&topo, all, &pages)), None);
+        assert_eq!(SparseMode.next_core(&ctx(&topo, all, &pages)), None);
+        assert_eq!(
+            AdaptiveMode::default().next_core(&ctx(&topo, all, &pages)),
+            None
+        );
+    }
+
+    #[test]
+    fn mode_by_name_resolves() {
+        assert_eq!(mode_by_name("dense").name(), "dense");
+        assert_eq!(mode_by_name("sparse").name(), "sparse");
+        assert_eq!(mode_by_name("adaptive").name(), "adaptive");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown allocation mode")]
+    fn bad_mode_name_panics() {
+        mode_by_name("magic");
+    }
+}

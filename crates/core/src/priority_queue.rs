@@ -1,0 +1,132 @@
+//! The adaptive mode's priority queue (§IV-B2).
+//!
+//! "A priority queue is used to indicate the node with the
+//! largest/smallest amount of allocated memory (on top/bottom priority)
+//! and the model allocates/releases a core near to such address space.
+//! Each entry of the priority queue keeps the PIDs of the active threads
+//! with their address spaces and the number of pages per NUMA node."
+//!
+//! [`NodePriorityQueue`] maintains exactly that ordering: nodes ranked by
+//! the page counter of the tracked address space(s), refreshed from the
+//! `numa_maps` statistics each control interval.
+
+use numa_sim::NodeId;
+
+/// Nodes ordered by resident page count.
+#[derive(Clone, Debug, Default)]
+pub struct NodePriorityQueue {
+    /// `(pages, node)` sorted descending by pages (ties: lower node id
+    /// first, keeping decisions deterministic).
+    ranked: Vec<(u64, NodeId)>,
+}
+
+impl NodePriorityQueue {
+    /// Builds the queue from a pages-per-node vector.
+    pub fn from_pages(pages_per_node: &[u64]) -> Self {
+        let mut ranked: Vec<(u64, NodeId)> = pages_per_node
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, NodeId(i as u16)))
+            .collect();
+        ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        NodePriorityQueue { ranked }
+    }
+
+    /// Refreshes in place (avoids reallocation in the control loop).
+    pub fn refresh(&mut self, pages_per_node: &[u64]) {
+        self.ranked.clear();
+        self.ranked.extend(
+            pages_per_node
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, NodeId(i as u16))),
+        );
+        self.ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    }
+
+    /// The top-priority node (most pages), if any.
+    pub fn top(&self) -> Option<NodeId> {
+        self.ranked.first().map(|&(_, n)| n)
+    }
+
+    /// The bottom-priority node (fewest pages), if any.
+    pub fn bottom(&self) -> Option<NodeId> {
+        self.ranked.last().map(|&(_, n)| n)
+    }
+
+    /// Nodes from most to fewest pages.
+    pub fn descending(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ranked.iter().map(|&(_, n)| n)
+    }
+
+    /// Nodes from fewest to most pages.
+    pub fn ascending(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ranked.iter().rev().map(|&(_, n)| n)
+    }
+
+    /// Page count of a node.
+    pub fn pages_of(&self, node: NodeId) -> u64 {
+        self.ranked
+            .iter()
+            .find(|&&(_, n)| n == node)
+            .map(|&(p, _)| p)
+            .unwrap_or(0)
+    }
+
+    /// Number of ranked nodes.
+    pub fn len(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranked.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_by_pages_descending() {
+        let q = NodePriorityQueue::from_pages(&[10, 40, 5, 40]);
+        // Ties broken by node id: node 1 before node 3.
+        let order: Vec<u16> = q.descending().map(|n| n.0).collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+        assert_eq!(q.top(), Some(NodeId(1)));
+        assert_eq!(q.bottom(), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn ascending_is_reverse() {
+        let q = NodePriorityQueue::from_pages(&[3, 1, 2]);
+        let asc: Vec<u16> = q.ascending().map(|n| n.0).collect();
+        assert_eq!(asc, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn refresh_reorders() {
+        let mut q = NodePriorityQueue::from_pages(&[9, 0]);
+        assert_eq!(q.top(), Some(NodeId(0)));
+        q.refresh(&[0, 9]);
+        assert_eq!(q.top(), Some(NodeId(1)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pages_lookup() {
+        let q = NodePriorityQueue::from_pages(&[7, 3]);
+        assert_eq!(q.pages_of(NodeId(0)), 7);
+        assert_eq!(q.pages_of(NodeId(1)), 3);
+        assert_eq!(q.pages_of(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn empty_queue() {
+        let q = NodePriorityQueue::from_pages(&[]);
+        assert!(q.is_empty());
+        assert_eq!(q.top(), None);
+        assert_eq!(q.bottom(), None);
+    }
+}

@@ -1,0 +1,388 @@
+//! Client sessions and workload drivers.
+//!
+//! The paper's experiments run 1–256 *concurrent clients* in a closed
+//! loop: each client submits a query, waits for its completion, and
+//! immediately submits the next. Three workload types reproduce §V:
+//!
+//! - [`Workload::Repeat`] — the same query over and over (the Q6 and
+//!   thetasubselect microbenchmarks, Figs. 4/13/14/15);
+//! - [`Workload::StablePhases`] — all clients run query *i* concurrently,
+//!   then everyone advances to query *i+1* (Fig. 18);
+//! - [`Workload::Mixed`] — every client continuously runs a random query
+//!   of the 22 (Fig. 19/20).
+
+use crate::exec::engine::{Engine, QueryResult};
+use crate::exec::task::QueryId;
+use crate::tpch::queries::{build_query, QuerySpec};
+use emca_metrics::SimDuration;
+use os_sim::{SimWork, StepOutcome, Tid, WorkCtx};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// What a client session runs.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// Run `spec` exactly `iterations` times.
+    Repeat {
+        /// The query.
+        spec: QuerySpec,
+        /// How many executions per client.
+        iterations: u32,
+    },
+    /// Phase `i` = every client executes `specs[i]` once; a shared
+    /// barrier advances all clients to the next phase together.
+    StablePhases {
+        /// The phase queries, in order.
+        specs: Vec<QuerySpec>,
+    },
+    /// Each iteration picks a uniformly random query from `specs`
+    /// (deterministic per-client RNG).
+    Mixed {
+        /// Candidate queries.
+        specs: Vec<QuerySpec>,
+        /// Iterations per client.
+        iterations: u32,
+        /// Base seed (client index is mixed in).
+        seed: u64,
+    },
+}
+
+/// Shared barrier state for [`Workload::StablePhases`].
+pub struct PhaseBarrier {
+    n_clients: usize,
+    phase: usize,
+    arrived: usize,
+    waiting: Vec<Tid>,
+}
+
+impl PhaseBarrier {
+    /// A barrier for `n_clients` participants.
+    pub fn new(n_clients: usize) -> Rc<RefCell<PhaseBarrier>> {
+        Rc::new(RefCell::new(PhaseBarrier {
+            n_clients,
+            phase: 0,
+            arrived: 0,
+            waiting: Vec::new(),
+        }))
+    }
+
+    /// Current phase index.
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+}
+
+/// Completed-query records of one client.
+#[derive(Clone, Debug, Default)]
+pub struct ClientLog {
+    /// One entry per completed query.
+    pub results: Vec<QueryResult>,
+}
+
+/// Shared collection of client logs (harness side).
+pub type SharedLog = Rc<RefCell<ClientLog>>;
+
+enum ClientState {
+    /// Ready to pick the next query.
+    Idle,
+    /// Burning the parse/optimise overhead before submitting `spec`.
+    Planning {
+        /// The query to submit once planning completes.
+        spec: QuerySpec,
+        /// Remaining planning CPU time.
+        remaining: SimDuration,
+    },
+    /// Waiting for a submitted query.
+    Waiting(QueryId),
+    /// Parked on the phase barrier.
+    AtBarrier(usize),
+    /// Done.
+    Finished,
+}
+
+/// A client session thread body.
+pub struct ClientBody {
+    engine: Engine,
+    workload: Workload,
+    iteration: u32,
+    state: ClientState,
+    log: SharedLog,
+    rng: StdRng,
+    barrier: Option<Rc<RefCell<PhaseBarrier>>>,
+    #[allow(dead_code)]
+    client_idx: usize,
+}
+
+impl ClientBody {
+    /// Creates a client. For [`Workload::StablePhases`] a shared barrier
+    /// must be supplied.
+    pub fn new(
+        engine: Engine,
+        workload: Workload,
+        #[allow(dead_code)]
+    client_idx: usize,
+        barrier: Option<Rc<RefCell<PhaseBarrier>>>,
+    ) -> (Self, SharedLog) {
+        let seed = match &workload {
+            Workload::Mixed { seed, .. } => seed.wrapping_add(client_idx as u64 * 0x9e37),
+            _ => client_idx as u64,
+        };
+        if matches!(workload, Workload::StablePhases { .. }) {
+            assert!(barrier.is_some(), "stable phases need a shared barrier");
+        }
+        let log: SharedLog = Rc::new(RefCell::new(ClientLog::default()));
+        (
+            ClientBody {
+                engine,
+                workload,
+                iteration: 0,
+                state: ClientState::Idle,
+                log: Rc::clone(&log),
+                rng: StdRng::seed_from_u64(seed),
+                barrier,
+                client_idx,
+            },
+            log,
+        )
+    }
+
+    /// Decides the next query to run, or `None` when the workload is
+    /// exhausted. May park the client at the phase barrier.
+    fn next_spec(&mut self) -> NextAction {
+        match &self.workload {
+            Workload::Repeat { spec, iterations } => {
+                if self.iteration >= *iterations {
+                    NextAction::Done
+                } else {
+                    self.iteration += 1;
+                    NextAction::Run(*spec)
+                }
+            }
+            Workload::StablePhases { specs } => {
+                let barrier = self.barrier.as_ref().expect("barrier checked at new");
+                let phase = barrier.borrow().phase();
+                if phase >= specs.len() {
+                    NextAction::Done
+                } else if self.iteration as usize > phase {
+                    // Already ran this phase's query: wait for the others.
+                    NextAction::Barrier(phase)
+                } else {
+                    self.iteration += 1;
+                    NextAction::Run(specs[phase])
+                }
+            }
+            Workload::Mixed { specs, iterations, .. } => {
+                if self.iteration >= *iterations {
+                    NextAction::Done
+                } else {
+                    self.iteration += 1;
+                    let i = self.rng.random_range(0..specs.len());
+                    NextAction::Run(specs[i])
+                }
+            }
+        }
+    }
+
+    /// Arrives at the barrier; returns true if this arrival released the
+    /// phase (the caller then wakes the waiters).
+    fn arrive_barrier(&mut self, ctx: &mut WorkCtx<'_>, phase: usize) -> bool {
+        let barrier = Rc::clone(self.barrier.as_ref().expect("barrier present"));
+        let mut b = barrier.borrow_mut();
+        if b.phase != phase {
+            // Phase already advanced while we were being scheduled.
+            return true;
+        }
+        b.arrived += 1;
+        if b.arrived >= b.n_clients {
+            b.phase += 1;
+            b.arrived = 0;
+            let waiters = std::mem::take(&mut b.waiting);
+            for tid in waiters {
+                ctx.wake(tid);
+            }
+            true
+        } else {
+            b.waiting.push(ctx.tid);
+            false
+        }
+    }
+}
+
+enum NextAction {
+    Run(QuerySpec),
+    Barrier(usize),
+    Done,
+}
+
+impl SimWork for ClientBody {
+    fn step(&mut self, ctx: &mut WorkCtx<'_>) -> StepOutcome {
+        let mut used = SimDuration::ZERO;
+        loop {
+            match &self.state {
+                ClientState::Finished => return StepOutcome::Finished(used),
+                ClientState::Planning { spec, remaining } => {
+                    let spec = *spec;
+                    let burn = (*remaining).min(ctx.budget.saturating_sub(used));
+                    used += burn;
+                    let left = remaining.saturating_sub(burn);
+                    if left.is_zero() {
+                        let plan = Rc::new(build_query(&spec));
+                        let qid = self.engine.submit(ctx, plan, spec.tag(), used);
+                        self.state = ClientState::Waiting(qid);
+                        return StepOutcome::Blocked(used);
+                    }
+                    self.state = ClientState::Planning {
+                        spec,
+                        remaining: left,
+                    };
+                    return StepOutcome::Ran(used);
+                }
+                ClientState::Waiting(qid) => {
+                    let qid = *qid;
+                    match self.engine.take_result(qid) {
+                        Some(result) => {
+                            self.log.borrow_mut().results.push(result);
+                            self.state = ClientState::Idle;
+                        }
+                        // Spurious wake (e.g. broadcast): keep waiting.
+                        None => return StepOutcome::Blocked(used),
+                    }
+                }
+                ClientState::AtBarrier(phase) => {
+                    let phase = *phase;
+                    let current = self
+                        .barrier
+                        .as_ref()
+                        .expect("barrier present")
+                        .borrow()
+                        .phase();
+                    if current > phase {
+                        self.state = ClientState::Idle;
+                    } else {
+                        return StepOutcome::Blocked(used);
+                    }
+                }
+                ClientState::Idle => match self.next_spec() {
+                    NextAction::Done => {
+                        self.state = ClientState::Finished;
+                        return StepOutcome::Finished(used);
+                    }
+                    NextAction::Barrier(phase) => {
+                        if self.arrive_barrier(ctx, phase) {
+                            self.state = ClientState::Idle;
+                        } else {
+                            self.state = ClientState::AtBarrier(phase);
+                            return StepOutcome::Blocked(used);
+                        }
+                    }
+                    NextAction::Run(spec) => {
+                        // Parse/plan overhead is charged to the session,
+                        // spread across ticks by the Planning state.
+                        self.state = ClientState::Planning {
+                            spec,
+                            remaining: self.engine.plan_overhead(),
+                        };
+                    }
+                },
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "client"
+    }
+}
+
+/// Spawns `n` concurrent clients into `group`, returning their logs.
+pub fn spawn_clients(
+    kernel: &mut os_sim::Kernel,
+    engine: &Engine,
+    group: os_sim::GroupId,
+    n: usize,
+    workload: Workload,
+) -> Vec<SharedLog> {
+    let barrier = match &workload {
+        Workload::StablePhases { .. } => Some(PhaseBarrier::new(n)),
+        _ => None,
+    };
+    (0..n)
+        .map(|i| {
+            let (body, log) =
+                ClientBody::new(engine.clone(), workload.clone(), i, barrier.clone());
+            kernel.spawn(format!("client{i}"), group, None, Box::new(body));
+            log
+        })
+        .collect()
+}
+
+/// Collects every query result recorded across client logs.
+pub fn drain_results(logs: &[SharedLog]) -> Vec<QueryResult> {
+    logs.iter()
+        .flat_map(|l| l.borrow().results.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_workload_counts_iterations() {
+        let engine = Engine::new(crate::exec::engine::EngineConfig::default(), 4);
+        let (mut body, _log) = ClientBody::new(
+            engine,
+            Workload::Repeat {
+                spec: QuerySpec::Q6 { variant: 0 },
+                iterations: 2,
+            },
+            0,
+            None,
+        );
+        assert!(matches!(body.next_spec(), NextAction::Run(_)));
+        assert!(matches!(body.next_spec(), NextAction::Run(_)));
+        assert!(matches!(body.next_spec(), NextAction::Done));
+    }
+
+    #[test]
+    fn mixed_workload_is_deterministic_per_client() {
+        let engine = Engine::new(crate::exec::engine::EngineConfig::default(), 4);
+        let specs: Vec<QuerySpec> = (1..=22)
+            .map(|n| QuerySpec::Tpch { number: n, variant: 0 })
+            .collect();
+        let mk = |idx| {
+            let (mut body, _) = ClientBody::new(
+                engine.clone(),
+                Workload::Mixed {
+                    specs: specs.clone(),
+                    iterations: 10,
+                    seed: 7,
+                },
+                idx,
+                None,
+            );
+            let mut seq = Vec::new();
+            while let NextAction::Run(s) = body.next_spec() {
+                seq.push(s.tag());
+            }
+            seq
+        };
+        assert_eq!(mk(0), mk(0), "same client index must repeat");
+        assert_ne!(mk(0), mk(1), "different clients should diverge");
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier")]
+    fn stable_phases_require_barrier() {
+        let engine = Engine::new(crate::exec::engine::EngineConfig::default(), 4);
+        let _ = ClientBody::new(
+            engine,
+            Workload::StablePhases {
+                specs: vec![QuerySpec::Q6 { variant: 0 }],
+            },
+            0,
+            None,
+        );
+    }
+}

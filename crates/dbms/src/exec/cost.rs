@@ -1,0 +1,55 @@
+//! The operator cost model: CPU cycles per tuple by operator kind.
+//!
+//! These constants calibrate the compute side of the simulation; the
+//! memory side is charged through `numa_sim` segment accesses. Values are
+//! in the range measured for vectorised column stores on the Opteron
+//! generation (a few cycles per tuple for scans/projections, tens for
+//! hash operations).
+
+/// Per-tuple cycles for a predicate scan (`thetasubselect`).
+pub const SCAN_SELECT: u64 = 2;
+/// Per-tuple cycles for a candidate-refining select (`subselect`).
+pub const SELECT_AND: u64 = 3;
+/// Per-tuple cycles for a column-vs-column compare select.
+pub const SELECT_COL_CMP: u64 = 3;
+/// Per-tuple cycles for positional projection (`algebra.projection`).
+pub const PROJECT: u64 = 2;
+/// Per-tuple cycles for element-wise arithmetic (`batcalc.*`).
+pub const BIN_OP: u64 = 2;
+/// Per-tuple cycles for a sum aggregate (`aggr.sum`).
+pub const AGGR_SUM: u64 = 1;
+/// Per-tuple cycles for hash group-by aggregation.
+pub const GROUP_AGG: u64 = 14;
+/// Per-tuple cycles for hash-join build.
+pub const JOIN_BUILD: u64 = 24;
+/// Per-tuple cycles for hash-join probe.
+pub const JOIN_PROBE: u64 = 28;
+/// Per-tuple cycles for top-n selection.
+pub const TOP_N: u64 = 20;
+/// Per-entry cycles for finalize/merge stages (`mat.pack`).
+pub const MERGE: u64 = 10;
+
+/// Rows a task advances per charging quantum. One quantum touches one
+/// input segment's worth of rows, so charging granularity matches the
+/// cache model granularity.
+pub const ROWS_PER_QUANTUM: usize = 8192;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_ops_cost_more_than_scans() {
+        assert!(JOIN_BUILD > SCAN_SELECT);
+        assert!(JOIN_PROBE > PROJECT);
+        assert!(GROUP_AGG > AGGR_SUM);
+    }
+
+    #[test]
+    fn quantum_matches_segment_rows() {
+        assert_eq!(
+            ROWS_PER_QUANTUM as u64,
+            numa_sim::SEG_BYTES / crate::storage::VALUE_BYTES
+        );
+    }
+}

@@ -1,0 +1,1334 @@
+//! The execution engine: worker pool, dataflow scheduling and the two
+//! engine flavors the paper evaluates.
+//!
+//! - **MonetDB flavor**: one worker thread per hardware core, *unpinned* —
+//!   "MonetDB let to the OS the thread scheduling responsibility". Tasks
+//!   live in one global dataflow queue.
+//! - **SQL Server flavor**: workers pinned one-per-core, tasks dispatched
+//!   to per-NUMA-node queues by input-data home, with cross-node stealing
+//!   — "SQL Server is NUMA-aware associating threads and processors to
+//!   improve affinity".
+//!
+//! Operators materialise partition-wise: each task allocates and
+//! first-touches its own output slice, so intermediates spread across the
+//! NUMA nodes that ran the operator. Identical sub-plans across concurrent
+//! clients share evaluated results through a memo cache (a simulator
+//! optimisation: simulated time and traffic are charged per execution
+//! regardless; see DESIGN.md §4).
+
+use crate::exec::cost;
+use crate::exec::eval;
+use crate::exec::mat::{JoinTable, Mat, NodeStorage, PairsMat, PosMat, ValMat};
+use crate::exec::plan::{ColRef, NodeId, PhysOp, Plan, Side};
+use crate::exec::task::{
+    n_parts_for, part_range, ChargeItem, Partial, QueryId, Task, TaskCursor,
+};
+use crate::exec::tomograph::Tomograph;
+use crate::storage::bat::{Bat, BatStore, ColData};
+use crate::storage::catalog::Catalog;
+use crate::tpch::gen::TpchData;
+use emca_metrics::{FxHashMap, SimDuration, SimTime};
+use numa_sim::{AccessKind, Machine, SegId, SpaceId, StreamId, StreamTraffic};
+use os_sim::{SimWork, StepOutcome, Tid, WorkCtx};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Engine flavor (thread/data placement strategy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flavor {
+    /// Volcano engine that leaves scheduling entirely to the OS.
+    MonetDb,
+    /// NUMA-aware engine with pinned workers and locality dispatch.
+    SqlServer,
+}
+
+/// Engine construction parameters.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Placement strategy.
+    pub flavor: Flavor,
+    /// Worker threads (0 = one per hardware core, the MonetDB default).
+    pub n_workers: usize,
+    /// Per-query parse/optimise CPU time charged to the client session.
+    pub plan_overhead: SimDuration,
+    /// Memo cache entries before an epoch flush.
+    pub memo_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            flavor: Flavor::MonetDb,
+            n_workers: 0,
+            plan_overhead: SimDuration::from_micros(200),
+            memo_capacity: 512,
+        }
+    }
+}
+
+/// Engine-level statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Dataflow tasks created (the "tasks" series of Fig. 13(c)).
+    pub tasks_created: u64,
+    /// Tasks fully executed.
+    pub tasks_executed: u64,
+    /// Cross-node queue steals (SQL Server flavor only).
+    pub engine_steals: u64,
+    /// Queries completed.
+    pub queries_completed: u64,
+    /// Queries submitted.
+    pub queries_submitted: u64,
+}
+
+/// The outcome of one query execution.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Query instance id.
+    pub qid: QueryId,
+    /// Plan label (e.g. `"q06"`).
+    pub label: String,
+    /// Caller-chosen tag (e.g. TPC-H query number).
+    pub spec_tag: u32,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time.
+    pub finished: SimTime,
+    /// Attributed memory traffic (per-query HT/IMC ratio of Fig. 19).
+    pub traffic: StreamTraffic,
+    /// Total worker CPU time spent on this query.
+    pub busy: SimDuration,
+    /// The root result.
+    pub result: Mat,
+}
+
+impl QueryResult {
+    /// Response time.
+    pub fn response(&self) -> SimDuration {
+        self.finished.since(self.submitted)
+    }
+}
+
+struct NodeRun {
+    n_parts: u32,
+    remaining: u32,
+    waiting_inputs: u32,
+    partials: Vec<Option<Partial>>,
+    mat: Option<Mat>,
+    storage: NodeStorage,
+    /// Out-of-order completed regions, committed sorted at finalize.
+    pending_regions: Vec<(u32, usize, numa_sim::Region)>,
+    /// Memo snapshot pinned at schedule time, so every partition of the
+    /// node takes the same evaluate-vs-reuse path (the memo may be
+    /// filled or flushed concurrently by other queries).
+    memo_hit: Option<(Mat, Vec<usize>)>,
+}
+
+struct QueryRun {
+    stream: StreamId,
+    client: Tid,
+    label: String,
+    spec_tag: u32,
+    plan: Rc<Plan>,
+    dependents: Vec<Vec<NodeId>>,
+    fingerprints: Vec<u64>,
+    nodes: Vec<NodeRun>,
+    pending_nodes: usize,
+    submitted: SimTime,
+    busy: SimDuration,
+}
+
+struct MemoEntry {
+    mat: Mat,
+    part_rows: Vec<usize>,
+}
+
+/// Task queues per flavor.
+struct TaskQueues {
+    global: VecDeque<Task>,
+    per_node: Vec<VecDeque<Task>>,
+}
+
+impl TaskQueues {
+    fn new(n_nodes: usize) -> Self {
+        TaskQueues {
+            global: VecDeque::new(),
+            per_node: (0..n_nodes).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.global.len() + self.per_node.iter().map(|q| q.len()).sum::<usize>()
+    }
+}
+
+/// Shared engine state (single-threaded simulation: `Rc<RefCell<..>>`).
+pub struct EngineCore {
+    cfg: EngineConfig,
+    /// The catalog of base BATs.
+    pub catalog: Catalog,
+    store: BatStore,
+    space: Option<SpaceId>,
+    queries: FxHashMap<u64, QueryRun>,
+    next_qid: u64,
+    next_stream: u64,
+    queues: TaskQueues,
+    worker_tids: Vec<Tid>,
+    memo: FxHashMap<u64, MemoEntry>,
+    /// Per-operator trace (Fig. 6).
+    pub tomograph: Tomograph,
+    stats: EngineStats,
+    results: FxHashMap<u64, QueryResult>,
+    parked: Vec<Option<TaskCursor>>,
+}
+
+/// Cloneable handle to the engine.
+#[derive(Clone)]
+pub struct Engine {
+    core: Rc<RefCell<EngineCore>>,
+}
+
+impl Engine {
+    /// Creates an engine for a machine with `n_numa` nodes.
+    pub fn new(cfg: EngineConfig, n_numa: usize) -> Self {
+        Engine {
+            core: Rc::new(RefCell::new(EngineCore {
+                cfg,
+                catalog: Catalog::new(),
+                store: BatStore::new(),
+                space: None,
+                queries: FxHashMap::default(),
+                next_qid: 0,
+                next_stream: 1,
+                queues: TaskQueues::new(n_numa),
+                worker_tids: Vec::new(),
+                memo: FxHashMap::default(),
+                tomograph: Tomograph::new(),
+                stats: EngineStats::default(),
+                results: FxHashMap::default(),
+                parked: Vec::new(),
+            })),
+        }
+    }
+
+    /// Borrows the core (single-threaded simulation; panics on re-entry).
+    pub fn core(&self) -> std::cell::RefMut<'_, EngineCore> {
+        self.core.borrow_mut()
+    }
+
+    /// Immutable core borrow.
+    pub fn core_ref(&self) -> std::cell::Ref<'_, EngineCore> {
+        self.core.borrow()
+    }
+
+    /// Loads the generated database: creates the DBMS address space and
+    /// registers base BATs.
+    ///
+    /// `loader_core` controls page placement:
+    ///
+    /// - `Some(core)`: a single-threaded loader first-touches every base
+    ///   segment from that core (all base data homed on one node);
+    /// - `None`: BATs are mmap-style lazy — pages are homed by whichever
+    ///   worker first scans them. This is MonetDB's actual behaviour and
+    ///   the root of the paper's placement effects: under the OS
+    ///   scheduler the first concurrent queries scatter the data over all
+    ///   nodes, while the mechanism's ramp-up concentrates it.
+    pub fn load(
+        &self,
+        machine: &mut Machine,
+        data: &TpchData,
+        loader_core: Option<numa_sim::CoreId>,
+    ) {
+        let mut core = self.core();
+        let core = &mut *core;
+        assert!(core.space.is_none(), "engine already loaded");
+        let space = machine.create_space();
+        core.space = Some(space);
+        for table in &data.tables {
+            let tname: &'static str = table.name;
+            for gc in &table.columns {
+                let bat = Bat::new(machine, space, gc.name, gc.data.clone());
+                if let Some(lc) = loader_core {
+                    for seg in bat.region.segments() {
+                        machine.access_segment(lc, seg, AccessKind::Write, StreamId(0));
+                    }
+                }
+                let id = core.store.insert(bat);
+                core.catalog.register(tname, gc.name, id, &core.store);
+            }
+        }
+    }
+
+    /// The DBMS address space (for the mechanism's page statistics).
+    pub fn space(&self) -> SpaceId {
+        self.core_ref().space.expect("engine not loaded")
+    }
+
+    /// Spawns the worker pool into `group` on `kernel`. SQL Server flavor
+    /// pins worker `i` to core `i`.
+    pub fn start_workers(&self, kernel: &mut os_sim::Kernel, group: os_sim::GroupId) {
+        let (flavor, n) = {
+            let core = self.core_ref();
+            let n = if core.cfg.n_workers == 0 {
+                kernel.machine().topology().n_cores()
+            } else {
+                core.cfg.n_workers
+            };
+            (core.cfg.flavor, n)
+        };
+        for i in 0..n {
+            let affinity = match flavor {
+                Flavor::MonetDb => None,
+                Flavor::SqlServer => Some(os_sim::CoreMask::single(numa_sim::CoreId(
+                    (i % kernel.machine().topology().n_cores()) as u16,
+                ))),
+            };
+            let body = WorkerBody {
+                engine: self.clone(),
+                idx: i,
+            };
+            let tid = kernel.spawn(format!("worker{i}"), group, affinity, Box::new(body));
+            self.core().worker_tids.push(tid);
+        }
+    }
+
+    /// Worker thread ids.
+    pub fn worker_tids(&self) -> Vec<Tid> {
+        self.core_ref().worker_tids.clone()
+    }
+
+    /// Submits a query from within a client work step. Wakes the worker
+    /// pool through the step context. Returns the query id; the client is
+    /// woken when the result is available via [`Engine::take_result`].
+    /// `step_offset` is the simulated time the caller already consumed in
+    /// this step (timestamps stay sub-tick accurate).
+    pub fn submit(
+        &self,
+        ctx: &mut WorkCtx<'_>,
+        plan: Rc<Plan>,
+        spec_tag: u32,
+        step_offset: SimDuration,
+    ) -> QueryId {
+        let mut core = self.core();
+        let qid = core.submit_inner(plan, spec_tag, ctx.tid, ctx.now + step_offset);
+        for tid in core.worker_tids.clone() {
+            ctx.wake(tid);
+        }
+        qid
+    }
+
+    /// Fetches (and removes) a completed query's result.
+    pub fn take_result(&self, qid: QueryId) -> Option<QueryResult> {
+        self.core().results.remove(&qid.0)
+    }
+
+    /// Engine statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        self.core_ref().stats
+    }
+
+    /// Outstanding (queued) task count.
+    pub fn queued_tasks(&self) -> usize {
+        self.core_ref().queues.len()
+    }
+
+    /// Number of in-flight queries.
+    pub fn active_queries(&self) -> usize {
+        self.core_ref().queries.len()
+    }
+
+    /// The per-query parse/plan overhead clients must charge.
+    pub fn plan_overhead(&self) -> SimDuration {
+        self.core_ref().cfg.plan_overhead
+    }
+}
+
+impl EngineCore {
+    fn submit_inner(&mut self, plan: Rc<Plan>, spec_tag: u32, client: Tid, now: SimTime) -> QueryId {
+        assert!(!plan.is_empty(), "cannot submit an empty plan");
+        let qid = QueryId(self.next_qid);
+        self.next_qid += 1;
+        let stream = StreamId(self.next_stream);
+        self.next_stream += 1;
+        self.stats.queries_submitted += 1;
+
+        let dependents = plan.dependents();
+        let fingerprints = fingerprint_plan(&plan);
+        let nodes: Vec<NodeRun> = plan
+            .nodes()
+            .iter()
+            .map(|op| NodeRun {
+                n_parts: 0,
+                remaining: 0,
+                waiting_inputs: op.inputs().len() as u32,
+                partials: Vec::new(),
+                mat: None,
+                storage: NodeStorage::new(out_row_bytes(op).max(4)),
+                pending_regions: Vec::new(),
+                memo_hit: None,
+            })
+            .collect();
+        let pending = nodes.len();
+        let run = QueryRun {
+            stream,
+            client,
+            label: plan.label.clone(),
+            spec_tag,
+            plan,
+            dependents,
+            fingerprints,
+            nodes,
+            pending_nodes: pending,
+            submitted: now,
+            busy: SimDuration::ZERO,
+        };
+        self.queries.insert(qid.0, run);
+        // Schedule source nodes.
+        let run = &self.queries[&qid.0];
+        let ready: Vec<NodeId> = run
+            .plan
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.inputs().is_empty())
+            .map(|(i, _)| NodeId(i as u16))
+            .collect();
+        for node in ready {
+            self.schedule_node(qid, node);
+        }
+        qid
+    }
+
+    /// Splits a ready node into tasks and enqueues them.
+    fn schedule_node(&mut self, qid: QueryId, node: NodeId) {
+        let workers = self.worker_tids.len().max(1);
+        let run = self.queries.get_mut(&qid.0).expect("scheduling dead query");
+        let fp = run.fingerprints[node.idx()];
+        let memo_hit = self
+            .memo
+            .get(&fp)
+            .map(|e| (e.mat.clone(), e.part_rows.clone()));
+        let primary_len = primary_input_len(&run.plan, node, &run.nodes, &self.catalog, &self.store);
+        let n_parts = match run.plan.node(node) {
+            PhysOp::TopN { .. } => 1,
+            _ => n_parts_for(primary_len, workers),
+        };
+        let nr = &mut run.nodes[node.idx()];
+        nr.memo_hit = memo_hit;
+        nr.n_parts = n_parts;
+        nr.remaining = n_parts;
+        nr.partials = (0..n_parts).map(|_| None).collect();
+        let stream_tasks: Vec<Task> = (0..n_parts)
+            .map(|part| Task {
+                qid,
+                node,
+                part,
+                n_parts,
+                pref_node: None,
+            })
+            .collect();
+        for task in stream_tasks {
+            self.stats.tasks_created += 1;
+            self.push_task(task);
+        }
+    }
+
+    fn push_task(&mut self, task: Task) {
+        match (self.cfg.flavor, task.pref_node) {
+            (Flavor::SqlServer, Some(n)) => self.queues.per_node[n.idx()].push_back(task),
+            _ => self.queues.global.push_back(task),
+        }
+    }
+
+    /// Pops the next task for a worker running on NUMA node
+    /// `worker_node`. SQL Server flavor prefers the local queue and
+    /// steals across nodes; MonetDB uses the global queue only.
+    pub fn pop_task(&mut self, worker_node: numa_sim::NodeId) -> Option<Task> {
+        match self.cfg.flavor {
+            Flavor::MonetDb => self.queues.global.pop_front(),
+            Flavor::SqlServer => {
+                if let Some(t) = self.queues.per_node[worker_node.idx()].pop_front() {
+                    return Some(t);
+                }
+                if let Some(t) = self.queues.global.pop_front() {
+                    return Some(t);
+                }
+                for i in 0..self.queues.per_node.len() {
+                    if i == worker_node.idx() {
+                        continue;
+                    }
+                    if let Some(t) = self.queues.per_node[i].pop_front() {
+                        self.stats.engine_steals += 1;
+                        return Some(t);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Assigns a locality preference to SQL Server tasks at dispatch time
+    /// (home node of the partition's first input segment).
+    fn locality_of(&self, task: &Task, machine: &Machine) -> Option<numa_sim::NodeId> {
+        let run = self.queries.get(&task.qid.0)?;
+        let first_seg = first_input_segment(
+            &run.plan,
+            task,
+            &run.nodes,
+            &self.catalog,
+            &self.store,
+        )?;
+        machine.mem().home_of(first_seg)
+    }
+
+    /// Re-dispatches tasks from the global queue to per-node queues once
+    /// locality is known (SQL Server flavor). Called by workers before
+    /// popping.
+    pub fn localize_tasks(&mut self, machine: &Machine) {
+        if self.cfg.flavor != Flavor::SqlServer {
+            return;
+        }
+        let mut pending: Vec<Task> = self.queues.global.drain(..).collect();
+        for task in pending.drain(..) {
+            let pref = self.locality_of(&task, machine);
+            let mut task = task;
+            task.pref_node = pref;
+            match pref {
+                Some(n) => self.queues.per_node[n.idx()].push_back(task),
+                None => self.queues.global.push_back(task),
+            }
+        }
+    }
+
+    /// Prepares a popped task: evaluates its partition (or reuses the
+    /// memo), allocates its output region and builds the charge items.
+    pub fn prepare_task(&mut self, task: Task, machine: &mut Machine) -> TaskCursor {
+        let space = self.space.expect("engine not loaded");
+        let run = self.queries.get(&task.qid.0).expect("task for dead query");
+        let op = run.plan.node(task.node).clone();
+        let stream = run.stream;
+        let memo_hit = run.nodes[task.node.idx()].memo_hit.is_some();
+
+        let primary_len =
+            primary_input_len(&run.plan, task.node, &run.nodes, &self.catalog, &self.store);
+        let (start, end) = part_range(primary_len, task.part, task.n_parts);
+        let rows_in = end - start;
+
+        // ---- gather read segments -------------------------------------
+        let mut reads: Vec<SegId> = Vec::new();
+        {
+            let nodes = &run.nodes;
+            let read_node_rows = |node: NodeId, s: usize, e: usize, reads: &mut Vec<SegId>| {
+                reads.extend(nodes[node.idx()].storage.segments_for_rows(s, e));
+            };
+            match &op {
+                PhysOp::ScanSelect { col, .. } => {
+                    reads.extend(self.col_bat(col).segments_for_rows(start, end));
+                }
+                PhysOp::SelectAnd { candidates, col, .. } => {
+                    read_node_rows(*candidates, start, end, &mut reads);
+                    let cands = nodes[candidates.idx()].mat.as_ref().expect("input ready");
+                    let slice = &cands.as_pos().pos[start..end];
+                    reads.extend(self.col_bat(col).segments_for_positions(slice));
+                }
+                PhysOp::SelectColCmp { candidates, left, right, .. } => match candidates {
+                    Some(c) => {
+                        read_node_rows(*c, start, end, &mut reads);
+                        let cands = nodes[c.idx()].mat.as_ref().expect("input ready");
+                        let slice = &cands.as_pos().pos[start..end];
+                        reads.extend(self.col_bat(left).segments_for_positions(slice));
+                        reads.extend(self.col_bat(right).segments_for_positions(slice));
+                    }
+                    None => {
+                        reads.extend(self.col_bat(left).segments_for_rows(start, end));
+                        reads.extend(self.col_bat(right).segments_for_rows(start, end));
+                    }
+                },
+                PhysOp::Project { positions, col } => {
+                    read_node_rows(*positions, start, end, &mut reads);
+                    let pos = nodes[positions.idx()].mat.as_ref().expect("input ready");
+                    let slice = &pos.as_pos().pos[start..end];
+                    reads.extend(self.col_bat(col).segments_for_positions(slice));
+                }
+                PhysOp::ProjectSide { pairs, side, col } => {
+                    read_node_rows(*pairs, start, end, &mut reads);
+                    let pm = nodes[pairs.idx()].mat.as_ref().expect("input ready");
+                    let pm = pm.as_pairs();
+                    let slice = match side {
+                        Side::Probe => &pm.probe.pos[start..end],
+                        Side::Build => &pm.build.pos[start..end],
+                    };
+                    let mut sorted: Vec<u32> = slice.to_vec();
+                    sorted.sort_unstable();
+                    reads.extend(self.col_bat(col).segments_for_positions(&sorted));
+                }
+                PhysOp::BinOp { left, right, .. } => {
+                    read_node_rows(*left, start, end, &mut reads);
+                    read_node_rows(*right, start, end, &mut reads);
+                }
+                PhysOp::AggrSum { values } => {
+                    read_node_rows(*values, start, end, &mut reads);
+                }
+                PhysOp::GroupAgg { keys, values, .. } => {
+                    read_node_rows(*keys, start, end, &mut reads);
+                    if let Some(v) = values {
+                        read_node_rows(*v, start, end, &mut reads);
+                    }
+                }
+                PhysOp::JoinBuild { keys } => {
+                    read_node_rows(*keys, start, end, &mut reads);
+                }
+                PhysOp::JoinProbe { build, probe } => {
+                    read_node_rows(*probe, start, end, &mut reads);
+                    let build_storage = &nodes[build.idx()].storage;
+                    reads.extend(
+                        build_storage.segments_for_rows(0, build_storage.rows().max(1)),
+                    );
+                }
+                PhysOp::TopN { .. } => {}
+            }
+        }
+
+        // ---- evaluate (or reuse) ---------------------------------------
+        let (partial, out_rows) = if memo_hit {
+            let (_, part_rows) = run.nodes[task.node.idx()]
+                .memo_hit
+                .as_ref()
+                .expect("memo pinned at schedule");
+            let rows = memo_part_rows(part_rows, task.part, task.n_parts);
+            (Partial::Reuse, rows)
+        } else {
+            let run = &self.queries[&task.qid.0];
+            let partial = evaluate_partition(&op, run, start, end, &self.catalog, &self.store);
+            let rows = partial_rows(&partial);
+            (partial, rows)
+        };
+
+        // ---- output region ---------------------------------------------
+        let row_bytes = out_row_bytes(&op);
+        let out_region = if out_rows > 0 && row_bytes > 0 {
+            Some(machine.alloc(space, out_rows as u64 * row_bytes))
+        } else {
+            None
+        };
+
+        // ---- charge items ----------------------------------------------
+        let cycles_total = rows_in as u64 * op_cycles(&op)
+            + out_rows as u64 * cost::MERGE / 4;
+        let n_chunks = reads.len().max(1) as u64;
+        let per_chunk = (cycles_total / n_chunks).max(1);
+        let mut items: Vec<ChargeItem> = Vec::with_capacity(reads.len() * 2 + 8);
+        if reads.is_empty() {
+            items.push(ChargeItem::Compute(cycles_total.max(1)));
+        } else {
+            for seg in reads {
+                items.push(ChargeItem::Read(seg));
+                items.push(ChargeItem::Compute(per_chunk));
+            }
+        }
+        if let Some(region) = &out_region {
+            items.extend(region.segments().map(ChargeItem::Write));
+        }
+
+        TaskCursor::new(
+            task,
+            stream,
+            op.mal_name(),
+            items,
+            partial,
+            out_rows,
+            out_region,
+        )
+    }
+
+    /// Completes an executed task. May finalize its node, schedule newly
+    /// ready nodes, and complete the whole query (waking the client).
+    /// `step_offset` is the executing worker's in-step elapsed time.
+    pub fn complete_task(
+        &mut self,
+        mut cursor: TaskCursor,
+        ctx: &mut WorkCtx<'_>,
+        step_offset: SimDuration,
+    ) {
+        self.stats.tasks_executed += 1;
+        self.tomograph.record(cursor.mal_name, cursor.charged);
+        let qid = cursor.task.qid;
+        let node = cursor.task.node;
+        let run = self.queries.get_mut(&qid.0).expect("completing dead query");
+        run.busy += cursor.charged;
+        let nr = &mut run.nodes[node.idx()];
+        nr.partials[cursor.task.part as usize] =
+            Some(cursor.partial.take().expect("partial already taken"));
+        if let Some(region) = cursor.out_region.take() {
+            // Buffered as (part, rows, region); ordered insert happens at
+            // finalize through partials order.
+            nr.storage_push_pending(cursor.task.part, cursor.out_rows, region);
+        }
+        nr.remaining -= 1;
+        if nr.remaining == 0 {
+            self.finalize_node(qid, node, ctx, step_offset);
+        }
+    }
+
+    /// Finalizes a node whose tasks all completed: assembles the Mat,
+    /// fills the memo, unblocks dependents, completes the query.
+    fn finalize_node(
+        &mut self,
+        qid: QueryId,
+        node: NodeId,
+        ctx: &mut WorkCtx<'_>,
+        step_offset: SimDuration,
+    ) {
+        let fp;
+        let mat;
+        {
+            let run = self.queries.get_mut(&qid.0).expect("dead query");
+            fp = run.fingerprints[node.idx()];
+            let op = run.plan.node(node).clone();
+            let assembled = assemble_mat(&op, run, node, &self.catalog, &self.store);
+            let nr = &mut run.nodes[node.idx()];
+            nr.storage_commit();
+            nr.partials.clear();
+            nr.memo_hit = None;
+            nr.mat = Some(assembled.clone());
+            run.pending_nodes -= 1;
+            mat = assembled;
+        }
+        // Fill the memo (bounded by epoch flush).
+        if !self.memo.contains_key(&fp) {
+            if self.memo.len() >= self.cfg.memo_capacity {
+                self.memo.clear();
+            }
+            let run = &self.queries[&qid.0];
+            let nr = &run.nodes[node.idx()];
+            let part_rows = nr.committed_part_rows();
+            self.memo.insert(fp, MemoEntry { mat, part_rows });
+        }
+
+        // Unblock dependents.
+        let ready: Vec<NodeId> = {
+            let run = self.queries.get_mut(&qid.0).expect("dead query");
+            let deps = run.dependents[node.idx()].clone();
+            deps.into_iter()
+                .filter(|d| {
+                    let nr = &mut run.nodes[d.idx()];
+                    nr.waiting_inputs -= 1;
+                    nr.waiting_inputs == 0
+                })
+                .collect()
+        };
+        for d in ready {
+            self.schedule_node(qid, d);
+        }
+        if !self.queues.global.is_empty()
+            || self.queues.per_node.iter().any(|q| !q.is_empty())
+        {
+            for tid in self.worker_tids.clone() {
+                ctx.wake(tid);
+            }
+        }
+
+        // Query completion.
+        let done = self.queries[&qid.0].pending_nodes == 0;
+        if done {
+            let run = self.queries.remove(&qid.0).expect("dead query");
+            // Free all intermediate regions.
+            for nr in &run.nodes {
+                for region in nr.storage.regions() {
+                    ctx.machine.free(region);
+                }
+            }
+            let traffic = ctx.machine.counters_mut().retire_stream(run.stream);
+            let root = run.plan.root();
+            let result = run.nodes[root.idx()]
+                .mat
+                .clone()
+                .expect("root mat missing");
+            self.stats.queries_completed += 1;
+            // Steps within one tick share ctx.now, so a sub-tick query
+            // could appear to finish before its submission stamp; clamp
+            // to keep responses positive (skew is bounded by one tick).
+            let finished = (ctx.now + step_offset)
+                .max(run.submitted + SimDuration::from_nanos(1));
+            self.results.insert(
+                qid.0,
+                QueryResult {
+                    qid,
+                    label: run.label,
+                    spec_tag: run.spec_tag,
+                    submitted: run.submitted,
+                    finished,
+                    traffic,
+                    busy: run.busy,
+                    result,
+                },
+            );
+            ctx.wake(run.client);
+        }
+    }
+
+    fn col_bat(&self, col: &ColRef) -> &Bat {
+        self.store.get(self.catalog.column(col.table, col.column))
+    }
+}
+
+// Pending-region buffering on NodeRun: tasks finish out of order, but
+// NodeStorage wants row order. We stash (part, rows, region) and commit
+// sorted at finalize.
+impl NodeRun {
+    fn storage_push_pending(&mut self, part: u32, rows: usize, region: numa_sim::Region) {
+        self.pending_regions.push((part, rows, region));
+    }
+
+    fn storage_commit(&mut self) {
+        self.pending_regions.sort_by_key(|&(p, _, _)| p);
+        let parts: Vec<(u32, usize, numa_sim::Region)> = self.pending_regions.drain(..).collect();
+        for (_, rows, region) in parts {
+            self.storage.push_part(rows, region);
+        }
+    }
+
+    fn committed_part_rows(&self) -> Vec<usize> {
+        // Reconstructed from storage parts at memo time; when the op has
+        // no storage (scalar), a single zero entry.
+        vec![self.storage.rows()]
+    }
+}
+
+/// Evaluates one partition of an operator for real.
+fn evaluate_partition(
+    op: &PhysOp,
+    run: &QueryRun,
+    start: usize,
+    end: usize,
+    catalog: &Catalog,
+    store: &BatStore,
+) -> Partial {
+    let col_data = |c: &ColRef| -> &ColData { &store.get(catalog.column(c.table, c.column)).data };
+    let node_mat = |n: NodeId| -> &Mat {
+        run.nodes[n.idx()].mat.as_ref().expect("input mat ready")
+    };
+    match op {
+        PhysOp::ScanSelect { col, pred } => {
+            Partial::Pos(eval::scan_select(col_data(col), start, end, pred))
+        }
+        PhysOp::SelectAnd { candidates, col, pred } => {
+            let cands = node_mat(*candidates).as_pos();
+            Partial::Pos(eval::select_and(
+                &cands.pos[start..end],
+                col_data(col),
+                pred,
+            ))
+        }
+        PhysOp::SelectColCmp { candidates, left, right, op } => {
+            let out = match candidates {
+                Some(c) => {
+                    let cands = node_mat(*c).as_pos();
+                    eval::select_col_cmp(
+                        Some(&cands.pos[start..end]),
+                        col_data(left),
+                        col_data(right),
+                        *op,
+                        (0, 0),
+                    )
+                }
+                None => eval::select_col_cmp(
+                    None,
+                    col_data(left),
+                    col_data(right),
+                    *op,
+                    (start, end),
+                ),
+            };
+            Partial::Pos(out)
+        }
+        PhysOp::Project { positions, col } => {
+            let pos = node_mat(*positions).as_pos();
+            match eval::project(&pos.pos[start..end], col_data(col)) {
+                ColData::I64(v) => {
+                    Partial::ValsI64(Arc::try_unwrap(v).unwrap_or_else(|a| (*a).clone()))
+                }
+                ColData::F64(v) => {
+                    Partial::ValsF64(Arc::try_unwrap(v).unwrap_or_else(|a| (*a).clone()))
+                }
+            }
+        }
+        PhysOp::ProjectSide { pairs, side, col } => {
+            let pm = node_mat(*pairs).as_pairs();
+            let slice = match side {
+                Side::Probe => &pm.probe.pos[start..end],
+                Side::Build => &pm.build.pos[start..end],
+            };
+            match eval::project(slice, col_data(col)) {
+                ColData::I64(v) => {
+                    Partial::ValsI64(Arc::try_unwrap(v).unwrap_or_else(|a| (*a).clone()))
+                }
+                ColData::F64(v) => {
+                    Partial::ValsF64(Arc::try_unwrap(v).unwrap_or_else(|a| (*a).clone()))
+                }
+            }
+        }
+        PhysOp::BinOp { left, right, op } => {
+            let l = node_mat(*left).as_val();
+            let r = node_mat(*right).as_val();
+            Partial::ValsF64(eval::bin_op(&l.data, &r.data, *op, start, end))
+        }
+        PhysOp::AggrSum { values } => {
+            let v = node_mat(*values).as_val();
+            Partial::Sum(eval::aggr_sum(&v.data, start, end))
+        }
+        PhysOp::GroupAgg { keys, values, agg } => {
+            let k = node_mat(*keys).as_val();
+            let v = values.map(|v| node_mat(v).as_val());
+            Partial::Map(eval::group_agg(
+                &k.data,
+                v.map(|v| &v.data),
+                *agg,
+                start,
+                end,
+            ))
+        }
+        PhysOp::JoinBuild { keys } => {
+            let k = node_mat(*keys).as_val();
+            Partial::Hash(eval::build_hash(&k.data, start, end))
+        }
+        PhysOp::JoinProbe { build, probe } => {
+            let table = node_mat(*build).as_hash();
+            let p = node_mat(*probe).as_val();
+            let probe_origin = p.origin.as_ref().map(|o| o.pos.as_slice());
+            let build_origin = table.build_origin.as_ref().map(|o| o.pos.as_slice());
+            let (po, bo) = eval::probe_hash(
+                table,
+                &p.data,
+                probe_origin,
+                build_origin,
+                start,
+                end,
+            );
+            Partial::PairParts(po, bo)
+        }
+        PhysOp::TopN { input, n } => {
+            let g = node_mat(*input).as_groups();
+            Partial::Map(
+                eval::top_n(g, *n)
+                    .into_iter()
+                    .collect::<FxHashMap<i64, f64>>(),
+            )
+        }
+    }
+}
+
+/// Assembles the node's final [`Mat`] from partials (or the pinned memo
+/// snapshot).
+fn assemble_mat(
+    op: &PhysOp,
+    run: &QueryRun,
+    node: NodeId,
+    catalog: &Catalog,
+    store: &BatStore,
+) -> Mat {
+    let nr = &run.nodes[node.idx()];
+    if let Some((mat, _)) = &nr.memo_hit {
+        debug_assert!(
+            nr.partials
+                .iter()
+                .all(|p| matches!(p, Some(Partial::Reuse))),
+            "memo-pinned node produced real partials"
+        );
+        return mat.clone();
+    }
+    let node_mat = |n: NodeId| -> &Mat {
+        run.nodes[n.idx()].mat.as_ref().expect("input mat ready")
+    };
+    let table_of = |col: &ColRef| -> &'static str { col.table };
+    let _ = (catalog, store);
+    match op {
+        PhysOp::ScanSelect { col, .. }
+        | PhysOp::SelectAnd { col, .. } => {
+            let pos = concat_pos(&nr.partials);
+            Mat::Pos(PosMat {
+                table: table_of(col),
+                pos: Arc::new(pos),
+            })
+        }
+        PhysOp::SelectColCmp { left, .. } => {
+            let pos = concat_pos(&nr.partials);
+            Mat::Pos(PosMat {
+                table: table_of(left),
+                pos: Arc::new(pos),
+            })
+        }
+        PhysOp::Project { positions, .. } => {
+            let origin = node_mat(*positions).as_pos().clone();
+            Mat::Val(ValMat {
+                data: concat_vals(&nr.partials),
+                origin: Some(origin),
+            })
+        }
+        PhysOp::ProjectSide { pairs, side, .. } => {
+            let pm = node_mat(*pairs).as_pairs();
+            let origin = match side {
+                Side::Probe => pm.probe.clone(),
+                Side::Build => pm.build.clone(),
+            };
+            Mat::Val(ValMat {
+                data: concat_vals(&nr.partials),
+                origin: Some(origin),
+            })
+        }
+        PhysOp::BinOp { left, .. } => {
+            let origin = node_mat(*left).as_val().origin.clone();
+            Mat::Val(ValMat {
+                data: concat_vals(&nr.partials),
+                origin,
+            })
+        }
+        PhysOp::AggrSum { .. } => {
+            let total: f64 = nr
+                .partials
+                .iter()
+                .map(|p| match p {
+                    Some(Partial::Sum(s)) => *s,
+                    _ => panic!("non-sum partial in AggrSum"),
+                })
+                .sum();
+            Mat::Scalar(total)
+        }
+        PhysOp::GroupAgg { .. } | PhysOp::TopN { .. } => {
+            let maps = nr.partials.iter().map(|p| match p {
+                Some(Partial::Map(m)) => m.clone(),
+                _ => panic!("non-map partial in group/topn"),
+            });
+            let merged = eval::merge_groups(maps);
+            if let PhysOp::TopN { n, .. } = op {
+                Mat::Groups(Arc::new(eval::top_n(&merged, *n)))
+            } else {
+                Mat::Groups(Arc::new(merged))
+            }
+        }
+        PhysOp::JoinBuild { keys } => {
+            let k = node_mat(*keys).as_val();
+            let maps = nr.partials.iter().map(|p| match p {
+                Some(Partial::Hash(m)) => m.clone(),
+                _ => panic!("non-hash partial in JoinBuild"),
+            });
+            let map = eval::merge_hash(maps);
+            let build_table = k
+                .origin
+                .as_ref()
+                .map(|o| o.table)
+                .unwrap_or("unknown");
+            Mat::Hash(Arc::new(JoinTable {
+                map,
+                n_rows: k.data.len(),
+                build_origin: k.origin.clone(),
+                build_table,
+            }))
+        }
+        PhysOp::JoinProbe { build, probe } => {
+            let p = node_mat(*probe).as_val();
+            let probe_table = p.origin.as_ref().map(|o| o.table).unwrap_or("unknown");
+            let table = node_mat(*build).as_hash();
+            let build_table = table
+                .build_origin
+                .as_ref()
+                .map(|o| o.table)
+                .unwrap_or(table.build_table);
+            let mut probe_pos = Vec::new();
+            let mut build_pos = Vec::new();
+            for part in &nr.partials {
+                match part {
+                    Some(Partial::PairParts(po, bo)) => {
+                        probe_pos.extend_from_slice(po);
+                        build_pos.extend_from_slice(bo);
+                    }
+                    _ => panic!("non-pairs partial in JoinProbe"),
+                }
+            }
+            Mat::Pairs(PairsMat {
+                probe: PosMat {
+                    table: probe_table,
+                    pos: Arc::new(probe_pos),
+                },
+                build: PosMat {
+                    table: build_table,
+                    pos: Arc::new(build_pos),
+                },
+            })
+        }
+    }
+}
+
+fn concat_pos(partials: &[Option<Partial>]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for p in partials {
+        match p {
+            Some(Partial::Pos(v)) => out.extend_from_slice(v),
+            _ => panic!("non-pos partial"),
+        }
+    }
+    out
+}
+
+fn concat_vals(partials: &[Option<Partial>]) -> ColData {
+    let is_f64 = partials
+        .iter()
+        .find_map(|p| match p {
+            Some(Partial::ValsF64(_)) => Some(true),
+            Some(Partial::ValsI64(_)) => Some(false),
+            _ => None,
+        })
+        .unwrap_or(true);
+    if is_f64 {
+        let mut out = Vec::new();
+        for p in partials {
+            match p {
+                Some(Partial::ValsF64(v)) => out.extend_from_slice(v),
+                Some(Partial::ValsI64(v)) => out.extend(v.iter().map(|&x| x as f64)),
+                _ => panic!("non-val partial"),
+            }
+        }
+        ColData::F64(Arc::new(out))
+    } else {
+        let mut out = Vec::new();
+        for p in partials {
+            match p {
+                Some(Partial::ValsI64(v)) => out.extend_from_slice(v),
+                _ => panic!("mixed val partials"),
+            }
+        }
+        ColData::I64(Arc::new(out))
+    }
+}
+
+fn partial_rows(p: &Partial) -> usize {
+    match p {
+        Partial::Pos(v) => v.len(),
+        Partial::ValsF64(v) => v.len(),
+        Partial::ValsI64(v) => v.len(),
+        Partial::PairParts(a, _) => a.len(),
+        Partial::Sum(_) => 0,
+        Partial::Map(m) => m.len(),
+        Partial::Hash(m) => m.values().map(|v| v.len()).sum(),
+        Partial::Reuse => 0,
+    }
+}
+
+fn memo_part_rows(part_rows: &[usize], part: u32, n_parts: u32) -> usize {
+    let total: usize = part_rows.iter().sum();
+    let (s, e) = part_range(total, part, n_parts);
+    e - s
+}
+
+fn out_row_bytes(op: &PhysOp) -> u64 {
+    match op {
+        PhysOp::ScanSelect { .. } | PhysOp::SelectAnd { .. } | PhysOp::SelectColCmp { .. } => 4,
+        PhysOp::Project { .. } | PhysOp::ProjectSide { .. } | PhysOp::BinOp { .. } => 8,
+        PhysOp::JoinProbe { .. } => 8,
+        PhysOp::GroupAgg { .. } => 16,
+        PhysOp::JoinBuild { .. } => 16,
+        PhysOp::AggrSum { .. } | PhysOp::TopN { .. } => 0,
+    }
+}
+
+fn op_cycles(op: &PhysOp) -> u64 {
+    match op {
+        PhysOp::ScanSelect { .. } => cost::SCAN_SELECT,
+        PhysOp::SelectAnd { .. } => cost::SELECT_AND,
+        PhysOp::SelectColCmp { .. } => cost::SELECT_COL_CMP,
+        PhysOp::Project { .. } => cost::PROJECT,
+        PhysOp::ProjectSide { .. } => cost::PROJECT,
+        PhysOp::BinOp { .. } => cost::BIN_OP,
+        PhysOp::AggrSum { .. } => cost::AGGR_SUM,
+        PhysOp::GroupAgg { .. } => cost::GROUP_AGG,
+        PhysOp::JoinBuild { .. } => cost::JOIN_BUILD,
+        PhysOp::JoinProbe { .. } => cost::JOIN_PROBE,
+        PhysOp::TopN { .. } => cost::TOP_N,
+    }
+}
+
+/// Length of the primary input an operator partitions over.
+fn primary_input_len(
+    plan: &Plan,
+    node: NodeId,
+    nodes: &[NodeRun],
+    catalog: &Catalog,
+    _store: &BatStore,
+) -> usize {
+    let mat_len = |n: NodeId| nodes[n.idx()].mat.as_ref().map_or(0, |m| m.len());
+    match plan.node(node) {
+        PhysOp::ScanSelect { col, .. } => catalog.rows(col.table),
+        PhysOp::SelectAnd { candidates, .. } => mat_len(*candidates),
+        PhysOp::SelectColCmp { candidates, left, .. } => match candidates {
+            Some(c) => mat_len(*c),
+            None => catalog.rows(left.table),
+        },
+        PhysOp::Project { positions, .. } => mat_len(*positions),
+        PhysOp::ProjectSide { pairs, .. } => mat_len(*pairs),
+        PhysOp::BinOp { left, .. } => mat_len(*left),
+        PhysOp::AggrSum { values } => mat_len(*values),
+        PhysOp::GroupAgg { keys, .. } => mat_len(*keys),
+        PhysOp::JoinBuild { keys } => mat_len(*keys),
+        PhysOp::JoinProbe { probe, .. } => mat_len(*probe),
+        PhysOp::TopN { input, .. } => mat_len(*input),
+    }
+}
+
+/// The first input segment of a task's partition (locality dispatch).
+fn first_input_segment(
+    plan: &Plan,
+    task: &Task,
+    nodes: &[NodeRun],
+    catalog: &Catalog,
+    store: &BatStore,
+) -> Option<SegId> {
+    let len = primary_input_len(plan, task.node, nodes, catalog, store);
+    let (start, end) = part_range(len, task.part, task.n_parts);
+    if start >= end {
+        return None;
+    }
+    match plan.node(task.node) {
+        PhysOp::ScanSelect { col, .. } => {
+            let bat = store.get(catalog.column(col.table, col.column));
+            bat.segments_for_rows(start, start + 1).first().copied()
+        }
+        op => {
+            let input = op.inputs().first().copied()?;
+            nodes[input.idx()]
+                .storage
+                .segments_for_rows(start, start + 1)
+                .first()
+                .copied()
+        }
+    }
+}
+
+/// Structural fingerprints for memoisation: equal sub-plans over the same
+/// base data share results.
+fn fingerprint_plan(plan: &Plan) -> Vec<u64> {
+    let mut fps: Vec<u64> = Vec::with_capacity(plan.len());
+    for (i, op) in plan.nodes().iter().enumerate() {
+        let mut h = emca_metrics::fxhash::FxHasher::default();
+        std::mem::discriminant(op).hash(&mut h);
+        match op {
+            PhysOp::ScanSelect { col, pred } => {
+                col.hash(&mut h);
+                hash_pred(pred, &mut h);
+            }
+            PhysOp::SelectAnd { col, pred, .. } => {
+                col.hash(&mut h);
+                hash_pred(pred, &mut h);
+            }
+            PhysOp::SelectColCmp { left, right, op, .. } => {
+                left.hash(&mut h);
+                right.hash(&mut h);
+                op.hash(&mut h);
+            }
+            PhysOp::Project { col, .. } => col.hash(&mut h),
+            PhysOp::ProjectSide { side, col, .. } => {
+                side.hash(&mut h);
+                col.hash(&mut h);
+            }
+            PhysOp::BinOp { op, .. } => op.hash(&mut h),
+            PhysOp::AggrSum { .. } => {}
+            PhysOp::GroupAgg { agg, .. } => agg.hash(&mut h),
+            PhysOp::JoinBuild { .. } => {}
+            PhysOp::JoinProbe { .. } => {}
+            PhysOp::TopN { n, .. } => n.hash(&mut h),
+        }
+        for input in plan.node(NodeId(i as u16)).inputs() {
+            fps[input.idx()].hash(&mut h);
+        }
+        fps.push(h.finish());
+    }
+    fps
+}
+
+fn hash_pred(pred: &crate::exec::plan::ScalarPred, h: &mut impl Hasher) {
+    use crate::exec::plan::ScalarPred as P;
+    match pred {
+        P::Cmp(op, k) => {
+            0u8.hash(h);
+            op.hash(h);
+            k.to_bits().hash(h);
+        }
+        P::Between(a, b) => {
+            1u8.hash(h);
+            a.to_bits().hash(h);
+            b.to_bits().hash(h);
+        }
+        P::InSet(s) => {
+            2u8.hash(h);
+            s.hash(h);
+        }
+    }
+}
+
+/// The worker thread body: pops tasks, advances cursors, completes them.
+pub struct WorkerBody {
+    engine: Engine,
+    /// Worker index in the pool.
+    pub idx: usize,
+}
+
+impl SimWork for WorkerBody {
+    fn step(&mut self, ctx: &mut WorkCtx<'_>) -> StepOutcome {
+        let mut elapsed = SimDuration::ZERO;
+        loop {
+            if elapsed >= ctx.budget {
+                return StepOutcome::Ran(elapsed);
+            }
+            // Resume or fetch a task.
+            let cursor = {
+                let mut core = self.engine.core();
+                match core.resume_slot(self.idx) {
+                    Some(c) => Some(c),
+                    None => {
+                        core.localize_tasks(ctx.machine);
+                        let node = ctx.machine.topology().node_of(ctx.core);
+                        match core.pop_task(node) {
+                            Some(task) => Some(core.prepare_task(task, ctx.machine)),
+                            None => None,
+                        }
+                    }
+                }
+            };
+            let Some(mut cursor) = cursor else {
+                return StepOutcome::Blocked(elapsed);
+            };
+            let (used, done) = cursor.advance(ctx, ctx.budget.saturating_sub(elapsed));
+            elapsed += used;
+            let mut core = self.engine.core();
+            if done {
+                core.complete_task(cursor, ctx, elapsed);
+            } else {
+                core.park_slot(self.idx, cursor);
+                return StepOutcome::Ran(elapsed);
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "dbms-worker"
+    }
+}
+
+// Per-worker parked cursors (tasks in progress across ticks).
+impl EngineCore {
+    fn resume_slot(&mut self, idx: usize) -> Option<TaskCursor> {
+        if self.parked.len() <= idx {
+            self.parked.resize_with(idx + 1, || None);
+        }
+        self.parked[idx].take()
+    }
+
+    fn park_slot(&mut self, idx: usize, cursor: TaskCursor) {
+        if self.parked.len() <= idx {
+            self.parked.resize_with(idx + 1, || None);
+        }
+        self.parked[idx] = Some(cursor);
+    }
+}

@@ -1,0 +1,15 @@
+//! Query execution: MAL-style plans, partitioned tasks, the worker pool
+//! and the two engine flavors.
+
+pub mod cost;
+pub mod engine;
+pub mod eval;
+pub mod mat;
+pub mod plan;
+pub mod task;
+pub mod tomograph;
+
+pub use engine::{Engine, EngineConfig, EngineStats, Flavor, QueryResult};
+pub use mat::{Mat, NodeStorage, PairsMat, PosMat, ValMat};
+pub use plan::{AggKind, ArithOp, CmpOp, NodeId, PhysOp, Plan, ScalarPred, Side};
+pub use tomograph::{OpStats, Tomograph};

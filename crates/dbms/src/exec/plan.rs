@@ -1,0 +1,432 @@
+//! MAL-style physical plans.
+//!
+//! A [`Plan`] is a DAG of materialising operators in topological order
+//! (MonetDB's dataflow over MAL instructions). Every operator is split
+//! horizontally into partition tasks at execution time — the Volcano
+//! horizontal parallelism the paper assumes ("the execution of an
+//! operator at a time spans many threads").
+
+use std::fmt;
+
+/// Index of a plan node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// As a usize index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A base-column reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ColRef {
+    /// Table name.
+    pub table: &'static str,
+    /// Column name.
+    pub column: &'static str,
+}
+
+/// Scalar predicates over one column.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScalarPred {
+    /// `col op constant` (f64 domain; i64 columns are compared as f64,
+    /// which is exact for the value ranges generated).
+    Cmp(CmpOp, f64),
+    /// `lo <= col <= hi`.
+    Between(f64, f64),
+    /// `col IN (set)` over integer codes (the paper highlights Q19/Q22's
+    /// IN predicates).
+    InSet(Vec<i64>),
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `==`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the comparison.
+    #[inline]
+    pub fn apply(self, l: f64, r: f64) -> bool {
+        match self {
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Eq => l == r,
+            CmpOp::Ge => l >= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ne => l != r,
+        }
+    }
+}
+
+/// Element-wise arithmetic (`batcalc.*`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `l + r`
+    Add,
+    /// `l - r`
+    Sub,
+    /// `l * r`
+    Mul,
+    /// `l * (1 - r)` — the ubiquitous TPC-H revenue form.
+    MulOneMinus,
+}
+
+impl ArithOp {
+    /// Applies the operation.
+    #[inline]
+    pub fn apply(self, l: f64, r: f64) -> f64 {
+        match self {
+            ArithOp::Add => l + r,
+            ArithOp::Sub => l - r,
+            ArithOp::Mul => l * r,
+            ArithOp::MulOneMinus => l * (1.0 - r),
+        }
+    }
+}
+
+/// Aggregate kinds for group-by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// Sum of the value column.
+    Sum,
+    /// Count of rows per group.
+    Count,
+}
+
+/// Join side selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The probe input of the join.
+    Probe,
+    /// The build input of the join.
+    Build,
+}
+
+/// The physical operators.
+#[derive(Clone, Debug)]
+pub enum PhysOp {
+    /// `algebra.thetasubselect`: positions of `col` rows satisfying
+    /// `pred`.
+    ScanSelect {
+        /// Scanned column.
+        col: ColRef,
+        /// Predicate.
+        pred: ScalarPred,
+    },
+    /// `algebra.subselect`: refine a candidate position list by a
+    /// predicate on another column of the same table.
+    SelectAnd {
+        /// Candidate positions (a `Pos` node).
+        candidates: NodeId,
+        /// Column to test.
+        col: ColRef,
+        /// Predicate.
+        pred: ScalarPred,
+    },
+    /// Candidate-refining select comparing two columns of the same table
+    /// (Q4/Q21's `l_commitdate < l_receiptdate`).
+    SelectColCmp {
+        /// Candidate positions, or `None` for a full scan.
+        candidates: Option<NodeId>,
+        /// Table scanned (both columns).
+        left: ColRef,
+        /// Right column.
+        right: ColRef,
+        /// Comparison.
+        op: CmpOp,
+    },
+    /// `algebra.projection`: fetch `col[positions]`.
+    Project {
+        /// Positions (a `Pos` node).
+        positions: NodeId,
+        /// Fetched column.
+        col: ColRef,
+    },
+    /// Fetch a column through one side of join pairs.
+    ProjectSide {
+        /// The `Pairs` node.
+        pairs: NodeId,
+        /// Which side's positions to use.
+        side: Side,
+        /// Fetched column (must belong to that side's table).
+        col: ColRef,
+    },
+    /// `batcalc.*`: element-wise arithmetic over two aligned value nodes.
+    BinOp {
+        /// Left values.
+        left: NodeId,
+        /// Right values.
+        right: NodeId,
+        /// Operation.
+        op: ArithOp,
+    },
+    /// `aggr.sum`: scalar sum of a value node.
+    AggrSum {
+        /// Summed values.
+        values: NodeId,
+    },
+    /// Hash group-by aggregation over aligned key/value nodes.
+    GroupAgg {
+        /// Group keys (i64 values node).
+        keys: NodeId,
+        /// Aggregated values (ignored for `Count`).
+        values: Option<NodeId>,
+        /// Aggregate.
+        agg: AggKind,
+    },
+    /// Hash-join build over an i64 key node.
+    JoinBuild {
+        /// Build keys.
+        keys: NodeId,
+    },
+    /// Hash-join probe: emits base-position pairs.
+    JoinProbe {
+        /// The built table (a `Hash` node).
+        build: NodeId,
+        /// Probe keys (i64 values node).
+        probe: NodeId,
+    },
+    /// Top-N over a groups node by aggregate value (descending).
+    TopN {
+        /// Input groups.
+        input: NodeId,
+        /// How many to keep.
+        n: usize,
+    },
+}
+
+impl PhysOp {
+    /// The MAL-style name used by the Tomograph trace (Fig. 6).
+    pub fn mal_name(&self) -> &'static str {
+        match self {
+            PhysOp::ScanSelect { .. } => "algebra.thetasubselect",
+            PhysOp::SelectAnd { .. } => "algebra.subselect",
+            PhysOp::SelectColCmp { .. } => "algebra.subselect2",
+            PhysOp::Project { .. } => "algebra.projection",
+            PhysOp::ProjectSide { .. } => "algebra.projectionpath",
+            PhysOp::BinOp { .. } => "batcalc.*",
+            PhysOp::AggrSum { .. } => "aggr.sum",
+            PhysOp::GroupAgg { .. } => "group.subaggr",
+            PhysOp::JoinBuild { .. } => "algebra.joinbuild",
+            PhysOp::JoinProbe { .. } => "algebra.join",
+            PhysOp::TopN { .. } => "algebra.firstn",
+        }
+    }
+
+    /// Plan-node inputs of the operator.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        match self {
+            PhysOp::ScanSelect { .. } => vec![],
+            PhysOp::SelectAnd { candidates, .. } => vec![*candidates],
+            PhysOp::SelectColCmp { candidates, .. } => candidates.iter().copied().collect(),
+            PhysOp::Project { positions, .. } => vec![*positions],
+            PhysOp::ProjectSide { pairs, .. } => vec![*pairs],
+            PhysOp::BinOp { left, right, .. } => vec![*left, *right],
+            PhysOp::AggrSum { values } => vec![*values],
+            PhysOp::GroupAgg { keys, values, .. } => {
+                let mut v = vec![*keys];
+                v.extend(values.iter().copied());
+                v
+            }
+            PhysOp::JoinBuild { keys } => vec![*keys],
+            PhysOp::JoinProbe { build, probe } => vec![*build, *probe],
+            PhysOp::TopN { input, .. } => vec![*input],
+        }
+    }
+}
+
+/// A topologically ordered operator DAG. The last node is the query
+/// result.
+#[derive(Clone, Debug, Default)]
+pub struct Plan {
+    nodes: Vec<PhysOp>,
+    /// Human label (query name).
+    pub label: String,
+}
+
+impl Plan {
+    /// An empty plan with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Plan {
+            nodes: Vec::new(),
+            label: label.into(),
+        }
+    }
+
+    /// Appends an operator; inputs must reference earlier nodes
+    /// (validated).
+    pub fn add(&mut self, op: PhysOp) -> NodeId {
+        let id = NodeId(self.nodes.len() as u16);
+        for input in op.inputs() {
+            assert!(
+                input.idx() < self.nodes.len(),
+                "plan not topologically ordered: {input:?} referenced by node {id:?}"
+            );
+        }
+        self.nodes.push(op);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the plan has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The operator at `id`.
+    pub fn node(&self, id: NodeId) -> &PhysOp {
+        &self.nodes[id.idx()]
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[PhysOp] {
+        &self.nodes
+    }
+
+    /// The result node.
+    pub fn root(&self) -> NodeId {
+        assert!(!self.nodes.is_empty(), "empty plan has no root");
+        NodeId(self.nodes.len() as u16 - 1)
+    }
+
+    /// `dependents[i]` = nodes that consume node `i`'s output.
+    pub fn dependents(&self) -> Vec<Vec<NodeId>> {
+        let mut deps = vec![Vec::new(); self.nodes.len()];
+        for (i, op) in self.nodes.iter().enumerate() {
+            for input in op.inputs() {
+                deps[input.idx()].push(NodeId(i as u16));
+            }
+        }
+        deps
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "plan {} ({} ops):", self.label, self.nodes.len())?;
+        for (i, op) in self.nodes.iter().enumerate() {
+            writeln!(f, "  X_{i} := {}", op.mal_name())?;
+        }
+        Ok(())
+    }
+}
+
+/// Shorthand constructor for a [`ColRef`].
+pub fn col(table: &'static str, column: &'static str) -> ColRef {
+    ColRef { table, column }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 3 MAL plan for Q6, op for op.
+    fn q6_plan() -> Plan {
+        let mut p = Plan::new("q06");
+        let x1 = p.add(PhysOp::ScanSelect {
+            col: col("lineitem", "l_quantity"),
+            pred: ScalarPred::Cmp(CmpOp::Lt, 24.0),
+        });
+        let x2 = p.add(PhysOp::SelectAnd {
+            candidates: x1,
+            col: col("lineitem", "l_shipdate"),
+            pred: ScalarPred::Between(1827.0, 2192.0),
+        });
+        let x3 = p.add(PhysOp::SelectAnd {
+            candidates: x2,
+            col: col("lineitem", "l_discount"),
+            pred: ScalarPred::Between(0.06, 0.08),
+        });
+        let x4 = p.add(PhysOp::Project {
+            positions: x3,
+            col: col("lineitem", "l_extendedprice"),
+        });
+        let x5 = p.add(PhysOp::Project {
+            positions: x3,
+            col: col("lineitem", "l_discount"),
+        });
+        let x6 = p.add(PhysOp::BinOp {
+            left: x4,
+            right: x5,
+            op: ArithOp::Mul,
+        });
+        p.add(PhysOp::AggrSum { values: x6 });
+        p
+    }
+
+    #[test]
+    fn q6_shape_matches_fig3() {
+        let p = q6_plan();
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.root(), NodeId(6));
+        assert_eq!(p.node(NodeId(0)).mal_name(), "algebra.thetasubselect");
+        assert_eq!(p.node(NodeId(6)).mal_name(), "aggr.sum");
+    }
+
+    #[test]
+    fn dependents_are_inverted_inputs() {
+        let p = q6_plan();
+        let deps = p.dependents();
+        // X_3 (the final select) feeds both projections.
+        assert_eq!(deps[2], vec![NodeId(3), NodeId(4)]);
+        // The root feeds nothing.
+        assert!(deps[6].is_empty());
+    }
+
+    #[test]
+    fn display_renders_mal() {
+        let p = q6_plan();
+        let s = p.to_string();
+        assert!(s.contains("X_0 := algebra.thetasubselect"));
+        assert!(s.contains("X_6 := aggr.sum"));
+    }
+
+    #[test]
+    fn ops_report_inputs() {
+        let p = q6_plan();
+        assert!(p.node(NodeId(0)).inputs().is_empty());
+        assert_eq!(p.node(NodeId(5)).inputs(), vec![NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn cmp_and_arith_semantics() {
+        assert!(CmpOp::Lt.apply(1.0, 2.0));
+        assert!(CmpOp::Ge.apply(2.0, 2.0));
+        assert!(CmpOp::Ne.apply(1.0, 2.0));
+        assert_eq!(ArithOp::MulOneMinus.apply(100.0, 0.1), 90.0);
+        assert_eq!(ArithOp::Sub.apply(3.0, 1.0), 2.0);
+        assert_eq!(ArithOp::Add.apply(3.0, 1.0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "topologically ordered")]
+    fn forward_reference_rejected() {
+        let mut p = Plan::new("bad");
+        p.add(PhysOp::AggrSum { values: NodeId(5) });
+    }
+
+    #[test]
+    #[should_panic(expected = "empty plan")]
+    fn empty_root_panics() {
+        Plan::new("empty").root();
+    }
+}

@@ -1,0 +1,94 @@
+//! Tomograph — per-operator execution statistics (Fig. 6).
+//!
+//! MonetDB's Tomograph facility tracks how many calls each MAL operator
+//! made and how long they took across worker threads. The engine feeds
+//! this registry on every completed task.
+
+use emca_metrics::{FxHashMap, SimDuration};
+
+/// Aggregate statistics of one operator kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Number of task executions ("calls" in Fig. 6).
+    pub calls: u64,
+    /// Total simulated execution time across all calls.
+    pub total_time: SimDuration,
+}
+
+/// The per-operator trace registry.
+#[derive(Clone, Debug, Default)]
+pub struct Tomograph {
+    ops: FxHashMap<&'static str, OpStats>,
+}
+
+impl Tomograph {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Tomograph::default()
+    }
+
+    /// Records one operator call.
+    pub fn record(&mut self, op: &'static str, time: SimDuration) {
+        let s = self.ops.entry(op).or_default();
+        s.calls += 1;
+        s.total_time += time;
+    }
+
+    /// Stats of one operator (zero if never seen).
+    pub fn op(&self, name: &str) -> OpStats {
+        self.ops.get(name).copied().unwrap_or_default()
+    }
+
+    /// All operators, sorted by total time descending (the Fig. 6 layout).
+    pub fn by_time(&self) -> Vec<(&'static str, OpStats)> {
+        let mut v: Vec<_> = self.ops.iter().map(|(&k, &s)| (k, s)).collect();
+        v.sort_by(|a, b| b.1.total_time.cmp(&a.1.total_time).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Total calls across all operators.
+    pub fn total_calls(&self) -> u64 {
+        self.ops.values().map(|s| s.calls).sum()
+    }
+
+    /// Clears the registry (between experiments).
+    pub fn reset(&mut self) {
+        self.ops.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut t = Tomograph::new();
+        t.record("algebra.thetasubselect", SimDuration::from_millis(10));
+        t.record("algebra.thetasubselect", SimDuration::from_millis(5));
+        t.record("aggr.sum", SimDuration::from_millis(1));
+        let s = t.op("algebra.thetasubselect");
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.total_time, SimDuration::from_millis(15));
+        assert_eq!(t.total_calls(), 3);
+        assert_eq!(t.op("nothing"), OpStats::default());
+    }
+
+    #[test]
+    fn by_time_sorts_descending() {
+        let mut t = Tomograph::new();
+        t.record("a", SimDuration::from_millis(1));
+        t.record("b", SimDuration::from_millis(9));
+        let v = t.by_time();
+        assert_eq!(v[0].0, "b");
+        assert_eq!(v[1].0, "a");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut t = Tomograph::new();
+        t.record("a", SimDuration::from_millis(1));
+        t.reset();
+        assert_eq!(t.total_calls(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # volcano-db — a Volcano-style columnar DBMS over a simulated NUMA box
+//!
+//! The database substrate of the ICDE'18 "Elastic Multi-Core Allocation"
+//! reproduction. It implements the engine model the paper evaluates:
+//!
+//! - **BAT storage** (`storage`): typed column vectors bound to simulated
+//!   memory regions, with a catalog of the TPC-H schema;
+//! - **TPC-H workload** (`tpch`): deterministic data generation plus the
+//!   22 query plans (Q6 exactly matching the paper's Fig. 3 MAL plan);
+//! - **execution** (`exec`): MAL-style operator DAGs, horizontal
+//!   partitioning into worker tasks (operator-at-a-time materialisation),
+//!   genuine operator evaluation, a worker pool scheduled by the
+//!   simulated OS, per-operator Tomograph tracing, and two flavors —
+//!   MonetDB-like (OS-scheduled) and SQL Server-like (NUMA-aware pinned);
+//! - **clients** (`client`): closed-loop concurrent sessions with the
+//!   paper's Repeat / StablePhases / Mixed workloads;
+//! - **hand-coded baseline** (`handcoded`): the fused pthreads Q6 of
+//!   §II-B with OS/Dense/Sparse affinity.
+
+pub mod client;
+pub mod exec;
+pub mod handcoded;
+pub mod storage;
+pub mod tpch;
+
+pub use client::{drain_results, spawn_clients, ClientBody, SharedLog, Workload};
+pub use exec::{Engine, EngineConfig, EngineStats, Flavor, QueryResult};
+pub use storage::{Bat, BatStore, Catalog, ColData};
+pub use tpch::{build_query, query_name, QuerySpec, TpchData, TpchScale};

@@ -1,0 +1,299 @@
+//! BATs — the MonetDB-style column vectors.
+//!
+//! A [`Bat`] couples real in-memory data (used for genuine operator
+//! evaluation, so selectivities and join cardinalities are authentic)
+//! with a simulated memory [`Region`] (used to charge NUMA traffic for
+//! every access). All values are 8 bytes wide (`i64` or `f64`); strings
+//! are dictionary-encoded to `i64` at generation time, exactly as a
+//! column store would.
+
+use numa_sim::{Machine, Region, SegId, SpaceId, SEG_BYTES};
+use std::sync::Arc;
+
+/// Width of every column value, in bytes.
+pub const VALUE_BYTES: u64 = 8;
+
+/// Rows per 64 KiB segment.
+pub const ROWS_PER_SEG: u64 = SEG_BYTES / VALUE_BYTES;
+
+/// Column data type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColType {
+    /// 64-bit integers (keys, dates-as-days, dictionary codes).
+    I64,
+    /// 64-bit floats (prices, discounts, quantities).
+    F64,
+}
+
+/// The actual values of a column. `Arc` so intermediates and memo-cached
+/// results share storage without copies.
+#[derive(Clone, Debug)]
+pub enum ColData {
+    /// Integer payload.
+    I64(Arc<Vec<i64>>),
+    /// Float payload.
+    F64(Arc<Vec<f64>>),
+}
+
+impl ColData {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColData::I64(v) => v.len(),
+            ColData::F64(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The type tag.
+    pub fn col_type(&self) -> ColType {
+        match self {
+            ColData::I64(_) => ColType::I64,
+            ColData::F64(_) => ColType::F64,
+        }
+    }
+
+    /// Integer view (panics on type mismatch — a plan construction bug).
+    pub fn as_i64(&self) -> &[i64] {
+        match self {
+            ColData::I64(v) => v,
+            ColData::F64(_) => panic!("expected i64 column"),
+        }
+    }
+
+    /// Float view (panics on type mismatch).
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            ColData::F64(v) => v,
+            ColData::I64(_) => panic!("expected f64 column"),
+        }
+    }
+
+    /// Row value as f64 regardless of storage type (for arithmetic ops).
+    #[inline]
+    pub fn value_f64(&self, row: usize) -> f64 {
+        match self {
+            ColData::I64(v) => v[row] as f64,
+            ColData::F64(v) => v[row],
+        }
+    }
+
+    /// Row value as i64 regardless of storage type (for key ops).
+    #[inline]
+    pub fn value_i64(&self, row: usize) -> i64 {
+        match self {
+            ColData::I64(v) => v[row],
+            ColData::F64(v) => v[row] as i64,
+        }
+    }
+}
+
+/// A column vector bound to simulated memory.
+#[derive(Clone, Debug)]
+pub struct Bat {
+    /// Column name (diagnostics / Tomograph).
+    pub name: String,
+    /// The values.
+    pub data: ColData,
+    /// Simulated backing region.
+    pub region: Region,
+}
+
+impl Bat {
+    /// Allocates the simulated region for `data` in `space` and wraps it.
+    /// The region is *not* touched: pages are homed when first accessed,
+    /// like mmap'd BAT files in MonetDB.
+    pub fn new(
+        machine: &mut Machine,
+        space: SpaceId,
+        name: impl Into<String>,
+        data: ColData,
+    ) -> Self {
+        let bytes = (data.len() as u64 * VALUE_BYTES).max(1);
+        let region = machine.alloc(space, bytes);
+        Bat {
+            name: name.into(),
+            data,
+            region,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The segment holding `row`.
+    pub fn segment_of_row(&self, row: usize) -> SegId {
+        let seg_idx = row as u64 / ROWS_PER_SEG;
+        debug_assert!(seg_idx < self.region.n_segments());
+        self.region.segment(seg_idx)
+    }
+
+    /// Segments covering the row range `[start, end)`, in order.
+    pub fn segments_for_rows(&self, start: usize, end: usize) -> Vec<SegId> {
+        if start >= end {
+            return Vec::new();
+        }
+        let first = start as u64 / ROWS_PER_SEG;
+        let last = (end as u64 - 1) / ROWS_PER_SEG;
+        (first..=last).map(|i| self.region.segment(i)).collect()
+    }
+
+    /// Distinct segments touched by a sorted position list (sparse access
+    /// pattern of `algebra.projection` over a candidate list).
+    pub fn segments_for_positions(&self, positions: &[u32]) -> Vec<SegId> {
+        let mut segs = Vec::new();
+        let mut last: Option<u64> = None;
+        for &p in positions {
+            let s = p as u64 / ROWS_PER_SEG;
+            if last != Some(s) {
+                segs.push(self.region.segment(s));
+                last = Some(s);
+            }
+        }
+        segs
+    }
+}
+
+/// Identifier of a BAT inside a [`BatStore`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BatId(pub u32);
+
+/// The engine's BAT registry (base columns plus live intermediates).
+#[derive(Default)]
+pub struct BatStore {
+    bats: Vec<Option<Bat>>,
+}
+
+impl BatStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        BatStore::default()
+    }
+
+    /// Registers a BAT.
+    pub fn insert(&mut self, bat: Bat) -> BatId {
+        self.bats.push(Some(bat));
+        BatId(self.bats.len() as u32 - 1)
+    }
+
+    /// Fetches a BAT (panics on dangling id — a plan lifetime bug).
+    pub fn get(&self, id: BatId) -> &Bat {
+        self.bats[id.0 as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("BAT {id:?} already dropped"))
+    }
+
+    /// Whether the id is still live.
+    pub fn contains(&self, id: BatId) -> bool {
+        self.bats
+            .get(id.0 as usize)
+            .is_some_and(|slot| slot.is_some())
+    }
+
+    /// Drops a BAT, returning its region for the caller to free on the
+    /// machine.
+    pub fn remove(&mut self, id: BatId) -> Option<Region> {
+        self.bats
+            .get_mut(id.0 as usize)
+            .and_then(|slot| slot.take())
+            .map(|bat| bat.region)
+    }
+
+    /// Number of live BATs.
+    pub fn n_live(&self) -> usize {
+        self.bats.iter().filter(|b| b.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_sim::PAGES_PER_SEG;
+
+    fn machine() -> Machine {
+        Machine::opteron_4x4()
+    }
+
+    fn i64s(n: usize) -> ColData {
+        ColData::I64(Arc::new((0..n as i64).collect()))
+    }
+
+    #[test]
+    fn bat_region_sized_to_rows() {
+        let mut m = machine();
+        let sp = m.create_space();
+        // 8192 rows of 8 bytes = exactly one segment.
+        let b = Bat::new(&mut m, sp, "x", i64s(8192));
+        assert_eq!(b.region.n_segments(), 1);
+        let b2 = Bat::new(&mut m, sp, "y", i64s(8193));
+        assert_eq!(b2.region.n_segments(), 2);
+        assert_eq!(b2.region.n_pages, 2 * PAGES_PER_SEG);
+    }
+
+    #[test]
+    fn segment_row_mapping() {
+        let mut m = machine();
+        let sp = m.create_space();
+        let b = Bat::new(&mut m, sp, "x", i64s(20_000));
+        assert_eq!(b.segment_of_row(0), b.region.segment(0));
+        assert_eq!(b.segment_of_row(8191), b.region.segment(0));
+        assert_eq!(b.segment_of_row(8192), b.region.segment(1));
+        let segs = b.segments_for_rows(8000, 9000);
+        assert_eq!(segs.len(), 2);
+        assert!(b.segments_for_rows(5, 5).is_empty());
+    }
+
+    #[test]
+    fn positions_dedupe_segments() {
+        let mut m = machine();
+        let sp = m.create_space();
+        let b = Bat::new(&mut m, sp, "x", i64s(30_000));
+        let segs = b.segments_for_positions(&[1, 2, 3, 8192, 8193, 20_000]);
+        assert_eq!(segs.len(), 3);
+    }
+
+    #[test]
+    fn coldata_accessors() {
+        let c = ColData::F64(Arc::new(vec![1.5, 2.5]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.col_type(), ColType::F64);
+        assert_eq!(c.value_f64(1), 2.5);
+        assert_eq!(c.value_i64(1), 2);
+        let k = ColData::I64(Arc::new(vec![7]));
+        assert_eq!(k.value_f64(0), 7.0);
+        assert_eq!(k.as_i64(), &[7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected i64")]
+    fn type_mismatch_panics() {
+        let c = ColData::F64(Arc::new(vec![1.0]));
+        let _ = c.as_i64();
+    }
+
+    #[test]
+    fn store_lifecycle() {
+        let mut m = machine();
+        let sp = m.create_space();
+        let mut store = BatStore::new();
+        let id = store.insert(Bat::new(&mut m, sp, "x", i64s(10)));
+        assert!(store.contains(id));
+        assert_eq!(store.get(id).name, "x");
+        assert_eq!(store.n_live(), 1);
+        let region = store.remove(id).expect("live bat");
+        m.free(&region);
+        assert!(!store.contains(id));
+        assert_eq!(store.remove(id), None);
+    }
+}

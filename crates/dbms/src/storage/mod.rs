@@ -1,0 +1,7 @@
+//! Columnar storage: BATs (Binary Association Tables) and the catalog.
+
+pub mod bat;
+pub mod catalog;
+
+pub use bat::{Bat, BatId, BatStore, ColData, ColType, ROWS_PER_SEG, VALUE_BYTES};
+pub use catalog::{tpch_schema, Catalog, ColumnDef, TableDef};

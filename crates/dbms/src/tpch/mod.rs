@@ -1,0 +1,8 @@
+//! TPC-H-style workload: deterministic data generation and the 22 query
+//! plans.
+
+pub mod gen;
+pub mod queries;
+
+pub use gen::{TpchData, TpchScale};
+pub use queries::{build_query, query_name, QuerySpec};

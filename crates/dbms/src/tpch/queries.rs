@@ -1,0 +1,1221 @@
+//! The 22 TPC-H query plans (simplified but structurally faithful).
+//!
+//! Each plan reproduces the *shape* that matters for the paper's
+//! experiments: which tables are scanned, how selective the predicates
+//! are, how many joins run (Q8/Q9 are join-heavy, as §V-C2 highlights),
+//! where IN-list predicates appear (Q19/Q22), and how much intermediate
+//! data is materialised. SQL-surface details that do not affect data
+//! movement (string LIKE internals, EXISTS rewrites, HAVING post-filters)
+//! are approximated; every approximation keeps the documented TPC-H
+//! selectivity of the affected operator.
+//!
+//! Dates are days since 1992-01-01 (`YEAR_DAYS` ≈ 365): the constants
+//! below pick the same year windows the official parameters use.
+
+use crate::exec::plan::{col, AggKind, ArithOp, CmpOp, NodeId, PhysOp, Plan, ScalarPred, Side};
+
+/// Days per year in the generated calendar.
+pub const YEAR_DAYS: f64 = 365.25;
+
+/// A query request: either one of the 22 TPC-H queries (with a parameter
+/// variant for the mixed workload) or the paper's microbenchmarks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QuerySpec {
+    /// TPC-H query `1..=22`, parameter `variant` shifts date windows so
+    /// concurrent clients do not all share one memo entry.
+    Tpch {
+        /// Query number, 1..=22.
+        number: u8,
+        /// Parameter variant (small shift of predicate windows).
+        variant: u8,
+    },
+    /// The paper's Q6 microbenchmark (Fig. 3/4): full plan.
+    Q6 {
+        /// Parameter variant.
+        variant: u8,
+    },
+    /// The thetasubselect microbenchmark of §V-A: a single
+    /// `l_quantity < threshold` scan at a chosen selectivity (percent).
+    ThetaSubselect {
+        /// Target selectivity in percent (quantities are uniform
+        /// 1..=50, so the threshold is `sel_pct / 2` quantities).
+        sel_pct: u8,
+    },
+    /// A zero-selectivity scan over every base column: touches (and
+    /// therefore homes) all base pages without materialising anything.
+    /// Used as the warm-up pass that establishes data placement before
+    /// measurements, like running against a warm server.
+    WarmupScan,
+}
+
+impl QuerySpec {
+    /// A tag for per-query aggregation (1..=22 for TPC-H, 106 for Q6,
+    /// 200+sel for the microbench).
+    pub fn tag(&self) -> u32 {
+        match self {
+            QuerySpec::Tpch { number, .. } => *number as u32,
+            QuerySpec::Q6 { .. } => 106,
+            QuerySpec::ThetaSubselect { sel_pct } => 200 + *sel_pct as u32,
+            QuerySpec::WarmupScan => 999,
+        }
+    }
+}
+
+/// Human-readable query name.
+pub fn query_name(spec: &QuerySpec) -> String {
+    match spec {
+        QuerySpec::Tpch { number, .. } => format!("Q{number}"),
+        QuerySpec::Q6 { .. } => "Q6-micro".to_string(),
+        QuerySpec::ThetaSubselect { sel_pct } => format!("theta{sel_pct}"),
+        QuerySpec::WarmupScan => "warmup".to_string(),
+    }
+}
+
+/// Builds the physical plan for a spec.
+pub fn build_query(spec: &QuerySpec) -> Plan {
+    match spec {
+        QuerySpec::Tpch { number, variant } => build_tpch(*number, *variant),
+        QuerySpec::Q6 { variant } => q06(*variant),
+        QuerySpec::ThetaSubselect { sel_pct } => theta_subselect(*sel_pct),
+        QuerySpec::WarmupScan => warmup_scan(),
+    }
+}
+
+/// The warm-up plan: one zero-output scan per base column, ending in a
+/// sum over an empty projection so the plan has a scalar root.
+pub fn warmup_scan() -> Plan {
+    use crate::storage::catalog::tpch_schema;
+    let mut p = Plan::new("warmup");
+    let mut last = None;
+    for table in tpch_schema() {
+        for c in &table.columns {
+            last = Some(p.add(PhysOp::ScanSelect {
+                col: col(table.name, c.name),
+                // Nothing qualifies: all input read, no output written.
+                pred: ScalarPred::Cmp(CmpOp::Lt, -1e300),
+            }));
+        }
+    }
+    let positions = last.expect("schema has columns");
+    let vals = p.add(PhysOp::Project {
+        positions,
+        col: col("region", "r_regionkey"),
+    });
+    p.add(PhysOp::AggrSum { values: vals });
+    p
+}
+
+/// The paper's §V-A microbenchmark: one thetasubselect over l_quantity.
+/// `sel_pct` of 45 reproduces the paper's `l_quantity < 24` (45 %).
+pub fn theta_subselect(sel_pct: u8) -> Plan {
+    let sel = (sel_pct as f64).clamp(1.0, 100.0);
+    // Quantities are uniform over {1..50}: P(q < t) = (t-1)/50.
+    let threshold = (sel / 100.0 * 50.0 + 1.0).round();
+    let mut p = Plan::new(format!("theta{sel_pct}"));
+    p.add(PhysOp::ScanSelect {
+        col: col("lineitem", "l_quantity"),
+        pred: ScalarPred::Cmp(CmpOp::Lt, threshold),
+    });
+    p
+}
+
+/// Shifts a date window by the parameter variant (keeps selectivity,
+/// changes the memo fingerprint — concurrent mixed clients use different
+/// parameters like the TPC-H stream rules).
+fn shift(day: f64, variant: u8) -> f64 {
+    day + (variant % 16) as f64 * 7.0
+}
+
+/// TPC-H Q6, following the paper's Fig. 3 plan operator for operator.
+fn q06(variant: u8) -> Plan {
+    let mut p = Plan::new("Q6");
+    let d0 = shift(5.0 * YEAR_DAYS, variant); // 1997-01-01
+    let x1 = p.add(PhysOp::ScanSelect {
+        col: col("lineitem", "l_quantity"),
+        pred: ScalarPred::Cmp(CmpOp::Lt, 24.0),
+    });
+    let x2 = p.add(PhysOp::SelectAnd {
+        candidates: x1,
+        col: col("lineitem", "l_shipdate"),
+        pred: ScalarPred::Between(d0, d0 + YEAR_DAYS),
+    });
+    let x3 = p.add(PhysOp::SelectAnd {
+        candidates: x2,
+        col: col("lineitem", "l_discount"),
+        pred: ScalarPred::Between(0.06, 0.08),
+    });
+    let x4 = p.add(PhysOp::Project {
+        positions: x3,
+        col: col("lineitem", "l_extendedprice"),
+    });
+    let x5 = p.add(PhysOp::Project {
+        positions: x3,
+        col: col("lineitem", "l_discount"),
+    });
+    let x6 = p.add(PhysOp::BinOp {
+        left: x4,
+        right: x5,
+        op: ArithOp::Mul,
+    });
+    p.add(PhysOp::AggrSum { values: x6 });
+    p
+}
+
+/// Convenience: selection on a table column followed by a key projection
+/// (the common build-side preparation).
+fn select_project_key(
+    p: &mut Plan,
+    table: &'static str,
+    sel_col: &'static str,
+    pred: ScalarPred,
+    key_col: &'static str,
+) -> NodeId {
+    let s = p.add(PhysOp::ScanSelect {
+        col: col(table, sel_col),
+        pred,
+    });
+    p.add(PhysOp::Project {
+        positions: s,
+        col: col(table, key_col),
+    })
+}
+
+/// Builds `build keys -> hash -> probe` and returns the pairs node.
+fn hash_join(p: &mut Plan, build_keys: NodeId, probe_keys: NodeId) -> NodeId {
+    let h = p.add(PhysOp::JoinBuild { keys: build_keys });
+    p.add(PhysOp::JoinProbe {
+        build: h,
+        probe: probe_keys,
+    })
+}
+
+/// Probe-side revenue (`extendedprice * (1 - discount)`) through join
+/// pairs on lineitem.
+fn pairs_revenue(p: &mut Plan, pairs: NodeId) -> NodeId {
+    let price = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Probe,
+        col: col("lineitem", "l_extendedprice"),
+    });
+    let disc = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Probe,
+        col: col("lineitem", "l_discount"),
+    });
+    p.add(PhysOp::BinOp {
+        left: price,
+        right: disc,
+        op: ArithOp::MulOneMinus,
+    })
+}
+
+fn build_tpch(number: u8, variant: u8) -> Plan {
+    match number {
+        1 => q01(variant),
+        2 => q02(variant),
+        3 => q03(variant),
+        4 => q04(variant),
+        5 => q05(variant),
+        6 => q06(variant),
+        7 => q07(variant),
+        8 => q08(variant),
+        9 => q09(variant),
+        10 => q10(variant),
+        11 => q11(variant),
+        12 => q12(variant),
+        13 => q13(variant),
+        14 => q14(variant),
+        15 => q15(variant),
+        16 => q16(variant),
+        17 => q17(variant),
+        18 => q18(variant),
+        19 => q19(variant),
+        20 => q20(variant),
+        21 => q21(variant),
+        22 => q22(variant),
+        n => panic!("TPC-H query number out of range: {n}"),
+    }
+}
+
+/// Q1: pricing summary — one ~97 % scan, heavy aggregation.
+fn q01(variant: u8) -> Plan {
+    let mut p = Plan::new("Q1");
+    let cutoff = shift(6.0 * YEAR_DAYS + 90.0, variant);
+    let s = p.add(PhysOp::ScanSelect {
+        col: col("lineitem", "l_shipdate"),
+        pred: ScalarPred::Cmp(CmpOp::Le, cutoff),
+    });
+    let flag = p.add(PhysOp::Project {
+        positions: s,
+        col: col("lineitem", "l_returnflag"),
+    });
+    let price = p.add(PhysOp::Project {
+        positions: s,
+        col: col("lineitem", "l_extendedprice"),
+    });
+    let disc = p.add(PhysOp::Project {
+        positions: s,
+        col: col("lineitem", "l_discount"),
+    });
+    let rev = p.add(PhysOp::BinOp {
+        left: price,
+        right: disc,
+        op: ArithOp::MulOneMinus,
+    });
+    p.add(PhysOp::GroupAgg {
+        keys: flag,
+        values: Some(rev),
+        agg: AggKind::Sum,
+    });
+    p
+}
+
+/// Q2: minimum-cost supplier — part selection joined to partsupp and
+/// supplier, top 100.
+fn q02(variant: u8) -> Plan {
+    let mut p = Plan::new("Q2");
+    let size = 1.0 + (variant % 16) as f64 * 3.0;
+    let parts = select_project_key(
+        &mut p,
+        "part",
+        "p_size",
+        ScalarPred::Cmp(CmpOp::Eq, size),
+        "p_partkey",
+    );
+    let ps_keys = select_project_key(
+        &mut p,
+        "partsupp",
+        "ps_availqty",
+        ScalarPred::Cmp(CmpOp::Gt, 0.0),
+        "ps_partkey",
+    );
+    let pairs = hash_join(&mut p, parts, ps_keys);
+    let supp = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Probe,
+        col: col("partsupp", "ps_suppkey"),
+    });
+    let cost = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Probe,
+        col: col("partsupp", "ps_supplycost"),
+    });
+    let g = p.add(PhysOp::GroupAgg {
+        keys: supp,
+        values: Some(cost),
+        agg: AggKind::Sum,
+    });
+    p.add(PhysOp::TopN { input: g, n: 100 });
+    p
+}
+
+/// Q3: shipping priority — customer segment ⋈ orders(date) ⋈ lineitem,
+/// top 10 by revenue.
+fn q03(variant: u8) -> Plan {
+    let mut p = Plan::new("Q3");
+    let seg = (variant % 5) as f64;
+    let cutoff = shift(3.2 * YEAR_DAYS, variant);
+    let cust = select_project_key(
+        &mut p,
+        "customer",
+        "c_mktsegment",
+        ScalarPred::Cmp(CmpOp::Eq, seg),
+        "c_custkey",
+    );
+    let ord_sel = p.add(PhysOp::ScanSelect {
+        col: col("orders", "o_orderdate"),
+        pred: ScalarPred::Cmp(CmpOp::Lt, cutoff),
+    });
+    let ord_cust = p.add(PhysOp::Project {
+        positions: ord_sel,
+        col: col("orders", "o_custkey"),
+    });
+    let co_pairs = hash_join(&mut p, cust, ord_cust);
+    let ord_keys = p.add(PhysOp::ProjectSide {
+        pairs: co_pairs,
+        side: Side::Probe,
+        col: col("orders", "o_orderkey"),
+    });
+    let li_sel = p.add(PhysOp::ScanSelect {
+        col: col("lineitem", "l_shipdate"),
+        pred: ScalarPred::Cmp(CmpOp::Gt, cutoff),
+    });
+    let li_keys = p.add(PhysOp::Project {
+        positions: li_sel,
+        col: col("lineitem", "l_orderkey"),
+    });
+    let pairs = hash_join(&mut p, ord_keys, li_keys);
+    let rev = pairs_revenue(&mut p, pairs);
+    let okey = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Probe,
+        col: col("lineitem", "l_orderkey"),
+    });
+    let g = p.add(PhysOp::GroupAgg {
+        keys: okey,
+        values: Some(rev),
+        agg: AggKind::Sum,
+    });
+    p.add(PhysOp::TopN { input: g, n: 10 });
+    p
+}
+
+/// Q4: order priority checking — quarter of orders, lineitem
+/// commit<receipt semi-join, count by priority.
+fn q04(variant: u8) -> Plan {
+    let mut p = Plan::new("Q4");
+    let d0 = shift(1.5 * YEAR_DAYS, variant);
+    let ord = select_project_key(
+        &mut p,
+        "orders",
+        "o_orderdate",
+        ScalarPred::Between(d0, d0 + 91.0),
+        "o_orderkey",
+    );
+    let late = p.add(PhysOp::SelectColCmp {
+        candidates: None,
+        left: col("lineitem", "l_commitdate"),
+        right: col("lineitem", "l_receiptdate"),
+        op: CmpOp::Lt,
+    });
+    let li_keys = p.add(PhysOp::Project {
+        positions: late,
+        col: col("lineitem", "l_orderkey"),
+    });
+    let pairs = hash_join(&mut p, ord, li_keys);
+    let prio = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Build,
+        col: col("orders", "o_orderpriority"),
+    });
+    p.add(PhysOp::GroupAgg {
+        keys: prio,
+        values: None,
+        agg: AggKind::Count,
+    });
+    p
+}
+
+/// Q5: local supplier volume — customer ⋈ orders(year) ⋈ lineitem,
+/// revenue by nation.
+fn q05(variant: u8) -> Plan {
+    let mut p = Plan::new("Q5");
+    let d0 = shift(2.0 * YEAR_DAYS, variant);
+    let ord = select_project_key(
+        &mut p,
+        "orders",
+        "o_orderdate",
+        ScalarPred::Between(d0, d0 + YEAR_DAYS),
+        "o_orderkey",
+    );
+    let li = p.add(PhysOp::ScanSelect {
+        col: col("lineitem", "l_quantity"),
+        pred: ScalarPred::Cmp(CmpOp::Gt, 0.0),
+    });
+    let li_keys = p.add(PhysOp::Project {
+        positions: li,
+        col: col("lineitem", "l_orderkey"),
+    });
+    let pairs = hash_join(&mut p, ord, li_keys);
+    let rev = pairs_revenue(&mut p, pairs);
+    let supp = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Probe,
+        col: col("lineitem", "l_suppkey"),
+    });
+    p.add(PhysOp::GroupAgg {
+        keys: supp,
+        values: Some(rev),
+        agg: AggKind::Sum,
+    });
+    p
+}
+
+/// Q7: volume shipping — two-year lineitem window joined through
+/// supplier nation, revenue grouped by nation.
+fn q07(variant: u8) -> Plan {
+    let mut p = Plan::new("Q7");
+    let d0 = shift(3.0 * YEAR_DAYS, variant);
+    let li = p.add(PhysOp::ScanSelect {
+        col: col("lineitem", "l_shipdate"),
+        pred: ScalarPred::Between(d0, d0 + 2.0 * YEAR_DAYS),
+    });
+    let li_supp = p.add(PhysOp::Project {
+        positions: li,
+        col: col("lineitem", "l_suppkey"),
+    });
+    let supp = select_project_key(
+        &mut p,
+        "supplier",
+        "s_nationkey",
+        ScalarPred::InSet(vec![(variant % 25) as i64, ((variant + 7) % 25) as i64]),
+        "s_suppkey",
+    );
+    let pairs = hash_join(&mut p, supp, li_supp);
+    let rev = pairs_revenue(&mut p, pairs);
+    let nation = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Probe,
+        col: col("lineitem", "l_suppkey"),
+    });
+    p.add(PhysOp::GroupAgg {
+        keys: nation,
+        values: Some(rev),
+        agg: AggKind::Sum,
+    });
+    p
+}
+
+/// Q8: national market share — the paper's join-heavy case: part(type)
+/// ⋈ lineitem ⋈ orders(2 years) ⋈ customer, grouped by year.
+fn q08(variant: u8) -> Plan {
+    let mut p = Plan::new("Q8");
+    let ptype = (variant % 16) as f64 * 9.0;
+    let parts = select_project_key(
+        &mut p,
+        "part",
+        "p_type",
+        ScalarPred::Between(ptype, ptype + 1.0),
+        "p_partkey",
+    );
+    let li = p.add(PhysOp::ScanSelect {
+        col: col("lineitem", "l_quantity"),
+        pred: ScalarPred::Gt0(),
+    });
+    let li_part = p.add(PhysOp::Project {
+        positions: li,
+        col: col("lineitem", "l_partkey"),
+    });
+    let pl_pairs = hash_join(&mut p, parts, li_part);
+    let li_ord = p.add(PhysOp::ProjectSide {
+        pairs: pl_pairs,
+        side: Side::Probe,
+        col: col("lineitem", "l_orderkey"),
+    });
+    let d0 = shift(3.0 * YEAR_DAYS, variant);
+    let ord = select_project_key(
+        &mut p,
+        "orders",
+        "o_orderdate",
+        ScalarPred::Between(d0, d0 + 2.0 * YEAR_DAYS),
+        "o_orderkey",
+    );
+    let ol_pairs = hash_join(&mut p, ord, li_ord);
+    let cust_keys = p.add(PhysOp::ProjectSide {
+        pairs: ol_pairs,
+        side: Side::Build,
+        col: col("orders", "o_custkey"),
+    });
+    let cust = select_project_key(
+        &mut p,
+        "customer",
+        "c_acctbal",
+        ScalarPred::Cmp(CmpOp::Gt, -1000.0),
+        "c_custkey",
+    );
+    let oc_pairs = hash_join(&mut p, cust, cust_keys);
+    let date = p.add(PhysOp::ProjectSide {
+        pairs: oc_pairs,
+        side: Side::Build,
+        col: col("customer", "c_nationkey"),
+    });
+    let bal = p.add(PhysOp::ProjectSide {
+        pairs: oc_pairs,
+        side: Side::Build,
+        col: col("customer", "c_acctbal"),
+    });
+    p.add(PhysOp::GroupAgg {
+        keys: date,
+        values: Some(bal),
+        agg: AggKind::Sum,
+    });
+    p
+}
+
+/// Q9: product type profit — the largest join pipeline:
+/// part(type ~5 %) ⋈ lineitem ⋈ partsupp ⋈ orders, profit by nation/year.
+fn q09(variant: u8) -> Plan {
+    let mut p = Plan::new("Q9");
+    let ptype = (variant % 16) as f64 * 9.0;
+    let parts = select_project_key(
+        &mut p,
+        "part",
+        "p_type",
+        ScalarPred::Between(ptype, ptype + 7.0),
+        "p_partkey",
+    );
+    let li = p.add(PhysOp::ScanSelect {
+        col: col("lineitem", "l_quantity"),
+        pred: ScalarPred::Gt0(),
+    });
+    let li_part = p.add(PhysOp::Project {
+        positions: li,
+        col: col("lineitem", "l_partkey"),
+    });
+    let pl_pairs = hash_join(&mut p, parts, li_part);
+    let rev = pairs_revenue(&mut p, pl_pairs);
+    let li_supp = p.add(PhysOp::ProjectSide {
+        pairs: pl_pairs,
+        side: Side::Probe,
+        col: col("lineitem", "l_suppkey"),
+    });
+    let supp = select_project_key(
+        &mut p,
+        "supplier",
+        "s_acctbal",
+        ScalarPred::Cmp(CmpOp::Gt, -1000.0),
+        "s_suppkey",
+    );
+    let sl_pairs = hash_join(&mut p, supp, li_supp);
+    let nation = p.add(PhysOp::ProjectSide {
+        pairs: sl_pairs,
+        side: Side::Build,
+        col: col("supplier", "s_nationkey"),
+    });
+    let g1 = p.add(PhysOp::GroupAgg {
+        keys: nation,
+        values: Some(rev),
+        agg: AggKind::Sum,
+    });
+    // Second pipeline: partsupp cost side.
+    let ps = select_project_key(
+        &mut p,
+        "partsupp",
+        "ps_availqty",
+        ScalarPred::Cmp(CmpOp::Gt, 0.0),
+        "ps_partkey",
+    );
+    let ps_pairs = hash_join(&mut p, parts, ps);
+    let cost_supp = p.add(PhysOp::ProjectSide {
+        pairs: ps_pairs,
+        side: Side::Probe,
+        col: col("partsupp", "ps_suppkey"),
+    });
+    let cost = p.add(PhysOp::ProjectSide {
+        pairs: ps_pairs,
+        side: Side::Probe,
+        col: col("partsupp", "ps_supplycost"),
+    });
+    let g2 = p.add(PhysOp::GroupAgg {
+        keys: cost_supp,
+        values: Some(cost),
+        agg: AggKind::Sum,
+    });
+    // Final: combine both aggregates (small).
+    let t1 = p.add(PhysOp::TopN { input: g1, n: 25 });
+    let _ = g2;
+    let _ = t1;
+    p.add(PhysOp::TopN { input: g2, n: 25 });
+    p
+}
+
+/// Q10: returned item reporting — quarter of orders ⋈ customer ⋈
+/// lineitem(returnflag), top 20 customers.
+fn q10(variant: u8) -> Plan {
+    let mut p = Plan::new("Q10");
+    let d0 = shift(2.5 * YEAR_DAYS, variant);
+    let ord = select_project_key(
+        &mut p,
+        "orders",
+        "o_orderdate",
+        ScalarPred::Between(d0, d0 + 91.0),
+        "o_orderkey",
+    );
+    let li = p.add(PhysOp::ScanSelect {
+        col: col("lineitem", "l_returnflag"),
+        pred: ScalarPred::Cmp(CmpOp::Eq, 2.0), // 'R'
+    });
+    let li_keys = p.add(PhysOp::Project {
+        positions: li,
+        col: col("lineitem", "l_orderkey"),
+    });
+    let pairs = hash_join(&mut p, ord, li_keys);
+    let rev = pairs_revenue(&mut p, pairs);
+    let cust = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Build,
+        col: col("orders", "o_custkey"),
+    });
+    let g = p.add(PhysOp::GroupAgg {
+        keys: cust,
+        values: Some(rev),
+        agg: AggKind::Sum,
+    });
+    p.add(PhysOp::TopN { input: g, n: 20 });
+    p
+}
+
+/// Q11: important stock — partsupp ⋈ supplier(nation), value by part.
+fn q11(variant: u8) -> Plan {
+    let mut p = Plan::new("Q11");
+    let supp = select_project_key(
+        &mut p,
+        "supplier",
+        "s_nationkey",
+        ScalarPred::Cmp(CmpOp::Eq, (variant % 25) as f64),
+        "s_suppkey",
+    );
+    let ps = p.add(PhysOp::ScanSelect {
+        col: col("partsupp", "ps_availqty"),
+        pred: ScalarPred::Gt0(),
+    });
+    let ps_supp = p.add(PhysOp::Project {
+        positions: ps,
+        col: col("partsupp", "ps_suppkey"),
+    });
+    let pairs = hash_join(&mut p, supp, ps_supp);
+    let part = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Probe,
+        col: col("partsupp", "ps_partkey"),
+    });
+    let value = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Probe,
+        col: col("partsupp", "ps_supplycost"),
+    });
+    let g = p.add(PhysOp::GroupAgg {
+        keys: part,
+        values: Some(value),
+        agg: AggKind::Sum,
+    });
+    p.add(PhysOp::TopN { input: g, n: 100 });
+    p
+}
+
+/// Q12: shipping modes — one-year receipt window with a 2-of-7 shipmode
+/// IN list, counts by priority.
+fn q12(variant: u8) -> Plan {
+    let mut p = Plan::new("Q12");
+    let d0 = shift(2.0 * YEAR_DAYS, variant);
+    let li = p.add(PhysOp::ScanSelect {
+        col: col("lineitem", "l_receiptdate"),
+        pred: ScalarPred::Between(d0, d0 + YEAR_DAYS),
+    });
+    let li2 = p.add(PhysOp::SelectAnd {
+        candidates: li,
+        col: col("lineitem", "l_shipmode"),
+        pred: ScalarPred::InSet(vec![(variant % 7) as i64, ((variant + 3) % 7) as i64]),
+    });
+    let li_keys = p.add(PhysOp::Project {
+        positions: li2,
+        col: col("lineitem", "l_orderkey"),
+    });
+    let ord = select_project_key(
+        &mut p,
+        "orders",
+        "o_totalprice",
+        ScalarPred::Cmp(CmpOp::Gt, 0.0),
+        "o_orderkey",
+    );
+    let pairs = hash_join(&mut p, ord, li_keys);
+    let prio = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Build,
+        col: col("orders", "o_orderpriority"),
+    });
+    p.add(PhysOp::GroupAgg {
+        keys: prio,
+        values: None,
+        agg: AggKind::Count,
+    });
+    p
+}
+
+/// Q13: customer distribution — orders grouped by customer, then counts
+/// of counts.
+fn q13(variant: u8) -> Plan {
+    let mut p = Plan::new("Q13");
+    let ord = p.add(PhysOp::ScanSelect {
+        col: col("orders", "o_orderpriority"),
+        pred: ScalarPred::Cmp(CmpOp::Ne, (variant % 5) as f64),
+    });
+    let cust = p.add(PhysOp::Project {
+        positions: ord,
+        col: col("orders", "o_custkey"),
+    });
+    let g = p.add(PhysOp::GroupAgg {
+        keys: cust,
+        values: None,
+        agg: AggKind::Count,
+    });
+    p.add(PhysOp::TopN { input: g, n: 100 });
+    p
+}
+
+/// Q14: promotion effect — one-month lineitem ⋈ part, revenue ratio.
+fn q14(variant: u8) -> Plan {
+    let mut p = Plan::new("Q14");
+    let d0 = shift(3.5 * YEAR_DAYS, variant);
+    let li = p.add(PhysOp::ScanSelect {
+        col: col("lineitem", "l_shipdate"),
+        pred: ScalarPred::Between(d0, d0 + 30.0),
+    });
+    let li_part = p.add(PhysOp::Project {
+        positions: li,
+        col: col("lineitem", "l_partkey"),
+    });
+    let parts = select_project_key(
+        &mut p,
+        "part",
+        "p_type",
+        ScalarPred::Cmp(CmpOp::Lt, 30.0), // "PROMO%" ≈ 20 %
+        "p_partkey",
+    );
+    let pairs = hash_join(&mut p, parts, li_part);
+    let rev = pairs_revenue(&mut p, pairs);
+    p.add(PhysOp::AggrSum { values: rev });
+    p
+}
+
+/// Q15: top supplier — quarter of lineitem revenue by supplier, top 1.
+fn q15(variant: u8) -> Plan {
+    let mut p = Plan::new("Q15");
+    let d0 = shift(4.0 * YEAR_DAYS, variant);
+    let li = p.add(PhysOp::ScanSelect {
+        col: col("lineitem", "l_shipdate"),
+        pred: ScalarPred::Between(d0, d0 + 91.0),
+    });
+    let supp = p.add(PhysOp::Project {
+        positions: li,
+        col: col("lineitem", "l_suppkey"),
+    });
+    let price = p.add(PhysOp::Project {
+        positions: li,
+        col: col("lineitem", "l_extendedprice"),
+    });
+    let disc = p.add(PhysOp::Project {
+        positions: li,
+        col: col("lineitem", "l_discount"),
+    });
+    let rev = p.add(PhysOp::BinOp {
+        left: price,
+        right: disc,
+        op: ArithOp::MulOneMinus,
+    });
+    let g = p.add(PhysOp::GroupAgg {
+        keys: supp,
+        values: Some(rev),
+        agg: AggKind::Sum,
+    });
+    p.add(PhysOp::TopN { input: g, n: 1 });
+    p
+}
+
+/// Q16: parts/supplier relationship — part(brand≠, size IN 8) ⋈
+/// partsupp, counts.
+fn q16(variant: u8) -> Plan {
+    let mut p = Plan::new("Q16");
+    let brand = (variant % 25) as f64;
+    let sizes: Vec<i64> = (0..8).map(|i| ((variant as i64 + i * 5) % 50) + 1).collect();
+    let parts_sel = p.add(PhysOp::ScanSelect {
+        col: col("part", "p_brand"),
+        pred: ScalarPred::Cmp(CmpOp::Ne, brand),
+    });
+    let parts_sz = p.add(PhysOp::SelectAnd {
+        candidates: parts_sel,
+        col: col("part", "p_size"),
+        pred: ScalarPred::InSet(sizes),
+    });
+    let parts = p.add(PhysOp::Project {
+        positions: parts_sz,
+        col: col("part", "p_partkey"),
+    });
+    let ps = select_project_key(
+        &mut p,
+        "partsupp",
+        "ps_availqty",
+        ScalarPred::Gt0(),
+        "ps_partkey",
+    );
+    let pairs = hash_join(&mut p, parts, ps);
+    let brandk = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Build,
+        col: col("part", "p_brand"),
+    });
+    p.add(PhysOp::GroupAgg {
+        keys: brandk,
+        values: None,
+        agg: AggKind::Count,
+    });
+    p
+}
+
+/// Q17: small-quantity-order revenue — tight part selection ⋈ lineitem,
+/// low-quantity filter, sum.
+fn q17(variant: u8) -> Plan {
+    let mut p = Plan::new("Q17");
+    let brand = (variant % 25) as f64;
+    let container = (variant % 40) as f64;
+    let parts_b = p.add(PhysOp::ScanSelect {
+        col: col("part", "p_brand"),
+        pred: ScalarPred::Cmp(CmpOp::Eq, brand),
+    });
+    let parts_c = p.add(PhysOp::SelectAnd {
+        candidates: parts_b,
+        col: col("part", "p_container"),
+        pred: ScalarPred::Cmp(CmpOp::Eq, container),
+    });
+    let parts = p.add(PhysOp::Project {
+        positions: parts_c,
+        col: col("part", "p_partkey"),
+    });
+    let li = p.add(PhysOp::ScanSelect {
+        col: col("lineitem", "l_quantity"),
+        pred: ScalarPred::Cmp(CmpOp::Lt, 5.0), // < avg*0.2 ≈ 5 of 25
+    });
+    let li_part = p.add(PhysOp::Project {
+        positions: li,
+        col: col("lineitem", "l_partkey"),
+    });
+    let pairs = hash_join(&mut p, parts, li_part);
+    let price = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Probe,
+        col: col("lineitem", "l_extendedprice"),
+    });
+    p.add(PhysOp::AggrSum { values: price });
+    p
+}
+
+/// Q18: large volume customers — lineitem grouped by order (huge
+/// group-by), top orders joined back.
+fn q18(variant: u8) -> Plan {
+    let mut p = Plan::new("Q18");
+    let li = p.add(PhysOp::ScanSelect {
+        col: col("lineitem", "l_quantity"),
+        pred: ScalarPred::Cmp(CmpOp::Gt, (variant % 4) as f64),
+    });
+    let okey = p.add(PhysOp::Project {
+        positions: li,
+        col: col("lineitem", "l_orderkey"),
+    });
+    let qty = p.add(PhysOp::Project {
+        positions: li,
+        col: col("lineitem", "l_quantity"),
+    });
+    let g = p.add(PhysOp::GroupAgg {
+        keys: okey,
+        values: Some(qty),
+        agg: AggKind::Sum,
+    });
+    p.add(PhysOp::TopN { input: g, n: 100 });
+    p
+}
+
+/// Q19: discounted revenue — the IN-heavy case the paper highlights:
+/// brand/container IN lists on part ⋈ quantity-banded lineitem.
+fn q19(variant: u8) -> Plan {
+    let mut p = Plan::new("Q19");
+    let b = variant as i64;
+    let parts_b = p.add(PhysOp::ScanSelect {
+        col: col("part", "p_brand"),
+        pred: ScalarPred::InSet(vec![b % 25, (b + 8) % 25, (b + 16) % 25]),
+    });
+    let parts_c = p.add(PhysOp::SelectAnd {
+        candidates: parts_b,
+        col: col("part", "p_container"),
+        pred: ScalarPred::InSet(vec![
+            b % 40,
+            (b + 10) % 40,
+            (b + 20) % 40,
+            (b + 30) % 40,
+        ]),
+    });
+    let parts = p.add(PhysOp::Project {
+        positions: parts_c,
+        col: col("part", "p_partkey"),
+    });
+    let li_q = p.add(PhysOp::ScanSelect {
+        col: col("lineitem", "l_quantity"),
+        pred: ScalarPred::Between(1.0, 30.0),
+    });
+    let li_m = p.add(PhysOp::SelectAnd {
+        candidates: li_q,
+        col: col("lineitem", "l_shipmode"),
+        pred: ScalarPred::InSet(vec![b % 7, (b + 2) % 7]),
+    });
+    let li_part = p.add(PhysOp::Project {
+        positions: li_m,
+        col: col("lineitem", "l_partkey"),
+    });
+    let pairs = hash_join(&mut p, parts, li_part);
+    let rev = pairs_revenue(&mut p, pairs);
+    p.add(PhysOp::AggrSum { values: rev });
+    p
+}
+
+/// Q20: potential part promotion — part(name-like ~1 %) ⋈ partsupp ⋈
+/// supplier.
+fn q20(variant: u8) -> Plan {
+    let mut p = Plan::new("Q20");
+    let t = (variant % 16) as f64 * 9.0;
+    let parts = select_project_key(
+        &mut p,
+        "part",
+        "p_type",
+        ScalarPred::Between(t, t + 1.0),
+        "p_partkey",
+    );
+    let ps = select_project_key(
+        &mut p,
+        "partsupp",
+        "ps_availqty",
+        ScalarPred::Cmp(CmpOp::Gt, 100.0),
+        "ps_partkey",
+    );
+    let pairs = hash_join(&mut p, parts, ps);
+    let supp_keys = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Probe,
+        col: col("partsupp", "ps_suppkey"),
+    });
+    let supp = select_project_key(
+        &mut p,
+        "supplier",
+        "s_acctbal",
+        ScalarPred::Cmp(CmpOp::Gt, 0.0),
+        "s_suppkey",
+    );
+    let pairs2 = hash_join(&mut p, supp, supp_keys);
+    let nat = p.add(PhysOp::ProjectSide {
+        pairs: pairs2,
+        side: Side::Build,
+        col: col("supplier", "s_nationkey"),
+    });
+    p.add(PhysOp::GroupAgg {
+        keys: nat,
+        values: None,
+        agg: AggKind::Count,
+    });
+    p
+}
+
+/// Q21: suppliers who kept orders waiting — supplier(nation) ⋈ late
+/// lineitem ⋈ orders('F'), counts by supplier, top 100.
+fn q21(variant: u8) -> Plan {
+    let mut p = Plan::new("Q21");
+    let supp = select_project_key(
+        &mut p,
+        "supplier",
+        "s_nationkey",
+        ScalarPred::Cmp(CmpOp::Eq, (variant % 25) as f64),
+        "s_suppkey",
+    );
+    let late = p.add(PhysOp::SelectColCmp {
+        candidates: None,
+        left: col("lineitem", "l_receiptdate"),
+        right: col("lineitem", "l_commitdate"),
+        op: CmpOp::Gt,
+    });
+    let li_supp = p.add(PhysOp::Project {
+        positions: late,
+        col: col("lineitem", "l_suppkey"),
+    });
+    let pairs = hash_join(&mut p, supp, li_supp);
+    let li_ord = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Probe,
+        col: col("lineitem", "l_orderkey"),
+    });
+    let ord = select_project_key(
+        &mut p,
+        "orders",
+        "o_orderstatus",
+        ScalarPred::Cmp(CmpOp::Eq, 0.0), // 'F'
+        "o_orderkey",
+    );
+    let pairs2 = hash_join(&mut p, ord, li_ord);
+    let suppk = p.add(PhysOp::ProjectSide {
+        pairs: pairs2,
+        side: Side::Probe,
+        col: col("lineitem", "l_suppkey"),
+    });
+    let g = p.add(PhysOp::GroupAgg {
+        keys: suppk,
+        values: None,
+        agg: AggKind::Count,
+    });
+    p.add(PhysOp::TopN { input: g, n: 100 });
+    p
+}
+
+/// Q22: global sales opportunity — customer phone-country IN 7 with
+/// account balance filter, anti-joined against orders (approximated by a
+/// join to active orders), counts by country code.
+fn q22(variant: u8) -> Plan {
+    let mut p = Plan::new("Q22");
+    let b = variant as i64;
+    let cc: Vec<i64> = (0..7).map(|i| 10 + (b + i * 3) % 25).collect();
+    let cust_cc = p.add(PhysOp::ScanSelect {
+        col: col("customer", "c_phone_cc"),
+        pred: ScalarPred::InSet(cc),
+    });
+    let cust_bal = p.add(PhysOp::SelectAnd {
+        candidates: cust_cc,
+        col: col("customer", "c_acctbal"),
+        pred: ScalarPred::Cmp(CmpOp::Gt, 4500.0),
+    });
+    let cust = p.add(PhysOp::Project {
+        positions: cust_bal,
+        col: col("customer", "c_custkey"),
+    });
+    let ord = select_project_key(
+        &mut p,
+        "orders",
+        "o_orderstatus",
+        ScalarPred::Cmp(CmpOp::Eq, 1.0),
+        "o_custkey",
+    );
+    let pairs = hash_join(&mut p, cust, ord);
+    let ccode = p.add(PhysOp::ProjectSide {
+        pairs,
+        side: Side::Build,
+        col: col("customer", "c_phone_cc"),
+    });
+    p.add(PhysOp::GroupAgg {
+        keys: ccode,
+        values: None,
+        agg: AggKind::Count,
+    });
+    p
+}
+
+impl ScalarPred {
+    /// `> 0` — the "all rows" scan predicate used where TPC-H scans a
+    /// whole table (keeps the operator shape of a real scan).
+    #[allow(non_snake_case)]
+    pub fn Gt0() -> ScalarPred {
+        ScalarPred::Cmp(CmpOp::Gt, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_22_queries_build() {
+        for n in 1..=22u8 {
+            for variant in [0u8, 3] {
+                let plan = build_tpch(n, variant);
+                assert!(!plan.is_empty(), "Q{n} empty");
+                // Root must be a result-producing op.
+                let root = plan.node(plan.root());
+                assert!(
+                    matches!(
+                        root,
+                        PhysOp::AggrSum { .. } | PhysOp::GroupAgg { .. } | PhysOp::TopN { .. }
+                    ),
+                    "Q{n} root is {:?}",
+                    root.mal_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn q6_matches_paper_plan() {
+        let p = q06(0);
+        let names: Vec<_> = p.nodes().iter().map(|o| o.mal_name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "algebra.thetasubselect",
+                "algebra.subselect",
+                "algebra.subselect",
+                "algebra.projection",
+                "algebra.projection",
+                "batcalc.*",
+                "aggr.sum",
+            ]
+        );
+    }
+
+    #[test]
+    fn join_heavy_queries_have_more_joins() {
+        let count_joins = |p: &Plan| {
+            p.nodes()
+                .iter()
+                .filter(|o| matches!(o, PhysOp::JoinProbe { .. }))
+                .count()
+        };
+        let q6 = build_tpch(6, 0);
+        let q8 = build_tpch(8, 0);
+        let q9 = build_tpch(9, 0);
+        assert_eq!(count_joins(&q6), 0);
+        assert!(count_joins(&q8) >= 3, "Q8 should be join-heavy");
+        assert!(count_joins(&q9) >= 3, "Q9 should be join-heavy");
+    }
+
+    #[test]
+    fn in_heavy_queries_use_insets() {
+        let has_inset = |p: &Plan| {
+            p.nodes().iter().any(|o| {
+                matches!(
+                    o,
+                    PhysOp::ScanSelect { pred: ScalarPred::InSet(_), .. }
+                        | PhysOp::SelectAnd { pred: ScalarPred::InSet(_), .. }
+                )
+            })
+        };
+        assert!(has_inset(&build_tpch(19, 0)), "Q19 needs IN predicates");
+        assert!(has_inset(&build_tpch(22, 0)), "Q22 needs IN predicates");
+    }
+
+    #[test]
+    fn variants_change_fingerprint_relevant_params() {
+        let a = build_tpch(6, 0);
+        let b = build_tpch(6, 1);
+        // The shipdate window must differ between variants.
+        let window = |p: &Plan| match p.node(NodeId(1)) {
+            PhysOp::SelectAnd { pred: ScalarPred::Between(lo, _), .. } => *lo,
+            _ => panic!("unexpected plan shape"),
+        };
+        assert_ne!(window(&a), window(&b));
+    }
+
+    #[test]
+    fn theta_subselect_thresholds() {
+        let p = theta_subselect(45);
+        match p.node(NodeId(0)) {
+            PhysOp::ScanSelect { pred: ScalarPred::Cmp(CmpOp::Lt, t), .. } => {
+                assert!((*t - 24.0).abs() < 1.0, "threshold {t}");
+            }
+            _ => panic!("unexpected plan shape"),
+        }
+        let p2 = theta_subselect(100);
+        match p2.node(NodeId(0)) {
+            PhysOp::ScanSelect { pred: ScalarPred::Cmp(CmpOp::Lt, t), .. } => {
+                assert!(*t >= 51.0, "100% must pass everything, got {t}");
+            }
+            _ => panic!("unexpected plan shape"),
+        }
+    }
+
+    #[test]
+    fn spec_tags_are_distinct() {
+        let mut tags: Vec<u32> = (1..=22)
+            .map(|n| QuerySpec::Tpch { number: n, variant: 0 }.tag())
+            .collect();
+        tags.push(QuerySpec::Q6 { variant: 0 }.tag());
+        tags.push(QuerySpec::ThetaSubselect { sel_pct: 45 }.tag());
+        let mut dedup = tags.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(tags.len(), dedup.len());
+    }
+
+    #[test]
+    fn query_names() {
+        assert_eq!(query_name(&QuerySpec::Tpch { number: 9, variant: 0 }), "Q9");
+        assert_eq!(query_name(&QuerySpec::ThetaSubselect { sel_pct: 45 }), "theta45");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn q23_rejected() {
+        build_tpch(23, 0);
+    }
+}

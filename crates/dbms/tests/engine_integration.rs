@@ -1,0 +1,231 @@
+//! End-to-end engine tests: tiny TPC-H through the full simulated stack
+//! (machine → kernel → workers → dataflow → results).
+
+use emca_metrics::{SimDuration, SimTime};
+use numa_sim::CoreId;
+use os_sim::{CoreMask, Kernel, KernelConfig};
+use volcano_db::client::{drain_results, spawn_clients, Workload};
+use volcano_db::exec::engine::{Engine, EngineConfig, Flavor};
+use volcano_db::tpch::queries::{QuerySpec, YEAR_DAYS};
+use volcano_db::tpch::{TpchData, TpchScale};
+
+fn setup(flavor: Flavor) -> (Kernel, Engine, TpchData) {
+    let kernel_cfg = KernelConfig::default();
+    let machine = numa_sim::Machine::new(numa_sim::MachineConfig::opteron_4x4(), kernel_cfg.tick);
+    let mut kernel = Kernel::new(machine, kernel_cfg);
+    let data = TpchData::generate(TpchScale::test_tiny());
+    let engine = Engine::new(
+        EngineConfig {
+            flavor,
+            ..EngineConfig::default()
+        },
+        kernel.machine().topology().n_nodes(),
+    );
+    engine.load(kernel.machine_mut(), &data, Some(CoreId(0)));
+    (kernel, engine, data)
+}
+
+/// Reference Q6 revenue computed naively over the generated data.
+fn q6_reference(data: &TpchData, variant: u8) -> f64 {
+    let qty = data.column("lineitem", "l_quantity").as_f64();
+    let ship = data.column("lineitem", "l_shipdate").as_i64();
+    let disc = data.column("lineitem", "l_discount").as_f64();
+    let price = data.column("lineitem", "l_extendedprice").as_f64();
+    let d0 = 5.0 * YEAR_DAYS + (variant % 16) as f64 * 7.0;
+    let d1 = d0 + YEAR_DAYS;
+    let mut sum = 0.0;
+    for i in 0..qty.len() {
+        let s = ship[i] as f64;
+        if qty[i] < 24.0 && s >= d0 && s <= d1 && disc[i] >= 0.06 && disc[i] <= 0.08 {
+            sum += price[i] * disc[i];
+        }
+    }
+    sum
+}
+
+fn run_to_completion(kernel: &mut Kernel, deadline_s: u64) {
+    let done = kernel.run_until_cond(SimTime::from_secs(deadline_s), |k| {
+        // All clients finished = only (blocked) workers remain alive.
+        k.n_live_threads() > 0
+            && (0..k.n_threads() as u32)
+                .map(os_sim::Tid)
+                .all(|t| {
+                    let name = k.thread_name(t);
+                    !name.starts_with("client")
+                        || k.thread_state(t) == os_sim::ThreadState::Finished
+                })
+    });
+    assert!(done, "clients did not finish before the deadline");
+}
+
+#[test]
+fn q6_result_matches_reference() {
+    let (mut kernel, engine, data) = setup(Flavor::MonetDb);
+    let all = CoreMask::all(kernel.machine().topology());
+    let group = kernel.create_group(all);
+    engine.start_workers(&mut kernel, group);
+    let logs = spawn_clients(
+        &mut kernel,
+        &engine,
+        group,
+        1,
+        Workload::Repeat {
+            spec: QuerySpec::Q6 { variant: 0 },
+            iterations: 1,
+        },
+    );
+    run_to_completion(&mut kernel, 300);
+    let results = drain_results(&logs);
+    assert_eq!(results.len(), 1);
+    let got = results[0].result.as_scalar();
+    let want = q6_reference(&data, 0);
+    assert!(
+        (got - want).abs() <= want.abs() * 1e-9 + 1e-6,
+        "Q6 revenue mismatch: got {got}, want {want}"
+    );
+    assert!(results[0].response() > SimDuration::ZERO);
+    assert!(results[0].traffic.imc_bytes > 0, "query moved no memory");
+}
+
+#[test]
+fn all_22_queries_execute() {
+    let (mut kernel, engine, _data) = setup(Flavor::MonetDb);
+    let all = CoreMask::all(kernel.machine().topology());
+    let group = kernel.create_group(all);
+    engine.start_workers(&mut kernel, group);
+    let specs: Vec<QuerySpec> = (1..=22)
+        .map(|n| QuerySpec::Tpch { number: n, variant: 0 })
+        .collect();
+    let logs = spawn_clients(
+        &mut kernel,
+        &engine,
+        group,
+        1,
+        Workload::StablePhases { specs },
+    );
+    run_to_completion(&mut kernel, 3_000);
+    let results = drain_results(&logs);
+    assert_eq!(results.len(), 22, "every query must complete");
+    for r in &results {
+        assert!(
+            r.response() > SimDuration::ZERO,
+            "{} reported zero response time",
+            r.label
+        );
+    }
+    // Join-heavy Q9 must move more data than the single-scan microbench Q6.
+    let bytes = |tag: u32| {
+        results
+            .iter()
+            .find(|r| r.spec_tag == tag)
+            .map(|r| r.traffic.imc_bytes)
+            .unwrap_or(0)
+    };
+    assert!(bytes(9) > bytes(6), "Q9 should out-traffic Q6");
+}
+
+#[test]
+fn concurrent_clients_share_the_pool() {
+    let (mut kernel, engine, _data) = setup(Flavor::MonetDb);
+    let all = CoreMask::all(kernel.machine().topology());
+    let group = kernel.create_group(all);
+    engine.start_workers(&mut kernel, group);
+    let logs = spawn_clients(
+        &mut kernel,
+        &engine,
+        group,
+        8,
+        Workload::Repeat {
+            spec: QuerySpec::Q6 { variant: 0 },
+            iterations: 3,
+        },
+    );
+    run_to_completion(&mut kernel, 600);
+    let results = drain_results(&logs);
+    assert_eq!(results.len(), 24);
+    let stats = engine.stats();
+    assert_eq!(stats.queries_completed, 24);
+    assert!(stats.tasks_executed >= 24, "tasks should have run");
+}
+
+#[test]
+fn sqlserver_flavor_completes_and_localizes() {
+    let (mut kernel, engine, data) = setup(Flavor::SqlServer);
+    let all = CoreMask::all(kernel.machine().topology());
+    let group = kernel.create_group(all);
+    engine.start_workers(&mut kernel, group);
+    let logs = spawn_clients(
+        &mut kernel,
+        &engine,
+        group,
+        2,
+        Workload::Repeat {
+            spec: QuerySpec::Q6 { variant: 0 },
+            iterations: 2,
+        },
+    );
+    run_to_completion(&mut kernel, 600);
+    let results = drain_results(&logs);
+    assert_eq!(results.len(), 4);
+    let want = q6_reference(&data, 0);
+    for r in &results {
+        assert!((r.result.as_scalar() - want).abs() <= want.abs() * 1e-9 + 1e-6);
+    }
+}
+
+#[test]
+fn restricted_mask_still_completes() {
+    let (mut kernel, engine, data) = setup(Flavor::MonetDb);
+    // Only 2 cores handed to the OS: 16 workers timeshare them.
+    let mask = CoreMask::from_cores([CoreId(0), CoreId(1)]);
+    let group = kernel.create_group(mask);
+    engine.start_workers(&mut kernel, group);
+    let logs = spawn_clients(
+        &mut kernel,
+        &engine,
+        group,
+        2,
+        Workload::Repeat {
+            spec: QuerySpec::Q6 { variant: 0 },
+            iterations: 1,
+        },
+    );
+    run_to_completion(&mut kernel, 600);
+    let results = drain_results(&logs);
+    assert_eq!(results.len(), 2);
+    let want = q6_reference(&data, 0);
+    for r in &results {
+        assert!((r.result.as_scalar() - want).abs() <= want.abs() * 1e-9 + 1e-6);
+    }
+    // Nothing ran outside the mask.
+    let busy = kernel.machine().counters().busy_ns.snapshot();
+    for b in &busy[2..] {
+        assert_eq!(*b, 0, "work escaped the cpuset");
+    }
+}
+
+#[test]
+fn tomograph_traces_q6_operators() {
+    let (mut kernel, engine, _data) = setup(Flavor::MonetDb);
+    let all = CoreMask::all(kernel.machine().topology());
+    let group = kernel.create_group(all);
+    engine.start_workers(&mut kernel, group);
+    let logs = spawn_clients(
+        &mut kernel,
+        &engine,
+        group,
+        1,
+        Workload::Repeat {
+            spec: QuerySpec::Q6 { variant: 0 },
+            iterations: 1,
+        },
+    );
+    run_to_completion(&mut kernel, 300);
+    drop(logs);
+    let core = engine.core_ref();
+    let theta = core.tomograph.op("algebra.thetasubselect");
+    let sum = core.tomograph.op("aggr.sum");
+    assert!(theta.calls >= 1, "thetasubselect not traced");
+    assert!(sum.calls >= 1, "aggr.sum not traced");
+    assert!(theta.total_time > SimDuration::ZERO);
+}

@@ -1,0 +1,175 @@
+//! Experiment configurations.
+
+use elastic_core::MetricKind;
+use emca_metrics::SimDuration;
+use volcano_db::client::Workload;
+use volcano_db::exec::engine::Flavor;
+use volcano_db::tpch::TpchScale;
+
+/// Core-allocation policy of a run (the paper's four configurations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Alloc {
+    /// No mechanism: all cores handed to the OS (the baseline).
+    OsAll,
+    /// Mechanism with the dense mode.
+    Dense,
+    /// Mechanism with the sparse mode.
+    Sparse,
+    /// Mechanism with the adaptive priority mode.
+    Adaptive,
+}
+
+impl Alloc {
+    /// Display name matching the paper's figure legends.
+    pub fn label(&self, flavor: Flavor) -> String {
+        let engine = match flavor {
+            Flavor::MonetDb => "MonetDB",
+            Flavor::SqlServer => "SQL Server",
+        };
+        match self {
+            Alloc::OsAll => format!("OS/{engine}"),
+            Alloc::Dense => "Dense".to_string(),
+            Alloc::Sparse => "Sparse".to_string(),
+            Alloc::Adaptive => "Adaptive".to_string(),
+        }
+    }
+
+    /// Mechanism mode name, if this policy uses the mechanism.
+    pub fn mode_name(&self) -> Option<&'static str> {
+        match self {
+            Alloc::OsAll => None,
+            Alloc::Dense => Some("dense"),
+            Alloc::Sparse => Some("sparse"),
+            Alloc::Adaptive => Some("adaptive"),
+        }
+    }
+
+    /// The four policies in figure order.
+    pub fn all() -> [Alloc; 4] {
+        [Alloc::OsAll, Alloc::Dense, Alloc::Sparse, Alloc::Adaptive]
+    }
+}
+
+/// Full description of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Engine flavor.
+    pub flavor: Flavor,
+    /// Allocation policy.
+    pub alloc: Alloc,
+    /// Mechanism metric (ignored for [`Alloc::OsAll`]).
+    pub metric: MetricKind,
+    /// Number of concurrent clients.
+    pub clients: usize,
+    /// The workload every client runs.
+    pub workload: Workload,
+    /// Database scale.
+    pub scale: TpchScale,
+    /// Safety cap on simulated time.
+    pub deadline: SimDuration,
+    /// Time-series sampling interval.
+    pub sample_every: SimDuration,
+    /// Record scheduler spans (Figs. 5/16) — expensive, off by default.
+    pub trace_sched: bool,
+    /// Override of the mechanism control interval (`None` = paper
+    /// default of 50 ms).
+    pub mech_interval: Option<SimDuration>,
+    /// Run a warm-up scan under the plain OS scheduler before measuring,
+    /// so base-data placement reflects a warm server (the paper measures
+    /// a long-running MonetDB instance, not a cold start).
+    pub warmup: bool,
+}
+
+impl RunConfig {
+    /// A sensible default for microbenchmark-style runs.
+    pub fn new(alloc: Alloc, clients: usize, workload: Workload) -> Self {
+        RunConfig {
+            flavor: Flavor::MonetDb,
+            alloc,
+            metric: MetricKind::CpuLoad,
+            clients,
+            workload,
+            scale: TpchScale::harness_default(),
+            deadline: SimDuration::from_secs(600),
+            sample_every: SimDuration::from_millis(100),
+            trace_sched: false,
+            mech_interval: None,
+            warmup: true,
+        }
+    }
+
+    /// Disables the warm-up pass (cold-start experiments).
+    pub fn without_warmup(mut self) -> Self {
+        self.warmup = false;
+        self
+    }
+
+    /// Overrides the mechanism control interval (fast-reacting runs and
+    /// small-scale tests).
+    pub fn with_mech_interval(mut self, interval: SimDuration) -> Self {
+        self.mech_interval = Some(interval);
+        self
+    }
+
+    /// Switches the engine flavor.
+    pub fn with_flavor(mut self, flavor: Flavor) -> Self {
+        self.flavor = flavor;
+        self
+    }
+
+    /// Switches the mechanism metric.
+    pub fn with_metric(mut self, metric: MetricKind) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Switches the database scale.
+    pub fn with_scale(mut self, scale: TpchScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Enables scheduler span tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace_sched = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcano_db::tpch::QuerySpec;
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(Alloc::OsAll.label(Flavor::MonetDb), "OS/MonetDB");
+        assert_eq!(Alloc::OsAll.label(Flavor::SqlServer), "OS/SQL Server");
+        assert_eq!(Alloc::Adaptive.label(Flavor::MonetDb), "Adaptive");
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(Alloc::OsAll.mode_name(), None);
+        assert_eq!(Alloc::Dense.mode_name(), Some("dense"));
+        assert_eq!(Alloc::all().len(), 4);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = RunConfig::new(
+            Alloc::Adaptive,
+            4,
+            Workload::Repeat {
+                spec: QuerySpec::Q6 { variant: 0 },
+                iterations: 1,
+            },
+        )
+        .with_flavor(Flavor::SqlServer)
+        .with_metric(MetricKind::HtImcRatio)
+        .with_trace();
+        assert_eq!(cfg.flavor, Flavor::SqlServer);
+        assert_eq!(cfg.metric, MetricKind::HtImcRatio);
+        assert!(cfg.trace_sched);
+    }
+}

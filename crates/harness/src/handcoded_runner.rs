@@ -1,0 +1,217 @@
+//! Runner for the hand-coded C Q6 baseline of §II-B (Fig. 4).
+
+use emca_metrics::{SimDuration, SimTime};
+use numa_sim::{CoreId, HwSnapshot, Machine, MachineConfig};
+use os_sim::{CoreMask, Kernel, KernelConfig, ThreadState, Tid};
+use std::rc::Rc;
+use volcano_db::handcoded::{
+    pump_spawns, CAffinity, HandcodedClient, HandcodedData, Spawner,
+};
+use volcano_db::tpch::TpchData;
+
+/// Output of one hand-coded sweep point.
+pub struct HandcodedOutput {
+    /// Affinity policy.
+    pub affinity: CAffinity,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// All `(response, revenue)` runs.
+    pub runs: Vec<(SimDuration, f64)>,
+    /// Wall time of the whole experiment.
+    pub wall: SimDuration,
+    /// Counters before.
+    pub hw_before: HwSnapshot,
+    /// Counters after.
+    pub hw_after: HwSnapshot,
+}
+
+impl HandcodedOutput {
+    /// Queries per second.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.runs.len() as f64 / self.wall.as_secs_f64()
+        }
+    }
+
+    /// HT bytes moved.
+    pub fn ht_bytes(&self) -> u64 {
+        let a: u64 = self.hw_after.link_bytes.iter().sum();
+        let b: u64 = self.hw_before.link_bytes.iter().sum();
+        a.saturating_sub(b)
+    }
+
+    /// Minor faults taken.
+    pub fn minor_faults(&self) -> u64 {
+        let a: u64 = self.hw_after.minor_faults.iter().sum();
+        let b: u64 = self.hw_before.minor_faults.iter().sum();
+        a.saturating_sub(b)
+    }
+
+    /// HT traffic rate in bytes/s.
+    pub fn ht_rate(&self) -> f64 {
+        self.wall.rate_per_sec(self.ht_bytes())
+    }
+
+    /// Minor faults per second.
+    pub fn fault_rate(&self) -> f64 {
+        self.wall.rate_per_sec(self.minor_faults())
+    }
+}
+
+/// Runs `clients` concurrent hand-coded Q6 programs, each forking a team
+/// of `team_size` threads per execution, `iterations` times.
+pub fn run_handcoded(
+    data: &TpchData,
+    affinity: CAffinity,
+    clients: usize,
+    team_size: usize,
+    iterations: u32,
+    deadline: SimDuration,
+) -> HandcodedOutput {
+    let kernel_cfg = KernelConfig::default();
+    let machine = Machine::new(MachineConfig::opteron_4x4(), kernel_cfg.tick);
+    let mut kernel = Kernel::new(machine, kernel_cfg);
+    let group = kernel.create_group(CoreMask::all(kernel.machine().topology()));
+
+    let hc_data = Rc::new(HandcodedData::load(kernel.machine_mut(), data, CoreId(0)));
+    let spawner: Spawner = Rc::new(std::cell::RefCell::new(Vec::new()));
+    let mut logs = Vec::new();
+    for c in 0..clients {
+        let (body, log) = HandcodedClient::new(
+            Rc::clone(&hc_data),
+            affinity,
+            team_size,
+            group,
+            iterations,
+            (c as u64 + 1) * 1_000_000,
+            Rc::clone(&spawner),
+        );
+        kernel.spawn(format!("hc-client{c}"), group, None, Box::new(body));
+        logs.push(log);
+    }
+
+    let hw_before = kernel.machine().counters().snapshot();
+    let start = kernel.now();
+    let coordinators: Vec<Tid> = (0..kernel.n_threads() as u32)
+        .map(Tid)
+        .filter(|&t| kernel.thread_name(t).starts_with("hc-client"))
+        .collect();
+    let hard_deadline = start + deadline;
+    let mut end = None;
+    while kernel.now() < hard_deadline {
+        if coordinators
+            .iter()
+            .all(|&t| kernel.thread_state(t) == ThreadState::Finished)
+        {
+            end = Some(kernel.now());
+            break;
+        }
+        kernel.run_tick();
+        pump_spawns(&mut kernel, &spawner);
+    }
+    assert!(
+        end.is_some(),
+        "hand-coded run hit the deadline with clients unfinished"
+    );
+    let end: SimTime = end.expect("checked above");
+
+    let runs = logs
+        .iter()
+        .flat_map(|l| l.borrow().runs.clone())
+        .collect();
+    HandcodedOutput {
+        affinity,
+        clients,
+        runs,
+        wall: end.since(start),
+        hw_before,
+        hw_after: kernel.machine().counters().snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcano_db::tpch::{queries::YEAR_DAYS, TpchScale};
+
+    fn reference_revenue(data: &TpchData) -> f64 {
+        let qty = data.column("lineitem", "l_quantity").as_f64();
+        let ship = data.column("lineitem", "l_shipdate").as_i64();
+        let disc = data.column("lineitem", "l_discount").as_f64();
+        let price = data.column("lineitem", "l_extendedprice").as_f64();
+        let d0 = 5.0 * YEAR_DAYS;
+        let d1 = d0 + YEAR_DAYS;
+        (0..qty.len())
+            .filter(|&i| {
+                let s = ship[i] as f64;
+                s >= d0 && s < d1 && disc[i] >= 0.06 && disc[i] <= 0.08 && qty[i] < 24.0
+            })
+            .map(|i| price[i] * disc[i])
+            .sum()
+    }
+
+    #[test]
+    fn handcoded_q6_computes_correct_revenue() {
+        let data = TpchData::generate(TpchScale::test_tiny());
+        let out = run_handcoded(
+            &data,
+            CAffinity::Os,
+            1,
+            4,
+            1,
+            SimDuration::from_secs(60),
+        );
+        assert_eq!(out.runs.len(), 1);
+        let want = reference_revenue(&data);
+        let got = out.runs[0].1;
+        assert!(
+            (got - want).abs() <= want.abs() * 1e-9 + 1e-6,
+            "revenue mismatch: got {got} want {want}"
+        );
+        assert!(out.throughput_qps() > 0.0);
+    }
+
+    #[test]
+    fn dense_affinity_stays_on_node0() {
+        let data = TpchData::generate(TpchScale::test_tiny());
+        let out = run_handcoded(
+            &data,
+            CAffinity::Dense,
+            2,
+            4,
+            1,
+            SimDuration::from_secs(60),
+        );
+        assert_eq!(out.runs.len(), 2);
+        // All compute on node 0's cores (0..4); loader also ran there.
+        let busy: Vec<u64> = out
+            .hw_after
+            .busy_ns
+            .iter()
+            .zip(&out.hw_before.busy_ns)
+            .map(|(&a, &b)| a - b)
+            .collect();
+        let off_node0: u64 = busy[4..].iter().sum();
+        assert_eq!(off_node0, 0, "dense teams escaped node 0: {busy:?}");
+        // Dense over local data crosses no links.
+        assert_eq!(out.ht_bytes(), 0);
+    }
+
+    #[test]
+    fn sparse_affinity_crosses_links() {
+        let data = TpchData::generate(TpchScale::test_tiny());
+        let out = run_handcoded(
+            &data,
+            CAffinity::Sparse,
+            1,
+            8,
+            1,
+            SimDuration::from_secs(60),
+        );
+        // Teams on nodes 1..3 read node-0-homed data: HT traffic appears.
+        assert!(out.ht_bytes() > 0, "sparse must generate link traffic");
+        assert!(out.fault_rate() >= 0.0);
+    }
+}

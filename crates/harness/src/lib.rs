@@ -1,0 +1,29 @@
+//! # emca-harness — experiment harness for the ICDE'18 reproduction
+//!
+//! Glues the whole stack together: builds a simulated Opteron machine,
+//! kernel, engine, clients and (optionally) the elastic mechanism from a
+//! declarative [`RunConfig`], runs the workload to completion, and
+//! returns every metric the paper's figures plot ([`RunOutput`]).
+//!
+//! The figure/table binaries in `emca-bench` are thin wrappers over this
+//! crate: one sweep + one render each.
+
+pub mod config;
+pub mod handcoded_runner;
+pub mod report;
+pub mod runner;
+
+pub use config::{Alloc, RunConfig};
+pub use handcoded_runner::{run_handcoded, HandcodedOutput};
+pub use runner::{run, run_all_allocs, RunOutput};
+
+use std::path::PathBuf;
+
+/// Resolves `results/<name>` relative to the workspace root (so figure
+/// binaries can be run from anywhere inside the repo).
+pub fn results_path(name: &str) -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // workspace root
+    dir.join("results").join(name)
+}

@@ -1,0 +1,95 @@
+//! Exponentially weighted moving average.
+//!
+//! Used by the interconnect congestion model (one-tick-delayed utilisation
+//! feedback) and by the CPU-load monitor to smooth per-interval load before
+//! it reaches the PetriNet predicates.
+
+/// An EWMA with smoothing factor `alpha` in `(0, 1]`; larger alpha reacts
+/// faster to new observations.
+#[derive(Clone, Copy, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA. Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0, 1], got {alpha}"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds an observation and returns the updated average.
+    pub fn observe(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// The current average, or `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// The current average, or `default` before any observation.
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// Clears the history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_seeds() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.observe(10.0), 10.0);
+        assert_eq!(e.value(), Some(10.0));
+    }
+
+    #[test]
+    fn converges_towards_constant_input() {
+        let mut e = Ewma::new(0.5);
+        e.observe(0.0);
+        for _ in 0..50 {
+            e.observe(100.0);
+        }
+        assert!((e.value().unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.observe(1.0);
+        e.observe(7.0);
+        assert_eq!(e.value(), Some(7.0));
+    }
+
+    #[test]
+    fn reset_and_default() {
+        let mut e = Ewma::new(0.3);
+        assert_eq!(e.value_or(4.2), 4.2);
+        e.observe(1.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn bad_alpha_panics() {
+        let _ = Ewma::new(0.0);
+    }
+}

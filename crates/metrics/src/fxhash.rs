@@ -1,0 +1,120 @@
+//! A minimal Fx-style hasher for hot integer-keyed maps.
+//!
+//! The simulator probes cache-segment maps on every memory access, which is
+//! the hottest path in the whole workspace. SipHash (the std default) is
+//! needlessly slow for trusted integer keys, so we hand-roll the well-known
+//! FxHash multiply-rotate scheme (as used by rustc) rather than pulling in
+//! an external crate. HashDoS is not a concern: all keys are
+//! simulator-internal identifiers.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash word-at-a-time hasher.
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Chunk into u64 words; the tail is zero-padded. Fine for the
+        // fixed-width keys this map is used with.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basic_ops() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m.remove(&2), Some("b"));
+        assert!(m.get(&2).is_none());
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes_mostly() {
+        // Sanity: no pathological full-collision behaviour on small ints.
+        let mut set = FxHashSet::default();
+        let mut hashes = FxHashSet::default();
+        for k in 0u64..1000 {
+            set.insert(k);
+            let mut h = FxHasher::default();
+            h.write_u64(k);
+            hashes.insert(h.finish());
+        }
+        assert_eq!(set.len(), 1000);
+        assert!(hashes.len() > 990, "suspicious collision rate");
+    }
+
+    #[test]
+    fn byte_stream_tail_handled() {
+        let mut h1 = FxHasher::default();
+        h1.write(b"abcdefghi"); // 9 bytes: one word + 1 tail byte
+        let mut h2 = FxHasher::default();
+        h2.write(b"abcdefghj");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

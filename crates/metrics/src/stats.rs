@@ -1,0 +1,204 @@
+//! Summary statistics for experiment aggregation.
+//!
+//! The paper reports averages over 10 executions per allocation mode, and
+//! uses the geometric mean for the energy-savings summary (§V-C3). These
+//! helpers are deliberately small and allocation-free where possible.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Geometric mean; `None` if empty or any value is non-positive.
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) using linear interpolation between order
+/// statistics; `None` for an empty slice or out-of-range `q`.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Minimum; `None` for an empty slice.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().fold(None, |acc, v| {
+        Some(acc.map_or(v, |a: f64| a.min(v)))
+    })
+}
+
+/// Maximum; `None` for an empty slice.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().fold(None, |acc, v| {
+        Some(acc.map_or(v, |a: f64| a.max(v)))
+    })
+}
+
+/// Speedup of `baseline` over `improved` (e.g. response times): >1 means
+/// `improved` is faster. Returns `None` when `improved` is non-positive.
+pub fn speedup(baseline: f64, improved: f64) -> Option<f64> {
+    if improved <= 0.0 {
+        None
+    } else {
+        Some(baseline / improved)
+    }
+}
+
+/// Relative saving of `improved` vs `baseline` in percent
+/// (e.g. energy: 26.05 means improved uses 26.05% less).
+pub fn saving_pct(baseline: f64, improved: f64) -> Option<f64> {
+    if baseline <= 0.0 {
+        None
+    } else {
+        Some((baseline - improved) / baseline * 100.0)
+    }
+}
+
+/// Running summary usable while streaming values (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean so far; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Population standard deviation so far; `None` when empty.
+    pub fn stddev(&self) -> Option<f64> {
+        (self.n > 0).then(|| (self.m2 / self.n as f64).sqrt())
+    }
+
+    /// Minimum so far; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum so far; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_aggregates() {
+        let xs = [2.0, 4.0, 6.0, 8.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert_eq!(min(&xs), Some(2.0));
+        assert_eq!(max(&xs), Some(8.0));
+        assert!((stddev(&xs).unwrap() - 5.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let xs = [1.0, 4.0, 16.0];
+        assert!((geomean(&xs).unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[]), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 1.0), Some(4.0));
+        assert_eq!(percentile(&xs, 0.5), Some(2.5));
+        assert_eq!(percentile(&xs, 2.0), None);
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn speedup_and_saving() {
+        assert_eq!(speedup(3.0, 2.0), Some(1.5));
+        assert_eq!(speedup(3.0, 0.0), None);
+        assert!((saving_pct(100.0, 73.95).unwrap() - 26.05).abs() < 1e-9);
+        assert_eq!(saving_pct(0.0, 1.0), None);
+    }
+
+    #[test]
+    fn running_matches_batch() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let mut r = Running::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 6);
+        assert!((r.mean().unwrap() - mean(&xs).unwrap()).abs() < 1e-12);
+        assert!((r.stddev().unwrap() - stddev(&xs).unwrap()).abs() < 1e-12);
+        assert_eq!(r.min(), Some(1.0));
+        assert_eq!(r.max(), Some(9.0));
+    }
+
+    #[test]
+    fn running_empty() {
+        let r = Running::new();
+        assert_eq!(r.mean(), None);
+        assert_eq!(r.stddev(), None);
+        assert_eq!(r.min(), None);
+        assert_eq!(r.max(), None);
+    }
+}

@@ -1,0 +1,193 @@
+//! Aligned text tables and CSV emission.
+//!
+//! Every figure/table binary in `emca-bench` prints its series as an
+//! aligned table (for humans) and writes the same data as CSV under
+//! `results/` (for plotting).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of pre-formatted cells. The row is padded or truncated
+    /// to the header arity so misaligned calls are visible, not fatal.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: appends a row of `Display`-able cells.
+    pub fn row_display<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        self.row(cells.iter().map(|c| c.to_string()).collect())
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let line = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for (cell, w) in cells.iter().zip(&widths) {
+                if !first {
+                    out.push_str("  ");
+                }
+                first = false;
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (RFC-4180-ish quoting for commas/quotes).
+    pub fn to_csv(&self) -> String {
+        fn quote(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with `prec` decimal places (tiny helper to keep table
+/// construction code terse).
+pub fn fnum(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Formats a value in engineering units (K/M/G) with 2 decimals, e.g. for
+/// bytes/s or events/s axes matching the paper's `10^x` scaled plots.
+pub fn eng(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.2}K", v / 1e3)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["users", "throughput"]);
+        t.row(vec!["1".into(), "3.5".into()]);
+        t.row(vec!["256".into(), "0.42".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].contains("users"));
+        assert!(lines[4].trim_start().starts_with("256"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new("", &["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert_eq!(t.rows[0].len(), 3);
+        assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let mut t = Table::new("", &["name", "note"]);
+        t.row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_roundtrip_file() {
+        let dir = std::env::temp_dir().join("emca_metrics_table_test");
+        let path = dir.join("t.csv");
+        let mut t = Table::new("x", &["k", "v"]);
+        t.row_display(&[1, 2]);
+        t.write_csv(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.starts_with("k,v"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(eng(1234.0), "1.23K");
+        assert_eq!(eng(12_345_678.0), "12.35M");
+        assert_eq!(eng(9.87e9), "9.87G");
+        assert_eq!(eng(42.0), "42.00");
+    }
+}

@@ -1,0 +1,262 @@
+//! Segment-granular LRU cache model.
+//!
+//! The paper's cache effects (L3 conflicts under dense placement, misses
+//! under scattered sharing, invalidation storms on materialisation) are
+//! reproduced with per-socket shared L3 and per-core L2 models that track
+//! *which 64 KiB segments* are resident, not individual lines. Entries are
+//! versioned: a write to a segment bumps its global version, so stale
+//! copies in other caches miss on their next probe (lazy invalidation).
+
+use emca_metrics::FxHashMap;
+use std::collections::BTreeMap;
+
+/// Global identity of a 64 KiB segment (page number / pages-per-segment).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SegId(pub u64);
+
+/// An LRU set of versioned segments with fixed capacity.
+#[derive(Clone, Debug)]
+pub struct LruCache {
+    capacity: usize,
+    /// seg -> (lru stamp, cached version)
+    entries: FxHashMap<SegId, (u64, u32)>,
+    /// stamp -> seg, ordered: first entry is the LRU victim.
+    order: BTreeMap<u64, SegId>,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    stale_invalidations: u64,
+}
+
+/// Result of probing the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    /// Segment resident with a current version.
+    Hit,
+    /// Segment absent.
+    Miss,
+    /// Segment resident but its version was stale (it was written by
+    /// another core/socket since being cached) — counts as an
+    /// invalidation followed by a miss.
+    Stale,
+}
+
+impl LruCache {
+    /// Creates an empty cache holding up to `capacity` segments.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        LruCache {
+            capacity,
+            entries: FxHashMap::default(),
+            order: BTreeMap::new(),
+            next_stamp: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            stale_invalidations: 0,
+        }
+    }
+
+    /// Number of resident segments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity in segments.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Probes for `seg` expecting `version`. On [`Probe::Hit`] the entry is
+    /// refreshed to most-recently-used. On [`Probe::Stale`] the stale entry
+    /// is dropped. The caller decides whether to [`LruCache::insert`]
+    /// afterwards (it does so once the fetch completes).
+    pub fn probe(&mut self, seg: SegId, version: u32) -> Probe {
+        match self.entries.get(&seg).copied() {
+            Some((stamp, cached_version)) if cached_version == version => {
+                self.order.remove(&stamp);
+                let new_stamp = self.bump_stamp();
+                self.order.insert(new_stamp, seg);
+                self.entries.insert(seg, (new_stamp, version));
+                self.hits += 1;
+                Probe::Hit
+            }
+            Some((stamp, _stale)) => {
+                self.order.remove(&stamp);
+                self.entries.remove(&seg);
+                self.stale_invalidations += 1;
+                self.misses += 1;
+                Probe::Stale
+            }
+            None => {
+                self.misses += 1;
+                Probe::Miss
+            }
+        }
+    }
+
+    /// Non-mutating residency check (no LRU refresh, no counter updates).
+    pub fn contains_current(&self, seg: SegId, version: u32) -> bool {
+        matches!(self.entries.get(&seg), Some(&(_, v)) if v == version)
+    }
+
+    /// Inserts (or refreshes) `seg` at `version`, evicting the LRU entry
+    /// if the cache is full. Returns the evicted segment, if any.
+    pub fn insert(&mut self, seg: SegId, version: u32) -> Option<SegId> {
+        if let Some((stamp, _)) = self.entries.remove(&seg) {
+            self.order.remove(&stamp);
+        }
+        let mut evicted = None;
+        if self.entries.len() >= self.capacity {
+            if let Some((&victim_stamp, &victim)) = self.order.iter().next() {
+                self.order.remove(&victim_stamp);
+                self.entries.remove(&victim);
+                self.evictions += 1;
+                evicted = Some(victim);
+            }
+        }
+        let stamp = self.bump_stamp();
+        self.order.insert(stamp, seg);
+        self.entries.insert(seg, (stamp, version));
+        evicted
+    }
+
+    /// Removes `seg` if resident (explicit invalidation, e.g. on region
+    /// free). Returns true if it was resident.
+    pub fn invalidate(&mut self, seg: SegId) -> bool {
+        if let Some((stamp, _)) = self.entries.remove(&seg) {
+            self.order.remove(&stamp);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+
+    /// Cumulative hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cumulative miss count (includes stale probes).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Cumulative capacity evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Cumulative stale-version invalidations observed at probe time.
+    pub fn stale_invalidations(&self) -> u64 {
+        self.stale_invalidations
+    }
+
+    fn bump_stamp(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(n: u64) -> SegId {
+        SegId(n)
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.probe(seg(1), 0), Probe::Miss);
+        c.insert(seg(1), 0);
+        assert_eq!(c.probe(seg(1), 0), Probe::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = LruCache::new(2);
+        c.insert(seg(1), 0);
+        c.insert(seg(2), 0);
+        // refresh seg 1 so seg 2 becomes LRU
+        assert_eq!(c.probe(seg(1), 0), Probe::Hit);
+        let evicted = c.insert(seg(3), 0);
+        assert_eq!(evicted, Some(seg(2)));
+        assert!(c.contains_current(seg(1), 0));
+        assert!(c.contains_current(seg(3), 0));
+        assert!(!c.contains_current(seg(2), 0));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn stale_version_misses_and_invalidates() {
+        let mut c = LruCache::new(4);
+        c.insert(seg(7), 0);
+        assert_eq!(c.probe(seg(7), 1), Probe::Stale);
+        assert_eq!(c.stale_invalidations(), 1);
+        assert!(!c.contains_current(seg(7), 0));
+        // A later probe at the new version is a plain miss.
+        assert_eq!(c.probe(seg(7), 1), Probe::Miss);
+    }
+
+    #[test]
+    fn reinsert_same_seg_does_not_grow() {
+        let mut c = LruCache::new(2);
+        c.insert(seg(1), 0);
+        c.insert(seg(1), 1);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains_current(seg(1), 1));
+        assert!(!c.contains_current(seg(1), 0));
+    }
+
+    #[test]
+    fn explicit_invalidate() {
+        let mut c = LruCache::new(2);
+        c.insert(seg(1), 0);
+        assert!(c.invalidate(seg(1)));
+        assert!(!c.invalidate(seg(1)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut c = LruCache::new(3);
+        for i in 0..100 {
+            c.insert(seg(i), 0);
+            assert!(c.len() <= 3);
+        }
+        assert_eq!(c.evictions(), 97);
+    }
+
+    #[test]
+    fn clear_resets_contents_not_counters() {
+        let mut c = LruCache::new(2);
+        c.insert(seg(1), 0);
+        c.probe(seg(1), 0);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_panics() {
+        let _ = LruCache::new(0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Machine configuration: latencies, bandwidths, cache geometry.
+//!
+//! The default constants are calibrated against the paper's machine —
+//! a 4-socket Quad-Core AMD Opteron 8387 @ 2.8 GHz, per-core L1 64 KiB /
+//! L2 512 KiB, shared 6 MiB L3 per socket, DDR-2 memory, HT 3.x links
+//! (41.6 GB/s max aggregate per link; we model 10.4 GB/s per direction
+//! sustained, which reproduces the ~8 GB/s observed HT saturation of
+//! Fig. 4(c)). Absolute values need only be plausible: the reproduction
+//! targets the paper's *shapes* (who wins, crossovers, ratios).
+
+use crate::topology::Topology;
+use emca_metrics::SimDuration;
+
+/// Size of a simulated virtual memory page.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Size of a cache-model segment (granularity of the L2/L3 LRU models and
+/// of DRAM transfers). 16 pages.
+pub const SEG_BYTES: u64 = 65_536;
+
+/// Pages per cache segment.
+pub const PAGES_PER_SEG: u64 = SEG_BYTES / PAGE_BYTES;
+
+/// Full machine configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Socket/core/link shape.
+    pub topology: Topology,
+    /// Core clock frequency in Hz.
+    pub freq_hz: u64,
+    /// Per-core L2 capacity in segments (512 KiB / 64 KiB = 8).
+    pub l2_segments: usize,
+    /// Per-socket shared L3 capacity in segments (6 MiB / 64 KiB = 96).
+    pub l3_segments: usize,
+    /// L2 hit: time to stream one segment through the core.
+    pub l2_seg_time: SimDuration,
+    /// L3 hit: time to stream one segment from the socket L3.
+    pub l3_seg_time: SimDuration,
+    /// DRAM access latency for a local fetch (row activation etc.).
+    pub dram_latency: SimDuration,
+    /// Additional latency per interconnect hop.
+    pub hop_latency: SimDuration,
+    /// Per-node memory controller bandwidth, bytes/second.
+    pub mc_bandwidth: f64,
+    /// Per-direction link bandwidth, bytes/second.
+    pub link_bandwidth: f64,
+    /// EWMA smoothing for the congestion feedback (utilisation of the
+    /// previous tick drives this tick's latency multiplier).
+    pub congestion_alpha: f64,
+    /// Cap on the congestion slowdown multiplier (keeps the fluid model
+    /// stable under extreme overload; must exceed the worst realistic
+    /// oversubscription — 16 cores on one controller — for the capacity
+    /// cap to hold).
+    pub max_congestion: f64,
+    /// Per-hop stretch of the transfer time for remote accesses.
+    /// Coherent NUMA reads are request/response per line, so a remote
+    /// stream achieves only a fraction of local bandwidth (measured
+    /// ≈ 2/3 on the Opteron 8000 generation ⇒ penalty 0.5 per hop).
+    pub remote_transfer_penalty: f64,
+}
+
+impl MachineConfig {
+    /// The paper's evaluation machine.
+    pub fn opteron_4x4() -> Self {
+        MachineConfig {
+            topology: Topology::opteron_4x4(),
+            freq_hz: 2_800_000_000,
+            l2_segments: 8,
+            l3_segments: 96,
+            // 64 KiB at ~64 GB/s effective L2 stream rate.
+            l2_seg_time: SimDuration::from_nanos(1_000),
+            // 64 KiB at ~26 GB/s effective L3 stream rate.
+            l3_seg_time: SimDuration::from_nanos(2_500),
+            dram_latency: SimDuration::from_nanos(120),
+            hop_latency: SimDuration::from_nanos(60),
+            // DDR2-800 dual channel, sustained.
+            mc_bandwidth: 6.4e9,
+            // HT 3.x link, per direction, sustained.
+            link_bandwidth: 10.4e9,
+            congestion_alpha: 0.5,
+            max_congestion: 64.0,
+            remote_transfer_penalty: 0.5,
+        }
+    }
+
+    /// A deliberately tiny machine for fast unit tests (2 nodes × 2 cores,
+    /// 4-segment caches).
+    pub fn tiny_2x2() -> Self {
+        let mut cfg = Self::opteron_4x4();
+        cfg.topology = Topology::fully_connected(2, 2);
+        cfg.l2_segments = 2;
+        cfg.l3_segments = 4;
+        cfg
+    }
+
+    /// Time to stream one segment from DRAM at full (uncontended)
+    /// memory-controller bandwidth.
+    pub fn dram_seg_transfer(&self) -> SimDuration {
+        SimDuration::from_secs_f64(SEG_BYTES as f64 / self.mc_bandwidth)
+    }
+
+    /// Time to push one segment across one link at full bandwidth.
+    pub fn link_seg_transfer(&self) -> SimDuration {
+        SimDuration::from_secs_f64(SEG_BYTES as f64 / self.link_bandwidth)
+    }
+
+    /// Converts CPU cycles to simulated time at the configured frequency.
+    pub fn cycles_to_time(&self, cycles: u64) -> SimDuration {
+        SimDuration::from_nanos((cycles as u128 * 1_000_000_000 / self.freq_hz as u128) as u64)
+    }
+
+    /// Sanity-checks the configuration, panicking on nonsense values.
+    /// Called by `Machine::new`.
+    pub fn validate(&self) {
+        assert!(self.freq_hz > 0, "zero frequency");
+        assert!(self.l2_segments >= 1, "L2 must hold at least one segment");
+        assert!(self.l3_segments >= self.l2_segments, "L3 smaller than L2");
+        assert!(self.mc_bandwidth > 0.0, "zero memory bandwidth");
+        assert!(self.link_bandwidth > 0.0, "zero link bandwidth");
+        assert!(
+            self.congestion_alpha > 0.0 && self.congestion_alpha <= 1.0,
+            "congestion alpha out of range"
+        );
+        assert!(self.max_congestion >= 1.0, "max congestion below 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opteron_defaults_are_consistent() {
+        let cfg = MachineConfig::opteron_4x4();
+        cfg.validate();
+        assert_eq!(cfg.topology.n_cores(), 16);
+        assert_eq!(cfg.l3_segments * SEG_BYTES as usize, 6 * 1024 * 1024);
+        assert_eq!(cfg.l2_segments as u64 * SEG_BYTES, 512 * 1024);
+    }
+
+    #[test]
+    fn transfer_times_match_bandwidth() {
+        let cfg = MachineConfig::opteron_4x4();
+        // 64 KiB at 6.4 GB/s = 10.24 us
+        let t = cfg.dram_seg_transfer();
+        assert!((t.as_secs_f64() - 65_536.0 / 6.4e9).abs() < 1e-12);
+        // 64 KiB at 10.4 GB/s ≈ 6.3 us
+        let l = cfg.link_seg_transfer();
+        assert!(l < t);
+    }
+
+    #[test]
+    fn cycles_conversion() {
+        let cfg = MachineConfig::opteron_4x4();
+        // 2.8 cycles per ns
+        assert_eq!(cfg.cycles_to_time(2_800_000_000).as_nanos(), 1_000_000_000);
+        assert_eq!(cfg.cycles_to_time(28).as_nanos(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero frequency")]
+    fn validate_catches_bad_freq() {
+        let mut cfg = MachineConfig::tiny_2x2();
+        cfg.freq_hz = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn page_seg_relation() {
+        assert_eq!(PAGES_PER_SEG, 16);
+        assert_eq!(PAGES_PER_SEG * PAGE_BYTES, SEG_BYTES);
+    }
+}

@@ -1,0 +1,185 @@
+//! Energy estimation (Fig. 20 methodology).
+//!
+//! The paper estimates energy from hardware counters: CPU energy from the
+//! processor's Average CPU Power (ACP) over the execution time, and
+//! interconnect energy from the average energy per transferred bit
+//! (Wang & Lee, HotPower'15). We reproduce exactly that methodology.
+//!
+//! Calibration: the AMD Opteron 8387 has an ACP of 75 W per socket; we
+//! model idle draw at 25 W. The per-byte HT energy is set to 8 nJ/byte
+//! (1 nJ/bit), an *effective* figure that folds in link PHY, controller
+//! and remote-memory-subsystem overheads, chosen so that the HT share of
+//! total energy matches the visible HT slice of Fig. 20 (roughly 10–30 %
+//! per query under the OS scheduler).
+
+use emca_metrics::SimDuration;
+
+/// Socket power / link energy constants.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyModel {
+    /// Idle power per socket, watts.
+    pub socket_idle_w: f64,
+    /// Average CPU Power per socket at full utilisation, watts.
+    pub socket_acp_w: f64,
+    /// Effective interconnect energy per byte moved, joules.
+    pub ht_j_per_byte: f64,
+}
+
+/// CPU/HT energy split, in joules.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Energy attributed to the CPU sockets.
+    pub cpu_j: f64,
+    /// Energy attributed to interconnect transfers.
+    pub ht_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.cpu_j + self.ht_j
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            cpu_j: self.cpu_j + other.cpu_j,
+            ht_j: self.ht_j + other.ht_j,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Constants for the paper's AMD Opteron 8387 machine.
+    pub fn opteron_8387() -> Self {
+        EnergyModel {
+            socket_idle_w: 25.0,
+            socket_acp_w: 75.0,
+            ht_j_per_byte: 8e-9,
+        }
+    }
+
+    /// Estimates energy over a window.
+    ///
+    /// * `wall` — window length;
+    /// * `busy_ns_per_core` — busy time per core within the window
+    ///   (a [`crate::counters::HwCounters::busy_ns`] delta);
+    /// * `cores_per_socket` — topology constant;
+    /// * `ht_bytes` — interconnect bytes moved within the window.
+    ///
+    /// Socket power scales linearly from idle to ACP with the average
+    /// utilisation of its cores.
+    pub fn estimate(
+        &self,
+        wall: SimDuration,
+        busy_ns_per_core: &[u64],
+        cores_per_socket: usize,
+        ht_bytes: u64,
+    ) -> EnergyBreakdown {
+        assert!(cores_per_socket >= 1, "cores_per_socket must be positive");
+        assert!(
+            busy_ns_per_core.len() % cores_per_socket == 0,
+            "core count not a multiple of socket width"
+        );
+        let wall_s = wall.as_secs_f64();
+        let mut cpu_j = 0.0;
+        if wall_s > 0.0 {
+            for socket_cores in busy_ns_per_core.chunks_exact(cores_per_socket) {
+                let busy_s: f64 = socket_cores.iter().map(|&ns| ns as f64 / 1e9).sum();
+                let util = (busy_s / (cores_per_socket as f64 * wall_s)).clamp(0.0, 1.0);
+                let power = self.socket_idle_w + (self.socket_acp_w - self.socket_idle_w) * util;
+                cpu_j += power * wall_s;
+            }
+        }
+        EnergyBreakdown {
+            cpu_j,
+            ht_j: ht_bytes as f64 * self.ht_j_per_byte,
+        }
+    }
+
+    /// Per-query estimation used for Fig. 20: the query's share of CPU
+    /// energy is its measured busy time at ACP delta plus its share of the
+    /// idle floor over its response time, and its HT energy is its
+    /// attributed bytes.
+    pub fn per_query(
+        &self,
+        response_time: SimDuration,
+        busy_time: SimDuration,
+        n_sockets: usize,
+        ht_bytes: u64,
+    ) -> EnergyBreakdown {
+        let dynamic = (self.socket_acp_w - self.socket_idle_w) * busy_time.as_secs_f64();
+        let idle_floor =
+            self.socket_idle_w * n_sockets as f64 * response_time.as_secs_f64();
+        EnergyBreakdown {
+            cpu_j: dynamic + idle_floor,
+            ht_j: ht_bytes as f64 * self.ht_j_per_byte,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_machine_draws_idle_power() {
+        let m = EnergyModel::opteron_8387();
+        let e = m.estimate(SimDuration::from_secs(10), &[0, 0, 0, 0], 2, 0);
+        // Two sockets idle for 10s at 25W = 500 J.
+        assert!((e.cpu_j - 500.0).abs() < 1e-9);
+        assert_eq!(e.ht_j, 0.0);
+    }
+
+    #[test]
+    fn fully_busy_machine_draws_acp() {
+        let m = EnergyModel::opteron_8387();
+        let ns = 10_000_000_000u64; // 10 s busy
+        let e = m.estimate(SimDuration::from_secs(10), &[ns, ns], 2, 0);
+        // One socket fully busy for 10s at 75W = 750 J.
+        assert!((e.cpu_j - 750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ht_energy_scales_with_bytes() {
+        let m = EnergyModel::opteron_8387();
+        let e = m.estimate(SimDuration::from_secs(1), &[0], 1, 1_000_000_000);
+        assert!((e.ht_j - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_arithmetic() {
+        let a = EnergyBreakdown { cpu_j: 1.0, ht_j: 2.0 };
+        let b = EnergyBreakdown { cpu_j: 3.0, ht_j: 4.0 };
+        let s = a.add(&b);
+        assert_eq!(s.total(), 10.0);
+    }
+
+    #[test]
+    fn per_query_combines_dynamic_and_floor() {
+        let m = EnergyModel::opteron_8387();
+        let e = m.per_query(
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+            4,
+            0,
+        );
+        // dynamic: 50 W * 1 s; floor: 25 W * 4 sockets * 2 s.
+        assert!((e.cpu_j - (50.0 + 200.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wall_is_zero_cpu() {
+        let m = EnergyModel::opteron_8387();
+        let e = m.estimate(SimDuration::ZERO, &[5, 5], 2, 10);
+        assert_eq!(e.cpu_j, 0.0);
+        assert!(e.ht_j > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of socket width")]
+    fn mismatched_core_count_panics() {
+        let m = EnergyModel::opteron_8387();
+        m.estimate(SimDuration::from_secs(1), &[1, 2, 3], 2, 0);
+    }
+}

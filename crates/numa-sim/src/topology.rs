@@ -1,0 +1,339 @@
+//! NUMA machine topology: sockets, cores and interconnect links.
+//!
+//! The default preset models the paper's evaluation machine (Fig. 2):
+//! four sockets of Quad-Core AMD Opteron 8387 at 2.8 GHz, fully connected
+//! by HyperTransport 3.x links, one DDR-2 memory bank per socket.
+
+use std::fmt;
+
+/// Dense identifier of a hardware core (`0..n_cores`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub u16);
+
+/// Dense identifier of a NUMA node / socket (`0..n_nodes`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+/// Dense identifier of an interconnect link (undirected; each link carries
+/// two directed channels).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u16);
+
+impl fmt::Debug for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl CoreId {
+    /// The core id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// The node id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// The link id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An undirected interconnect link between two nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Link {
+    /// Lower endpoint.
+    pub a: NodeId,
+    /// Higher endpoint.
+    pub b: NodeId,
+}
+
+/// Immutable machine shape: which cores live on which nodes and how nodes
+/// are wired together. Routing is precomputed (shortest path, lowest link
+/// id as tiebreak) so that per-access path lookups are slice reads.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    cores_per_node: u16,
+    n_nodes: u16,
+    links: Vec<Link>,
+    /// `routes[from][to]` = ordered directed link path.
+    routes: Vec<Vec<Vec<LinkId>>>,
+    /// `hops[from][to]` = path length in links.
+    hops: Vec<Vec<u8>>,
+}
+
+impl Topology {
+    /// The paper's 4-node × 4-core AMD Opteron 8000 machine, fully
+    /// connected (every socket pair joined by one HT link).
+    pub fn opteron_4x4() -> Self {
+        Self::fully_connected(4, 4)
+    }
+
+    /// A fully connected machine of `n_nodes` sockets with
+    /// `cores_per_node` cores each.
+    pub fn fully_connected(n_nodes: u16, cores_per_node: u16) -> Self {
+        assert!(n_nodes >= 1, "need at least one node");
+        assert!(cores_per_node >= 1, "need at least one core per node");
+        let mut links = Vec::new();
+        for a in 0..n_nodes {
+            for b in (a + 1)..n_nodes {
+                links.push(Link {
+                    a: NodeId(a),
+                    b: NodeId(b),
+                });
+            }
+        }
+        Self::with_links(n_nodes, cores_per_node, links)
+    }
+
+    /// A ring of `n_nodes` sockets (used in tests to exercise multi-hop
+    /// routing, and available for modelling larger glueless systems).
+    pub fn ring(n_nodes: u16, cores_per_node: u16) -> Self {
+        assert!(n_nodes >= 2, "a ring needs at least two nodes");
+        let mut links = Vec::new();
+        for a in 0..n_nodes {
+            let b = (a + 1) % n_nodes;
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let link = Link {
+                a: NodeId(lo),
+                b: NodeId(hi),
+            };
+            if !links.contains(&link) {
+                links.push(link);
+            }
+        }
+        Self::with_links(n_nodes, cores_per_node, links)
+    }
+
+    /// Builds a topology from an explicit link list. Panics if the graph
+    /// does not connect all nodes.
+    pub fn with_links(n_nodes: u16, cores_per_node: u16, links: Vec<Link>) -> Self {
+        let n = n_nodes as usize;
+        // BFS from every source to build shortest link paths.
+        let mut adj: Vec<Vec<(usize, LinkId)>> = vec![Vec::new(); n];
+        for (i, l) in links.iter().enumerate() {
+            assert!(l.a.idx() < n && l.b.idx() < n, "link endpoint out of range");
+            assert_ne!(l.a, l.b, "self-link");
+            adj[l.a.idx()].push((l.b.idx(), LinkId(i as u16)));
+            adj[l.b.idx()].push((l.a.idx(), LinkId(i as u16)));
+        }
+        // Deterministic tie-break: neighbours in (node, link) order.
+        for nbrs in &mut adj {
+            nbrs.sort_by_key(|&(node, link)| (node, link.0));
+        }
+        let mut routes = vec![vec![Vec::new(); n]; n];
+        let mut hops = vec![vec![0u8; n]; n];
+        for src in 0..n {
+            let mut prev: Vec<Option<(usize, LinkId)>> = vec![None; n];
+            let mut seen = vec![false; n];
+            let mut queue = std::collections::VecDeque::new();
+            seen[src] = true;
+            queue.push_back(src);
+            while let Some(u) = queue.pop_front() {
+                for &(v, link) in &adj[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        prev[v] = Some((u, link));
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for dst in 0..n {
+                assert!(seen[dst], "topology is disconnected: node {dst} unreachable");
+                let mut path = Vec::new();
+                let mut cur = dst;
+                while let Some((p, link)) = prev[cur] {
+                    path.push(link);
+                    cur = p;
+                }
+                path.reverse();
+                hops[src][dst] = path.len() as u8;
+                routes[src][dst] = path;
+            }
+        }
+        Topology {
+            cores_per_node,
+            n_nodes,
+            links,
+            routes,
+            hops,
+        }
+    }
+
+    /// Total number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.n_nodes as usize * self.cores_per_node as usize
+    }
+
+    /// Number of NUMA nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes as usize
+    }
+
+    /// Cores per node (`d` in the paper's `core(i, j) = d·i + j`).
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node as usize
+    }
+
+    /// Number of undirected links.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The undirected links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The node a core belongs to. Cores are numbered node-major exactly
+    /// like the paper's function `core(i, j) = d·i + j`.
+    #[inline]
+    pub fn node_of(&self, core: CoreId) -> NodeId {
+        debug_assert!(core.idx() < self.n_cores());
+        NodeId(core.0 / self.cores_per_node)
+    }
+
+    /// The `j`-th core of node `i` (the paper's `core(i, j)`).
+    #[inline]
+    pub fn core(&self, node: NodeId, j: usize) -> CoreId {
+        assert!(j < self.cores_per_node as usize, "core index out of node");
+        CoreId(node.0 * self.cores_per_node + j as u16)
+    }
+
+    /// All cores of a node, in id order.
+    pub fn cores_of(&self, node: NodeId) -> impl Iterator<Item = CoreId> + '_ {
+        let base = node.0 * self.cores_per_node;
+        (0..self.cores_per_node).map(move |j| CoreId(base + j))
+    }
+
+    /// All cores of the machine, in id order.
+    pub fn all_cores(&self) -> impl Iterator<Item = CoreId> + '_ {
+        (0..self.n_cores() as u16).map(CoreId)
+    }
+
+    /// All nodes, in id order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n_nodes).map(NodeId)
+    }
+
+    /// The precomputed link path from `from` to `to` (empty for local).
+    #[inline]
+    pub fn route(&self, from: NodeId, to: NodeId) -> &[LinkId] {
+        &self.routes[from.idx()][to.idx()]
+    }
+
+    /// Hop distance between nodes (0 for local).
+    #[inline]
+    pub fn hops(&self, from: NodeId, to: NodeId) -> u32 {
+        self.hops[from.idx()][to.idx()] as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opteron_shape() {
+        let t = Topology::opteron_4x4();
+        assert_eq!(t.n_cores(), 16);
+        assert_eq!(t.n_nodes(), 4);
+        assert_eq!(t.cores_per_node(), 4);
+        assert_eq!(t.n_links(), 6); // fully connected K4
+    }
+
+    #[test]
+    fn core_numbering_matches_paper_formula() {
+        let t = Topology::opteron_4x4();
+        // core(i, j) = d*i + j with d = 4
+        assert_eq!(t.core(NodeId(0), 0), CoreId(0));
+        assert_eq!(t.core(NodeId(1), 2), CoreId(6));
+        assert_eq!(t.core(NodeId(3), 3), CoreId(15));
+        assert_eq!(t.node_of(CoreId(6)), NodeId(1));
+        assert_eq!(t.node_of(CoreId(15)), NodeId(3));
+        let node2: Vec<_> = t.cores_of(NodeId(2)).collect();
+        assert_eq!(node2, vec![CoreId(8), CoreId(9), CoreId(10), CoreId(11)]);
+    }
+
+    #[test]
+    fn fully_connected_routes_are_single_hop() {
+        let t = Topology::opteron_4x4();
+        for a in t.all_nodes() {
+            for b in t.all_nodes() {
+                if a == b {
+                    assert!(t.route(a, b).is_empty());
+                    assert_eq!(t.hops(a, b), 0);
+                } else {
+                    assert_eq!(t.route(a, b).len(), 1);
+                    assert_eq!(t.hops(a, b), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_routes_multi_hop() {
+        let t = Topology::ring(4, 2);
+        assert_eq!(t.n_links(), 4);
+        assert_eq!(t.hops(NodeId(0), NodeId(2)), 2);
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 1);
+        assert_eq!(t.route(NodeId(0), NodeId(2)).len(), 2);
+    }
+
+    #[test]
+    fn route_symmetry_in_length() {
+        let t = Topology::ring(5, 1);
+        for a in t.all_nodes() {
+            for b in t.all_nodes() {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_graph_panics() {
+        let _ = Topology::with_links(3, 1, vec![Link { a: NodeId(0), b: NodeId(1) }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of node")]
+    fn core_index_bounds() {
+        let t = Topology::opteron_4x4();
+        let _ = t.core(NodeId(0), 4);
+    }
+}

@@ -1,0 +1,130 @@
+//! Simulated threads.
+
+use crate::cpuset::GroupId;
+use crate::work::SimWork;
+use emca_metrics::SimDuration;
+use numa_sim::CoreId;
+use std::fmt;
+
+/// Thread identifier (dense, never reused).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid(pub u32);
+
+impl Tid {
+    /// The tid as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Lifecycle state of a simulated thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ThreadState {
+    /// Waiting on a runqueue.
+    Runnable,
+    /// Currently on a core.
+    Running,
+    /// Waiting for a wake event.
+    Blocked,
+    /// Exited.
+    Finished,
+}
+
+/// Per-thread accounting (exposed through `/proc`-style queries).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadStats {
+    /// Total on-CPU time.
+    pub cpu_time: SimDuration,
+    /// Number of core changes.
+    pub migrations: u64,
+    /// Number of wakeups.
+    pub wakeups: u64,
+    /// Number of times this thread was pulled by load balancing.
+    pub times_stolen: u64,
+}
+
+/// Internal thread slot owned by the kernel.
+pub(crate) struct ThreadSlot {
+    pub name: String,
+    pub group: GroupId,
+    pub state: ThreadState,
+    /// CFS-style virtual runtime in nanoseconds.
+    pub vruntime: u64,
+    /// Core the thread is on (Running) or last ran on.
+    pub core: Option<CoreId>,
+    /// Time consumed of the current timeslice.
+    pub slice_used: SimDuration,
+    /// The body. Taken out of the slot while stepping (split borrow).
+    pub work: Option<Box<dyn SimWork>>,
+    pub stats: ThreadStats,
+    /// Set while a wake arrived during the same tick the thread blocked
+    /// in, so the wake is not lost.
+    pub wake_pending: bool,
+    /// Simulated time the last step consumed beyond its tick budget
+    /// (e.g. one long congested memory access). Paid off before the
+    /// thread steps again, so long operations span ticks instead of
+    /// silently losing time — essential for bandwidth caps to hold.
+    pub debt: SimDuration,
+}
+
+impl ThreadSlot {
+    pub(crate) fn new(_tid: Tid, name: String, group: GroupId, work: Box<dyn SimWork>) -> Self {
+        ThreadSlot {
+            name,
+            group,
+            state: ThreadState::Runnable,
+            vruntime: 0,
+            core: None,
+            slice_used: SimDuration::ZERO,
+            work: Some(work),
+            stats: ThreadStats::default(),
+            wake_pending: false,
+            debt: SimDuration::ZERO,
+        }
+    }
+
+    /// True if the thread still participates in scheduling.
+    pub(crate) fn is_live(&self) -> bool {
+        self.state != ThreadState::Finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::SpinWork;
+
+    #[test]
+    fn slot_starts_runnable() {
+        let s = ThreadSlot::new(
+            Tid(1),
+            "w".into(),
+            GroupId(0),
+            Box::new(SpinWork::new(SimDuration::from_micros(1))),
+        );
+        assert_eq!(s.state, ThreadState::Runnable);
+        assert!(s.is_live());
+        assert_eq!(s.vruntime, 0);
+        assert!(s.work.is_some());
+    }
+
+    #[test]
+    fn tid_formatting() {
+        assert_eq!(format!("{:?}", Tid(5)), "T5");
+        assert_eq!(format!("{}", Tid(5)), "5");
+        assert_eq!(Tid(5).idx(), 5);
+    }
+}

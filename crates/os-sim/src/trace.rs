@@ -1,0 +1,215 @@
+//! Scheduling traces for the thread-migration figures (Fig. 5, Fig. 16).
+//!
+//! When enabled, the kernel records one [`Span`] per contiguous run of a
+//! thread on a core. The harness renders these as the paper's
+//! lifespan/migration maps (thread on the X axis, time on the Y axis,
+//! colour = core).
+
+use crate::thread::Tid;
+use emca_metrics::{SimTime, FxHashMap};
+use numa_sim::CoreId;
+
+/// A contiguous execution of a thread on one core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// The thread.
+    pub tid: Tid,
+    /// The core it ran on.
+    pub core: CoreId,
+    /// Start of the run.
+    pub start: SimTime,
+    /// End of the run.
+    pub end: SimTime,
+}
+
+/// Collected scheduling activity.
+#[derive(Clone, Debug, Default)]
+pub struct SchedTrace {
+    spans: Vec<Span>,
+    open: FxHashMap<Tid, (CoreId, SimTime)>,
+    enabled: bool,
+}
+
+impl SchedTrace {
+    /// A disabled trace (zero overhead).
+    pub fn disabled() -> Self {
+        SchedTrace::default()
+    }
+
+    /// An enabled trace.
+    pub fn enabled() -> Self {
+        SchedTrace {
+            enabled: true,
+            ..SchedTrace::default()
+        }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Marks `tid` as starting to run on `core` at `now`. If it was
+    /// already running on the same core the open span is extended
+    /// (no-op); if on a different core the previous span is closed first.
+    pub fn on_run(&mut self, tid: Tid, core: CoreId, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        match self.open.get(&tid).copied() {
+            Some((c, _)) if c == core => {}
+            Some((c, start)) => {
+                self.spans.push(Span {
+                    tid,
+                    core: c,
+                    start,
+                    end: now,
+                });
+                self.open.insert(tid, (core, now));
+            }
+            None => {
+                self.open.insert(tid, (core, now));
+            }
+        }
+    }
+
+    /// Marks `tid` as off-CPU at `now` (blocked, preempted or finished).
+    pub fn on_stop(&mut self, tid: Tid, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        if let Some((core, start)) = self.open.remove(&tid) {
+            if now > start {
+                self.spans.push(Span {
+                    tid,
+                    core,
+                    start,
+                    end: now,
+                });
+            }
+        }
+    }
+
+    /// Closes all open spans (end of simulation).
+    pub fn finish(&mut self, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        let open: Vec<_> = self.open.drain().collect();
+        for (tid, (core, start)) in open {
+            if now > start {
+                self.spans.push(Span {
+                    tid,
+                    core,
+                    start,
+                    end: now,
+                });
+            }
+        }
+        self.spans.sort_by_key(|s| (s.tid, s.start.as_nanos()));
+    }
+
+    /// The recorded spans (call [`SchedTrace::finish`] first).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of core changes of `tid` visible in the trace.
+    pub fn migrations_of(&self, tid: Tid) -> usize {
+        let mut cores = self
+            .spans
+            .iter()
+            .filter(|s| s.tid == tid)
+            .map(|s| s.core)
+            .collect::<Vec<_>>();
+        if cores.is_empty() {
+            return 0;
+        }
+        cores.dedup();
+        cores.len() - 1
+    }
+
+    /// The distinct threads appearing in the trace, in id order.
+    pub fn threads(&self) -> Vec<Tid> {
+        let mut tids: Vec<Tid> = self.spans.iter().map(|s| s.tid).collect();
+        tids.sort();
+        tids.dedup();
+        tids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut tr = SchedTrace::disabled();
+        tr.on_run(Tid(1), CoreId(0), t(0));
+        tr.on_stop(Tid(1), t(5));
+        tr.finish(t(10));
+        assert!(tr.spans().is_empty());
+    }
+
+    #[test]
+    fn run_stop_creates_span() {
+        let mut tr = SchedTrace::enabled();
+        tr.on_run(Tid(1), CoreId(2), t(0));
+        tr.on_stop(Tid(1), t(5));
+        tr.finish(t(10));
+        assert_eq!(
+            tr.spans(),
+            &[Span {
+                tid: Tid(1),
+                core: CoreId(2),
+                start: t(0),
+                end: t(5)
+            }]
+        );
+    }
+
+    #[test]
+    fn migration_closes_previous_span() {
+        let mut tr = SchedTrace::enabled();
+        tr.on_run(Tid(1), CoreId(0), t(0));
+        tr.on_run(Tid(1), CoreId(1), t(4));
+        tr.finish(t(10));
+        assert_eq!(tr.spans().len(), 2);
+        assert_eq!(tr.migrations_of(Tid(1)), 1);
+    }
+
+    #[test]
+    fn same_core_rerun_extends() {
+        let mut tr = SchedTrace::enabled();
+        tr.on_run(Tid(1), CoreId(0), t(0));
+        tr.on_run(Tid(1), CoreId(0), t(2));
+        tr.finish(t(10));
+        assert_eq!(tr.spans().len(), 1);
+        assert_eq!(tr.spans()[0].end, t(10));
+        assert_eq!(tr.migrations_of(Tid(1)), 0);
+    }
+
+    #[test]
+    fn zero_length_spans_dropped() {
+        let mut tr = SchedTrace::enabled();
+        tr.on_run(Tid(1), CoreId(0), t(5));
+        tr.on_stop(Tid(1), t(5));
+        tr.finish(t(5));
+        assert!(tr.spans().is_empty());
+    }
+
+    #[test]
+    fn threads_listed_sorted() {
+        let mut tr = SchedTrace::enabled();
+        tr.on_run(Tid(9), CoreId(0), t(0));
+        tr.on_stop(Tid(9), t(1));
+        tr.on_run(Tid(2), CoreId(0), t(1));
+        tr.on_stop(Tid(2), t(2));
+        tr.finish(t(2));
+        assert_eq!(tr.threads(), vec![Tid(2), Tid(9)]);
+    }
+}

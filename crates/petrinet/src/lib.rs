@@ -1,0 +1,33 @@
+//! # prt-petrinet — Predicate/Transition nets for elastic core allocation
+//!
+//! A small, dependency-free PrT-net engine implementing the abstract model
+//! of *"An Elastic Multi-Core Allocation Mechanism for Database Systems"*
+//! (ICDE 2018, §III): the domain `{P, T, F, R, M}` with valued tokens,
+//! first-order guards, `Pre`/`Post` flow functions and the symbolic
+//! incidence matrix `Aᵀ = Post − Pre` of Fig. 8.
+//!
+//! [`ElasticNet`] is the paper's concrete five-place net
+//! (`Checks`, `Idle`, `Stable`, `Overload`, `Provision`; `t0..t7`). One
+//! [`ElasticNet::step`] is one rule-condition-action cycle: inject the
+//! measured resource usage, fire to quiescence, and read off whether a
+//! core must be allocated or released.
+//!
+//! ```
+//! use prt_petrinet::{ElasticNet, Thresholds, AllocAction};
+//!
+//! let mut net = ElasticNet::new(Thresholds::cpu_load_default(), 16, 3);
+//! let report = net.step(99); // CPU load at 99%
+//! assert_eq!(report.action, AllocAction::Allocate);
+//! assert_eq!(report.label, "t1-Overload-t5"); // as in the paper's Fig. 7
+//! assert_eq!(net.nalloc(), 4);
+//! ```
+
+pub mod elastic;
+pub mod expr;
+pub mod net;
+
+pub use elastic::{AllocAction, ElasticNet, StateKind, StepReport, Thresholds};
+pub use expr::{Binding, Cmp, Expr, Pred};
+pub use net::{
+    Firing, InArc, IncidenceEntry, Marking, OutArc, PlaceId, PrtNet, Transition, TransitionId,
+};

@@ -1,0 +1,43 @@
+//! Compare all four allocation policies on a concurrent OLAP mix —
+//! the experiment at the heart of the paper's §V.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_vs_os
+//! ```
+
+use elastic_numa::prelude::*;
+use emca_metrics::table::{fnum, Table};
+
+fn main() {
+    let data = TpchData::generate(TpchScale { sf: 0.05, seed: 42 });
+    let specs: Vec<QuerySpec> = [1u8, 3, 6, 9, 14, 19]
+        .into_iter()
+        .map(|n| QuerySpec::Tpch { number: n, variant: 0 })
+        .collect();
+    let workload = Workload::Mixed {
+        specs,
+        iterations: 4,
+        seed: 7,
+    };
+
+    let mut t = Table::new(
+        "allocation policies on a mixed OLAP workload (16 clients)",
+        &["policy", "qps", "mean_resp_ms", "ht_GB", "faults", "steals", "cores_mean"],
+    );
+    for alloc in Alloc::all() {
+        let out = run(
+            RunConfig::new(alloc, 16, workload.clone()).with_scale(data.scale),
+            &data,
+        );
+        t.row(vec![
+            format!("{alloc:?}"),
+            fnum(out.throughput_qps(), 2),
+            fnum(out.mean_response().as_millis_f64(), 2),
+            fnum(out.ht_bytes() as f64 / 1e9, 3),
+            out.minor_faults().to_string(),
+            out.sched.steals.to_string(),
+            fnum(out.cores_series.mean().unwrap_or(16.0), 1),
+        ]);
+    }
+    println!("{}", t.render());
+}

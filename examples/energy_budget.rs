@@ -1,0 +1,40 @@
+//! Estimate the energy cost of a workload under different allocation
+//! policies using the paper's ACP + energy-per-bit methodology (Fig. 20).
+//!
+//! ```sh
+//! cargo run --release --example energy_budget
+//! ```
+
+use elastic_numa::prelude::*;
+use emca_metrics::table::{fnum, Table};
+use numa_sim::EnergyModel;
+
+fn main() {
+    let data = TpchData::generate(TpchScale { sf: 0.05, seed: 42 });
+    let model = EnergyModel::opteron_8387();
+    let workload = Workload::Repeat {
+        spec: QuerySpec::Q6 { variant: 0 },
+        iterations: 6,
+    };
+
+    let mut t = Table::new(
+        "energy estimate (Opteron 8387 ACP model, 16 clients)",
+        &["policy", "wall_s", "cpu_J", "ht_J", "total_J"],
+    );
+    for alloc in [Alloc::OsAll, Alloc::Dense, Alloc::Adaptive] {
+        let out = run(
+            RunConfig::new(alloc, 16, workload.clone()).with_scale(data.scale),
+            &data,
+        );
+        let e = model.estimate(out.wall, &out.busy_ns(), 4, out.ht_bytes());
+        t.row(vec![
+            format!("{alloc:?}"),
+            fnum(out.wall.as_secs_f64(), 3),
+            fnum(e.cpu_j, 1),
+            fnum(e.ht_j, 2),
+            fnum(e.total(), 1),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(the paper reports 26.05% total energy savings for adaptive vs OS)");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: boot the simulated Opteron machine, load TPC-H, run Q6
+//! under the elastic mechanism, and print what the allocator did.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use elastic_numa::prelude::*;
+
+fn main() {
+    // 1. A tiny TPC-H database (raise sf for realistic cache pressure).
+    let data = TpchData::generate(TpchScale { sf: 0.02, seed: 42 });
+    println!(
+        "generated {} MB of TPC-H data ({} lineitem rows)",
+        data.raw_bytes() / 1_000_000,
+        data.scale.lineitem_rows()
+    );
+
+    // 2. Run the same Q6 workload under the OS baseline and under the
+    //    adaptive elastic mechanism.
+    let workload = Workload::Repeat {
+        spec: QuerySpec::Q6 { variant: 0 },
+        iterations: 4,
+    };
+    for alloc in [Alloc::OsAll, Alloc::Adaptive] {
+        let out = run(
+            RunConfig::new(alloc, 8, workload.clone()).with_scale(data.scale),
+            &data,
+        );
+        println!(
+            "\n[{alloc:?}] {} queries in {} ({:.1} q/s)",
+            out.results.len(),
+            out.wall,
+            out.throughput_qps()
+        );
+        println!(
+            "  HT traffic: {:.2} GB, minor faults: {}, migrations: {}",
+            out.ht_bytes() as f64 / 1e9,
+            out.minor_faults(),
+            out.sched.migrations
+        );
+        if !out.transitions.is_empty() {
+            println!("  mechanism transitions (first 5):");
+            for e in out.transitions.iter().take(5) {
+                println!(
+                    "    {} {} u={} -> {} cores",
+                    e.at, e.label, e.u, e.nalloc
+                );
+            }
+        }
+        // The revenue is a real query result, identical in every mode.
+        if let Some(first) = out.results.first() {
+            println!("  Q6 revenue: {:.2}", first.result.as_scalar());
+        }
+    }
+}

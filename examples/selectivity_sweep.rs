@@ -1,0 +1,44 @@
+//! Sweep the thetasubselect selectivity (the paper's Fig. 15 axis) and
+//! watch how traffic scales with the fraction of the column retrieved.
+//!
+//! ```sh
+//! cargo run --release --example selectivity_sweep
+//! ```
+
+use elastic_numa::prelude::*;
+use emca_metrics::table::{fnum, Table};
+
+fn main() {
+    let data = TpchData::generate(TpchScale { sf: 0.05, seed: 42 });
+    let mut t = Table::new(
+        "thetasubselect selectivity sweep (8 clients, adaptive mode)",
+        &["selectivity_pct", "qps", "imc_GB", "l3_misses", "out_rows"],
+    );
+    for sel in [2u8, 8, 32, 100] {
+        let out = run(
+            RunConfig::new(
+                Alloc::Adaptive,
+                8,
+                Workload::Repeat {
+                    spec: QuerySpec::ThetaSubselect { sel_pct: sel },
+                    iterations: 2,
+                },
+            )
+            .with_scale(data.scale),
+            &data,
+        );
+        let rows = out
+            .results
+            .first()
+            .map(|r| r.result.len())
+            .unwrap_or(0);
+        t.row(vec![
+            sel.to_string(),
+            fnum(out.throughput_qps(), 2),
+            fnum(out.imc_bytes_per_socket().iter().sum::<u64>() as f64 / 1e9, 3),
+            out.l3_misses_per_socket().iter().sum::<u64>().to_string(),
+            rows.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
