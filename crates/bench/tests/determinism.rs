@@ -1,0 +1,78 @@
+//! Determinism regression for the bench harness layer.
+//!
+//! `tests/full_stack.rs` already guards `deterministic_replay` at the
+//! runner layer (identical `RunOutput` measurements). This test guards
+//! the contract one layer up, where the figure binaries live: a
+//! fig04-style sweep — hand-coded Q6 under three affinities plus
+//! OS/MonetDB, swept over client counts — executed twice from scratch
+//! must render the exact same table bytes (and therefore the exact same
+//! CSV). Any nondeterminism in data generation, scheduling, metric
+//! aggregation, or float formatting shows up here as a byte diff.
+
+use emca_harness::{run, run_handcoded, Alloc, RunConfig};
+use emca_metrics::table::{fnum, Table};
+use emca_metrics::SimDuration;
+use volcano_db::client::Workload;
+use volcano_db::handcoded::CAffinity;
+use volcano_db::tpch::{QuerySpec, TpchData, TpchScale};
+
+/// One fig04-style sweep at test-tiny scale, rendered to table bytes.
+fn fig04_style_sweep() -> (String, String) {
+    let scale = TpchScale::test_tiny();
+    let iters = 2;
+    let data = TpchData::generate(scale);
+
+    let mut t = Table::new(
+        "determinism probe — Q6 users sweep",
+        &[
+            "users",
+            "series",
+            "throughput_qps",
+            "minor_faults_per_s",
+            "ht_traffic_MBps",
+        ],
+    );
+    for users in [1usize, 4] {
+        for (name, affinity) in [
+            ("Dense/C", CAffinity::Dense),
+            ("Sparse/C", CAffinity::Sparse),
+            ("OS/C", CAffinity::Os),
+        ] {
+            let out = run_handcoded(&data, affinity, users, 16, iters, SimDuration::from_secs(3600));
+            t.row(vec![
+                users.to_string(),
+                name.to_string(),
+                fnum(out.throughput_qps(), 3),
+                fnum(out.fault_rate(), 0),
+                fnum(out.ht_rate() / 1e6, 1),
+            ]);
+        }
+        let out = run(
+            RunConfig::new(
+                Alloc::OsAll,
+                users,
+                Workload::Repeat { spec: QuerySpec::Q6 { variant: 0 }, iterations: iters },
+            )
+            .with_scale(scale),
+            &data,
+        );
+        t.row(vec![
+            users.to_string(),
+            "OS/MonetDB".to_string(),
+            fnum(out.throughput_qps(), 3),
+            fnum(out.fault_rate(), 0),
+            fnum(out.ht_rate() / 1e6, 1),
+        ]);
+    }
+    (t.render(), t.to_csv())
+}
+
+#[test]
+fn fig04_sweep_is_byte_identical_across_runs() {
+    let (render1, csv1) = fig04_style_sweep();
+    let (render2, csv2) = fig04_style_sweep();
+    assert_eq!(render1, render2, "rendered table must be byte-identical");
+    assert_eq!(csv1, csv2, "CSV must be byte-identical");
+    // Sanity: the sweep actually produced data rows.
+    assert!(csv1.lines().count() > 1, "sweep produced no rows:\n{csv1}");
+}

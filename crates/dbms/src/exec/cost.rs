@@ -39,6 +39,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn hash_ops_cost_more_than_scans() {
         assert!(JOIN_BUILD > SCAN_SELECT);
         assert!(JOIN_PROBE > PROJECT);

@@ -152,9 +152,9 @@ impl TpchData {
         for _ in 0..n_li {
             let ok = rng.random_range(0..n_ord as i64);
             let od = o_orderdate[ok as usize];
-            let ship = od + rng.random_range(1..=121);
-            let commit = od + rng.random_range(30..=90);
-            let receipt = ship + rng.random_range(1..=30);
+            let ship = od + rng.random_range(1i64..=121);
+            let commit = od + rng.random_range(30i64..=90);
+            let receipt = ship + rng.random_range(1i64..=30);
             l_orderkey.push(ok);
             l_shipdate.push(ship);
             l_commitdate.push(commit);

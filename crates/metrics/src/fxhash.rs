@@ -91,7 +91,7 @@ mod tests {
         m.insert(2, "b");
         assert_eq!(m.get(&1), Some(&"a"));
         assert_eq!(m.remove(&2), Some("b"));
-        assert!(m.get(&2).is_none());
+        assert_eq!(m.get(&2), None);
     }
 
     #[test]

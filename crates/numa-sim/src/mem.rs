@@ -90,7 +90,7 @@ pub struct MemoryMap {
 impl MemoryMap {
     /// Creates an empty map for a machine with `n_nodes` NUMA nodes.
     pub fn new(n_nodes: usize) -> Self {
-        assert!(n_nodes >= 1 && n_nodes <= 16, "node count must fit the touch mask");
+        assert!((1..=16).contains(&n_nodes), "node count must fit the touch mask");
         MemoryMap {
             n_nodes,
             segs: FxHashMap::default(),

@@ -1,0 +1,325 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of criterion's API its five benches use: `Criterion`
+//! (builder config), `benchmark_group`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, `Throughput`, `BenchmarkId`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple — warm-up, then `sample_size`
+//! timed samples of an adaptively-sized iteration batch; mean and min
+//! per-iteration times (plus derived throughput) are printed to stdout.
+//! That is enough for the smoke-level performance tracking the benches
+//! do; swap the workspace dependency for real criterion when
+//! publication-grade statistics are needed.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// A benchmark identifier: `name` or `name/param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver and configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            config: self.clone(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.clone();
+        run_bench(&config, None, &id.into().id, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput and config overrides.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Criterion,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_bench(&self.config, self.throughput, &id, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.id);
+        run_bench(&self.config, self.throughput, &id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    config: &Criterion,
+    throughput: Option<Throughput>,
+    id: &str,
+    mut f: F,
+) {
+    // Calibrate: grow the batch until one batch takes >= ~1 ms (or the
+    // warm-up budget is spent), so Instant overhead stays negligible.
+    let mut iters: u64 = 1;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1)
+            || warm_start.elapsed() >= config.warm_up_time
+            || iters >= 1 << 30
+        {
+            break;
+        }
+        iters *= 2;
+    }
+
+    let per_sample = config.measurement_time / config.sample_size as u32;
+    let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let sample_start = Instant::now();
+        let mut batches = 0u64;
+        let mut total = Duration::ZERO;
+        while sample_start.elapsed() < per_sample || batches == 0 {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            total += b.elapsed;
+            batches += 1;
+        }
+        samples.push(total.as_secs_f64() / (batches * iters) as f64);
+    }
+
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / mean),
+        Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 / mean),
+        None => String::new(),
+    };
+    println!(
+        "bench {id:<48} mean {:>12} min {:>12}{rate}",
+        fmt_time(mean),
+        fmt_time(min)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo passes --bench (and possibly filter args); this
+            // minimal runner has no filtering, so arguments are ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        let mut ran = 0u64;
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran += 1;
+        });
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>());
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn macros_compose() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group! {name = benches; config = quick(); targets = target}
+        benches();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(1.5e-9), "1.5 ns");
+        assert_eq!(fmt_time(2.5e-6), "2.50 us");
+        assert_eq!(fmt_time(3.0e-3), "3.00 ms");
+        assert_eq!(fmt_time(2.0), "2.000 s");
+    }
+}

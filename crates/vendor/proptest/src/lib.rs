@@ -1,0 +1,395 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! range / tuple / `collection::vec` / `collection::btree_set`
+//! strategies, `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! and [`ProptestConfig`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **Deterministic**: case values derive from a fixed per-test seed
+//!   (the FNV hash of the test name), so CI failures always reproduce.
+//!   There are consequently no `proptest-regressions/` files to manage;
+//!   the directory stays gitignored in case the real crate is swapped in.
+//! - **No shrinking**: a failing case panics with the case number and the
+//!   captured input values instead of a minimised counterexample.
+//! - **`PROPTEST_CASES`** overrides every test's case count (used to keep
+//!   CI fast while local runs stay thorough), exactly like real proptest.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+pub use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run (before the `PROPTEST_CASES` override).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` env override.
+    ///
+    /// Unparseable values panic (a typo must not silently restore the
+    /// default) and `0` is clamped to one case (an env var must not be
+    /// able to turn every property test into a vacuous pass).
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Err(_) => self.cases.max(1),
+            Ok(s) => s
+                .parse::<u32>()
+                .unwrap_or_else(|_| panic!("PROPTEST_CASES must be an integer, got {s:?}"))
+                .max(1),
+        }
+    }
+}
+
+/// Error produced by a failing `prop_assert*!`.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-test RNG: seeded by the FNV-1a hash of the test
+/// name so every test draws an independent, reproducible stream.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Value-generation strategies (no shrinking).
+pub mod strategy {
+    use super::*;
+    use std::ops::Range;
+
+    /// A generator of values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: fmt::Debug + Clone;
+        /// Draws one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut StdRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+    use std::ops::Range;
+
+    /// A target size (or size range) for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.lo..self.hi)
+        }
+    }
+
+    /// Strategy producing a `Vec` of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy producing a `BTreeSet` of `element` values.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `BTreeSet<S::Value>` with a cardinality drawn from `size`
+    /// (element domains too small for the drawn size are retried, then
+    /// accepted below target — matching proptest's best-effort fill).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < 64 * (target + 1) {
+                set.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, TestCaseError,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // stringify! via an argument, not the format string: conditions
+        // containing braces (closures, struct patterns) must not be
+        // interpreted as format placeholders.
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assert_eq failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assert_eq failed: {:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assert_ne failed: both {:?}", l);
+    }};
+}
+
+/// Defines `#[test]` functions that run their body over generated cases.
+///
+/// Supports the canonical proptest form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0i64..100, v in proptest::collection::vec(0u32..8, 1..20)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            // User attributes (incl. the conventional #[test], plus any
+            // #[ignore]/#[cfg]) are re-emitted verbatim, not replaced.
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let cases = cfg.effective_cases();
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);
+                    )+
+                    // The body gets clones; originals are kept so the
+                    // failure report can show the inputs. Formatting is
+                    // deferred to the failure branch — passing cases
+                    // pay one clone, not a Debug rendering.
+                    // catch_unwind so a direct panic in the body (an
+                    // unwrap or index OOB in the code under test, not a
+                    // prop_assert) still reports the generated inputs.
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $(
+                            let $arg = ::std::clone::Clone::clone(&$arg);
+                        )+
+                        { $body };
+                        ::std::result::Result::<(), $crate::TestCaseError>::Ok(())
+                    }));
+                    match result {
+                        ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                        ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
+                            let inputs = format!(
+                                concat!($(stringify!($arg), " = {:?}, ",)+ ""),
+                                $(&$arg,)+
+                            );
+                            panic!("proptest case {case}/{cases} failed: {e}\n  inputs: {inputs}");
+                        }
+                        ::std::result::Result::Err(payload) => {
+                            let inputs = format!(
+                                concat!($(stringify!($arg), " = {:?}, ",)+ ""),
+                                $(&$arg,)+
+                            );
+                            eprintln!("proptest case {case}/{cases} panicked\n  inputs: {inputs}");
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in -20i64..140, n in 1u32..64) {
+            prop_assert!((-20..140).contains(&x));
+            prop_assert!((1..64).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes(v in collection::vec(0u64..1000, 1..200), exact in collection::vec(0u64..5, 4)) {
+            prop_assert!(!v.is_empty() && v.len() < 200);
+            prop_assert_eq!(exact.len(), 4);
+            prop_assert!(v.iter().all(|&x| x < 1000));
+        }
+
+        #[test]
+        fn btree_set_cardinality(s in collection::btree_set(0u16..16, 1..16)) {
+            prop_assert!(!s.is_empty() && s.len() < 16);
+            prop_assert!(s.iter().all(|&x| x < 16));
+        }
+
+        #[test]
+        fn tuples_work(pair in (0u64..50, 0u32..3)) {
+            prop_assert!(pair.0 < 50 && pair.1 < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 5..30);
+        let mut r1 = crate::test_rng("t");
+        let mut r2 = crate::test_rng("t");
+        assert_eq!(s.new_value(&mut r1), s.new_value(&mut r2));
+    }
+
+    #[test]
+    fn env_cases_override() {
+        // Not set in the test environment by default.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(ProptestConfig::with_cases(7).effective_cases(), 7);
+        }
+    }
+}
