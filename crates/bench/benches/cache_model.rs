@@ -61,7 +61,6 @@ fn bench_cache(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Quick Criterion config: the benches are smoke-level performance
 /// tracking, not publication numbers.
 fn quick() -> Criterion {
@@ -70,5 +69,5 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(900))
         .sample_size(10)
 }
-criterion_group!{name = benches; config = quick(); targets = bench_cache}
+criterion_group! {name = benches; config = quick(); targets = bench_cache}
 criterion_main!(benches);

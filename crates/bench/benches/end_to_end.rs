@@ -30,7 +30,6 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Quick Criterion config: the benches are smoke-level performance
 /// tracking, not publication numbers.
 fn quick() -> Criterion {
@@ -39,5 +38,5 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(900))
         .sample_size(10)
 }
-criterion_group!{name = benches; config = quick(); targets = bench_end_to_end}
+criterion_group! {name = benches; config = quick(); targets = bench_end_to_end}
 criterion_main!(benches);

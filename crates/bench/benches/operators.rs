@@ -60,7 +60,6 @@ fn bench_operators(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Quick Criterion config: the benches are smoke-level performance
 /// tracking, not publication numbers.
 fn quick() -> Criterion {
@@ -69,5 +68,5 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(900))
         .sample_size(10)
 }
-criterion_group!{name = benches; config = quick(); targets = bench_operators}
+criterion_group! {name = benches; config = quick(); targets = bench_operators}
 criterion_main!(benches);

@@ -26,7 +26,6 @@ fn bench_petrinet(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Quick Criterion config: the benches are smoke-level performance
 /// tracking, not publication numbers.
 fn quick() -> Criterion {
@@ -35,5 +34,5 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(900))
         .sample_size(10)
 }
-criterion_group!{name = benches; config = quick(); targets = bench_petrinet}
+criterion_group! {name = benches; config = quick(); targets = bench_petrinet}
 criterion_main!(benches);

@@ -29,7 +29,6 @@ fn bench_tick(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Quick Criterion config: the benches are smoke-level performance
 /// tracking, not publication numbers.
 fn quick() -> Criterion {
@@ -38,5 +37,5 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(900))
         .sample_size(10)
 }
-criterion_group!{name = benches; config = quick(); targets = bench_tick}
+criterion_group! {name = benches; config = quick(); targets = bench_tick}
 criterion_main!(benches);

@@ -28,7 +28,14 @@ fn main() {
 
     let mut t = Table::new(
         "Ablation — adaptive mode design choices",
-        &["variant", "qps", "ht_GB", "faults", "cores_mean", "transitions"],
+        &[
+            "variant",
+            "qps",
+            "ht_GB",
+            "faults",
+            "cores_mean",
+            "transitions",
+        ],
     );
     let mut row = |name: &str, cfg: RunConfig| {
         let out = run(cfg, &data);
@@ -42,16 +49,28 @@ fn main() {
         ]);
     };
 
-    row("default (instant demand, guard, warm)", base());
+    row("default (windowed demand, guard, warm)", base());
     row(
-        "windowed load signal",
+        "instantaneous demand signal",
+        base().with_metric(elastic_core::MetricKind::CpuLoadInstant),
+    );
+    row(
+        "busy-time load signal",
         base().with_metric(elastic_core::MetricKind::CpuLoadWindowed),
     );
     row(
         "HT/IMC transition strategy",
         base().with_metric(elastic_core::MetricKind::HtImcRatio),
     );
-    row("cold start (first-touch by queries)", base().without_warmup());
+    row(
+        "cold start (first-touch by queries)",
+        base().without_warmup(),
+    );
+    row("saturation guard off", base().with_guard(None));
+    row(
+        "interleaved base placement",
+        base().with_warmup(emca_harness::Warmup::Interleave),
+    );
     {
         // OS baseline for reference.
         let cfg = RunConfig::new(Alloc::OsAll, users, workload.clone()).with_scale(scale);

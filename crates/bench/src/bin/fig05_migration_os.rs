@@ -25,7 +25,8 @@ fn main() {
     );
     let trace = out.trace.as_ref().expect("tracing enabled");
     let topo = numa_sim::Topology::opteron_4x4();
-    let table = report::render_migration_map("Fig. 5 — OS/MonetDB thread migration map", trace, &topo);
+    let table =
+        report::render_migration_map("Fig. 5 — OS/MonetDB thread migration map", trace, &topo);
     let (threads, migrations) = report::migration_summary(trace);
     emit(&table, "fig05_migration_os.csv");
     println!("threads traced: {threads}, total core migrations: {migrations}");

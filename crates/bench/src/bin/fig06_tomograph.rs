@@ -22,6 +22,7 @@ fn main() {
         .with_scale(scale),
         &data,
     );
-    let table = report::render_tomograph("Fig. 6 — Tomograph of Q6 (operator calls and time)", &out);
+    let table =
+        report::render_tomograph("Fig. 6 — Tomograph of Q6 (operator calls and time)", &out);
     emit(&table, "fig06_tomograph.csv");
 }

@@ -33,9 +33,7 @@ fn main() {
     if let Some(lonc) = elastic_core::lonc::analyze(&out.transitions) {
         println!(
             "LONC: {} cores (stable streak of {} control steps from {})",
-            lonc.lonc,
-            lonc.streak,
-            lonc.reached_at
+            lonc.lonc, lonc.streak, lonc.reached_at
         );
     }
 }

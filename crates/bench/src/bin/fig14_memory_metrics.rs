@@ -48,10 +48,7 @@ fn main() {
         let imc = out.imc_bytes_per_socket();
         let mut row = vec![alloc.label(Flavor::MonetDb)];
         row.extend(l3.iter().map(|m| m.to_string()));
-        row.extend(
-            imc.iter()
-                .map(|&b| fnum(out.wall.rate_per_sec(b) / 1e9, 2)),
-        );
+        row.extend(imc.iter().map(|&b| fnum(out.wall.rate_per_sec(b) / 1e9, 2)));
         row.push(fnum(out.ht_rate() / 1e9, 2));
         t.row(row);
     }

@@ -34,11 +34,8 @@ fn main() {
         );
         let label = alloc.label(Flavor::MonetDb);
         let trace = out.trace.as_ref().expect("tracing enabled");
-        let map = report::render_migration_map(
-            &format!("Fig. 16 ({label}) migration map"),
-            trace,
-            &topo,
-        );
+        let map =
+            report::render_migration_map(&format!("Fig. 16 ({label}) migration map"), trace, &topo);
         let file = format!(
             "fig16_migration_{}.csv",
             label.replace('/', "_").to_lowercase()

@@ -16,20 +16,28 @@ fn main() {
     let data = TpchData::generate(scale);
     eprintln!("fig18: sf={} users={users}", scale.sf);
     let specs: Vec<QuerySpec> = (1..=22)
-        .map(|n| QuerySpec::Tpch { number: n, variant: 0 })
+        .map(|n| QuerySpec::Tpch {
+            number: n,
+            variant: 0,
+        })
         .collect();
 
     let mut summary = Table::new(
         "Fig. 18 — stable phases summary",
         &["panel", "total_time_s", "ht_GB", "imc_GB", "qps"],
     );
-    for (flavor, fname) in [(Flavor::MonetDb, "MonetDB"), (Flavor::SqlServer, "SQLServer")] {
+    for (flavor, fname) in [
+        (Flavor::MonetDb, "MonetDB"),
+        (Flavor::SqlServer, "SQLServer"),
+    ] {
         for alloc in [Alloc::OsAll, Alloc::Adaptive] {
             let out = run(
                 RunConfig::new(
                     alloc,
                     users,
-                    Workload::StablePhases { specs: specs.clone() },
+                    Workload::StablePhases {
+                        specs: specs.clone(),
+                    },
                 )
                 .with_scale(scale)
                 .with_flavor(flavor),
@@ -46,7 +54,10 @@ fn main() {
                 label,
                 fnum(out.wall.as_secs_f64(), 2),
                 fnum(out.ht_bytes() as f64 / 1e9, 1),
-                fnum(out.imc_bytes_per_socket().iter().sum::<u64>() as f64 / 1e9, 1),
+                fnum(
+                    out.imc_bytes_per_socket().iter().sum::<u64>() as f64 / 1e9,
+                    1,
+                ),
                 fnum(out.throughput_qps(), 2),
             ]);
         }

@@ -12,7 +12,12 @@ use volcano_db::tpch::{QuerySpec, TpchData};
 
 fn mixed(iters: u32) -> Workload {
     let specs: Vec<QuerySpec> = (1..=22)
-        .flat_map(|n| (0..4).map(move |v| QuerySpec::Tpch { number: n, variant: v }))
+        .flat_map(|n| {
+            (0..4).map(move |v| QuerySpec::Tpch {
+                number: n,
+                variant: v,
+            })
+        })
         .collect();
     Workload::Mixed {
         specs,
@@ -21,7 +26,13 @@ fn mixed(iters: u32) -> Workload {
     }
 }
 
-fn panel(flavor: Flavor, users: usize, iters: u32, data: &TpchData, scale: volcano_db::tpch::TpchScale) -> Table {
+fn panel(
+    flavor: Flavor,
+    users: usize,
+    iters: u32,
+    data: &TpchData,
+    scale: volcano_db::tpch::TpchScale,
+) -> Table {
     let outputs: Vec<RunOutput> = Alloc::all()
         .into_iter()
         .map(|alloc| {
@@ -48,9 +59,10 @@ fn panel(flavor: Flavor, users: usize, iters: u32, data: &TpchData, scale: volca
             "ratio_Adaptive",
         ],
     );
-    let speedups: FxHashMap<u32, f64> = report::speedup_by_tag(&outputs[0].results, &outputs[3].results)
-        .into_iter()
-        .collect();
+    let speedups: FxHashMap<u32, f64> =
+        report::speedup_by_tag(&outputs[0].results, &outputs[3].results)
+            .into_iter()
+            .collect();
     let per_alloc: Vec<FxHashMap<u32, report::TagStats>> = outputs
         .iter()
         .map(|o| report::by_tag(&o.results).into_iter().collect())
@@ -64,7 +76,10 @@ fn panel(flavor: Flavor, users: usize, iters: u32, data: &TpchData, scale: volca
         };
         t.row(vec![
             format!("Q{q}"),
-            speedups.get(&q).map(|s| fnum(*s, 2)).unwrap_or_else(|| "-".into()),
+            speedups
+                .get(&q)
+                .map(|s| fnum(*s, 2))
+                .unwrap_or_else(|| "-".into()),
             ratio(0),
             ratio(1),
             ratio(2),

@@ -16,7 +16,12 @@ fn main() {
     let data = TpchData::generate(scale);
     eprintln!("fig20: sf={} users={users} iters={iters}", scale.sf);
     let specs: Vec<QuerySpec> = (1..=22)
-        .flat_map(|n| (0..4).map(move |v| QuerySpec::Tpch { number: n, variant: v }))
+        .flat_map(|n| {
+            (0..4).map(move |v| QuerySpec::Tpch {
+                number: n,
+                variant: v,
+            })
+        })
         .collect();
     let workload = Workload::Mixed {
         specs,
@@ -33,8 +38,7 @@ fn main() {
         RunConfig::new(Alloc::Adaptive, users, workload).with_scale(scale),
         &data,
     );
-    let e_os: Vec<(u32, numa_sim::EnergyBreakdown)> =
-        report::energy_by_tag(&os.results, &model, 4);
+    let e_os: Vec<(u32, numa_sim::EnergyBreakdown)> = report::energy_by_tag(&os.results, &model, 4);
     let e_ad: std::collections::BTreeMap<u32, numa_sim::EnergyBreakdown> =
         report::energy_by_tag(&adaptive.results, &model, 4)
             .into_iter()

@@ -2,6 +2,7 @@
 //! cost measurement. Not a paper figure; used to sanity-check the
 //! simulation before running the full harness.
 
+use emca_bench::apply_env_overrides;
 use emca_harness::{run, Alloc, RunConfig};
 use volcano_db::client::Workload;
 use volcano_db::tpch::{QuerySpec, TpchData, TpchScale};
@@ -26,16 +27,37 @@ fn main() {
     eprintln!("generating sf={} ...", scale.sf);
     let t0 = std::time::Instant::now();
     let data = TpchData::generate(scale);
-    eprintln!("generated {} MB in {:?}", data.raw_bytes() / 1_000_000, t0.elapsed());
+    eprintln!(
+        "generated {} MB in {:?}",
+        data.raw_bytes() / 1_000_000,
+        t0.elapsed()
+    );
 
-    let workload = Workload::Repeat {
-        spec: QuerySpec::Q6 { variant: 0 },
-        iterations: iters,
+    let workload = if std::env::var("EMCA_WORKLOAD").as_deref() == Ok("mixed") {
+        let specs: Vec<QuerySpec> = (1..=22)
+            .flat_map(|n| {
+                (0..4).map(move |v| QuerySpec::Tpch {
+                    number: n,
+                    variant: v,
+                })
+            })
+            .collect();
+        Workload::Mixed {
+            specs,
+            iterations: iters,
+            seed: 7,
+        }
+    } else {
+        Workload::Repeat {
+            spec: QuerySpec::Q6 { variant: 0 },
+            iterations: iters,
+        }
     };
+    let mut outputs = Vec::new();
     for alloc in [Alloc::OsAll, Alloc::Adaptive, Alloc::Dense, Alloc::Sparse] {
         let t0 = std::time::Instant::now();
         let out = run(
-            RunConfig::new(alloc, clients, workload.clone()).with_scale(scale),
+            apply_env_overrides(RunConfig::new(alloc, clients, workload.clone()).with_scale(scale)),
             &data,
         );
         let real = t0.elapsed();
@@ -50,7 +72,7 @@ fn main() {
             out.ht_bytes() as f64 / 1e9,
             imc_total as f64 / 1e9,
             out.wall.rate_per_sec(imc_total) / 1e9,
-            imc.iter().map(|b| (b / 1_000_000_000) as u32).collect::<Vec<_>>(),
+            imc.iter().map(|b| ((*b as f64 / 1e8).round() / 10.0) as f32).collect::<Vec<_>>(),
             {
                 let hits: u64 = out.hw_after.l3_hits.iter().sum::<u64>()
                     - out.hw_before.l3_hits.iter().sum::<u64>();
@@ -63,5 +85,34 @@ fn main() {
             out.cores_series.last().map(|(_, v)| v).unwrap_or(0.0),
             real,
         );
+        outputs.push(out);
+    }
+    // Per-tag speedup detail (OS vs Adaptive), enabled by EMCA_DETAIL=1.
+    if std::env::var("EMCA_DETAIL").as_deref() == Ok("1") {
+        use emca_harness::report;
+        let os = &outputs[0];
+        let ad = &outputs[1];
+        let os_tags = report::by_tag(&os.results);
+        let ad_tags: emca_metrics::FxHashMap<u32, report::TagStats> =
+            report::by_tag(&ad.results).into_iter().collect();
+        println!("\n tag     n  os_resp_ms  ad_resp_ms  speedup  os_htimc  ad_htimc");
+        for (tag, o) in &os_tags {
+            let Some(a) = ad_tags.get(tag) else { continue };
+            println!(
+                "{tag:>4} {:>5}  {:>10.2}  {:>10.2}  {:>7.2}  {:>8.3}  {:>8.3}",
+                o.n,
+                o.mean_response.as_secs_f64() * 1e3,
+                a.mean_response.as_secs_f64() * 1e3,
+                o.mean_response.as_secs_f64() / a.mean_response.as_secs_f64(),
+                o.mean_ht_imc,
+                a.mean_ht_imc,
+            );
+        }
+        println!("\nadaptive cores over time (sampled):");
+        let s = ad.cores_series.samples();
+        let step = (s.len() / 40).max(1);
+        for (at, v) in s.iter().step_by(step) {
+            println!("  {:>8.3}s  {v:>4.1}", at.as_secs_f64());
+        }
     }
 }

@@ -45,6 +45,41 @@ pub fn user_sweep(cap: usize) -> Vec<usize> {
         .collect()
 }
 
+/// Applies probe-only environment overrides to a run configuration
+/// (diagnostics, not paper figures): `EMCA_GUARD` (`off` or a
+/// threshold), `EMCA_INTERVAL_MS`, `EMCA_WARMUP`
+/// (`loader`/`interleave`/`none`).
+pub fn apply_env_overrides(mut cfg: emca_harness::RunConfig) -> emca_harness::RunConfig {
+    use emca_metrics::SimDuration;
+    if let Ok(g) = std::env::var("EMCA_GUARD") {
+        cfg =
+            cfg.with_guard(if g == "off" {
+                None
+            } else {
+                // A typo must not silently disable the guard (None means
+                // "guard off" and changes allocation behaviour).
+                Some(g.parse().unwrap_or_else(|_| {
+                    panic!("EMCA_GUARD must be 'off' or a threshold, got {g:?}")
+                }))
+            });
+    }
+    if let Ok(ms) = std::env::var("EMCA_INTERVAL_MS") {
+        let ms: f64 = ms
+            .parse()
+            .unwrap_or_else(|_| panic!("EMCA_INTERVAL_MS must be a number, got {ms:?}"));
+        cfg = cfg.with_mech_interval(SimDuration::from_micros((ms * 1000.0) as u64));
+    }
+    if let Ok(w) = std::env::var("EMCA_WARMUP") {
+        cfg = cfg.with_warmup(match w.as_str() {
+            "loader" => emca_harness::Warmup::Loader,
+            "interleave" => emca_harness::Warmup::Interleave,
+            "none" => emca_harness::Warmup::None,
+            other => panic!("EMCA_WARMUP must be loader|interleave|none, got {other:?}"),
+        });
+    }
+    cfg
+}
+
 /// Prints a table and writes its CSV under `results/`.
 pub fn emit(table: &emca_metrics::table::Table, csv_name: &str) {
     println!("{}", table.render());

@@ -38,7 +38,14 @@ fn fig04_style_sweep() -> (String, String) {
             ("Sparse/C", CAffinity::Sparse),
             ("OS/C", CAffinity::Os),
         ] {
-            let out = run_handcoded(&data, affinity, users, 16, iters, SimDuration::from_secs(3600));
+            let out = run_handcoded(
+                &data,
+                affinity,
+                users,
+                16,
+                iters,
+                SimDuration::from_secs(3600),
+            );
             t.row(vec![
                 users.to_string(),
                 name.to_string(),
@@ -51,7 +58,10 @@ fn fig04_style_sweep() -> (String, String) {
             RunConfig::new(
                 Alloc::OsAll,
                 users,
-                Workload::Repeat { spec: QuerySpec::Q6 { variant: 0 }, iterations: iters },
+                Workload::Repeat {
+                    spec: QuerySpec::Q6 { variant: 0 },
+                    iterations: iters,
+                },
             )
             .with_scale(scale),
             &data,

@@ -33,10 +33,10 @@
 
 pub mod lonc;
 pub mod mechanism;
-pub mod sla;
 pub mod modes;
 pub mod monitor;
 pub mod priority_queue;
+pub mod sla;
 
 pub use mechanism::{ElasticMechanism, MechanismConfig, TransitionEvent};
 pub use modes::{mode_by_name, AdaptiveMode, AllocationMode, DenseMode, ModeCtx, SparseMode};

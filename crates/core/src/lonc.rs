@@ -116,12 +116,7 @@ mod tests {
     #[test]
     fn analyze_empty_and_unstable() {
         assert_eq!(analyze(&[]), None);
-        let events = vec![ev(
-            0,
-            StateKind::Overload,
-            AllocAction::Allocate,
-            2,
-        )];
+        let events = vec![ev(0, StateKind::Overload, AllocAction::Allocate, 2)];
         assert_eq!(analyze(&events), None);
     }
 

@@ -29,19 +29,41 @@ pub struct MechanismConfig {
     pub metric: MetricKind,
     /// PrT thresholds (defaults depend on the metric).
     pub thresholds: Thresholds,
-    /// Control interval (sampling + one PrT step).
+    /// Base (maximum) control interval — the paper's 50 ms. The live
+    /// interval adapts between [`MechanismConfig::min_interval`] and this
+    /// value: it collapses to the floor while the allocation is being
+    /// hunted (an action just fired) and backs off exponentially once the
+    /// system holds steady, so control overhead is paid only when the
+    /// workload is actually moving.
     pub interval: SimDuration,
+    /// Floor of the adaptive control interval. Also the cold-start
+    /// interval: a freshly installed mechanism reacts at this rate until
+    /// it has converged once. Raised automatically toward the observed
+    /// query service time (see [`ElasticMechanism::note_response`]) so a
+    /// scaled-down simulation keeps the paper's interval-to-service-time
+    /// ratio instead of pinning 50 ms of wall-clock against
+    /// millisecond-long queries.
+    pub min_interval: SimDuration,
     /// Delay between deciding an action and the cpuset taking effect
-    /// (the token-flow overhead measured in §V).
+    /// (the token-flow overhead measured in §V). Clamped to half the
+    /// live control interval so an actuation never blocks the next
+    /// control step.
     pub actuation_latency: SimDuration,
     /// Cores handed to the OS at start (the paper defaults to 1).
     pub initial_cores: u32,
     /// Memory-saturation guard implementing Eq. 1's `p(nalloc) ≥
-    /// p(ntotal)` condition: when the peak memory-controller utilisation
-    /// is at or above this threshold, an Overload classification is
-    /// damped to Stable — extra cores cannot improve a memory-bound
-    /// workload, only scatter it. `None` disables the guard (ablation).
+    /// p(ntotal)` condition: when the workload-weighted memory-controller
+    /// utilisation is at or above this threshold, an Overload
+    /// classification is damped to Stable — extra cores cannot improve a
+    /// memory-bound workload, only scatter it. Growth is never damped
+    /// while the page-hottest node still has free cores (cores *on* the
+    /// data cannot scatter it). `None` disables the guard (ablation).
     pub saturation_guard: Option<f64>,
+    /// Consecutive Idle classifications required before a release fires
+    /// (LONC damping): a single below-`thmin` window — one drained
+    /// runqueue between query waves — must not shed a core that the next
+    /// wave immediately re-allocates.
+    pub release_hysteresis: u32,
 }
 
 impl MechanismConfig {
@@ -51,9 +73,11 @@ impl MechanismConfig {
             metric: MetricKind::CpuLoad,
             thresholds: Thresholds::cpu_load_default(),
             interval: SimDuration::from_millis(50),
+            min_interval: SimDuration::from_micros(200),
             actuation_latency: SimDuration::from_millis(31),
             initial_cores: 1,
             saturation_guard: Some(0.9),
+            release_hysteresis: 2,
         }
     }
 
@@ -106,6 +130,14 @@ pub struct ElasticMechanism {
     monitor: Monitor,
     group: GroupId,
     next_control: SimTime,
+    /// Live control interval (AIMD between `min_interval` and
+    /// `interval`).
+    cur_interval: SimDuration,
+    /// Smoothed observed query response time (seconds), fed by the
+    /// harness through [`ElasticMechanism::note_response`].
+    service_ewma: Option<f64>,
+    /// Consecutive Idle classifications (release hysteresis state).
+    idle_streak: u32,
     /// A decided-but-not-yet-applied mask (actuation latency).
     pending: Option<(SimTime, CoreMask)>,
     /// Transition log (Fig. 7).
@@ -139,6 +171,7 @@ impl ElasticMechanism {
                 topology: &topo,
                 current: mask,
                 pages_per_node: &pages,
+                mc_util_per_node: &[],
             };
             let core = mode.next_core(&ctx).expect("initial cores available");
             mask.insert(core);
@@ -146,7 +179,11 @@ impl ElasticMechanism {
         kernel.set_group_mask(group, mask);
         let net = ElasticNet::new(cfg.thresholds, ntotal, cfg.initial_cores);
         let monitor = Monitor::new(kernel, group, space, cfg.metric);
-        let next_control = kernel.now() + cfg.interval;
+        // Cold start reacts at the floor interval: the allocation is one
+        // core and almost certainly wrong, so the first control steps
+        // must come quickly relative to the workload.
+        let cur_interval = cfg.min_interval.min(cfg.interval);
+        let next_control = kernel.now() + cur_interval;
         ElasticMechanism {
             cfg,
             net,
@@ -154,10 +191,41 @@ impl ElasticMechanism {
             monitor,
             group,
             next_control,
+            cur_interval,
+            service_ewma: None,
+            idle_streak: 0,
             pending: None,
             events: Vec::new(),
             steps: 0,
         }
+    }
+
+    /// Feeds an observed query response time into the interval scaler.
+    /// The control interval's floor tracks a fraction of the smoothed
+    /// service time (clamped to `[min_interval, interval]`), so the
+    /// mechanism reacts within a handful of queries at any simulation
+    /// scale — at full scale, where queries take seconds, the floor sits
+    /// at the paper's 50 ms default.
+    pub fn note_response(&mut self, response: SimDuration) {
+        let secs = response.as_secs_f64();
+        self.service_ewma = Some(match self.service_ewma {
+            None => secs,
+            Some(prev) => prev + 0.2 * (secs - prev),
+        });
+    }
+
+    /// The live floor of the control interval (service-time scaled).
+    fn effective_min(&self) -> SimDuration {
+        let lo = self.cfg.min_interval.min(self.cfg.interval);
+        match self.service_ewma {
+            None => lo,
+            Some(s) => SimDuration::from_secs_f64(s / 64.0).clamp(lo, self.cfg.interval),
+        }
+    }
+
+    /// The live control interval (diagnostics and tests).
+    pub fn interval(&self) -> SimDuration {
+        self.cur_interval
     }
 
     /// The controlled group.
@@ -193,7 +261,7 @@ impl ElasticMechanism {
         }
         if now >= self.next_control && self.pending.is_none() {
             self.control(kernel);
-            self.next_control = now + self.cfg.interval;
+            self.next_control = now + self.cur_interval;
         }
     }
 
@@ -201,14 +269,47 @@ impl ElasticMechanism {
     fn control(&mut self, kernel: &mut Kernel) {
         self.steps += 1;
         let sample = self.monitor.sample(kernel);
-        // Eq. 1 guard: a memory-bound system gains nothing from more
-        // cores — damp Overload to the stable band while the memory
-        // controllers are saturated.
+        // Eq. 1 guard (`p(nalloc) ≥ p(ntotal)`): when the memory
+        // controllers actually serving the workload's data are saturated,
+        // an extra core cannot improve performance — it can only scatter
+        // the working set — so an Overload classification is damped into
+        // the stable band and the allocation holds at its local optimum.
+        // A core on a node that *already holds* the hot data cannot
+        // scatter anything, though: growth is never damped while the
+        // page-hottest node still has free cores (reaching them adds
+        // local compute and cache without new interconnect traffic).
         let mut u = sample.u;
         if let Some(guard) = self.cfg.saturation_guard {
             let th = self.cfg.thresholds;
             if u >= th.thmax && sample.mc_pressure >= guard {
-                u = (th.thmin + th.thmax) / 2;
+                let topo = kernel.machine().topology();
+                let current = kernel.group_mask(self.group);
+                let hottest_full = sample
+                    .pages_per_node
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &p)| p)
+                    .map(|(n, _)| {
+                        topo.cores_of(numa_sim::NodeId(n as u16))
+                            .all(|c| current.contains(c))
+                    })
+                    .unwrap_or(true);
+                if hottest_full {
+                    u = (th.thmin + th.thmax) / 2;
+                }
+            }
+        }
+        // Release hysteresis (LONC damping): one below-thmin window is
+        // scheduling noise, not a shrunken workload.
+        {
+            let th = self.cfg.thresholds;
+            if u <= th.thmin {
+                self.idle_streak += 1;
+                if self.idle_streak < self.cfg.release_hysteresis {
+                    u = (th.thmin + th.thmax) / 2;
+                }
+            } else {
+                self.idle_streak = 0;
             }
         }
         let report = self.net.step(u);
@@ -218,6 +319,7 @@ impl ElasticMechanism {
             topology: &topo,
             current,
             pages_per_node: &sample.pages_per_node,
+            mc_util_per_node: &sample.mc_util_per_node,
         };
         let new_mask = match report.action {
             AllocAction::Allocate => match self.mode.next_core(&ctx) {
@@ -246,9 +348,18 @@ impl ElasticMechanism {
             },
             AllocAction::Hold => None,
         };
+        // AIMD interval adaptation: hunt fast, hold cheap.
+        self.cur_interval = match report.action {
+            AllocAction::Allocate | AllocAction::Release => self.effective_min(),
+            AllocAction::Hold => {
+                (self.cur_interval * 2).clamp(self.effective_min(), self.cfg.interval)
+            }
+        };
         if let Some(mask) = new_mask {
             debug_assert_eq!(mask.count() as u32, self.net.nalloc());
-            self.pending = Some((kernel.now() + self.cfg.actuation_latency, mask));
+            // Actuation never blocks more than half a control period.
+            let latency = self.cfg.actuation_latency.min(self.cur_interval / 2);
+            self.pending = Some((kernel.now() + latency, mask));
         }
         self.record(&sample, &report);
     }
@@ -320,8 +431,7 @@ mod tests {
     #[test]
     fn install_shrinks_to_initial_core() {
         let (mut k, g, space) = setup();
-        let mech =
-            ElasticMechanism::install(&mut k, g, space, Box::new(DenseMode), fast_cfg());
+        let mech = ElasticMechanism::install(&mut k, g, space, Box::new(DenseMode), fast_cfg());
         assert_eq!(k.group_mask(g).count(), 1);
         assert_eq!(k.group_mask(g).first(), Some(CoreId(0)));
         assert_eq!(mech.nalloc(), 1);
@@ -331,8 +441,7 @@ mod tests {
     #[test]
     fn overload_grows_allocation() {
         let (mut k, g, space) = setup();
-        let mut mech =
-            ElasticMechanism::install(&mut k, g, space, Box::new(DenseMode), fast_cfg());
+        let mut mech = ElasticMechanism::install(&mut k, g, space, Box::new(DenseMode), fast_cfg());
         // Ten CPU-hungry threads on one allowed core: load saturates.
         for i in 0..10 {
             k.spawn(
@@ -350,10 +459,7 @@ mod tests {
             mech.events.last()
         );
         assert_eq!(k.group_mask(g).count() as u32, mech.nalloc());
-        assert!(mech
-            .events
-            .iter()
-            .any(|e| e.label == "t1-Overload-t5"));
+        assert!(mech.events.iter().any(|e| e.label == "t1-Overload-t5"));
     }
 
     #[test]

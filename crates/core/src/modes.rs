@@ -24,6 +24,10 @@ pub struct ModeCtx<'a> {
     pub current: CoreMask,
     /// Fresh pages-per-node statistics of the DBMS address space.
     pub pages_per_node: &'a [u64],
+    /// Smoothed memory-controller utilisation per node (0 = idle,
+    /// ≥ 1 = saturated). Empty when the caller has no monitor (tests,
+    /// static installs); modes must treat missing data as "no pressure".
+    pub mc_util_per_node: &'a [f64],
 }
 
 /// A core allocation policy.
@@ -97,10 +101,36 @@ impl AllocationMode for SparseMode {
     }
 }
 
-/// Page-priority-driven allocation (the paper's contribution).
+/// Page-priority-driven allocation (the paper's contribution), extended
+/// with memory-controller headroom: pages say *where the data lives*,
+/// the per-node MC utilisation says *whether another core there can
+/// still reach it*. The queue ranks nodes by page count, but a node
+/// whose controller is saturated is deprioritised — an extra core on a
+/// bandwidth-starved node adds no throughput (Eq. 1 applied per node),
+/// while a core on the next-hottest node with headroom does.
 #[derive(Clone, Debug, Default)]
 pub struct AdaptiveMode {
     queue: NodePriorityQueue,
+}
+
+impl AdaptiveMode {
+    /// Page-share × headroom score used to pick the allocation target.
+    fn score(ctx: &ModeCtx<'_>, node: numa_sim::NodeId) -> f64 {
+        let total: u64 = ctx.pages_per_node.iter().sum();
+        let pages = *ctx.pages_per_node.get(node.idx()).unwrap_or(&0);
+        // With no pages anywhere, fall back to uniform page shares so the
+        // headroom term alone decides.
+        let share = if total == 0 {
+            1.0
+        } else {
+            pages as f64 / total as f64
+        };
+        let util = ctx.mc_util_per_node.get(node.idx()).copied().unwrap_or(0.0);
+        let headroom = (1.0 - util).max(0.0);
+        // The epsilon keeps data-holding nodes preferred among equally
+        // saturated candidates instead of degenerating to node order.
+        share * (headroom + 0.05)
+    }
 }
 
 impl AllocationMode for AdaptiveMode {
@@ -109,19 +139,28 @@ impl AllocationMode for AdaptiveMode {
     }
 
     fn next_core(&mut self, ctx: &ModeCtx<'_>) -> Option<CoreId> {
-        self.queue.refresh(ctx.pages_per_node);
-        // Highest-priority node with a free core; fall back down the
-        // ranking.
-        for node in self.queue.descending() {
-            if let Some(core) = ctx
-                .topology
-                .cores_of(node)
-                .find(|c| !ctx.current.contains(*c))
-            {
-                return Some(core);
-            }
-        }
-        None
+        // Rank candidate nodes (those with a free core) by score; fall
+        // back to the raw page ranking when scores tie at zero.
+        let best = ctx
+            .topology
+            .all_nodes()
+            .filter(|&n| ctx.topology.cores_of(n).any(|c| !ctx.current.contains(c)))
+            .max_by(|&a, &b| {
+                Self::score(ctx, a)
+                    .partial_cmp(&Self::score(ctx, b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| {
+                        ctx.pages_per_node
+                            .get(a.idx())
+                            .cmp(&ctx.pages_per_node.get(b.idx()))
+                    })
+                    // Stable preference for lower node ids on full ties.
+                    .then_with(|| b.idx().cmp(&a.idx()))
+            });
+        let node = best?;
+        ctx.topology
+            .cores_of(node)
+            .find(|c| !ctx.current.contains(*c))
     }
 
     fn release_core(&mut self, ctx: &ModeCtx<'_>) -> Option<CoreId> {
@@ -154,15 +193,12 @@ pub fn mode_by_name(name: &str) -> Box<dyn AllocationMode> {
 mod tests {
     use super::*;
 
-    fn ctx<'a>(
-        topo: &'a Topology,
-        current: CoreMask,
-        pages: &'a [u64],
-    ) -> ModeCtx<'a> {
+    fn ctx<'a>(topo: &'a Topology, current: CoreMask, pages: &'a [u64]) -> ModeCtx<'a> {
         ModeCtx {
             topology: topo,
             current,
             pages_per_node: pages,
+            mc_util_per_node: &[],
         }
     }
 

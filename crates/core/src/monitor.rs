@@ -13,16 +13,22 @@ use os_sim::{GroupId, Kernel, LoadSampler};
 /// Which resource drives the performance-state transitions (§V-B).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MetricKind {
-    /// Instantaneous CPU demand of the DBMS threads over the allowed
-    /// cores, in percent: `u = 100 · runnable / nalloc`, clamped to 100.
-    ///
-    /// This is what a point-in-time mpstat/loadavg snapshot sees, and it
-    /// reproduces the oscillating transitions of the paper's Fig. 7
-    /// (`Idle`/`Stable`/`Overload` alternating *within* one query as the
-    /// dataflow moves between wide scan phases and narrow merge phases).
+    /// Windowed CPU demand of the DBMS threads over the allowed cores,
+    /// in percent: `u = 100 · Δdemand_ns / (nalloc · Δwall)`, clamped to
+    /// 100, where `demand_ns` integrates the group's runnable thread
+    /// count over every scheduler tick. This is a *per-interval delta*:
+    /// it measures demand over the whole control window instead of at
+    /// one instant, so sub-interval scheduling noise (a momentarily
+    /// drained runqueue between two query waves) cannot flip the
+    /// PetriNet between Idle and Overload on alternate steps.
     CpuLoad,
-    /// Windowed average CPU load over the control interval (smoother;
-    /// used for ablation — see the bench ablation targets).
+    /// Instantaneous CPU demand (`u = 100 · runnable / nalloc` at the
+    /// sample point) — what a point-in-time mpstat/loadavg snapshot
+    /// sees. Oscillates with scheduling noise; kept for ablation.
+    CpuLoadInstant,
+    /// Windowed average CPU *usage* over the control interval (busy time
+    /// over capacity; smoother but blind to queued demand — used for
+    /// ablation).
     CpuLoadWindowed,
     /// Ratio of HyperTransport traffic to integrated-memory-controller
     /// traffic, in per-mille (`u = 1000 · HT/IMC`).
@@ -43,6 +49,9 @@ pub struct MonitorSample {
     /// Resident pages per NUMA node of the DBMS space (priority queue
     /// input).
     pub pages_per_node: Vec<u64>,
+    /// Smoothed memory-controller utilisation per node (the adaptive
+    /// mode's headroom signal).
+    pub mc_util_per_node: Vec<f64>,
     /// Peak memory-controller utilisation across nodes (smoothed).
     pub max_mc_util: f64,
     /// Mean memory-controller utilisation across nodes (smoothed).
@@ -63,6 +72,8 @@ pub struct Monitor {
     space: SpaceId,
     load: LoadSampler,
     prev_hw: HwSnapshot,
+    prev_demand_ns: u64,
+    prev_at: SimTime,
 }
 
 impl Monitor {
@@ -74,6 +85,8 @@ impl Monitor {
             space,
             load: LoadSampler::new(kernel, group),
             prev_hw: kernel.machine().counters().snapshot(),
+            prev_demand_ns: kernel.group_demand_ns(group),
+            prev_at: kernel.now(),
         }
     }
 
@@ -106,15 +119,36 @@ impl Monitor {
             ht_delta as f64 / imc_delta as f64
         };
         let cpu_load_pct = load.group_load_pct();
+        let demand_ns = kernel.group_demand_ns(self.group);
+        let wall_ns = kernel.now().since(self.prev_at).as_nanos();
+        let nalloc = kernel.group_mask(self.group).count().max(1);
         let u = match self.metric {
             MetricKind::CpuLoad => {
-                let nalloc = kernel.group_mask(self.group).count().max(1);
+                let delta = demand_ns.saturating_sub(self.prev_demand_ns);
+                if wall_ns == 0 {
+                    // Zero-width window (two samples in one tick): fall
+                    // back to the instantaneous view.
+                    let runnable = kernel.group_runnable(self.group);
+                    ((runnable as f64 / nalloc as f64) * 100.0)
+                        .round()
+                        .min(100.0) as i64
+                } else {
+                    ((delta as f64 / (nalloc as f64 * wall_ns as f64)) * 100.0)
+                        .round()
+                        .min(100.0) as i64
+                }
+            }
+            MetricKind::CpuLoadInstant => {
                 let runnable = kernel.group_runnable(self.group);
-                ((runnable as f64 / nalloc as f64) * 100.0).round().min(100.0) as i64
+                ((runnable as f64 / nalloc as f64) * 100.0)
+                    .round()
+                    .min(100.0) as i64
             }
             MetricKind::CpuLoadWindowed => cpu_load_pct.round() as i64,
             MetricKind::HtImcRatio => (ht_imc_ratio * 1000.0).round() as i64,
         };
+        self.prev_demand_ns = demand_ns;
+        self.prev_at = kernel.now();
         let utils: Vec<f64> = kernel
             .machine()
             .topology()
@@ -139,6 +173,7 @@ impl Monitor {
             cpu_load_pct,
             ht_imc_ratio,
             pages_per_node: kernel.machine().mem().pages_per_node(self.space).to_vec(),
+            mc_util_per_node: utils,
             max_mc_util,
             mean_mc_util,
             mc_pressure,

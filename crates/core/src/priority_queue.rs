@@ -41,7 +41,8 @@ impl NodePriorityQueue {
                 .enumerate()
                 .map(|(i, &p)| (p, NodeId(i as u16))),
         );
-        self.ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        self.ranked
+            .sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
     }
 
     /// The top-priority node (most pages), if any.

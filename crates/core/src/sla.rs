@@ -107,7 +107,11 @@ impl SlaGovernor {
         _interval: SimDuration,
     ) -> u32 {
         let _ = sample;
-        let hard_max = self.policy.max_cores.unwrap_or(self.ntotal).clamp(1, self.ntotal);
+        let hard_max = self
+            .policy
+            .max_cores
+            .unwrap_or(self.ntotal)
+            .clamp(1, self.ntotal);
         let mut violated = false;
         if let Some(max_power) = self.policy.max_power_w {
             if self.power_estimate(busy_cores) > max_power {
@@ -162,6 +166,7 @@ mod tests {
             cpu_load_pct: 100.0,
             ht_imc_ratio: 0.0,
             pages_per_node: vec![0; 4],
+            mc_util_per_node: vec![0.0; 4],
             max_mc_util: 0.0,
             mean_mc_util: 0.0,
             mc_pressure: 0.0,

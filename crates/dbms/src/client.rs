@@ -121,8 +121,7 @@ impl ClientBody {
     pub fn new(
         engine: Engine,
         workload: Workload,
-        #[allow(dead_code)]
-    client_idx: usize,
+        #[allow(dead_code)] client_idx: usize,
         barrier: Option<Rc<RefCell<PhaseBarrier>>>,
     ) -> (Self, SharedLog) {
         let seed = match &workload {
@@ -173,7 +172,9 @@ impl ClientBody {
                     NextAction::Run(specs[phase])
                 }
             }
-            Workload::Mixed { specs, iterations, .. } => {
+            Workload::Mixed {
+                specs, iterations, ..
+            } => {
                 if self.iteration >= *iterations {
                     NextAction::Done
                 } else {
@@ -309,8 +310,7 @@ pub fn spawn_clients(
     };
     (0..n)
         .map(|i| {
-            let (body, log) =
-                ClientBody::new(engine.clone(), workload.clone(), i, barrier.clone());
+            let (body, log) = ClientBody::new(engine.clone(), workload.clone(), i, barrier.clone());
             kernel.spawn(format!("client{i}"), group, None, Box::new(body));
             log
         })
@@ -349,7 +349,10 @@ mod tests {
     fn mixed_workload_is_deterministic_per_client() {
         let engine = Engine::new(crate::exec::engine::EngineConfig::default(), 4);
         let specs: Vec<QuerySpec> = (1..=22)
-            .map(|n| QuerySpec::Tpch { number: n, variant: 0 })
+            .map(|n| QuerySpec::Tpch {
+                number: n,
+                variant: 0,
+            })
             .collect();
         let mk = |idx| {
             let (mut body, _) = ClientBody::new(

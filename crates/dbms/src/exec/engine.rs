@@ -20,9 +20,7 @@ use crate::exec::cost;
 use crate::exec::eval;
 use crate::exec::mat::{JoinTable, Mat, NodeStorage, PairsMat, PosMat, ValMat};
 use crate::exec::plan::{ColRef, NodeId, PhysOp, Plan, Side};
-use crate::exec::task::{
-    n_parts_for, part_range, ChargeItem, Partial, QueryId, Task, TaskCursor,
-};
+use crate::exec::task::{n_parts_for, part_range, ChargeItem, Partial, QueryId, Task, TaskCursor};
 use crate::exec::tomograph::Tomograph;
 use crate::storage::bat::{Bat, BatStore, ColData};
 use crate::storage::catalog::Catalog;
@@ -119,6 +117,9 @@ struct NodeRun {
     partials: Vec<Option<Partial>>,
     mat: Option<Mat>,
     storage: NodeStorage,
+    /// Which worker executed each partition (slice-affinity lineage for
+    /// the MonetDB flavor's dataflow dispatch).
+    part_worker: Vec<Option<u32>>,
     /// Out-of-order completed regions, committed sorted at finalize.
     pending_regions: Vec<(u32, usize, numa_sim::Region)>,
     /// Memo snapshot pinned at schedule time, so every partition of the
@@ -150,6 +151,9 @@ struct MemoEntry {
 struct TaskQueues {
     global: VecDeque<Task>,
     per_node: Vec<VecDeque<Task>>,
+    /// MonetDB-flavor dataflow queues: one per worker, fed by slice
+    /// affinity, drained by the owner first and stolen from otherwise.
+    per_worker: Vec<VecDeque<Task>>,
 }
 
 impl TaskQueues {
@@ -157,11 +161,18 @@ impl TaskQueues {
         TaskQueues {
             global: VecDeque::new(),
             per_node: (0..n_nodes).map(|_| VecDeque::new()).collect(),
+            per_worker: Vec::new(),
         }
     }
 
     fn len(&self) -> usize {
-        self.global.len() + self.per_node.iter().map(|q| q.len()).sum::<usize>()
+        self.global.len()
+            + self.per_node.iter().map(|q| q.len()).sum::<usize>()
+            + self.per_worker.iter().map(|q| q.len()).sum::<usize>()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -267,6 +278,25 @@ impl Engine {
         self.core_ref().space.expect("engine not loaded")
     }
 
+    /// Homes every base segment round-robin across the NUMA nodes (the
+    /// `numactl --interleave` warm-server placement): neutral first-touch
+    /// that hands no allocation policy a head start. Must run after
+    /// [`Engine::load`] and before any queries.
+    pub fn interleave_base(&self, machine: &mut Machine) {
+        let core = self.core_ref();
+        let n_nodes = machine.topology().n_nodes();
+        let cores_per_node = machine.topology().cores_per_node();
+        let mut i = 0usize;
+        for bat in core.store.iter() {
+            for seg in bat.region.segments() {
+                let node = i % n_nodes;
+                let toucher = numa_sim::CoreId((node * cores_per_node) as u16);
+                machine.access_segment(toucher, seg, AccessKind::Write, StreamId(0));
+                i += 1;
+            }
+        }
+    }
+
     /// Spawns the worker pool into `group` on `kernel`. SQL Server flavor
     /// pins worker `i` to core `i`.
     pub fn start_workers(&self, kernel: &mut os_sim::Kernel, group: os_sim::GroupId) {
@@ -279,6 +309,7 @@ impl Engine {
             };
             (core.cfg.flavor, n)
         };
+        self.core().queues.per_worker.resize_with(n, VecDeque::new);
         for i in 0..n {
             let affinity = match flavor {
                 Flavor::MonetDb => None,
@@ -347,7 +378,13 @@ impl Engine {
 }
 
 impl EngineCore {
-    fn submit_inner(&mut self, plan: Rc<Plan>, spec_tag: u32, client: Tid, now: SimTime) -> QueryId {
+    fn submit_inner(
+        &mut self,
+        plan: Rc<Plan>,
+        spec_tag: u32,
+        client: Tid,
+        now: SimTime,
+    ) -> QueryId {
         assert!(!plan.is_empty(), "cannot submit an empty plan");
         let qid = QueryId(self.next_qid);
         self.next_qid += 1;
@@ -367,6 +404,7 @@ impl EngineCore {
                 partials: Vec::new(),
                 mat: None,
                 storage: NodeStorage::new(out_row_bytes(op).max(4)),
+                part_worker: Vec::new(),
                 pending_regions: Vec::new(),
                 memo_hit: None,
             })
@@ -411,16 +449,31 @@ impl EngineCore {
             .memo
             .get(&fp)
             .map(|e| (e.mat.clone(), e.part_rows.clone()));
-        let primary_len = primary_input_len(&run.plan, node, &run.nodes, &self.catalog, &self.store);
+        let primary_len =
+            primary_input_len(&run.plan, node, &run.nodes, &self.catalog, &self.store);
         let n_parts = match run.plan.node(node) {
             PhysOp::TopN { .. } => 1,
             _ => n_parts_for(primary_len, workers),
         };
+        // Slice affinity: partition p inherits the worker that executed
+        // the matching slice of the *primary* input — the one the
+        // operator partitions over (mitosis chains a slice through the
+        // operator pipeline on one dataflow thread). Source scans are
+        // dealt round-robin like fresh mitosis slices.
+        let lineage: Option<&[Option<u32>]> =
+            primary_input(&run.plan, node).map(|i| run.nodes[i.idx()].part_worker.as_slice());
+        let prefs: Vec<Option<u32>> = (0..n_parts)
+            .map(|part| match lineage {
+                Some(pw) if !pw.is_empty() => pw[(part as usize * pw.len()) / n_parts as usize],
+                _ => Some(((qid.0 as u32).wrapping_add(part)) % workers as u32),
+            })
+            .collect();
         let nr = &mut run.nodes[node.idx()];
         nr.memo_hit = memo_hit;
         nr.n_parts = n_parts;
         nr.remaining = n_parts;
         nr.partials = (0..n_parts).map(|_| None).collect();
+        nr.part_worker = vec![None; n_parts as usize];
         let stream_tasks: Vec<Task> = (0..n_parts)
             .map(|part| Task {
                 qid,
@@ -428,6 +481,7 @@ impl EngineCore {
                 part,
                 n_parts,
                 pref_node: None,
+                pref_worker: prefs[part as usize],
             })
             .collect();
         for task in stream_tasks {
@@ -437,18 +491,53 @@ impl EngineCore {
     }
 
     fn push_task(&mut self, task: Task) {
-        match (self.cfg.flavor, task.pref_node) {
-            (Flavor::SqlServer, Some(n)) => self.queues.per_node[n.idx()].push_back(task),
-            _ => self.queues.global.push_back(task),
+        match self.cfg.flavor {
+            Flavor::SqlServer => match task.pref_node {
+                Some(n) => self.queues.per_node[n.idx()].push_back(task),
+                None => self.queues.global.push_back(task),
+            },
+            Flavor::MonetDb => match task.pref_worker {
+                Some(w) if (w as usize) < self.queues.per_worker.len() => {
+                    self.queues.per_worker[w as usize].push_back(task)
+                }
+                _ => self.queues.global.push_back(task),
+            },
         }
     }
 
-    /// Pops the next task for a worker running on NUMA node
-    /// `worker_node`. SQL Server flavor prefers the local queue and
-    /// steals across nodes; MonetDB uses the global queue only.
-    pub fn pop_task(&mut self, worker_node: numa_sim::NodeId) -> Option<Task> {
+    /// Pops the next task for worker `worker_idx` running on NUMA node
+    /// `worker_node`. SQL Server flavor prefers the local node queue and
+    /// steals across nodes; MonetDB prefers the worker's own dataflow
+    /// queue (slice affinity) and steals from other workers when idle.
+    pub fn pop_task(&mut self, worker_node: numa_sim::NodeId, worker_idx: usize) -> Option<Task> {
         match self.cfg.flavor {
-            Flavor::MonetDb => self.queues.global.pop_front(),
+            Flavor::MonetDb => {
+                // Own queue drains LIFO (depth-first): a consumer task
+                // enqueued by the slice this worker just finished runs
+                // next, while its output is still cache-hot. Steals drain
+                // FIFO below — the classic work-stealing deque.
+                if let Some(q) = self.queues.per_worker.get_mut(worker_idx) {
+                    if let Some(t) = q.pop_back() {
+                        return Some(t);
+                    }
+                }
+                if let Some(t) = self.queues.global.pop_front() {
+                    return Some(t);
+                }
+                // DFLOW-style stealing: scan the other workers' queues,
+                // longest first would need a pass anyway, so take the
+                // first non-empty one in a stable order.
+                for i in 0..self.queues.per_worker.len() {
+                    if i == worker_idx {
+                        continue;
+                    }
+                    if let Some(t) = self.queues.per_worker[i].pop_front() {
+                        self.stats.engine_steals += 1;
+                        return Some(t);
+                    }
+                }
+                None
+            }
             Flavor::SqlServer => {
                 if let Some(t) = self.queues.per_node[worker_node.idx()].pop_front() {
                     return Some(t);
@@ -474,13 +563,8 @@ impl EngineCore {
     /// (home node of the partition's first input segment).
     fn locality_of(&self, task: &Task, machine: &Machine) -> Option<numa_sim::NodeId> {
         let run = self.queries.get(&task.qid.0)?;
-        let first_seg = first_input_segment(
-            &run.plan,
-            task,
-            &run.nodes,
-            &self.catalog,
-            &self.store,
-        )?;
+        let first_seg =
+            first_input_segment(&run.plan, task, &run.nodes, &self.catalog, &self.store)?;
         machine.mem().home_of(first_seg)
     }
 
@@ -488,7 +572,7 @@ impl EngineCore {
     /// locality is known (SQL Server flavor). Called by workers before
     /// popping.
     pub fn localize_tasks(&mut self, machine: &Machine) {
-        if self.cfg.flavor != Flavor::SqlServer {
+        if self.cfg.flavor != Flavor::SqlServer || self.queues.global.is_empty() {
             return;
         }
         let mut pending: Vec<Task> = self.queues.global.drain(..).collect();
@@ -528,13 +612,20 @@ impl EngineCore {
                 PhysOp::ScanSelect { col, .. } => {
                     reads.extend(self.col_bat(col).segments_for_rows(start, end));
                 }
-                PhysOp::SelectAnd { candidates, col, .. } => {
+                PhysOp::SelectAnd {
+                    candidates, col, ..
+                } => {
                     read_node_rows(*candidates, start, end, &mut reads);
                     let cands = nodes[candidates.idx()].mat.as_ref().expect("input ready");
                     let slice = &cands.as_pos().pos[start..end];
                     reads.extend(self.col_bat(col).segments_for_positions(slice));
                 }
-                PhysOp::SelectColCmp { candidates, left, right, .. } => match candidates {
+                PhysOp::SelectColCmp {
+                    candidates,
+                    left,
+                    right,
+                    ..
+                } => match candidates {
                     Some(c) => {
                         read_node_rows(*c, start, end, &mut reads);
                         let cands = nodes[c.idx()].mat.as_ref().expect("input ready");
@@ -561,9 +652,7 @@ impl EngineCore {
                         Side::Probe => &pm.probe.pos[start..end],
                         Side::Build => &pm.build.pos[start..end],
                     };
-                    let mut sorted: Vec<u32> = slice.to_vec();
-                    sorted.sort_unstable();
-                    reads.extend(self.col_bat(col).segments_for_positions(&sorted));
+                    reads.extend(self.col_bat(col).segments_for_positions_unsorted(slice));
                 }
                 PhysOp::BinOp { left, right, .. } => {
                     read_node_rows(*left, start, end, &mut reads);
@@ -584,9 +673,7 @@ impl EngineCore {
                 PhysOp::JoinProbe { build, probe } => {
                     read_node_rows(*probe, start, end, &mut reads);
                     let build_storage = &nodes[build.idx()].storage;
-                    reads.extend(
-                        build_storage.segments_for_rows(0, build_storage.rows().max(1)),
-                    );
+                    reads.extend(build_storage.segments_for_rows(0, build_storage.rows().max(1)));
                 }
                 PhysOp::TopN { .. } => {}
             }
@@ -616,8 +703,7 @@ impl EngineCore {
         };
 
         // ---- charge items ----------------------------------------------
-        let cycles_total = rows_in as u64 * op_cycles(&op)
-            + out_rows as u64 * cost::MERGE / 4;
+        let cycles_total = rows_in as u64 * op_cycles(&op) + out_rows as u64 * cost::MERGE / 4;
         let n_chunks = reads.len().max(1) as u64;
         let per_chunk = (cycles_total / n_chunks).max(1);
         let mut items: Vec<ChargeItem> = Vec::with_capacity(reads.len() * 2 + 8);
@@ -646,12 +732,14 @@ impl EngineCore {
 
     /// Completes an executed task. May finalize its node, schedule newly
     /// ready nodes, and complete the whole query (waking the client).
-    /// `step_offset` is the executing worker's in-step elapsed time.
+    /// `step_offset` is the executing worker's in-step elapsed time;
+    /// `worker_idx` records the slice-affinity lineage.
     pub fn complete_task(
         &mut self,
         mut cursor: TaskCursor,
         ctx: &mut WorkCtx<'_>,
         step_offset: SimDuration,
+        worker_idx: usize,
     ) {
         self.stats.tasks_executed += 1;
         self.tomograph.record(cursor.mal_name, cursor.charged);
@@ -660,6 +748,7 @@ impl EngineCore {
         let run = self.queries.get_mut(&qid.0).expect("completing dead query");
         run.busy += cursor.charged;
         let nr = &mut run.nodes[node.idx()];
+        nr.part_worker[cursor.task.part as usize] = Some(worker_idx as u32);
         nr.partials[cursor.task.part as usize] =
             Some(cursor.partial.take().expect("partial already taken"));
         if let Some(region) = cursor.out_region.take() {
@@ -723,9 +812,7 @@ impl EngineCore {
         for d in ready {
             self.schedule_node(qid, d);
         }
-        if !self.queues.global.is_empty()
-            || self.queues.per_node.iter().any(|q| !q.is_empty())
-        {
+        if !self.queues.is_empty() {
             for tid in self.worker_tids.clone() {
                 ctx.wake(tid);
             }
@@ -743,16 +830,12 @@ impl EngineCore {
             }
             let traffic = ctx.machine.counters_mut().retire_stream(run.stream);
             let root = run.plan.root();
-            let result = run.nodes[root.idx()]
-                .mat
-                .clone()
-                .expect("root mat missing");
+            let result = run.nodes[root.idx()].mat.clone().expect("root mat missing");
             self.stats.queries_completed += 1;
             // Steps within one tick share ctx.now, so a sub-tick query
             // could appear to finish before its submission stamp; clamp
             // to keep responses positive (skew is bounded by one tick).
-            let finished = (ctx.now + step_offset)
-                .max(run.submitted + SimDuration::from_nanos(1));
+            let finished = (ctx.now + step_offset).max(run.submitted + SimDuration::from_nanos(1));
             self.results.insert(
                 qid.0,
                 QueryResult {
@@ -808,14 +891,17 @@ fn evaluate_partition(
     store: &BatStore,
 ) -> Partial {
     let col_data = |c: &ColRef| -> &ColData { &store.get(catalog.column(c.table, c.column)).data };
-    let node_mat = |n: NodeId| -> &Mat {
-        run.nodes[n.idx()].mat.as_ref().expect("input mat ready")
-    };
+    let node_mat =
+        |n: NodeId| -> &Mat { run.nodes[n.idx()].mat.as_ref().expect("input mat ready") };
     match op {
         PhysOp::ScanSelect { col, pred } => {
             Partial::Pos(eval::scan_select(col_data(col), start, end, pred))
         }
-        PhysOp::SelectAnd { candidates, col, pred } => {
+        PhysOp::SelectAnd {
+            candidates,
+            col,
+            pred,
+        } => {
             let cands = node_mat(*candidates).as_pos();
             Partial::Pos(eval::select_and(
                 &cands.pos[start..end],
@@ -823,7 +909,12 @@ fn evaluate_partition(
                 pred,
             ))
         }
-        PhysOp::SelectColCmp { candidates, left, right, op } => {
+        PhysOp::SelectColCmp {
+            candidates,
+            left,
+            right,
+            op,
+        } => {
             let out = match candidates {
                 Some(c) => {
                     let cands = node_mat(*c).as_pos();
@@ -835,13 +926,9 @@ fn evaluate_partition(
                         (0, 0),
                     )
                 }
-                None => eval::select_col_cmp(
-                    None,
-                    col_data(left),
-                    col_data(right),
-                    *op,
-                    (start, end),
-                ),
+                None => {
+                    eval::select_col_cmp(None, col_data(left), col_data(right), *op, (start, end))
+                }
             };
             Partial::Pos(out)
         }
@@ -900,14 +987,7 @@ fn evaluate_partition(
             let p = node_mat(*probe).as_val();
             let probe_origin = p.origin.as_ref().map(|o| o.pos.as_slice());
             let build_origin = table.build_origin.as_ref().map(|o| o.pos.as_slice());
-            let (po, bo) = eval::probe_hash(
-                table,
-                &p.data,
-                probe_origin,
-                build_origin,
-                start,
-                end,
-            );
+            let (po, bo) = eval::probe_hash(table, &p.data, probe_origin, build_origin, start, end);
             Partial::PairParts(po, bo)
         }
         PhysOp::TopN { input, n } => {
@@ -940,14 +1020,12 @@ fn assemble_mat(
         );
         return mat.clone();
     }
-    let node_mat = |n: NodeId| -> &Mat {
-        run.nodes[n.idx()].mat.as_ref().expect("input mat ready")
-    };
+    let node_mat =
+        |n: NodeId| -> &Mat { run.nodes[n.idx()].mat.as_ref().expect("input mat ready") };
     let table_of = |col: &ColRef| -> &'static str { col.table };
     let _ = (catalog, store);
     match op {
-        PhysOp::ScanSelect { col, .. }
-        | PhysOp::SelectAnd { col, .. } => {
+        PhysOp::ScanSelect { col, .. } | PhysOp::SelectAnd { col, .. } => {
             let pos = concat_pos(&nr.partials);
             Mat::Pos(PosMat {
                 table: table_of(col),
@@ -1016,11 +1094,7 @@ fn assemble_mat(
                 _ => panic!("non-hash partial in JoinBuild"),
             });
             let map = eval::merge_hash(maps);
-            let build_table = k
-                .origin
-                .as_ref()
-                .map(|o| o.table)
-                .unwrap_or("unknown");
+            let build_table = k.origin.as_ref().map(|o| o.table).unwrap_or("unknown");
             Mat::Hash(Arc::new(JoinTable {
                 map,
                 n_rows: k.data.len(),
@@ -1063,7 +1137,14 @@ fn assemble_mat(
 }
 
 fn concat_pos(partials: &[Option<Partial>]) -> Vec<u32> {
-    let mut out = Vec::new();
+    let total: usize = partials
+        .iter()
+        .map(|p| match p {
+            Some(Partial::Pos(v)) => v.len(),
+            _ => 0,
+        })
+        .sum();
+    let mut out = Vec::with_capacity(total);
     for p in partials {
         match p {
             Some(Partial::Pos(v)) => out.extend_from_slice(v),
@@ -1082,8 +1163,16 @@ fn concat_vals(partials: &[Option<Partial>]) -> ColData {
             _ => None,
         })
         .unwrap_or(true);
+    let total: usize = partials
+        .iter()
+        .map(|p| match p {
+            Some(Partial::ValsF64(v)) => v.len(),
+            Some(Partial::ValsI64(v)) => v.len(),
+            _ => 0,
+        })
+        .sum();
     if is_f64 {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(total);
         for p in partials {
             match p {
                 Some(Partial::ValsF64(v)) => out.extend_from_slice(v),
@@ -1093,7 +1182,7 @@ fn concat_vals(partials: &[Option<Partial>]) -> ColData {
         }
         ColData::F64(Arc::new(out))
     } else {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(total);
         for p in partials {
             match p {
                 Some(Partial::ValsI64(v)) => out.extend_from_slice(v),
@@ -1150,6 +1239,26 @@ fn op_cycles(op: &PhysOp) -> u64 {
     }
 }
 
+/// The plan node an operator partitions over (the slice-affinity
+/// lineage source). Mirrors [`primary_input_len`]: for a join probe the
+/// partitioning follows the *probe* side, not `inputs().first()` (which
+/// is the build). `None` for operators partitioned over base tables.
+fn primary_input(plan: &Plan, node: NodeId) -> Option<NodeId> {
+    match plan.node(node) {
+        PhysOp::ScanSelect { .. } => None,
+        PhysOp::SelectAnd { candidates, .. } => Some(*candidates),
+        PhysOp::SelectColCmp { candidates, .. } => *candidates,
+        PhysOp::Project { positions, .. } => Some(*positions),
+        PhysOp::ProjectSide { pairs, .. } => Some(*pairs),
+        PhysOp::BinOp { left, .. } => Some(*left),
+        PhysOp::AggrSum { values } => Some(*values),
+        PhysOp::GroupAgg { keys, .. } => Some(*keys),
+        PhysOp::JoinBuild { keys } => Some(*keys),
+        PhysOp::JoinProbe { probe, .. } => Some(*probe),
+        PhysOp::TopN { input, .. } => Some(*input),
+    }
+}
+
 /// Length of the primary input an operator partitions over.
 fn primary_input_len(
     plan: &Plan,
@@ -1162,7 +1271,9 @@ fn primary_input_len(
     match plan.node(node) {
         PhysOp::ScanSelect { col, .. } => catalog.rows(col.table),
         PhysOp::SelectAnd { candidates, .. } => mat_len(*candidates),
-        PhysOp::SelectColCmp { candidates, left, .. } => match candidates {
+        PhysOp::SelectColCmp {
+            candidates, left, ..
+        } => match candidates {
             Some(c) => mat_len(*c),
             None => catalog.rows(left.table),
         },
@@ -1222,7 +1333,9 @@ fn fingerprint_plan(plan: &Plan) -> Vec<u64> {
                 col.hash(&mut h);
                 hash_pred(pred, &mut h);
             }
-            PhysOp::SelectColCmp { left, right, op, .. } => {
+            PhysOp::SelectColCmp {
+                left, right, op, ..
+            } => {
                 left.hash(&mut h);
                 right.hash(&mut h);
                 op.hash(&mut h);
@@ -1289,7 +1402,7 @@ impl SimWork for WorkerBody {
                     None => {
                         core.localize_tasks(ctx.machine);
                         let node = ctx.machine.topology().node_of(ctx.core);
-                        match core.pop_task(node) {
+                        match core.pop_task(node, self.idx) {
                             Some(task) => Some(core.prepare_task(task, ctx.machine)),
                             None => None,
                         }
@@ -1303,7 +1416,7 @@ impl SimWork for WorkerBody {
             elapsed += used;
             let mut core = self.engine.core();
             if done {
-                core.complete_task(cursor, ctx, elapsed);
+                core.complete_task(cursor, ctx, elapsed, self.idx);
             } else {
                 core.park_slot(self.idx, cursor);
                 return StepOutcome::Ran(elapsed);

@@ -99,7 +99,7 @@ pub fn group_agg(
     start: usize,
     end: usize,
 ) -> FxHashMap<i64, f64> {
-    let mut m = FxHashMap::default();
+    let mut m = FxHashMap::with_capacity_and_hasher((end - start).min(4096), Default::default());
     for i in start..end {
         let k = keys.value_i64(i);
         let v = match (agg, values) {
@@ -128,7 +128,8 @@ pub fn merge_groups(parts: impl IntoIterator<Item = FxHashMap<i64, f64>>) -> Vec
 /// Partial hash-join build: key → indices (offset by `base` so partials
 /// concatenate into global key-vector indices).
 pub fn build_hash(keys: &ColData, start: usize, end: usize) -> FxHashMap<i64, Vec<u32>> {
-    let mut m: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+    let mut m: FxHashMap<i64, Vec<u32>> =
+        FxHashMap::with_capacity_and_hasher(end - start, Default::default());
     for i in start..end {
         m.entry(keys.value_i64(i)).or_default().push(i as u32);
     }
@@ -136,7 +137,9 @@ pub fn build_hash(keys: &ColData, start: usize, end: usize) -> FxHashMap<i64, Ve
 }
 
 /// Merges partial build maps.
-pub fn merge_hash(parts: impl IntoIterator<Item = FxHashMap<i64, Vec<u32>>>) -> FxHashMap<i64, Vec<u32>> {
+pub fn merge_hash(
+    parts: impl IntoIterator<Item = FxHashMap<i64, Vec<u32>>>,
+) -> FxHashMap<i64, Vec<u32>> {
     let mut total: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
     for part in parts {
         for (k, mut v) in part {
@@ -230,10 +233,7 @@ mod tests {
     fn col_cmp_both_modes() {
         let a = i64s(vec![1, 5, 3]);
         let b = i64s(vec![2, 4, 3]);
-        assert_eq!(
-            select_col_cmp(None, &a, &b, CmpOp::Lt, (0, 3)),
-            vec![0]
-        );
+        assert_eq!(select_col_cmp(None, &a, &b, CmpOp::Lt, (0, 3)), vec![0]);
         assert_eq!(
             select_col_cmp(Some(&[1, 2]), &a, &b, CmpOp::Ge, (0, 0)),
             vec![1, 2]

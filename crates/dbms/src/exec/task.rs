@@ -33,6 +33,12 @@ pub struct Task {
     /// Preferred NUMA node (SQL Server flavor dispatch), derived from the
     /// home of the partition's first input segment.
     pub pref_node: Option<numa_sim::NodeId>,
+    /// Preferred worker (MonetDB flavor dispatch): the worker that
+    /// executed the same slice of the producing operator. Mitosis chains
+    /// an input slice through the whole operator pipeline on one dataflow
+    /// thread, so consumer tasks inherit their producer's worker and read
+    /// its still-warm output.
+    pub pref_worker: Option<u32>,
 }
 
 /// The real partial result of a task.
@@ -217,6 +223,7 @@ mod tests {
             part: 0,
             n_parts: 1,
             pref_node: None,
+            pref_worker: None,
         };
         let mut cursor = TaskCursor::new(
             task,
@@ -241,7 +248,7 @@ mod tests {
         let (used, done) = cursor.advance(&mut ctx, SimDuration::from_micros(15));
         assert!(!done);
         assert!(used >= SimDuration::from_micros(10)); // at least one DRAM fetch
-        // A generous budget finishes the rest.
+                                                       // A generous budget finishes the rest.
         let (_, done) = cursor.advance(&mut ctx, SimDuration::from_secs(1));
         assert!(done);
         assert_eq!(cursor.remaining(), 0);

@@ -163,6 +163,29 @@ impl Bat {
         }
         segs
     }
+
+    /// Distinct segments touched by an *unsorted* position list. Uses a
+    /// per-segment bitmap instead of sorting the positions — the sort
+    /// dominated the task-preparation hot path for join projections.
+    pub fn segments_for_positions_unsorted(&self, positions: &[u32]) -> Vec<SegId> {
+        let n_segs = self.region.n_segments() as usize;
+        let mut bits = vec![0u64; n_segs.div_ceil(64)];
+        for &p in positions {
+            let s = (p as u64 / ROWS_PER_SEG) as usize;
+            debug_assert!(s < n_segs);
+            bits[s / 64] |= 1u64 << (s % 64);
+        }
+        let mut segs = Vec::new();
+        for (w, &word) in bits.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let b = word.trailing_zeros() as usize;
+                segs.push(self.region.segment((w * 64 + b) as u64));
+                word &= word - 1;
+            }
+        }
+        segs
+    }
 }
 
 /// Identifier of a BAT inside a [`BatStore`].
@@ -213,6 +236,11 @@ impl BatStore {
     /// Number of live BATs.
     pub fn n_live(&self) -> usize {
         self.bats.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Iterates over live BATs.
+    pub fn iter(&self) -> impl Iterator<Item = &Bat> {
+        self.bats.iter().filter_map(|b| b.as_ref())
     }
 }
 

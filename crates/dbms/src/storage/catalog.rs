@@ -183,7 +183,11 @@ mod tests {
         let li = s.iter().find(|t| t.name == "lineitem").unwrap();
         assert!(li.columns.iter().any(|c| c.name == "l_quantity"));
         assert_eq!(
-            li.columns.iter().find(|c| c.name == "l_quantity").unwrap().col_type,
+            li.columns
+                .iter()
+                .find(|c| c.name == "l_quantity")
+                .unwrap()
+                .col_type,
             ColType::F64
         );
     }
@@ -216,7 +220,12 @@ mod tests {
         let mut store = BatStore::new();
         let mut cat = Catalog::new();
         let a = store.insert(Bat::new(&mut m, sp, "a", ColData::I64(Arc::new(vec![1]))));
-        let b = store.insert(Bat::new(&mut m, sp, "b", ColData::I64(Arc::new(vec![1, 2]))));
+        let b = store.insert(Bat::new(
+            &mut m,
+            sp,
+            "b",
+            ColData::I64(Arc::new(vec![1, 2])),
+        ));
         cat.register("t", "a", a, &store);
         cat.register("t", "b", b, &store);
     }

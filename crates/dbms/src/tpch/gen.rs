@@ -137,11 +137,16 @@ impl TpchData {
         let o_totalprice: Vec<f64> = (0..n_ord)
             .map(|_| rng.random_range(1_000.0..500_000.0))
             .collect();
-        let o_orderpriority: Vec<i64> =
-            (0..n_ord).map(|_| rng.random_range(0..5)).collect();
+        let o_orderpriority: Vec<i64> = (0..n_ord).map(|_| rng.random_range(0..5)).collect();
         // TPC-H: roughly half the orders are 'F' (0), rest 'O'/'P'.
         let o_orderstatus: Vec<i64> = (0..n_ord)
-            .map(|_| if rng.random_bool(0.49) { 0 } else { rng.random_range(1..3) })
+            .map(|_| {
+                if rng.random_bool(0.49) {
+                    0
+                } else {
+                    rng.random_range(1..3)
+                }
+            })
             .collect();
 
         // --- lineitem ---
@@ -166,9 +171,7 @@ impl TpchData {
         let l_suppkey: Vec<i64> = (0..n_li)
             .map(|_| rng.random_range(0..n_supp as i64))
             .collect();
-        let l_quantity: Vec<f64> = (0..n_li)
-            .map(|_| rng.random_range(1..=50) as f64)
-            .collect();
+        let l_quantity: Vec<f64> = (0..n_li).map(|_| rng.random_range(1..=50) as f64).collect();
         let l_extendedprice: Vec<f64> = (0..n_li)
             .map(|_| rng.random_range(900.0..105_000.0))
             .collect();
@@ -179,7 +182,13 @@ impl TpchData {
             .map(|_| rng.random_range(0..=8) as f64 / 100.0)
             .collect();
         let l_returnflag: Vec<i64> = (0..n_li)
-            .map(|_| if rng.random_bool(0.25) { 2 } else { rng.random_range(0..2) })
+            .map(|_| {
+                if rng.random_bool(0.25) {
+                    2
+                } else {
+                    rng.random_range(0..2)
+                }
+            })
             .collect();
         let l_linestatus: Vec<i64> = (0..n_li).map(|_| rng.random_range(0..2)).collect();
         let l_shipmode: Vec<i64> = (0..n_li).map(|_| rng.random_range(0..7)).collect();
@@ -208,15 +217,11 @@ impl TpchData {
             .collect();
 
         // --- partsupp ---
-        let ps_partkey: Vec<i64> = (0..n_ps)
-            .map(|i| (i % n_part) as i64)
-            .collect();
+        let ps_partkey: Vec<i64> = (0..n_ps).map(|i| (i % n_part) as i64).collect();
         let ps_suppkey: Vec<i64> = (0..n_ps)
             .map(|_| rng.random_range(0..n_supp as i64))
             .collect();
-        let ps_supplycost: Vec<f64> = (0..n_ps)
-            .map(|_| rng.random_range(1.0..1_000.0))
-            .collect();
+        let ps_supplycost: Vec<f64> = (0..n_ps).map(|_| rng.random_range(1.0..1_000.0)).collect();
         let ps_availqty: Vec<i64> = (0..n_ps).map(|_| rng.random_range(1..10_000)).collect();
 
         // --- nation / region ---
@@ -348,7 +353,10 @@ mod tests {
             a.column("lineitem", "l_quantity").as_f64(),
             b.column("lineitem", "l_quantity").as_f64()
         );
-        let c = TpchData::generate(TpchScale { seed: 7, ..TpchScale::test_tiny() });
+        let c = TpchData::generate(TpchScale {
+            seed: 7,
+            ..TpchScale::test_tiny()
+        });
         assert_ne!(
             a.column("lineitem", "l_quantity").as_f64(),
             c.column("lineitem", "l_quantity").as_f64()

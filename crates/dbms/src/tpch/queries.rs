@@ -807,7 +807,9 @@ fn q15(variant: u8) -> Plan {
 fn q16(variant: u8) -> Plan {
     let mut p = Plan::new("Q16");
     let brand = (variant % 25) as f64;
-    let sizes: Vec<i64> = (0..8).map(|i| ((variant as i64 + i * 5) % 50) + 1).collect();
+    let sizes: Vec<i64> = (0..8)
+        .map(|i| ((variant as i64 + i * 5) % 50) + 1)
+        .collect();
     let parts_sel = p.add(PhysOp::ScanSelect {
         col: col("part", "p_brand"),
         pred: ScalarPred::Cmp(CmpOp::Ne, brand),
@@ -916,12 +918,7 @@ fn q19(variant: u8) -> Plan {
     let parts_c = p.add(PhysOp::SelectAnd {
         candidates: parts_b,
         col: col("part", "p_container"),
-        pred: ScalarPred::InSet(vec![
-            b % 40,
-            (b + 10) % 40,
-            (b + 20) % 40,
-            (b + 30) % 40,
-        ]),
+        pred: ScalarPred::InSet(vec![b % 40, (b + 10) % 40, (b + 20) % 40, (b + 30) % 40]),
     });
     let parts = p.add(PhysOp::Project {
         positions: parts_c,
@@ -1155,8 +1152,13 @@ mod tests {
             p.nodes().iter().any(|o| {
                 matches!(
                     o,
-                    PhysOp::ScanSelect { pred: ScalarPred::InSet(_), .. }
-                        | PhysOp::SelectAnd { pred: ScalarPred::InSet(_), .. }
+                    PhysOp::ScanSelect {
+                        pred: ScalarPred::InSet(_),
+                        ..
+                    } | PhysOp::SelectAnd {
+                        pred: ScalarPred::InSet(_),
+                        ..
+                    }
                 )
             })
         };
@@ -1170,7 +1172,10 @@ mod tests {
         let b = build_tpch(6, 1);
         // The shipdate window must differ between variants.
         let window = |p: &Plan| match p.node(NodeId(1)) {
-            PhysOp::SelectAnd { pred: ScalarPred::Between(lo, _), .. } => *lo,
+            PhysOp::SelectAnd {
+                pred: ScalarPred::Between(lo, _),
+                ..
+            } => *lo,
             _ => panic!("unexpected plan shape"),
         };
         assert_ne!(window(&a), window(&b));
@@ -1180,14 +1185,20 @@ mod tests {
     fn theta_subselect_thresholds() {
         let p = theta_subselect(45);
         match p.node(NodeId(0)) {
-            PhysOp::ScanSelect { pred: ScalarPred::Cmp(CmpOp::Lt, t), .. } => {
+            PhysOp::ScanSelect {
+                pred: ScalarPred::Cmp(CmpOp::Lt, t),
+                ..
+            } => {
                 assert!((*t - 24.0).abs() < 1.0, "threshold {t}");
             }
             _ => panic!("unexpected plan shape"),
         }
         let p2 = theta_subselect(100);
         match p2.node(NodeId(0)) {
-            PhysOp::ScanSelect { pred: ScalarPred::Cmp(CmpOp::Lt, t), .. } => {
+            PhysOp::ScanSelect {
+                pred: ScalarPred::Cmp(CmpOp::Lt, t),
+                ..
+            } => {
                 assert!(*t >= 51.0, "100% must pass everything, got {t}");
             }
             _ => panic!("unexpected plan shape"),
@@ -1197,7 +1208,13 @@ mod tests {
     #[test]
     fn spec_tags_are_distinct() {
         let mut tags: Vec<u32> = (1..=22)
-            .map(|n| QuerySpec::Tpch { number: n, variant: 0 }.tag())
+            .map(|n| {
+                QuerySpec::Tpch {
+                    number: n,
+                    variant: 0,
+                }
+                .tag()
+            })
             .collect();
         tags.push(QuerySpec::Q6 { variant: 0 }.tag());
         tags.push(QuerySpec::ThetaSubselect { sel_pct: 45 }.tag());
@@ -1209,8 +1226,17 @@ mod tests {
 
     #[test]
     fn query_names() {
-        assert_eq!(query_name(&QuerySpec::Tpch { number: 9, variant: 0 }), "Q9");
-        assert_eq!(query_name(&QuerySpec::ThetaSubselect { sel_pct: 45 }), "theta45");
+        assert_eq!(
+            query_name(&QuerySpec::Tpch {
+                number: 9,
+                variant: 0
+            }),
+            "Q9"
+        );
+        assert_eq!(
+            query_name(&QuerySpec::ThetaSubselect { sel_pct: 45 }),
+            "theta45"
+        );
     }
 
     #[test]

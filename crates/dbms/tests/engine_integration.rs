@@ -47,13 +47,10 @@ fn run_to_completion(kernel: &mut Kernel, deadline_s: u64) {
     let done = kernel.run_until_cond(SimTime::from_secs(deadline_s), |k| {
         // All clients finished = only (blocked) workers remain alive.
         k.n_live_threads() > 0
-            && (0..k.n_threads() as u32)
-                .map(os_sim::Tid)
-                .all(|t| {
-                    let name = k.thread_name(t);
-                    !name.starts_with("client")
-                        || k.thread_state(t) == os_sim::ThreadState::Finished
-                })
+            && (0..k.n_threads() as u32).map(os_sim::Tid).all(|t| {
+                let name = k.thread_name(t);
+                !name.starts_with("client") || k.thread_state(t) == os_sim::ThreadState::Finished
+            })
     });
     assert!(done, "clients did not finish before the deadline");
 }
@@ -94,7 +91,10 @@ fn all_22_queries_execute() {
     let group = kernel.create_group(all);
     engine.start_workers(&mut kernel, group);
     let specs: Vec<QuerySpec> = (1..=22)
-        .map(|n| QuerySpec::Tpch { number: n, variant: 0 })
+        .map(|n| QuerySpec::Tpch {
+            number: n,
+            variant: 0,
+        })
         .collect();
     let logs = spawn_clients(
         &mut kernel,

@@ -50,6 +50,27 @@ impl Alloc {
     }
 }
 
+/// Base-data placement before the measured run starts (§II-A / Fig. 18).
+///
+/// The paper measures a warm, long-running server; how its base pages
+/// were homed decides which flavor starts with a locality advantage, so
+/// the policy is explicit and applied identically to every flavor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Warmup {
+    /// A single-threaded loader first-touches every base segment from
+    /// core 0: all base data homed on node 0 (the paper's MonetDB server,
+    /// Fig. 18(a)).
+    #[default]
+    Loader,
+    /// Base segments homed round-robin across all NUMA nodes (a
+    /// `numactl --interleave` server): neutral placement that hands no
+    /// flavor a head start.
+    Interleave,
+    /// Cold start: pages are homed by whichever worker first scans them
+    /// (mmap-style lazy loading, the cold-start ablation).
+    None,
+}
+
 /// Full description of one simulation run.
 #[derive(Clone, Debug)]
 pub struct RunConfig {
@@ -71,13 +92,15 @@ pub struct RunConfig {
     pub sample_every: SimDuration,
     /// Record scheduler spans (Figs. 5/16) — expensive, off by default.
     pub trace_sched: bool,
-    /// Override of the mechanism control interval (`None` = paper
-    /// default of 50 ms).
+    /// Override of the mechanism control interval (`None` = service-time
+    /// scaled, see [`crate::runner::run`]). Setting this pins the
+    /// interval, disabling the adaptive scaling.
     pub mech_interval: Option<SimDuration>,
-    /// Run a warm-up scan under the plain OS scheduler before measuring,
-    /// so base-data placement reflects a warm server (the paper measures
-    /// a long-running MonetDB instance, not a cold start).
-    pub warmup: bool,
+    /// Override of the Eq. 1 memory-saturation guard threshold
+    /// (`None` = mechanism default; `Some(None)` = guard disabled).
+    pub mech_guard: Option<Option<f64>>,
+    /// Base-data placement policy (identical for every flavor).
+    pub warmup: Warmup,
 }
 
 impl RunConfig {
@@ -94,13 +117,27 @@ impl RunConfig {
             sample_every: SimDuration::from_millis(100),
             trace_sched: false,
             mech_interval: None,
-            warmup: true,
+            mech_guard: None,
+            warmup: Warmup::default(),
         }
     }
 
     /// Disables the warm-up pass (cold-start experiments).
     pub fn without_warmup(mut self) -> Self {
-        self.warmup = false;
+        self.warmup = Warmup::None;
+        self
+    }
+
+    /// Sets the base-data placement policy.
+    pub fn with_warmup(mut self, warmup: Warmup) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Overrides the Eq. 1 saturation-guard threshold (`None` disables
+    /// the guard).
+    pub fn with_guard(mut self, guard: Option<f64>) -> Self {
+        self.mech_guard = Some(guard);
         self
     }
 

@@ -4,9 +4,7 @@ use emca_metrics::{SimDuration, SimTime};
 use numa_sim::{CoreId, HwSnapshot, Machine, MachineConfig};
 use os_sim::{CoreMask, Kernel, KernelConfig, ThreadState, Tid};
 use std::rc::Rc;
-use volcano_db::handcoded::{
-    pump_spawns, CAffinity, HandcodedClient, HandcodedData, Spawner,
-};
+use volcano_db::handcoded::{pump_spawns, CAffinity, HandcodedClient, HandcodedData, Spawner};
 use volcano_db::tpch::TpchData;
 
 /// Output of one hand-coded sweep point.
@@ -117,10 +115,7 @@ pub fn run_handcoded(
     );
     let end: SimTime = end.expect("checked above");
 
-    let runs = logs
-        .iter()
-        .flat_map(|l| l.borrow().runs.clone())
-        .collect();
+    let runs = logs.iter().flat_map(|l| l.borrow().runs.clone()).collect();
     HandcodedOutput {
         affinity,
         clients,
@@ -155,14 +150,7 @@ mod tests {
     #[test]
     fn handcoded_q6_computes_correct_revenue() {
         let data = TpchData::generate(TpchScale::test_tiny());
-        let out = run_handcoded(
-            &data,
-            CAffinity::Os,
-            1,
-            4,
-            1,
-            SimDuration::from_secs(60),
-        );
+        let out = run_handcoded(&data, CAffinity::Os, 1, 4, 1, SimDuration::from_secs(60));
         assert_eq!(out.runs.len(), 1);
         let want = reference_revenue(&data);
         let got = out.runs[0].1;
@@ -176,14 +164,7 @@ mod tests {
     #[test]
     fn dense_affinity_stays_on_node0() {
         let data = TpchData::generate(TpchScale::test_tiny());
-        let out = run_handcoded(
-            &data,
-            CAffinity::Dense,
-            2,
-            4,
-            1,
-            SimDuration::from_secs(60),
-        );
+        let out = run_handcoded(&data, CAffinity::Dense, 2, 4, 1, SimDuration::from_secs(60));
         assert_eq!(out.runs.len(), 2);
         // All compute on node 0's cores (0..4); loader also ran there.
         let busy: Vec<u64> = out

@@ -13,7 +13,7 @@ pub mod handcoded_runner;
 pub mod report;
 pub mod runner;
 
-pub use config::{Alloc, RunConfig};
+pub use config::{Alloc, RunConfig, Warmup};
 pub use handcoded_runner::{run_handcoded, HandcodedOutput};
 pub use runner::{run, run_all_allocs, RunOutput};
 

@@ -35,10 +35,7 @@ pub fn by_tag(results: &[QueryResult]) -> Vec<(u32, TagStats)> {
         .map(|(tag, rs)| {
             let n = rs.len();
             let total_resp: SimDuration = rs.iter().map(|r| r.response()).sum();
-            let ratios: Vec<f64> = rs
-                .iter()
-                .filter_map(|r| r.traffic.ht_imc_ratio())
-                .collect();
+            let ratios: Vec<f64> = rs.iter().filter_map(|r| r.traffic.ht_imc_ratio()).collect();
             let total_busy: SimDuration = rs.iter().map(|r| r.busy).sum();
             let ht_bytes: f64 =
                 rs.iter().map(|r| r.traffic.ht_bytes as f64).sum::<f64>() / n as f64;
@@ -66,11 +63,8 @@ pub fn speedup_by_tag(baseline: &[QueryResult], improved: &[QueryResult]) -> Vec
     base.into_iter()
         .filter_map(|(tag, b)| {
             let i = imp.get(&tag)?;
-            stats::speedup(
-                b.mean_response.as_secs_f64(),
-                i.mean_response.as_secs_f64(),
-            )
-            .map(|s| (tag, s))
+            stats::speedup(b.mean_response.as_secs_f64(), i.mean_response.as_secs_f64())
+                .map(|s| (tag, s))
         })
         .collect()
 }
@@ -123,7 +117,14 @@ pub fn render_series(title: &str, series: &[&TimeSeries]) -> Table {
 pub fn render_transitions(title: &str, events: &[TransitionEvent]) -> Table {
     let mut t = Table::new(
         title,
-        &["time_s", "transition", "state", "u", "cpu_load_pct", "cores"],
+        &[
+            "time_s",
+            "transition",
+            "state",
+            "u",
+            "cpu_load_pct",
+            "cores",
+        ],
     );
     for e in events {
         t.row(vec![

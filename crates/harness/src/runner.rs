@@ -130,35 +130,56 @@ pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
         },
         kernel.machine().topology().n_nodes(),
     );
-    // The paper measures a warm, long-running server whose base data was
-    // first-touched by the single-threaded loader — concentrated on the
-    // loader's node (see Fig. 18(a): OS/MonetDB memory traffic is pinned
-    // on S0). `warmup = false` instead leaves pages unhomed so the first
-    // queries place them (cold-start ablation).
-    let loader = config
-        .warmup
-        .then_some(numa_sim::CoreId(0));
+    // The paper measures a warm, long-running server; base-data homing is
+    // an explicit policy applied identically to every flavor (see
+    // [`Warmup`]). `Loader` reproduces Fig. 18(a)'s single-node placement,
+    // `Interleave` spreads segments round-robin, `None` leaves pages
+    // unhomed so the first queries place them (cold-start ablation).
+    let loader = match config.warmup {
+        crate::config::Warmup::Loader => Some(numa_sim::CoreId(0)),
+        crate::config::Warmup::Interleave | crate::config::Warmup::None => None,
+    };
     engine.load(kernel.machine_mut(), data, loader);
+    if config.warmup == crate::config::Warmup::Interleave {
+        engine.interleave_base(kernel.machine_mut());
+    }
     engine.start_workers(&mut kernel, group);
 
     let mut mechanism = config.alloc.mode_name().map(|mode| {
         let mut mech_cfg = match config.metric {
-            elastic_core::MetricKind::CpuLoad => MechanismConfig::cpu_load(),
-            elastic_core::MetricKind::CpuLoadWindowed => MechanismConfig {
-                metric: elastic_core::MetricKind::CpuLoadWindowed,
+            elastic_core::MetricKind::HtImcRatio => MechanismConfig::ht_imc(),
+            metric => MechanismConfig {
+                metric,
                 ..MechanismConfig::cpu_load()
             },
-            elastic_core::MetricKind::HtImcRatio => MechanismConfig::ht_imc(),
         }
         .with_mode_latency(mode);
         if let Some(interval) = config.mech_interval {
+            // Pinned interval: disables both the AIMD adaptation and the
+            // service-time scaling (min == max == the override).
             mech_cfg.interval = interval;
+            mech_cfg.min_interval = interval;
             mech_cfg.actuation_latency = mech_cfg.actuation_latency.min(interval / 2);
         }
-        ElasticMechanism::install(&mut kernel, group, engine.space(), mode_by_name(mode), mech_cfg)
+        if let Some(guard) = config.mech_guard {
+            mech_cfg.saturation_guard = guard;
+        }
+        ElasticMechanism::install(
+            &mut kernel,
+            group,
+            engine.space(),
+            mode_by_name(mode),
+            mech_cfg,
+        )
     });
 
-    let logs = spawn_clients(&mut kernel, &engine, group, config.clients, config.workload.clone());
+    let logs = spawn_clients(
+        &mut kernel,
+        &engine,
+        group,
+        config.clients,
+        config.workload.clone(),
+    );
     let hw_before = kernel.machine().counters().snapshot();
     let start = kernel.now();
 
@@ -180,6 +201,10 @@ pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
         .filter(|&t| kernel.thread_name(t).starts_with("client"))
         .collect();
 
+    // Completed-result cursors per client log, for feeding observed
+    // response times into the mechanism's interval scaler.
+    let mut seen: Vec<usize> = vec![0; logs.len()];
+
     let mut finished_at = None;
     while kernel.now() < deadline {
         let all_done = client_tids
@@ -192,6 +217,15 @@ pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
         kernel.run_tick();
         if let Some(m) = mechanism.as_mut() {
             m.poll(&mut kernel);
+            if config.mech_interval.is_none() {
+                for (log, cursor) in logs.iter().zip(&mut seen) {
+                    let log = log.borrow();
+                    for r in &log.results[*cursor..] {
+                        m.note_response(r.response());
+                    }
+                    *cursor = log.results.len();
+                }
+            }
         }
         if kernel.now() >= next_sample {
             let now = kernel.now();
@@ -202,7 +236,13 @@ pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
                 series.push(now, gbps);
             }
             prev_imc = imc;
-            let ht: u64 = kernel.machine().counters().link_bytes.snapshot().iter().sum();
+            let ht: u64 = kernel
+                .machine()
+                .counters()
+                .link_bytes
+                .snapshot()
+                .iter()
+                .sum();
             ht_series.push(now, (ht.saturating_sub(prev_ht)) as f64 / dt / 1e9);
             prev_ht = ht;
             load_series.push(now, load_sampler.sample(&kernel).group_load_pct());
@@ -223,9 +263,7 @@ pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
     let engine_stats = engine.stats();
     let tomograph = engine.core_ref().tomograph.clone();
     let trace = config.trace_sched.then(|| kernel.take_trace());
-    let transitions = mechanism
-        .map(|m| m.events)
-        .unwrap_or_default();
+    let transitions = mechanism.map(|m| m.events).unwrap_or_default();
 
     RunOutput {
         config,

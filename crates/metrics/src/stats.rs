@@ -50,16 +50,16 @@ pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
 
 /// Minimum; `None` for an empty slice.
 pub fn min(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().fold(None, |acc, v| {
-        Some(acc.map_or(v, |a: f64| a.min(v)))
-    })
+    xs.iter()
+        .copied()
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
 }
 
 /// Maximum; `None` for an empty slice.
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().fold(None, |acc, v| {
-        Some(acc.map_or(v, |a: f64| a.max(v)))
-    })
+    xs.iter()
+        .copied()
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
 }
 
 /// Speedup of `baseline` over `improved` (e.g. response times): >1 means

@@ -91,7 +91,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

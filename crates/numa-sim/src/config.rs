@@ -3,10 +3,12 @@
 //! The default constants are calibrated against the paper's machine —
 //! a 4-socket Quad-Core AMD Opteron 8387 @ 2.8 GHz, per-core L1 64 KiB /
 //! L2 512 KiB, shared 6 MiB L3 per socket, DDR-2 memory, HT 3.x links
-//! (41.6 GB/s max aggregate per link; we model 10.4 GB/s per direction
-//! sustained, which reproduces the ~8 GB/s observed HT saturation of
-//! Fig. 4(c)). Absolute values need only be plausible: the reproduction
-//! targets the paper's *shapes* (who wins, crossovers, ratios).
+//! (10.4 GB/s per direction sustained; the superlinear queueing response
+//! in `Machine::charge_transfer` plus the per-hop request/response
+//! penalty is what produces the ~8 GB/s machine-wide HT saturation of
+//! Fig. 4(c) under scattered access patterns). Absolute values need only
+//! be plausible: the reproduction targets the paper's *shapes* (who
+//! wins, crossovers, ratios).
 
 use crate::topology::Topology;
 use emca_metrics::SimDuration;
@@ -47,16 +49,30 @@ pub struct MachineConfig {
     /// EWMA smoothing for the congestion feedback (utilisation of the
     /// previous tick drives this tick's latency multiplier).
     pub congestion_alpha: f64,
-    /// Cap on the congestion slowdown multiplier (keeps the fluid model
-    /// stable under extreme overload; must exceed the worst realistic
-    /// oversubscription — 16 cores on one controller — for the capacity
-    /// cap to hold).
+    /// Cap on the *queueing-feedback* slowdown multiplier (keeps the
+    /// fluid model stable under extreme overload; must exceed the worst
+    /// realistic oversubscription — 16 cores on one controller — for
+    /// the capacity cap to hold). The row-buffer interference factor is
+    /// a separately bounded efficiency multiplier, not feedback, and
+    /// composes outside this clamp.
     pub max_congestion: f64,
     /// Per-hop stretch of the transfer time for remote accesses.
     /// Coherent NUMA reads are request/response per line, so a remote
     /// stream achieves only a fraction of local bandwidth (measured
     /// ≈ 2/3 on the Opteron 8000 generation ⇒ penalty 0.5 per hop).
     pub remote_transfer_penalty: f64,
+    /// Row-buffer/bank-interference degradation of a memory controller's
+    /// effective bandwidth per concurrent request stream beyond
+    /// [`MachineConfig::mc_interleave_free`]. Few sequential streams keep
+    /// DDR2 row buffers open and reach the sustained rate; many
+    /// interleaved streams (the scattered OS baseline: every core plus
+    /// coherent remote requesters hitting one home node) thrash the row
+    /// buffers and lose 30–50 % of effective bandwidth.
+    pub mc_interleave_penalty: f64,
+    /// Number of concurrent request streams an MC serves at full
+    /// efficiency (one per memory channel/rank pair before interleaving
+    /// degrades row-buffer locality).
+    pub mc_interleave_free: u32,
 }
 
 impl MachineConfig {
@@ -80,6 +96,8 @@ impl MachineConfig {
             congestion_alpha: 0.5,
             max_congestion: 64.0,
             remote_transfer_penalty: 0.5,
+            mc_interleave_penalty: 0.30,
+            mc_interleave_free: 4,
         }
     }
 

@@ -41,6 +41,53 @@ impl StreamTraffic {
     }
 }
 
+/// Noise floor for HT/IMC ratios: a ratio below this is indistinguishable
+/// from residual coherence chatter, so reductions against it are reported
+/// as [`HtImcReduction::BelowNoise`] instead of a meaningless huge
+/// quotient (the repo previously clamped these to a magic `999.0`).
+pub const HT_IMC_NOISE_FLOOR: f64 = 1e-3;
+
+/// A baseline-vs-improved HT/IMC ratio comparison.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HtImcReduction {
+    /// Both ratios above the noise floor: an honest quotient.
+    Finite(f64),
+    /// The improved flavor's remote traffic is below the noise floor —
+    /// the reduction is unbounded ("∞") and rendered as `inf`.
+    BelowNoise,
+}
+
+impl HtImcReduction {
+    /// Compares two mean HT/IMC ratios. `None` when the baseline itself
+    /// is below noise (no reduction to speak of).
+    pub fn compare(baseline: f64, improved: f64) -> Option<Self> {
+        if baseline <= HT_IMC_NOISE_FLOOR {
+            None
+        } else if improved <= HT_IMC_NOISE_FLOOR {
+            Some(HtImcReduction::BelowNoise)
+        } else {
+            Some(HtImcReduction::Finite(baseline / improved))
+        }
+    }
+
+    /// The finite value, if any.
+    pub fn finite(&self) -> Option<f64> {
+        match self {
+            HtImcReduction::Finite(v) => Some(*v),
+            HtImcReduction::BelowNoise => None,
+        }
+    }
+}
+
+impl std::fmt::Display for HtImcReduction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HtImcReduction::Finite(v) => write!(f, "{v:.2}"),
+            HtImcReduction::BelowNoise => write!(f, "inf"),
+        }
+    }
+}
+
 /// The machine-wide counter registry.
 #[derive(Clone, Debug)]
 pub struct HwCounters {

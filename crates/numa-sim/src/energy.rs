@@ -109,8 +109,7 @@ impl EnergyModel {
         ht_bytes: u64,
     ) -> EnergyBreakdown {
         let dynamic = (self.socket_acp_w - self.socket_idle_w) * busy_time.as_secs_f64();
-        let idle_floor =
-            self.socket_idle_w * n_sockets as f64 * response_time.as_secs_f64();
+        let idle_floor = self.socket_idle_w * n_sockets as f64 * response_time.as_secs_f64();
         EnergyBreakdown {
             cpu_j: dynamic + idle_floor,
             ht_j: ht_bytes as f64 * self.ht_j_per_byte,
@@ -149,8 +148,14 @@ mod tests {
 
     #[test]
     fn breakdown_arithmetic() {
-        let a = EnergyBreakdown { cpu_j: 1.0, ht_j: 2.0 };
-        let b = EnergyBreakdown { cpu_j: 3.0, ht_j: 4.0 };
+        let a = EnergyBreakdown {
+            cpu_j: 1.0,
+            ht_j: 2.0,
+        };
+        let b = EnergyBreakdown {
+            cpu_j: 3.0,
+            ht_j: 4.0,
+        };
         let s = a.add(&b);
         assert_eq!(s.total(), 10.0);
     }
@@ -158,12 +163,7 @@ mod tests {
     #[test]
     fn per_query_combines_dynamic_and_floor() {
         let m = EnergyModel::opteron_8387();
-        let e = m.per_query(
-            SimDuration::from_secs(2),
-            SimDuration::from_secs(1),
-            4,
-            0,
-        );
+        let e = m.per_query(SimDuration::from_secs(2), SimDuration::from_secs(1), 4, 0);
         // dynamic: 50 W * 1 s; floor: 25 W * 4 sockets * 2 s.
         assert!((e.cpu_j - (50.0 + 200.0)).abs() < 1e-9);
     }

@@ -33,7 +33,9 @@ pub mod topology;
 
 pub use cache::{LruCache, Probe, SegId};
 pub use config::{MachineConfig, PAGES_PER_SEG, PAGE_BYTES, SEG_BYTES};
-pub use counters::{HwCounters, HwSnapshot, StreamId, StreamTraffic};
+pub use counters::{
+    HtImcReduction, HwCounters, HwSnapshot, StreamId, StreamTraffic, HT_IMC_NOISE_FLOOR,
+};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use machine::{AccessKind, AccessResult, HitLevel, Machine};
 pub use mem::{MemoryMap, Region, SpaceId, TouchKind};

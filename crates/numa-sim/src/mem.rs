@@ -7,8 +7,8 @@
 //! `numa_maps`-style pages-per-node statistics per address space that feed
 //! the adaptive mode's priority queue.
 
-use crate::config::{PAGES_PER_SEG, PAGE_BYTES, SEG_BYTES};
 use crate::cache::SegId;
+use crate::config::{PAGES_PER_SEG, PAGE_BYTES, SEG_BYTES};
 use crate::topology::NodeId;
 use emca_metrics::FxHashMap;
 
@@ -90,7 +90,10 @@ pub struct MemoryMap {
 impl MemoryMap {
     /// Creates an empty map for a machine with `n_nodes` NUMA nodes.
     pub fn new(n_nodes: usize) -> Self {
-        assert!((1..=16).contains(&n_nodes), "node count must fit the touch mask");
+        assert!(
+            (1..=16).contains(&n_nodes),
+            "node count must fit the touch mask"
+        );
         MemoryMap {
             n_nodes,
             segs: FxHashMap::default(),
@@ -149,8 +152,7 @@ impl MemoryMap {
             if let Some(info) = self.segs.remove(&(base + s)) {
                 if let Some(home) = info.home {
                     if let Some(per_node) = self.pages_per_node.get_mut(&info.space) {
-                        per_node[home.idx()] =
-                            per_node[home.idx()].saturating_sub(PAGES_PER_SEG);
+                        per_node[home.idx()] = per_node[home.idx()].saturating_sub(PAGES_PER_SEG);
                     }
                 }
             }

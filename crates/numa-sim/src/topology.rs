@@ -173,7 +173,10 @@ impl Topology {
                 }
             }
             for dst in 0..n {
-                assert!(seen[dst], "topology is disconnected: node {dst} unreachable");
+                assert!(
+                    seen[dst],
+                    "topology is disconnected: node {dst} unreachable"
+                );
                 let mut path = Vec::new();
                 let mut cur = dst;
                 while let Some((p, link)) = prev[cur] {
@@ -327,7 +330,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "disconnected")]
     fn disconnected_graph_panics() {
-        let _ = Topology::with_links(3, 1, vec![Link { a: NodeId(0), b: NodeId(1) }]);
+        let _ = Topology::with_links(
+            3,
+            1,
+            vec![Link {
+                a: NodeId(0),
+                b: NodeId(1),
+            }],
+        );
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! The fluid contention model must enforce a *hard* capacity cap: no
+//! matter how many concurrent streams hammer one memory controller, the
+//! achieved throughput may not materially exceed the configured
+//! bandwidth. PR 1 observed the OS baseline pushing ~1.7× the nominal
+//! MC bandwidth through one socket, which silently inflated the
+//! baseline's throughput in every figure; these tests pin the cap.
+
+use emca_metrics::SimDuration;
+use numa_sim::{AccessKind, CoreId, Machine, MachineConfig, StreamId};
+
+/// Drives `cores` as closed-loop streaming readers over `region_segs`
+/// fresh segments homed on node 0, for `ticks` scheduler ticks, and
+/// returns the achieved node-0 IMC rate in bytes/second.
+fn achieved_mc_rate(cores: &[u16], ticks: u64, l3_bypass: bool) -> f64 {
+    let tick = SimDuration::from_micros(100);
+    let mut m = Machine::new(MachineConfig::opteron_4x4(), tick);
+    let space = m.create_space();
+    // Enough segments that LRU caches never hit when cycling (l3_bypass),
+    // or a single large ring otherwise.
+    let n_segs: u64 = if l3_bypass { 4096 } else { 64 };
+    let region = m.alloc(space, n_segs * numa_sim::SEG_BYTES);
+    // Home everything on node 0.
+    for seg in region.segments() {
+        m.access_segment(CoreId(0), seg, AccessKind::Write, StreamId(0));
+    }
+    m.end_tick();
+    let before = m.counters().snapshot();
+    let mut cursors: Vec<u64> = cores.iter().map(|&c| c as u64).collect();
+    // Per-stream debt carried across ticks, mirroring the kernel: an
+    // access longer than the tick keeps the thread busy in later ticks
+    // instead of letting it issue again immediately.
+    let mut debt: Vec<SimDuration> = vec![SimDuration::ZERO; cores.len()];
+    for _ in 0..ticks {
+        for (i, &core) in cores.iter().enumerate() {
+            let mut used = debt[i].min(tick);
+            debt[i] = debt[i].saturating_sub(tick);
+            while used < tick {
+                let seg = region.segment(cursors[i] % n_segs);
+                cursors[i] = cursors[i].wrapping_add(cores.len() as u64 + 7);
+                let res = m.access_segment(CoreId(core), seg, AccessKind::Read, StreamId(0));
+                used += res.time;
+            }
+            debt[i] += used.saturating_sub(tick);
+        }
+        m.end_tick();
+    }
+    let after = m.counters().snapshot();
+    let bytes = after.imc_bytes[0] - before.imc_bytes[0];
+    bytes as f64 / (ticks as f64 * tick.as_secs_f64())
+}
+
+#[test]
+fn single_local_stream_is_uncapped() {
+    // One local reader cannot exceed (or be throttled far below) the
+    // configured bandwidth.
+    let rate = achieved_mc_rate(&[0], 500, true);
+    let cap = MachineConfig::opteron_4x4().mc_bandwidth;
+    assert!(rate < 1.15 * cap, "single stream above cap: {rate:.3e}");
+    assert!(rate > 0.5 * cap, "single stream far below cap: {rate:.3e}");
+}
+
+#[test]
+fn oversubscribed_mc_is_capped_local() {
+    // 4 local cores on node 0.
+    let rate = achieved_mc_rate(&[0, 1, 2, 3], 500, true);
+    let cap = MachineConfig::opteron_4x4().mc_bandwidth;
+    assert!(
+        rate < 1.2 * cap,
+        "4 local streams exceed the MC cap: {rate:.3e} vs {cap:.3e}"
+    );
+}
+
+#[test]
+fn oversubscribed_mc_is_capped_remote() {
+    // 16 cores over all sockets, all reading node-0-homed data: the
+    // scattered OS pattern. The cap must still hold.
+    let cores: Vec<u16> = (0..16).collect();
+    let rate = achieved_mc_rate(&cores, 500, true);
+    let cap = MachineConfig::opteron_4x4().mc_bandwidth;
+    assert!(
+        rate < 1.2 * cap,
+        "16 scattered streams exceed the MC cap: {rate:.3e} vs {cap:.3e}"
+    );
+}
+
+#[test]
+fn print_rates_for_diagnosis() {
+    let cap = MachineConfig::opteron_4x4().mc_bandwidth;
+    for n in [1usize, 2, 4, 8, 16] {
+        let cores: Vec<u16> = (0..n as u16).collect();
+        let rate = achieved_mc_rate(&cores, 300, true);
+        eprintln!(
+            "streams={n:>2} rate={:>6.2} GB/s (cap {:.1})",
+            rate / 1e9,
+            cap / 1e9
+        );
+    }
+}

@@ -79,8 +79,7 @@ impl LoadSampler {
             .collect();
         let group_busy_ns = group_busy_total.saturating_sub(self.prev_group_busy);
         let n_allowed = kernel.group_mask(self.group).count().max(1);
-        let group_load =
-            (group_busy_ns as f64 / (wall_ns as f64 * n_allowed as f64)).min(1.0);
+        let group_load = (group_busy_ns as f64 / (wall_ns as f64 * n_allowed as f64)).min(1.0);
         let sample = LoadSample {
             from: self.prev_time,
             to: now,
@@ -154,7 +153,11 @@ mod tests {
         );
         k.run_until(SimTime::from_millis(8));
         let s = sampler.sample(&k);
-        assert!((s.group_load_pct() - 25.0).abs() < 5.0, "got {}", s.group_load_pct());
+        assert!(
+            (s.group_load_pct() - 25.0).abs() < 5.0,
+            "got {}",
+            s.group_load_pct()
+        );
     }
 
     #[test]

@@ -72,6 +72,12 @@ struct Group {
     mask: CoreMask,
     members: Vec<Tid>,
     busy_ns: u64,
+    /// Time-integrated CPU demand: Σ over ticks of
+    /// `runnable_members × tick`. A monitor's per-interval delta of this
+    /// counter gives the *windowed* demand the elastic mechanism's
+    /// `u` predicate consumes (instantaneous runnable-count sampling
+    /// oscillates with sub-interval scheduling noise).
+    demand_ns: u64,
 }
 
 /// A spawn request issued from inside a work step.
@@ -201,6 +207,7 @@ impl Kernel {
             mask,
             members: Vec::new(),
             busy_ns: 0,
+            demand_ns: 0,
         });
         id
     }
@@ -213,6 +220,12 @@ impl Kernel {
     /// Cumulative on-CPU nanoseconds of the group's threads.
     pub fn group_busy_ns(&self, group: GroupId) -> u64 {
         self.groups[group.0 as usize].busy_ns
+    }
+
+    /// Cumulative time-integrated CPU demand of the group
+    /// (`Σ runnable_members × tick`); monitors consume window deltas.
+    pub fn group_demand_ns(&self, group: GroupId) -> u64 {
+        self.groups[group.0 as usize].demand_ns
     }
 
     /// Live (unfinished) members of a group.
@@ -440,9 +453,7 @@ impl Kernel {
                     let over_slice = slot.slice_used >= self.cfg.timeslice;
                     let over_granularity = self.runqueues[core_idx]
                         .min_vruntime()
-                        .is_some_and(|mv| {
-                            slot.vruntime > mv + self.cfg.preempt_granularity_ns
-                        });
+                        .is_some_and(|mv| slot.vruntime > mv + self.cfg.preempt_granularity_ns);
                     if over_slice || over_granularity {
                         self.stats.preemptions += 1;
                         self.trace.on_stop(tid, end);
@@ -481,6 +492,21 @@ impl Kernel {
             }
             self.wake_buf = wakes;
             self.admit_spawns();
+        }
+        // Integrate per-group CPU demand over the tick.
+        let tick_ns = tick.as_nanos();
+        for gi in 0..self.groups.len() {
+            let runnable = self.groups[gi]
+                .members
+                .iter()
+                .filter(|t| {
+                    matches!(
+                        self.threads[t.idx()].state,
+                        ThreadState::Runnable | ThreadState::Running
+                    )
+                })
+                .count() as u64;
+            self.groups[gi].demand_ns += runnable * tick_ns;
         }
         self.machine.end_tick();
         self.now += tick;
@@ -580,9 +606,7 @@ impl Kernel {
         let prev = self.threads[tid.idx()].core;
         let target = prefer
             .filter(|c| allowed.contains(*c))
-            .or_else(|| {
-                prev.filter(|c| allowed.contains(*c) && self.core_load(c.idx()) == 0)
-            })
+            .or_else(|| prev.filter(|c| allowed.contains(*c) && self.core_load(c.idx()) == 0))
             .unwrap_or_else(|| {
                 let cores: Vec<CoreId> = allowed.iter().collect();
                 let start = (self.place_next() % cores.len() as u64) as usize;
@@ -602,8 +626,7 @@ impl Kernel {
         slot.core = Some(target);
         // Normalise vruntime so migrated/woken threads neither starve the
         // queue nor get starved (CFS's min_vruntime placement).
-        let floor = self.min_vruntime[target.idx()]
-            .saturating_sub(self.cfg.timeslice.as_nanos());
+        let floor = self.min_vruntime[target.idx()].saturating_sub(self.cfg.timeslice.as_nanos());
         if slot.vruntime < floor {
             slot.vruntime = floor;
         }
@@ -690,8 +713,8 @@ impl Kernel {
                     self.stats.migrations += 1;
                     self.threads[tid.idx()].stats.migrations += 1;
                     self.threads[tid.idx()].core = Some(core);
-                    let floor = self.min_vruntime[core_idx]
-                        .saturating_sub(self.cfg.timeslice.as_nanos());
+                    let floor =
+                        self.min_vruntime[core_idx].saturating_sub(self.cfg.timeslice.as_nanos());
                     let vr = vr.max(floor);
                     self.threads[tid.idx()].vruntime = vr;
                     self.runqueues[core_idx].push(vr, tid);
@@ -785,7 +808,10 @@ mod tests {
         k.run_until(SimTime::from_millis(12));
         let after = k.machine().counters().busy_ns.snapshot();
         for c in 2..16 {
-            assert_eq!(after[c], before[c], "core {c} ran group work after mask shrink");
+            assert_eq!(
+                after[c], before[c],
+                "core {c} ran group work after mask shrink"
+            );
         }
         assert!(k.stats().migrations > 0);
     }

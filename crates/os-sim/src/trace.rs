@@ -6,7 +6,7 @@
 //! colour = core).
 
 use crate::thread::Tid;
-use emca_metrics::{SimTime, FxHashMap};
+use emca_metrics::{FxHashMap, SimTime};
 use numa_sim::CoreId;
 
 /// A contiguous execution of a thread on one core.

@@ -35,7 +35,10 @@ impl Thresholds {
     /// The paper's CPU-load thresholds (percent): `thmin=10, thmax=70`,
     /// "following the rules of thumb in the literature".
     pub fn cpu_load_default() -> Self {
-        Thresholds { thmin: 10, thmax: 70 }
+        Thresholds {
+            thmin: 10,
+            thmax: 70,
+        }
     }
 
     /// The paper's HT/IMC-ratio thresholds (§V-B): `0.1 / 0.4`, scaled to
@@ -142,8 +145,14 @@ impl ElasticNet {
         let provision = net.add_place("Provision");
 
         let u_arc = |p| InArc { place: p, var: "u" };
-        let n_arc = |p| InArc { place: p, var: "nalloc" };
-        let out_u = |p| OutArc { place: p, expr: Expr::Var("u") };
+        let n_arc = |p| InArc {
+            place: p,
+            var: "nalloc",
+        };
+        let out_u = |p| OutArc {
+            place: p,
+            expr: Expr::Var("u"),
+        };
         let out_n = |p, d: i64| OutArc {
             place: p,
             expr: if d == 0 {
@@ -329,7 +338,11 @@ impl ElasticNet {
     /// token sits in `Provision`, at most one in `Checks`, and none in the
     /// state places.
     pub fn check_invariants(&self) {
-        assert_eq!(self.marking.count(self.provision), 1, "Provision not 1-safe");
+        assert_eq!(
+            self.marking.count(self.provision),
+            1,
+            "Provision not 1-safe"
+        );
         assert!(self.marking.count(self.checks) <= 1, "Checks overfull");
         for p in [self.idle, self.stable, self.overload] {
             assert_eq!(self.marking.count(p), 0, "state place retained a token");
@@ -466,10 +479,7 @@ mod tests {
             m.add(PlaceId(4), 3); // Provision
             let base = Binding::new().with("ntotal", 16);
             let enabled = net.net().enabled(&m, &base);
-            let classifiers = enabled
-                .iter()
-                .filter(|t| t.0 <= 2)
-                .count();
+            let classifiers = enabled.iter().filter(|t| t.0 <= 2).count();
             assert_eq!(classifiers, 1, "u={u} enabled {classifiers} classifiers");
         }
     }
@@ -477,7 +487,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "thmin")]
     fn inverted_thresholds_rejected() {
-        let _ = ElasticNet::new(Thresholds { thmin: 70, thmax: 10 }, 16, 1);
+        let _ = ElasticNet::new(
+            Thresholds {
+                thmin: 70,
+                thmax: 10,
+            },
+            16,
+            1,
+        );
     }
 
     #[test]

@@ -169,10 +169,16 @@ impl PrtNet {
     /// construction).
     pub fn add_transition(&mut self, t: Transition) -> TransitionId {
         for a in &t.pre {
-            assert!(a.place.0 < self.place_names.len(), "pre-arc to unknown place");
+            assert!(
+                a.place.0 < self.place_names.len(),
+                "pre-arc to unknown place"
+            );
         }
         for a in &t.post {
-            assert!(a.place.0 < self.place_names.len(), "post-arc to unknown place");
+            assert!(
+                a.place.0 < self.place_names.len(),
+                "post-arc to unknown place"
+            );
         }
         self.transitions.push(t);
         TransitionId(self.transitions.len() - 1)
@@ -323,11 +329,7 @@ impl PrtNet {
         let m = self.incidence();
         let mut out = String::new();
         out.push_str("A^T = Post - Pre\n");
-        let header: Vec<String> = self
-            .transitions
-            .iter()
-            .map(|t| t.name.clone())
-            .collect();
+        let header: Vec<String> = self.transitions.iter().map(|t| t.name.clone()).collect();
         out.push_str(&format!("{:>10}", ""));
         for h in &header {
             out.push_str(&format!("{h:>14}"));
@@ -361,14 +363,26 @@ mod tests {
                 Pred::var_cmp("u", Cmp::Gt, 10),
                 Pred::var_cmp("u", Cmp::Lt, 70),
             ),
-            pre: vec![InArc { place: checks, var: "u" }],
-            post: vec![OutArc { place: stable, expr: Expr::Var("u") }],
+            pre: vec![InArc {
+                place: checks,
+                var: "u",
+            }],
+            post: vec![OutArc {
+                place: stable,
+                expr: Expr::Var("u"),
+            }],
         });
         net.add_transition(Transition {
             name: "t3".into(),
             guard: Pred::True,
-            pre: vec![InArc { place: stable, var: "u" }],
-            post: vec![OutArc { place: checks, expr: Expr::Var("u") }],
+            pre: vec![InArc {
+                place: stable,
+                var: "u",
+            }],
+            post: vec![OutArc {
+                place: checks,
+                expr: Expr::Var("u"),
+            }],
         });
         (net, checks, stable)
     }
@@ -469,7 +483,10 @@ mod tests {
         net.add_transition(Transition {
             name: "bad".into(),
             guard: Pred::True,
-            pre: vec![InArc { place: PlaceId(9), var: "u" }],
+            pre: vec![InArc {
+                place: PlaceId(9),
+                var: "u",
+            }],
             post: vec![],
         });
     }

@@ -25,7 +25,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id rendered as `function_name/parameter`.
     pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 }
 
@@ -196,7 +198,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     let mut iters: u64 = 1;
     let warm_start = Instant::now();
     loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         if b.elapsed >= Duration::from_millis(1)
             || warm_start.elapsed() >= config.warm_up_time
@@ -214,7 +219,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(
         let mut batches = 0u64;
         let mut total = Duration::ZERO;
         while sample_start.elapsed() < per_sample || batches == 0 {
-            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             total += b.elapsed;
             batches += 1;

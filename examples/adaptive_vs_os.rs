@@ -12,7 +12,10 @@ fn main() {
     let data = TpchData::generate(TpchScale { sf: 0.05, seed: 42 });
     let specs: Vec<QuerySpec> = [1u8, 3, 6, 9, 14, 19]
         .into_iter()
-        .map(|n| QuerySpec::Tpch { number: n, variant: 0 })
+        .map(|n| QuerySpec::Tpch {
+            number: n,
+            variant: 0,
+        })
         .collect();
     let workload = Workload::Mixed {
         specs,
@@ -22,7 +25,15 @@ fn main() {
 
     let mut t = Table::new(
         "allocation policies on a mixed OLAP workload (16 clients)",
-        &["policy", "qps", "mean_resp_ms", "ht_GB", "faults", "steals", "cores_mean"],
+        &[
+            "policy",
+            "qps",
+            "mean_resp_ms",
+            "ht_GB",
+            "faults",
+            "steals",
+            "cores_mean",
+        ],
     );
     for alloc in Alloc::all() {
         let out = run(

@@ -42,10 +42,7 @@ fn main() {
         if !out.transitions.is_empty() {
             println!("  mechanism transitions (first 5):");
             for e in out.transitions.iter().take(5) {
-                println!(
-                    "    {} {} u={} -> {} cores",
-                    e.at, e.label, e.u, e.nalloc
-                );
+                println!("    {} {} u={} -> {} cores", e.at, e.label, e.u, e.nalloc);
             }
         }
         // The revenue is a real query result, identical in every mode.

@@ -27,15 +27,14 @@ fn main() {
             .with_scale(data.scale),
             &data,
         );
-        let rows = out
-            .results
-            .first()
-            .map(|r| r.result.len())
-            .unwrap_or(0);
+        let rows = out.results.first().map(|r| r.result.len()).unwrap_or(0);
         t.row(vec![
             sel.to_string(),
             fnum(out.throughput_qps(), 2),
-            fnum(out.imc_bytes_per_socket().iter().sum::<u64>() as f64 / 1e9, 3),
+            fnum(
+                out.imc_bytes_per_socket().iter().sum::<u64>() as f64 / 1e9,
+                3,
+            ),
             out.l3_misses_per_socket().iter().sum::<u64>().to_string(),
             rows.to_string(),
         ]);

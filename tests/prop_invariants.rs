@@ -131,6 +131,7 @@ proptest! {
             topology: &topo,
             current: mask,
             pages_per_node: &pages,
+            mc_util_per_node: &[],
         }) {
             prop_assert!(!mask.contains(core), "duplicate allocation of {core:?}");
             mask.insert(core);
@@ -143,6 +144,7 @@ proptest! {
             topology: &topo,
             current: mask,
             pages_per_node: &pages,
+            mc_util_per_node: &[],
         }) {
             prop_assert!(mask.contains(core));
             mask.remove(core);
