@@ -1,80 +1,12 @@
-//! Ablation of the calibration choices documented in DESIGN.md §5b:
-//!
-//! 1. load signal: instantaneous demand vs windowed average vs HT/IMC;
-//! 2. the Eq. 1 memory-saturation guard: on vs off;
-//! 3. data placement: warm server (loader-concentrated) vs cold start
-//!    (first-touch by queries).
-//!
-//! Each row reports throughput, interconnect traffic and the mean
-//! allocation, all under the adaptive mode with 32 clients on Q6.
-
-use emca_bench::{emit, env_clients, env_iters, env_sf};
-use emca_harness::{run, Alloc, RunConfig};
-use emca_metrics::table::{fnum, Table};
-use volcano_db::client::Workload;
-use volcano_db::tpch::{QuerySpec, TpchData};
+//! Deprecated shim for the calibration ablation: the scenario now lives in
+//! `emca_bench::scenarios::ablation` and is driven by `emca run ablation`.
+//! The shim keeps existing invocations working: default outputs are
+//! byte-identical, and the documented `EMCA_*` fallbacks are honoured —
+//! now via the shared spec parser, so malformed values are hard errors
+//! (exit 2) and the newer fallbacks (`EMCA_POLICY`, `EMCA_FLAVOR`,
+//! `EMCA_WARMUP`, `EMCA_GUARD`, `EMCA_INTERVAL_MS`, `EMCA_OUT_DIR`)
+//! apply here too.
 
 fn main() {
-    let scale = env_sf();
-    let users = env_clients(32);
-    let iters = env_iters(4);
-    let data = TpchData::generate(scale);
-    eprintln!("ablation: sf={} users={users} iters={iters}", scale.sf);
-    let workload = Workload::Repeat {
-        spec: QuerySpec::Q6 { variant: 0 },
-        iterations: iters,
-    };
-    let base = || RunConfig::new(Alloc::Adaptive, users, workload.clone()).with_scale(scale);
-
-    let mut t = Table::new(
-        "Ablation — adaptive mode design choices",
-        &[
-            "variant",
-            "qps",
-            "ht_GB",
-            "faults",
-            "cores_mean",
-            "transitions",
-        ],
-    );
-    let mut row = |name: &str, cfg: RunConfig| {
-        let out = run(cfg, &data);
-        t.row(vec![
-            name.to_string(),
-            fnum(out.throughput_qps(), 2),
-            fnum(out.ht_bytes() as f64 / 1e9, 2),
-            out.minor_faults().to_string(),
-            fnum(out.cores_series.mean().unwrap_or(16.0), 1),
-            out.transitions.len().to_string(),
-        ]);
-    };
-
-    row("default (windowed demand, guard, warm)", base());
-    row(
-        "instantaneous demand signal",
-        base().with_metric(elastic_core::MetricKind::CpuLoadInstant),
-    );
-    row(
-        "busy-time load signal",
-        base().with_metric(elastic_core::MetricKind::CpuLoadWindowed),
-    );
-    row(
-        "HT/IMC transition strategy",
-        base().with_metric(elastic_core::MetricKind::HtImcRatio),
-    );
-    row(
-        "cold start (first-touch by queries)",
-        base().without_warmup(),
-    );
-    row("saturation guard off", base().with_guard(None));
-    row(
-        "interleaved base placement",
-        base().with_warmup(emca_harness::Warmup::Interleave),
-    );
-    {
-        // OS baseline for reference.
-        let cfg = RunConfig::new(Alloc::OsAll, users, workload.clone()).with_scale(scale);
-        row("OS baseline (all 16 cores)", cfg);
-    }
-    emit(&t, "ablation.csv");
+    emca_bench::shim_main("ablation");
 }

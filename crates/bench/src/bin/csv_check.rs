@@ -1,155 +1,7 @@
-//! `results/` CSV schema check (CI early job): validates that every
-//! committed results file for the 16 figure/table binaries exists, has
-//! the expected header, and that every data row matches the header's
-//! column count. Catches truncated writes and accidental schema drift
-//! before the expensive jobs run.
-//!
-//! Exits 0 when everything validates, 1 with a per-file diagnostic
-//! otherwise.
-
-use std::path::Path;
-
-/// Expected header per committed results CSV (filename → header).
-const SCHEMAS: &[(&str, &str)] = &[
-    (
-        "ablation.csv",
-        "variant,qps,ht_GB,faults,cores_mean,transitions",
-    ),
-    (
-        "fig04_q6_users.csv",
-        "users,series,throughput_qps,minor_faults_per_s,ht_traffic_MBps",
-    ),
-    (
-        "fig05_migration_os.csv",
-        "thread,name_hint,core,node,start_ms,end_ms",
-    ),
-    ("fig06_tomograph.csv", "operator,calls,total_time"),
-    (
-        "fig07_transitions.csv",
-        "time_s,transition,state,u,cpu_load_pct,cores",
-    ),
-    (
-        "fig13_sched_metrics.csv",
-        "users,policy,throughput_qps,cpu_load_pct,tasks,stolen_tasks,cores_mean",
-    ),
-    (
-        "fig14_memory_metrics.csv",
-        "policy,l3_misses_S0,l3_misses_S1,l3_misses_S2,l3_misses_S3,\
-         mem_tp_S0_GBps,mem_tp_S1_GBps,mem_tp_S2_GBps,mem_tp_S3_GBps,ht_traffic_GBps",
-    ),
-    (
-        "fig15_selectivity.csv",
-        "selectivity_pct,policy,l3_misses_S0,l3_misses_S1,l3_misses_S2,l3_misses_S3,total",
-    ),
-    (
-        "fig16_migration_adaptive.csv",
-        "thread,name_hint,core,node,start_ms,end_ms",
-    ),
-    (
-        "fig16_migration_dense.csv",
-        "thread,name_hint,core,node,start_ms,end_ms",
-    ),
-    (
-        "fig16_migration_os_monetdb.csv",
-        "thread,name_hint,core,node,start_ms,end_ms",
-    ),
-    (
-        "fig16_migration_sparse.csv",
-        "thread,name_hint,core,node,start_ms,end_ms",
-    ),
-    ("fig16_summary.csv", "policy,threads,migrations,spans"),
-    (
-        "fig17_strategies.csv",
-        "strategy,policy,response_s,ht_traffic_MBps,l3_misses_S0,l3_misses_S1,\
-         l3_misses_S2,l3_misses_S3",
-    ),
-    ("fig18_adaptive-monetdb.csv", "time_s,S0,S1,S2,S3"),
-    ("fig18_adaptive-sqlserver.csv", "time_s,S0,S1,S2,S3"),
-    ("fig18_os_monetdb-monetdb.csv", "time_s,S0,S1,S2,S3"),
-    ("fig18_os_sql server-sqlserver.csv", "time_s,S0,S1,S2,S3"),
-    ("fig18_summary.csv", "panel,total_time_s,ht_GB,imc_GB,qps"),
-    (
-        "fig19_monetdb.csv",
-        "query,speedup_adaptive,ratio_OS,ratio_Dense,ratio_Sparse,ratio_Adaptive",
-    ),
-    (
-        "fig19_sqlserver.csv",
-        "query,speedup_adaptive,ratio_OS,ratio_Dense,ratio_Sparse,ratio_Adaptive",
-    ),
-    (
-        "fig20_energy.csv",
-        "query,os_cpu_J,os_ht_J,adaptive_cpu_J,adaptive_ht_J,cpu_saving_pct,ht_saving_pct",
-    ),
-    (
-        "tab_overhead.csv",
-        "mode,paper_token_flow_s,simulated_actuation_s,our_prt_step_us",
-    ),
-    ("tab_summary.csv", "flavor,metric,measured,paper"),
-];
-
-/// Counts RFC-4180-ish CSV fields (the quoting `Table::to_csv` emits).
-fn n_fields(line: &str) -> usize {
-    let mut n = 1;
-    let mut in_quotes = false;
-    for c in line.chars() {
-        match c {
-            '"' => in_quotes = !in_quotes,
-            ',' if !in_quotes => n += 1,
-            _ => {}
-        }
-    }
-    n
-}
+//! Deprecated shim for the results-CSV schema check: the validation now
+//! lives in `emca_bench::scenarios::csv_check` (schemas single-sourced
+//! from each scenario's declaration) and is driven by `emca check`.
 
 fn main() {
-    let dir = emca_harness::results_path("");
-    let mut problems: Vec<String> = Vec::new();
-    let mut checked = 0usize;
-    for (name, header) in SCHEMAS {
-        let path: &Path = &dir.join(name);
-        let content = match std::fs::read_to_string(path) {
-            Ok(c) => c,
-            Err(e) => {
-                problems.push(format!("{name}: unreadable ({e})"));
-                continue;
-            }
-        };
-        let mut lines = content.lines();
-        match lines.next() {
-            Some(first) if first == *header => {}
-            Some(first) => {
-                problems.push(format!(
-                    "{name}: header mismatch\n  expected: {header}\n  found:    {first}"
-                ));
-                continue;
-            }
-            None => {
-                problems.push(format!("{name}: empty file"));
-                continue;
-            }
-        }
-        let want = n_fields(header);
-        for (i, line) in lines.enumerate() {
-            if line.is_empty() {
-                continue;
-            }
-            let got = n_fields(line);
-            if got != want {
-                problems.push(format!(
-                    "{name}: row {} has {got} columns, header has {want}",
-                    i + 2
-                ));
-                break;
-            }
-        }
-        checked += 1;
-    }
-    if problems.is_empty() {
-        println!("csv_check: {checked} results files validate");
-    } else {
-        for p in &problems {
-            eprintln!("csv_check: {p}");
-        }
-        std::process::exit(1);
-    }
+    emca_bench::shim_main("csv_check");
 }

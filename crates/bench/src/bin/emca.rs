@@ -1,0 +1,213 @@
+//! `emca` — the single scenario CLI of the reproduction.
+//!
+//! ```text
+//! emca list [--names]                 list registered scenarios
+//! emca run <scenario> [flags]         run one scenario
+//! emca sweep <scenario> --over k=v1,v2,... [flags]
+//!                                     run a scenario once per value
+//! emca check [--fidelity] [flags]     validate results CSVs
+//!                                     (+ the tab_summary fidelity gate)
+//! emca help                           this text
+//! ```
+//!
+//! Flags mirror the [`ExperimentSpec`] fields; the documented `EMCA_*`
+//! environment variables remain as fallbacks and flags override them:
+//!
+//! ```text
+//! --sf <f>  --seed <n>  --users <n>  --iters <n>
+//! --policy dense|sparse|adaptive|hillclimb
+//! --flavor monetdb|sqlserver
+//! --warmup loader|interleave|none
+//! --guard off|<threshold>  --interval-ms <ms>
+//! --out-dir <dir>  --check
+//! ```
+//!
+//! Typical invocations:
+//!
+//! ```sh
+//! cargo run --release -p emca-bench --bin emca -- run fig19 --policy adaptive --sf 0.25
+//! cargo run --release -p emca-bench --bin emca -- run tab_summary --policy hillclimb
+//! cargo run --release -p emca-bench --bin emca -- sweep fig07 --over policy=dense,sparse,adaptive
+//! EMCA_SF=0.25 cargo run --release -p emca-bench --bin emca -- check --fidelity
+//! ```
+
+use emca_bench::scenarios;
+use emca_harness::ExperimentSpec;
+
+const USAGE: &str = "\
+usage: emca <command> [...]
+
+commands:
+  list [--names]                     list scenarios (--names: bare names only)
+  run <scenario> [flags]             run one scenario
+  sweep <scenario> --over k=v1,v2,.. run once per value of one spec key
+  check [--fidelity] [flags]         validate declared results CSVs;
+                                     --fidelity also runs the tab_summary gate
+  help                               show this text
+
+flags (override the EMCA_* environment fallbacks):
+  --sf <f> --seed <n> --users <n> --iters <n>
+  --policy dense|sparse|adaptive|hillclimb
+  --flavor monetdb|sqlserver --warmup loader|interleave|none
+  --guard off|<threshold> --interval-ms <ms> --out-dir <dir> --check";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("emca: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Maps `--flag value` pairs onto spec fields; returns leftovers that
+/// are not spec flags (command-specific switches).
+fn parse_flags(spec: &mut ExperimentSpec, args: &[String]) -> Vec<String> {
+    let mut rest = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let key = match arg.as_str() {
+            "--sf" => "sf",
+            "--seed" => "seed",
+            "--users" => "users",
+            "--iters" => "iters",
+            "--policy" => "policy",
+            "--flavor" => "flavor",
+            "--warmup" => "warmup",
+            "--guard" => "guard",
+            "--interval-ms" => "interval_ms",
+            "--out-dir" => "out_dir",
+            "--check" => {
+                spec.check = true;
+                continue;
+            }
+            _ => {
+                rest.push(arg.clone());
+                continue;
+            }
+        };
+        let Some(value) = it.next() else {
+            fail(&format!("{arg} requires a value"));
+        };
+        if let Err(e) = spec.set(key, value) {
+            fail(&e.to_string());
+        }
+    }
+    rest
+}
+
+fn base_spec() -> ExperimentSpec {
+    match emca_harness::config::from_env() {
+        Ok(spec) => spec,
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
+fn run_one(registry: &emca_harness::ScenarioRegistry, name: &str, spec: &ExperimentSpec) {
+    spec.log_resolved();
+    if let Err(e) = registry.run(name, spec) {
+        eprintln!("emca run {name}: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = scenarios::registry();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let names_only = args.iter().any(|a| a == "--names");
+            if names_only {
+                for name in registry.names() {
+                    println!("{name}");
+                }
+            } else {
+                let width = registry.names().iter().map(|n| n.len()).max().unwrap_or(0);
+                for s in registry.iter() {
+                    println!("{:width$}  {}", s.name(), s.about());
+                }
+            }
+        }
+        Some("run") => {
+            let Some(name) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                fail("run requires a scenario name (see `emca list`)");
+            };
+            let mut spec = base_spec();
+            spec.scenario = name.clone();
+            let rest = parse_flags(&mut spec, &args[2..]);
+            if let Some(extra) = rest.first() {
+                fail(&format!("unknown flag {extra:?}"));
+            }
+            if registry.get(name).is_none() {
+                eprintln!(
+                    "emca: unknown scenario {name:?} (valid: {})",
+                    registry.names().join(", ")
+                );
+                std::process::exit(2);
+            }
+            run_one(&registry, name, &spec);
+        }
+        Some("sweep") => {
+            let Some(name) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                fail("sweep requires a scenario name (see `emca list`)");
+            };
+            let mut spec = base_spec();
+            spec.scenario = name.clone();
+            let rest = parse_flags(&mut spec, &args[2..]);
+            let mut over: Option<(String, Vec<String>)> = None;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                if arg == "--over" {
+                    let Some(kv) = it.next() else {
+                        fail("--over requires key=v1,v2,...");
+                    };
+                    let Some((key, values)) = kv.split_once('=') else {
+                        fail("--over requires key=v1,v2,...");
+                    };
+                    over = Some((
+                        key.to_string(),
+                        values.split(',').map(str::to_string).collect(),
+                    ));
+                } else {
+                    fail(&format!("unknown flag {arg:?}"));
+                }
+            }
+            let Some((key, values)) = over else {
+                fail("sweep requires --over key=v1,v2,...");
+            };
+            if registry.get(name).is_none() {
+                fail(&format!(
+                    "unknown scenario {name:?} (valid: {})",
+                    registry.names().join(", ")
+                ));
+            }
+            for value in &values {
+                let mut step = spec.clone();
+                if let Err(e) = step.set(&key, value) {
+                    fail(&e.to_string());
+                }
+                eprintln!("== sweep {key}={value} ==");
+                run_one(&registry, name, &step);
+            }
+        }
+        Some("check") => {
+            let mut spec = base_spec();
+            let rest = parse_flags(&mut spec, &args[1..]);
+            let mut fidelity = false;
+            for arg in &rest {
+                match arg.as_str() {
+                    "--fidelity" => fidelity = true,
+                    other => fail(&format!("unknown flag {other:?}")),
+                }
+            }
+            spec.scenario = "csv_check".to_string();
+            run_one(&registry, "csv_check", &spec);
+            if fidelity {
+                let mut spec = spec.clone();
+                spec.scenario = "tab_summary".to_string();
+                spec.check = true;
+                run_one(&registry, "tab_summary", &spec);
+            }
+        }
+        Some("help") | Some("--help") | Some("-h") => println!("{USAGE}"),
+        Some(other) => fail(&format!("unknown command {other:?}")),
+        None => fail("missing command"),
+    }
+}

@@ -1,73 +1,12 @@
-//! Fig. 4 — TPC-H Q6 with an increasing number of concurrent clients:
-//! (a) throughput, (b) minor page faults/s, (c) HT traffic, comparing the
-//! hand-coded C version under Dense/Sparse/OS affinity against MonetDB
-//! under the OS scheduler.
-
-use emca_bench::{emit, env_clients, env_iters, env_sf, user_sweep};
-use emca_harness::{run, run_handcoded, Alloc, RunConfig};
-use emca_metrics::table::{fnum, Table};
-use emca_metrics::SimDuration;
-use volcano_db::client::Workload;
-use volcano_db::handcoded::CAffinity;
-use volcano_db::tpch::{QuerySpec, TpchData};
+//! Deprecated shim for Fig. 4: the scenario now lives in
+//! `emca_bench::scenarios::fig04` and is driven by `emca run fig04`.
+//! The shim keeps existing invocations working: default outputs are
+//! byte-identical, and the documented `EMCA_*` fallbacks are honoured —
+//! now via the shared spec parser, so malformed values are hard errors
+//! (exit 2) and the newer fallbacks (`EMCA_POLICY`, `EMCA_FLAVOR`,
+//! `EMCA_WARMUP`, `EMCA_GUARD`, `EMCA_INTERVAL_MS`, `EMCA_OUT_DIR`)
+//! apply here too.
 
 fn main() {
-    let scale = env_sf();
-    let iters = env_iters(3);
-    let data = TpchData::generate(scale);
-    eprintln!("fig04: sf={} iters={iters}", scale.sf);
-
-    let mut t = Table::new(
-        "Fig. 4 — Q6 with increasing concurrent clients",
-        &[
-            "users",
-            "series",
-            "throughput_qps",
-            "minor_faults_per_s",
-            "ht_traffic_MBps",
-        ],
-    );
-    for users in user_sweep(env_clients(256)) {
-        for (name, affinity) in [
-            ("Dense/C", CAffinity::Dense),
-            ("Sparse/C", CAffinity::Sparse),
-            ("OS/C", CAffinity::Os),
-        ] {
-            let out = run_handcoded(
-                &data,
-                affinity,
-                users,
-                16,
-                iters,
-                SimDuration::from_secs(3600),
-            );
-            t.row(vec![
-                users.to_string(),
-                name.to_string(),
-                fnum(out.throughput_qps(), 3),
-                fnum(out.fault_rate(), 0),
-                fnum(out.ht_rate() / 1e6, 1),
-            ]);
-        }
-        let out = run(
-            RunConfig::new(
-                Alloc::OsAll,
-                users,
-                Workload::Repeat {
-                    spec: QuerySpec::Q6 { variant: 0 },
-                    iterations: iters,
-                },
-            )
-            .with_scale(scale),
-            &data,
-        );
-        t.row(vec![
-            users.to_string(),
-            "OS/MonetDB".to_string(),
-            fnum(out.throughput_qps(), 3),
-            fnum(out.fault_rate(), 0),
-            fnum(out.ht_rate() / 1e6, 1),
-        ]);
-    }
-    emit(&t, "fig04_q6_users.csv");
+    emca_bench::shim_main("fig04");
 }

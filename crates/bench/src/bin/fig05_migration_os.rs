@@ -1,33 +1,12 @@
-//! Fig. 5 — lifespan and core migration of the threads spawned for a
-//! single-client Q6 under the plain OS scheduler with all 16 cores.
-
-use emca_bench::{emit, env_sf};
-use emca_harness::{report, run, Alloc, RunConfig};
-use volcano_db::client::Workload;
-use volcano_db::tpch::{QuerySpec, TpchData};
+//! Deprecated shim for Fig. 5: the scenario now lives in
+//! `emca_bench::scenarios::fig05` and is driven by `emca run fig05`.
+//! The shim keeps existing invocations working: default outputs are
+//! byte-identical, and the documented `EMCA_*` fallbacks are honoured —
+//! now via the shared spec parser, so malformed values are hard errors
+//! (exit 2) and the newer fallbacks (`EMCA_POLICY`, `EMCA_FLAVOR`,
+//! `EMCA_WARMUP`, `EMCA_GUARD`, `EMCA_INTERVAL_MS`, `EMCA_OUT_DIR`)
+//! apply here too.
 
 fn main() {
-    let scale = env_sf();
-    let data = TpchData::generate(scale);
-    eprintln!("fig05: sf={}", scale.sf);
-    let out = run(
-        RunConfig::new(
-            Alloc::OsAll,
-            1,
-            Workload::Repeat {
-                spec: QuerySpec::Q6 { variant: 0 },
-                iterations: 1,
-            },
-        )
-        .with_scale(scale)
-        .with_trace(),
-        &data,
-    );
-    let trace = out.trace.as_ref().expect("tracing enabled");
-    let topo = numa_sim::Topology::opteron_4x4();
-    let table =
-        report::render_migration_map("Fig. 5 — OS/MonetDB thread migration map", trace, &topo);
-    let (threads, migrations) = report::migration_summary(trace);
-    emit(&table, "fig05_migration_os.csv");
-    println!("threads traced: {threads}, total core migrations: {migrations}");
+    emca_bench::shim_main("fig05");
 }

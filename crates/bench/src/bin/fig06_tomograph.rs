@@ -1,28 +1,12 @@
-//! Fig. 6 — Tomograph view of Q6: per-MAL-operator calls and total time
-//! across the worker threads.
-
-use emca_bench::{emit, env_sf};
-use emca_harness::{report, run, Alloc, RunConfig};
-use volcano_db::client::Workload;
-use volcano_db::tpch::{QuerySpec, TpchData};
+//! Deprecated shim for Fig. 6: the scenario now lives in
+//! `emca_bench::scenarios::fig06` and is driven by `emca run fig06`.
+//! The shim keeps existing invocations working: default outputs are
+//! byte-identical, and the documented `EMCA_*` fallbacks are honoured —
+//! now via the shared spec parser, so malformed values are hard errors
+//! (exit 2) and the newer fallbacks (`EMCA_POLICY`, `EMCA_FLAVOR`,
+//! `EMCA_WARMUP`, `EMCA_GUARD`, `EMCA_INTERVAL_MS`, `EMCA_OUT_DIR`)
+//! apply here too.
 
 fn main() {
-    let scale = env_sf();
-    let data = TpchData::generate(scale);
-    eprintln!("fig06: sf={}", scale.sf);
-    let out = run(
-        RunConfig::new(
-            Alloc::OsAll,
-            1,
-            Workload::Repeat {
-                spec: QuerySpec::Q6 { variant: 0 },
-                iterations: 1,
-            },
-        )
-        .with_scale(scale),
-        &data,
-    );
-    let table =
-        report::render_tomograph("Fig. 6 — Tomograph of Q6 (operator calls and time)", &out);
-    emit(&table, "fig06_tomograph.csv");
+    emca_bench::shim_main("fig06");
 }

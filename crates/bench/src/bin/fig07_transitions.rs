@@ -1,39 +1,12 @@
-//! Fig. 7 — PrT state transitions and core allocation along the
-//! execution of TPC-H Q6 (single client, adaptive mode, CPU-load
-//! strategy).
-
-use emca_bench::{emit, env_iters, env_sf};
-use emca_harness::{report, run, Alloc, RunConfig};
-use emca_metrics::SimDuration;
-use volcano_db::client::Workload;
-use volcano_db::tpch::{QuerySpec, TpchData};
+//! Deprecated shim for Fig. 7: the scenario now lives in
+//! `emca_bench::scenarios::fig07` and is driven by `emca run fig07`.
+//! The shim keeps existing invocations working: default outputs are
+//! byte-identical, and the documented `EMCA_*` fallbacks are honoured —
+//! now via the shared spec parser, so malformed values are hard errors
+//! (exit 2) and the newer fallbacks (`EMCA_POLICY`, `EMCA_FLAVOR`,
+//! `EMCA_WARMUP`, `EMCA_GUARD`, `EMCA_INTERVAL_MS`, `EMCA_OUT_DIR`)
+//! apply here too.
 
 fn main() {
-    let scale = env_sf();
-    let data = TpchData::generate(scale);
-    eprintln!("fig07: sf={}", scale.sf);
-    let out = run(
-        RunConfig::new(
-            Alloc::Adaptive,
-            1,
-            Workload::Repeat {
-                spec: QuerySpec::Q6 { variant: 0 },
-                iterations: env_iters(10),
-            },
-        )
-        .with_scale(scale)
-        .with_mech_interval(SimDuration::from_millis(10)),
-        &data,
-    );
-    let table = report::render_transitions(
-        "Fig. 7 — state transitions and allocated cores over Q6",
-        &out.transitions,
-    );
-    emit(&table, "fig07_transitions.csv");
-    if let Some(lonc) = elastic_core::lonc::analyze(&out.transitions) {
-        println!(
-            "LONC: {} cores (stable streak of {} control steps from {})",
-            lonc.lonc, lonc.streak, lonc.reached_at
-        );
-    }
+    emca_bench::shim_main("fig07");
 }

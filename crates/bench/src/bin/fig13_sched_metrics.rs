@@ -1,57 +1,12 @@
-//! Fig. 13 — scheduling metrics for the thetasubselect microbenchmark
-//! (45 % selectivity) with increasing concurrent clients: (a) throughput,
-//! (b) CPU load, (c) tasks, (d) stolen tasks, across the four allocation
-//! policies.
-
-use emca_bench::{emit, env_clients, env_iters, env_sf, user_sweep};
-use emca_harness::{run, Alloc, RunConfig};
-use emca_metrics::table::{fnum, Table};
-use volcano_db::client::Workload;
-use volcano_db::exec::engine::Flavor;
-use volcano_db::tpch::{QuerySpec, TpchData};
+//! Deprecated shim for Fig. 13: the scenario now lives in
+//! `emca_bench::scenarios::fig13` and is driven by `emca run fig13`.
+//! The shim keeps existing invocations working: default outputs are
+//! byte-identical, and the documented `EMCA_*` fallbacks are honoured —
+//! now via the shared spec parser, so malformed values are hard errors
+//! (exit 2) and the newer fallbacks (`EMCA_POLICY`, `EMCA_FLAVOR`,
+//! `EMCA_WARMUP`, `EMCA_GUARD`, `EMCA_INTERVAL_MS`, `EMCA_OUT_DIR`)
+//! apply here too.
 
 fn main() {
-    let scale = env_sf();
-    let iters = env_iters(4);
-    let data = TpchData::generate(scale);
-    eprintln!("fig13: sf={} iters={iters}", scale.sf);
-
-    let mut t = Table::new(
-        "Fig. 13 — thetasubselect scheduling metrics vs concurrent clients",
-        &[
-            "users",
-            "policy",
-            "throughput_qps",
-            "cpu_load_pct",
-            "tasks",
-            "stolen_tasks",
-            "cores_mean",
-        ],
-    );
-    for users in user_sweep(env_clients(256)) {
-        for alloc in Alloc::all() {
-            let out = run(
-                RunConfig::new(
-                    alloc,
-                    users,
-                    Workload::Repeat {
-                        spec: QuerySpec::ThetaSubselect { sel_pct: 45 },
-                        iterations: iters,
-                    },
-                )
-                .with_scale(scale),
-                &data,
-            );
-            t.row(vec![
-                users.to_string(),
-                alloc.label(Flavor::MonetDb),
-                fnum(out.throughput_qps(), 2),
-                fnum(out.load_series.mean().unwrap_or(0.0), 1),
-                out.engine.tasks_created.to_string(),
-                out.sched.steals.to_string(),
-                fnum(out.cores_series.mean().unwrap_or(16.0), 1),
-            ]);
-        }
-    }
-    emit(&t, "fig13_sched_metrics.csv");
+    emca_bench::shim_main("fig13");
 }

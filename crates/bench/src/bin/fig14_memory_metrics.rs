@@ -1,56 +1,12 @@
-//! Fig. 14 — memory access metrics at 256 concurrent clients running the
-//! thetasubselect: (a) per-socket L3 load misses, (b) per-socket memory
-//! throughput, (c) HT traffic, across the four allocation policies.
-
-use emca_bench::{emit, env_clients, env_iters, env_sf};
-use emca_harness::{run, Alloc, RunConfig};
-use emca_metrics::table::{fnum, Table};
-use volcano_db::client::Workload;
-use volcano_db::exec::engine::Flavor;
-use volcano_db::tpch::{QuerySpec, TpchData};
+//! Deprecated shim for Fig. 14: the scenario now lives in
+//! `emca_bench::scenarios::fig14` and is driven by `emca run fig14`.
+//! The shim keeps existing invocations working: default outputs are
+//! byte-identical, and the documented `EMCA_*` fallbacks are honoured —
+//! now via the shared spec parser, so malformed values are hard errors
+//! (exit 2) and the newer fallbacks (`EMCA_POLICY`, `EMCA_FLAVOR`,
+//! `EMCA_WARMUP`, `EMCA_GUARD`, `EMCA_INTERVAL_MS`, `EMCA_OUT_DIR`)
+//! apply here too.
 
 fn main() {
-    let scale = env_sf();
-    let users = env_clients(256);
-    let iters = env_iters(4);
-    let data = TpchData::generate(scale);
-    eprintln!("fig14: sf={} users={users} iters={iters}", scale.sf);
-
-    let mut t = Table::new(
-        "Fig. 14 — memory metrics, 256 clients, thetasubselect",
-        &[
-            "policy",
-            "l3_misses_S0",
-            "l3_misses_S1",
-            "l3_misses_S2",
-            "l3_misses_S3",
-            "mem_tp_S0_GBps",
-            "mem_tp_S1_GBps",
-            "mem_tp_S2_GBps",
-            "mem_tp_S3_GBps",
-            "ht_traffic_GBps",
-        ],
-    );
-    for alloc in Alloc::all() {
-        let out = run(
-            RunConfig::new(
-                alloc,
-                users,
-                Workload::Repeat {
-                    spec: QuerySpec::ThetaSubselect { sel_pct: 45 },
-                    iterations: iters,
-                },
-            )
-            .with_scale(scale),
-            &data,
-        );
-        let l3 = out.l3_misses_per_socket();
-        let imc = out.imc_bytes_per_socket();
-        let mut row = vec![alloc.label(Flavor::MonetDb)];
-        row.extend(l3.iter().map(|m| m.to_string()));
-        row.extend(imc.iter().map(|&b| fnum(out.wall.rate_per_sec(b) / 1e9, 2)));
-        row.push(fnum(out.ht_rate() / 1e9, 2));
-        t.row(row);
-    }
-    emit(&t, "fig14_memory_metrics.csv");
+    emca_bench::shim_main("fig14");
 }

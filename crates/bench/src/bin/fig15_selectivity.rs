@@ -1,52 +1,12 @@
-//! Fig. 15 — L3 cache misses per socket at selectivities 2–100 % of the
-//! thetasubselect with 256 concurrent clients, per allocation policy.
-
-use emca_bench::{emit, env_clients, env_iters, env_sf};
-use emca_harness::{run, Alloc, RunConfig};
-use emca_metrics::table::Table;
-use volcano_db::client::Workload;
-use volcano_db::exec::engine::Flavor;
-use volcano_db::tpch::{QuerySpec, TpchData};
+//! Deprecated shim for Fig. 15: the scenario now lives in
+//! `emca_bench::scenarios::fig15` and is driven by `emca run fig15`.
+//! The shim keeps existing invocations working: default outputs are
+//! byte-identical, and the documented `EMCA_*` fallbacks are honoured —
+//! now via the shared spec parser, so malformed values are hard errors
+//! (exit 2) and the newer fallbacks (`EMCA_POLICY`, `EMCA_FLAVOR`,
+//! `EMCA_WARMUP`, `EMCA_GUARD`, `EMCA_INTERVAL_MS`, `EMCA_OUT_DIR`)
+//! apply here too.
 
 fn main() {
-    let scale = env_sf();
-    let users = env_clients(256);
-    let iters = env_iters(2);
-    let data = TpchData::generate(scale);
-    eprintln!("fig15: sf={} users={users} iters={iters}", scale.sf);
-
-    let mut t = Table::new(
-        "Fig. 15 — L3 load misses vs selectivity (256 clients)",
-        &[
-            "selectivity_pct",
-            "policy",
-            "l3_misses_S0",
-            "l3_misses_S1",
-            "l3_misses_S2",
-            "l3_misses_S3",
-            "total",
-        ],
-    );
-    for sel in [2u8, 4, 8, 16, 32, 64, 100] {
-        for alloc in Alloc::all() {
-            let out = run(
-                RunConfig::new(
-                    alloc,
-                    users,
-                    Workload::Repeat {
-                        spec: QuerySpec::ThetaSubselect { sel_pct: sel },
-                        iterations: iters,
-                    },
-                )
-                .with_scale(scale),
-                &data,
-            );
-            let l3 = out.l3_misses_per_socket();
-            let mut row = vec![sel.to_string(), alloc.label(Flavor::MonetDb)];
-            row.extend(l3.iter().map(|m| m.to_string()));
-            row.push(l3.iter().sum::<u64>().to_string());
-            t.row(row);
-        }
-    }
-    emit(&t, "fig15_selectivity.csv");
+    emca_bench::shim_main("fig15");
 }

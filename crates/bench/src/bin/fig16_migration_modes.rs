@@ -1,53 +1,12 @@
-//! Fig. 16 — lifespan and core migration of the Q6 threads under the
-//! four policies (single client), the four-panel version of Fig. 5.
-
-use emca_bench::{emit, env_sf};
-use emca_harness::{report, run, Alloc, RunConfig};
-use emca_metrics::table::Table;
-use volcano_db::client::Workload;
-use volcano_db::exec::engine::Flavor;
-use volcano_db::tpch::{QuerySpec, TpchData};
+//! Deprecated shim for Fig. 16: the scenario now lives in
+//! `emca_bench::scenarios::fig16` and is driven by `emca run fig16`.
+//! The shim keeps existing invocations working: default outputs are
+//! byte-identical, and the documented `EMCA_*` fallbacks are honoured —
+//! now via the shared spec parser, so malformed values are hard errors
+//! (exit 2) and the newer fallbacks (`EMCA_POLICY`, `EMCA_FLAVOR`,
+//! `EMCA_WARMUP`, `EMCA_GUARD`, `EMCA_INTERVAL_MS`, `EMCA_OUT_DIR`)
+//! apply here too.
 
 fn main() {
-    let scale = env_sf();
-    let data = TpchData::generate(scale);
-    eprintln!("fig16: sf={}", scale.sf);
-    let topo = numa_sim::Topology::opteron_4x4();
-
-    let mut summary = Table::new(
-        "Fig. 16 — thread migration by policy (single-client Q6)",
-        &["policy", "threads", "migrations", "spans"],
-    );
-    for alloc in Alloc::all() {
-        let out = run(
-            RunConfig::new(
-                alloc,
-                1,
-                Workload::Repeat {
-                    spec: QuerySpec::Q6 { variant: 0 },
-                    iterations: 1,
-                },
-            )
-            .with_scale(scale)
-            .with_trace(),
-            &data,
-        );
-        let label = alloc.label(Flavor::MonetDb);
-        let trace = out.trace.as_ref().expect("tracing enabled");
-        let map =
-            report::render_migration_map(&format!("Fig. 16 ({label}) migration map"), trace, &topo);
-        let file = format!(
-            "fig16_migration_{}.csv",
-            label.replace('/', "_").to_lowercase()
-        );
-        emit(&map, &file);
-        let (threads, migrations) = report::migration_summary(trace);
-        summary.row(vec![
-            label,
-            threads.to_string(),
-            migrations.to_string(),
-            trace.spans().len().to_string(),
-        ]);
-    }
-    emit(&summary, "fig16_summary.csv");
+    emca_bench::shim_main("fig16");
 }

@@ -1,61 +1,12 @@
-//! Fig. 17 — single-client Q6 under the two PrT state-transition
-//! strategies (CPU load vs HT/IMC ratio): response time, HT traffic and
-//! per-socket L3 misses, per policy.
-
-use emca_bench::{emit, env_iters, env_sf};
-use emca_harness::{run, Alloc, RunConfig};
-use emca_metrics::table::{fnum, Table};
-use volcano_db::client::Workload;
-use volcano_db::exec::engine::Flavor;
-use volcano_db::tpch::{QuerySpec, TpchData};
+//! Deprecated shim for Fig. 17: the scenario now lives in
+//! `emca_bench::scenarios::fig17` and is driven by `emca run fig17`.
+//! The shim keeps existing invocations working: default outputs are
+//! byte-identical, and the documented `EMCA_*` fallbacks are honoured —
+//! now via the shared spec parser, so malformed values are hard errors
+//! (exit 2) and the newer fallbacks (`EMCA_POLICY`, `EMCA_FLAVOR`,
+//! `EMCA_WARMUP`, `EMCA_GUARD`, `EMCA_INTERVAL_MS`, `EMCA_OUT_DIR`)
+//! apply here too.
 
 fn main() {
-    let scale = env_sf();
-    let iters = env_iters(5);
-    let data = TpchData::generate(scale);
-    eprintln!("fig17: sf={} iters={iters}", scale.sf);
-
-    let mut t = Table::new(
-        "Fig. 17 — CPU-load vs HT/IMC transition strategies (Q6, 1 client)",
-        &[
-            "strategy",
-            "policy",
-            "response_s",
-            "ht_traffic_MBps",
-            "l3_misses_S0",
-            "l3_misses_S1",
-            "l3_misses_S2",
-            "l3_misses_S3",
-        ],
-    );
-    for (strategy, metric) in [
-        ("CPU load", elastic_core::MetricKind::CpuLoad),
-        ("HT/IMC", elastic_core::MetricKind::HtImcRatio),
-    ] {
-        for alloc in Alloc::all() {
-            let out = run(
-                RunConfig::new(
-                    alloc,
-                    1,
-                    Workload::Repeat {
-                        spec: QuerySpec::Q6 { variant: 0 },
-                        iterations: iters,
-                    },
-                )
-                .with_scale(scale)
-                .with_metric(metric),
-                &data,
-            );
-            let l3 = out.l3_misses_per_socket();
-            let mut row = vec![
-                strategy.to_string(),
-                alloc.label(Flavor::MonetDb),
-                fnum(out.mean_response().as_secs_f64(), 4),
-                fnum(out.ht_rate() / 1e6, 1),
-            ];
-            row.extend(l3.iter().map(|m| m.to_string()));
-            t.row(row);
-        }
-    }
-    emit(&t, "fig17_strategies.csv");
+    emca_bench::shim_main("fig17");
 }

@@ -1,66 +1,12 @@
-//! Fig. 18 — stable-phases workload: per-socket memory throughput over
-//! time, where every phase is the concurrent execution of one TPC-H
-//! query by all clients. Four panels: {OS, Adaptive} × {MonetDB,
-//! SQL Server}.
-
-use emca_bench::{emit, env_clients, env_sf};
-use emca_harness::{report, run, Alloc, RunConfig};
-use emca_metrics::table::{fnum, Table};
-use volcano_db::client::Workload;
-use volcano_db::exec::engine::Flavor;
-use volcano_db::tpch::{QuerySpec, TpchData};
+//! Deprecated shim for Fig. 18: the scenario now lives in
+//! `emca_bench::scenarios::fig18` and is driven by `emca run fig18`.
+//! The shim keeps existing invocations working: default outputs are
+//! byte-identical, and the documented `EMCA_*` fallbacks are honoured —
+//! now via the shared spec parser, so malformed values are hard errors
+//! (exit 2) and the newer fallbacks (`EMCA_POLICY`, `EMCA_FLAVOR`,
+//! `EMCA_WARMUP`, `EMCA_GUARD`, `EMCA_INTERVAL_MS`, `EMCA_OUT_DIR`)
+//! apply here too.
 
 fn main() {
-    let scale = env_sf();
-    let users = env_clients(64);
-    let data = TpchData::generate(scale);
-    eprintln!("fig18: sf={} users={users}", scale.sf);
-    let specs: Vec<QuerySpec> = (1..=22)
-        .map(|n| QuerySpec::Tpch {
-            number: n,
-            variant: 0,
-        })
-        .collect();
-
-    let mut summary = Table::new(
-        "Fig. 18 — stable phases summary",
-        &["panel", "total_time_s", "ht_GB", "imc_GB", "qps"],
-    );
-    for (flavor, fname) in [
-        (Flavor::MonetDb, "MonetDB"),
-        (Flavor::SqlServer, "SQLServer"),
-    ] {
-        for alloc in [Alloc::OsAll, Alloc::Adaptive] {
-            let out = run(
-                RunConfig::new(
-                    alloc,
-                    users,
-                    Workload::StablePhases {
-                        specs: specs.clone(),
-                    },
-                )
-                .with_scale(scale)
-                .with_flavor(flavor),
-                &data,
-            );
-            let label = format!("{}-{}", alloc.label(flavor).replace('/', "_"), fname);
-            let series: Vec<&emca_metrics::TimeSeries> = out.imc_series.iter().collect();
-            let table = report::render_series(
-                &format!("Fig. 18 ({label}) per-socket memory throughput (GB/s)"),
-                &series,
-            );
-            emit(&table, &format!("fig18_{}.csv", label.to_lowercase()));
-            summary.row(vec![
-                label,
-                fnum(out.wall.as_secs_f64(), 2),
-                fnum(out.ht_bytes() as f64 / 1e9, 1),
-                fnum(
-                    out.imc_bytes_per_socket().iter().sum::<u64>() as f64 / 1e9,
-                    1,
-                ),
-                fnum(out.throughput_qps(), 2),
-            ]);
-        }
-    }
-    emit(&summary, "fig18_summary.csv");
+    emca_bench::shim_main("fig18");
 }

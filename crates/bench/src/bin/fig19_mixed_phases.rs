@@ -1,103 +1,12 @@
-//! Fig. 19 — mixed-phases workload: per-query speedup of the adaptive
-//! mode over the OS scheduler and per-query HT/IMC ratios for all four
-//! policies, on both engine flavors.
-
-use emca_bench::{emit, env_clients, env_iters, env_sf};
-use emca_harness::{report, run, Alloc, RunConfig, RunOutput};
-use emca_metrics::table::{fnum, Table};
-use emca_metrics::FxHashMap;
-use volcano_db::client::Workload;
-use volcano_db::exec::engine::Flavor;
-use volcano_db::tpch::{QuerySpec, TpchData};
-
-fn mixed(iters: u32) -> Workload {
-    let specs: Vec<QuerySpec> = (1..=22)
-        .flat_map(|n| {
-            (0..4).map(move |v| QuerySpec::Tpch {
-                number: n,
-                variant: v,
-            })
-        })
-        .collect();
-    Workload::Mixed {
-        specs,
-        iterations: iters,
-        seed: 7,
-    }
-}
-
-fn panel(
-    flavor: Flavor,
-    users: usize,
-    iters: u32,
-    data: &TpchData,
-    scale: volcano_db::tpch::TpchScale,
-) -> Table {
-    let outputs: Vec<RunOutput> = Alloc::all()
-        .into_iter()
-        .map(|alloc| {
-            run(
-                RunConfig::new(alloc, users, mixed(iters))
-                    .with_scale(scale)
-                    .with_flavor(flavor),
-                data,
-            )
-        })
-        .collect();
-    let fname = match flavor {
-        Flavor::MonetDb => "MonetDB",
-        Flavor::SqlServer => "SQL Server",
-    };
-    let mut t = Table::new(
-        format!("Fig. 19 ({fname}) — per-query speedup and HT/IMC ratio"),
-        &[
-            "query",
-            "speedup_adaptive",
-            "ratio_OS",
-            "ratio_Dense",
-            "ratio_Sparse",
-            "ratio_Adaptive",
-        ],
-    );
-    let speedups: FxHashMap<u32, f64> =
-        report::speedup_by_tag(&outputs[0].results, &outputs[3].results)
-            .into_iter()
-            .collect();
-    let per_alloc: Vec<FxHashMap<u32, report::TagStats>> = outputs
-        .iter()
-        .map(|o| report::by_tag(&o.results).into_iter().collect())
-        .collect();
-    for q in 1..=22u32 {
-        let ratio = |i: usize| {
-            per_alloc[i]
-                .get(&q)
-                .map(|s| fnum(s.mean_ht_imc, 3))
-                .unwrap_or_else(|| "-".into())
-        };
-        t.row(vec![
-            format!("Q{q}"),
-            speedups
-                .get(&q)
-                .map(|s| fnum(*s, 2))
-                .unwrap_or_else(|| "-".into()),
-            ratio(0),
-            ratio(1),
-            ratio(2),
-            ratio(3),
-        ]);
-    }
-    t
-}
+//! Deprecated shim for Fig. 19: the scenario now lives in
+//! `emca_bench::scenarios::fig19` and is driven by `emca run fig19`.
+//! The shim keeps existing invocations working: default outputs are
+//! byte-identical, and the documented `EMCA_*` fallbacks are honoured —
+//! now via the shared spec parser, so malformed values are hard errors
+//! (exit 2) and the newer fallbacks (`EMCA_POLICY`, `EMCA_FLAVOR`,
+//! `EMCA_WARMUP`, `EMCA_GUARD`, `EMCA_INTERVAL_MS`, `EMCA_OUT_DIR`)
+//! apply here too.
 
 fn main() {
-    let scale = env_sf();
-    let users = env_clients(64);
-    let iters = env_iters(6);
-    let data = TpchData::generate(scale);
-    eprintln!("fig19: sf={} users={users} iters={iters}", scale.sf);
-
-    let monetdb = panel(Flavor::MonetDb, users, iters, &data, scale);
-    emit(&monetdb, "fig19_monetdb.csv");
-    let sqlserver = panel(Flavor::SqlServer, users, iters, &data, scale);
-    emit(&sqlserver, "fig19_sqlserver.csv");
+    emca_bench::shim_main("fig19");
 }

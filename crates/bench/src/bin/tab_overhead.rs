@@ -1,54 +1,12 @@
-//! §V overhead table — the token-flow cost of the mechanism per
-//! allocation mode. The paper measures the real-time cost of flowing
-//! tokens through the 5×8 net (dense 0.017 s, sparse 0.021 s, adaptive
-//! 0.031 s) and a CPU load below 1 %. We report (a) the real time of one
-//! PrT rule-condition-action step of *our* implementation (measured
-//! here; precise distributions in `cargo bench petrinet_step`), and
-//! (b) the actuation latencies the simulation charges, which are set
-//! from the paper's measurements.
-
-use emca_bench::emit;
-use emca_metrics::table::{fnum, Table};
-use prt_petrinet::{ElasticNet, Thresholds};
-use std::time::Instant;
+//! Deprecated shim for the overhead table: the scenario now lives in
+//! `emca_bench::scenarios::tab_overhead` and is driven by `emca run tab_overhead`.
+//! The shim keeps existing invocations working: default outputs are
+//! byte-identical, and the documented `EMCA_*` fallbacks are honoured —
+//! now via the shared spec parser, so malformed values are hard errors
+//! (exit 2) and the newer fallbacks (`EMCA_POLICY`, `EMCA_FLAVOR`,
+//! `EMCA_WARMUP`, `EMCA_GUARD`, `EMCA_INTERVAL_MS`, `EMCA_OUT_DIR`)
+//! apply here too.
 
 fn main() {
-    let mut t = Table::new(
-        "Overhead — PrT step cost per allocation mode",
-        &[
-            "mode",
-            "paper_token_flow_s",
-            "simulated_actuation_s",
-            "our_prt_step_us",
-        ],
-    );
-    // Measure our real PrT step time over a load pattern that exercises
-    // all sub-nets.
-    let mut net = ElasticNet::new(Thresholds::cpu_load_default(), 16, 1);
-    let inputs = [99i64, 99, 40, 8, 8, 75, 5, 50];
-    let reps = 10_000;
-    let start = Instant::now();
-    for i in 0..reps {
-        let _ = net.step(inputs[i % inputs.len()]);
-    }
-    let per_step_us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
-
-    for (mode, paper_s, sim_s) in [
-        ("dense", 0.017, 0.017),
-        ("sparse", 0.021, 0.021),
-        ("adaptive", 0.031, 0.031),
-    ] {
-        t.row(vec![
-            mode.to_string(),
-            fnum(paper_s, 3),
-            fnum(sim_s, 3),
-            fnum(per_step_us, 2),
-        ]);
-    }
-    emit(&t, "tab_overhead.csv");
-    println!(
-        "paper: <1% CPU for state computation; our PrT step costs {per_step_us:.2} µs \
-         of host time per control interval (50 ms), i.e. {:.4}% of one core.",
-        per_step_us / 50_000.0 * 100.0
-    );
+    emca_bench::shim_main("tab_overhead");
 }

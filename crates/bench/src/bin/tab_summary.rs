@@ -1,210 +1,12 @@
-//! Headline summary table (§I / §VII): maximum and average speedup and
-//! HT/IMC traffic-ratio reduction of the adaptive mode vs the OS
-//! scheduler, for both engine flavors, plus the total energy saving —
-//! side by side with the paper's reported numbers.
-//!
-//! With `EMCA_CHECK=1` the binary also *enforces* the headline claims
-//! (the CI fidelity gate): adaptive max and avg speedup must exceed
-//! 1.0× for both flavors, and every HT/IMC reduction must either be
-//! below-noise (`inf`) or sit inside the sanity band
-//! [`REDUCTION_BAND`]. Violations print a diagnostic and exit 1.
-
-use emca_bench::{apply_env_overrides, emit, env_clients, env_iters, env_sf};
-use emca_harness::{report, run, Alloc, RunConfig};
-use emca_metrics::stats;
-use emca_metrics::table::{fnum, Table};
-use numa_sim::{EnergyModel, HtImcReduction};
-use volcano_db::client::Workload;
-use volcano_db::exec::engine::Flavor;
-use volcano_db::tpch::{QuerySpec, TpchData};
-
-/// Sanity band for *finite* HT/IMC reductions: below 1.2 the mechanism
-/// is not meaningfully reducing interconnect traffic; above 50 the
-/// baseline itself is suspect (the paper measures 2.5–3.9×).
-const REDUCTION_BAND: (f64, f64) = (1.2, 50.0);
-
-/// Aggregate of per-tag reductions: the maximum/mean over finite values
-/// plus whether any tag was below noise.
-struct ReductionSummary {
-    max: Option<HtImcReduction>,
-    avg: Option<HtImcReduction>,
-}
-
-fn summarize(reductions: &[HtImcReduction]) -> ReductionSummary {
-    let finite: Vec<f64> = reductions.iter().filter_map(|r| r.finite()).collect();
-    let below_noise = reductions.len() - finite.len();
-    let max = if below_noise > 0 {
-        // An unbounded reduction dominates any finite one.
-        Some(HtImcReduction::BelowNoise)
-    } else {
-        stats::max(&finite).map(HtImcReduction::Finite)
-    };
-    // The average is dominated by below-noise tags once they are the
-    // majority: averaging only the finite minority would under-report
-    // (and could spuriously fail the sanity band) when the mechanism
-    // eliminated remote traffic for most queries.
-    let avg = if below_noise * 2 >= reductions.len() && below_noise > 0 {
-        Some(HtImcReduction::BelowNoise)
-    } else {
-        stats::mean(&finite).map(HtImcReduction::Finite)
-    };
-    ReductionSummary { max, avg }
-}
-
-fn render(r: Option<&HtImcReduction>) -> String {
-    r.map(|r| r.to_string()).unwrap_or_default()
-}
+//! Deprecated shim for the headline summary table: the scenario now lives in
+//! `emca_bench::scenarios::tab_summary` and is driven by `emca run tab_summary`.
+//! The shim keeps existing invocations working: default outputs are
+//! byte-identical, and the documented `EMCA_*` fallbacks are honoured —
+//! now via the shared spec parser, so malformed values are hard errors
+//! (exit 2) and the newer fallbacks (`EMCA_POLICY`, `EMCA_FLAVOR`,
+//! `EMCA_WARMUP`, `EMCA_GUARD`, `EMCA_INTERVAL_MS`, `EMCA_OUT_DIR`)
+//! apply here too.
 
 fn main() {
-    let scale = env_sf();
-    let users = env_clients(64);
-    let iters = env_iters(6);
-    let check = std::env::var("EMCA_CHECK").as_deref() == Ok("1");
-    let data = TpchData::generate(scale);
-    eprintln!("tab_summary: sf={} users={users} iters={iters}", scale.sf);
-    let specs: Vec<QuerySpec> = (1..=22)
-        .flat_map(|n| {
-            (0..4).map(move |v| QuerySpec::Tpch {
-                number: n,
-                variant: v,
-            })
-        })
-        .collect();
-    let workload = Workload::Mixed {
-        specs,
-        iterations: iters,
-        seed: 7,
-    };
-
-    let mut t = Table::new(
-        "Summary — adaptive vs OS (paper values in parentheses)",
-        &["flavor", "metric", "measured", "paper"],
-    );
-    let model = EnergyModel::opteron_8387();
-    let mut violations: Vec<String> = Vec::new();
-    for (flavor, paper_speed_max, paper_speed_avg, paper_ratio_max, paper_ratio_avg) in [
-        (Flavor::MonetDb, "1.53", "1.29", "3.87", "2.47"),
-        (Flavor::SqlServer, "1.27", "1.14", "3.70", "2.57"),
-    ] {
-        let os = run(
-            apply_env_overrides(
-                RunConfig::new(Alloc::OsAll, users, workload.clone())
-                    .with_scale(scale)
-                    .with_flavor(flavor),
-            ),
-            &data,
-        );
-        let ad = run(
-            apply_env_overrides(
-                RunConfig::new(Alloc::Adaptive, users, workload.clone())
-                    .with_scale(scale)
-                    .with_flavor(flavor),
-            ),
-            &data,
-        );
-        let speedups: Vec<f64> = report::speedup_by_tag(&os.results, &ad.results)
-            .into_iter()
-            .map(|(_, s)| s)
-            .collect();
-        let os_tags = report::by_tag(&os.results);
-        let ad_tags: emca_metrics::FxHashMap<u32, report::TagStats> =
-            report::by_tag(&ad.results).into_iter().collect();
-        let reductions: Vec<HtImcReduction> = os_tags
-            .iter()
-            .filter_map(|(tag, o)| {
-                let a = ad_tags.get(tag)?;
-                HtImcReduction::compare(o.mean_ht_imc, a.mean_ht_imc)
-            })
-            .collect();
-        let reduction = summarize(&reductions);
-        let fname = match flavor {
-            Flavor::MonetDb => "MonetDB",
-            Flavor::SqlServer => "SQL Server",
-        };
-        let max_speedup = stats::max(&speedups);
-        let avg_speedup = stats::mean(&speedups);
-        t.row(vec![
-            fname.into(),
-            "max speedup".into(),
-            max_speedup.map(|v| fnum(v, 2)).unwrap_or_default(),
-            paper_speed_max.into(),
-        ]);
-        t.row(vec![
-            fname.into(),
-            "avg speedup".into(),
-            avg_speedup.map(|v| fnum(v, 2)).unwrap_or_default(),
-            paper_speed_avg.into(),
-        ]);
-        t.row(vec![
-            fname.into(),
-            "max HT/IMC reduction".into(),
-            render(reduction.max.as_ref()),
-            paper_ratio_max.into(),
-        ]);
-        t.row(vec![
-            fname.into(),
-            "avg HT/IMC reduction".into(),
-            render(reduction.avg.as_ref()),
-            paper_ratio_avg.into(),
-        ]);
-        if flavor == Flavor::MonetDb {
-            let e_os: f64 = report::energy_by_tag(&os.results, &model, 4)
-                .iter()
-                .map(|(_, e)| e.total())
-                .sum();
-            let e_ad: f64 = report::energy_by_tag(&ad.results, &model, 4)
-                .iter()
-                .map(|(_, e)| e.total())
-                .sum();
-            t.row(vec![
-                fname.into(),
-                "total energy saving %".into(),
-                fnum(stats::saving_pct(e_os, e_ad).unwrap_or(0.0), 2),
-                "26.05".into(),
-            ]);
-        }
-
-        // Fidelity gate (EMCA_CHECK=1): the headline claims must hold.
-        if check {
-            match max_speedup {
-                Some(v) if v > 1.0 => {}
-                v => violations.push(format!("{fname}: adaptive max speedup {v:?} ≤ 1.0")),
-            }
-            match avg_speedup {
-                Some(v) if v > 1.0 => {}
-                v => violations.push(format!("{fname}: adaptive avg speedup {v:?} ≤ 1.0")),
-            }
-            // `max` is BelowNoise exactly when any tag eliminated its
-            // remote traffic; a low *finite* average then just reflects
-            // the non-eliminated minority, not a failing mechanism, so
-            // only the upper band bound applies in that case.
-            let any_below_noise = matches!(reduction.max, Some(HtImcReduction::BelowNoise));
-            for agg in [&reduction.max, &reduction.avg] {
-                match agg {
-                    Some(HtImcReduction::Finite(v))
-                        if *v > REDUCTION_BAND.1 || (*v < REDUCTION_BAND.0 && !any_below_noise) =>
-                    {
-                        violations.push(format!(
-                            "{fname}: HT/IMC reduction {v:.2} outside sanity band \
-                             [{}, {}]",
-                            REDUCTION_BAND.0, REDUCTION_BAND.1
-                        ));
-                    }
-                    Some(_) => {}
-                    None => violations.push(format!("{fname}: no HT/IMC reduction measurable")),
-                }
-            }
-        }
-    }
-    emit(&t, "tab_summary.csv");
-    if check {
-        if violations.is_empty() {
-            eprintln!("fidelity check: headline claims hold");
-        } else {
-            for v in &violations {
-                eprintln!("fidelity violation: {v}");
-            }
-            std::process::exit(1);
-        }
-    }
+    emca_bench::shim_main("tab_summary");
 }

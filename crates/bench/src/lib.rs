@@ -1,41 +1,24 @@
 //! # emca-bench — figure and table regeneration
 //!
-//! One binary per figure/table of the paper (see DESIGN.md §5 for the
-//! index). Shared environment knobs:
+//! Every figure/table of the paper is a registered [`Scenario`] (see
+//! [`scenarios::registry`]) driven by a typed
+//! [`ExperimentSpec`](emca_harness::ExperimentSpec); one CLI runs them
+//! all:
 //!
-//! - `EMCA_SF` — TPC-H scale factor (default 0.25; the paper uses 1.0,
-//!   which the binaries accept but takes proportionally longer);
-//! - `EMCA_CLIENTS` — caps the largest client count of sweeps;
-//! - `EMCA_ITERS` — per-client iterations (workload length).
+//! ```sh
+//! cargo run --release -p emca-bench --bin emca -- list
+//! cargo run --release -p emca-bench --bin emca -- run fig19 --policy adaptive --sf 0.25
+//! cargo run --release -p emca-bench --bin emca -- check --fidelity
+//! ```
 //!
-//! Every binary prints aligned tables and writes CSVs under `results/`.
+//! The documented `EMCA_*` environment variables remain as fallbacks,
+//! parsed once by `emca_harness::config::from_env()`; CLI flags override
+//! them. The former one-binary-per-figure entry points still exist as
+//! thin shims over the same scenarios.
 
-use volcano_db::tpch::TpchScale;
+pub mod scenarios;
 
-/// Scale factor from `EMCA_SF` (default 0.25).
-pub fn env_sf() -> TpchScale {
-    let sf = std::env::var("EMCA_SF")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.25);
-    TpchScale { sf, seed: 42 }
-}
-
-/// Client-count cap from `EMCA_CLIENTS` (default `default_cap`).
-pub fn env_clients(default_cap: usize) -> usize {
-    std::env::var("EMCA_CLIENTS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default_cap)
-}
-
-/// Iterations from `EMCA_ITERS` (default `default`).
-pub fn env_iters(default: u32) -> u32 {
-    std::env::var("EMCA_ITERS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
-}
+use emca_harness::{ExperimentSpec, ScenarioError};
 
 /// The paper's user-count sweep {1, 4, 16, 64, 256}, capped.
 pub fn user_sweep(cap: usize) -> Vec<usize> {
@@ -45,48 +28,44 @@ pub fn user_sweep(cap: usize) -> Vec<usize> {
         .collect()
 }
 
-/// Applies probe-only environment overrides to a run configuration
-/// (diagnostics, not paper figures): `EMCA_GUARD` (`off` or a
-/// threshold), `EMCA_INTERVAL_MS`, `EMCA_WARMUP`
-/// (`loader`/`interleave`/`none`).
-pub fn apply_env_overrides(mut cfg: emca_harness::RunConfig) -> emca_harness::RunConfig {
-    use emca_metrics::SimDuration;
-    if let Ok(g) = std::env::var("EMCA_GUARD") {
-        cfg =
-            cfg.with_guard(if g == "off" {
-                None
-            } else {
-                // A typo must not silently disable the guard (None means
-                // "guard off" and changes allocation behaviour).
-                Some(g.parse().unwrap_or_else(|_| {
-                    panic!("EMCA_GUARD must be 'off' or a threshold, got {g:?}")
-                }))
-            });
-    }
-    if let Ok(ms) = std::env::var("EMCA_INTERVAL_MS") {
-        let ms: f64 = ms
-            .parse()
-            .unwrap_or_else(|_| panic!("EMCA_INTERVAL_MS must be a number, got {ms:?}"));
-        cfg = cfg.with_mech_interval(SimDuration::from_micros((ms * 1000.0) as u64));
-    }
-    if let Ok(w) = std::env::var("EMCA_WARMUP") {
-        cfg = cfg.with_warmup(match w.as_str() {
-            "loader" => emca_harness::Warmup::Loader,
-            "interleave" => emca_harness::Warmup::Interleave,
-            "none" => emca_harness::Warmup::None,
-            other => panic!("EMCA_WARMUP must be loader|interleave|none, got {other:?}"),
-        });
-    }
-    cfg
-}
-
-/// Prints a table and writes its CSV under `results/`.
-pub fn emit(table: &emca_metrics::table::Table, csv_name: &str) {
+/// Prints a table and writes its CSV under the spec's output directory
+/// (the workspace `results/` by default).
+pub fn emit(spec: &ExperimentSpec, table: &emca_metrics::table::Table, csv_name: &str) {
     println!("{}", table.render());
-    let path = emca_harness::results_path(csv_name);
+    let path = spec.csv_path(csv_name);
     if let Err(e) = table.write_csv(&path) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
         eprintln!("[csv] {}", path.display());
     }
+}
+
+/// Entry point of the deprecated per-figure binaries: builds the spec
+/// from the `EMCA_*` environment, runs the named scenario, exits
+/// non-zero on failure. `tweak` lets a shim fold legacy positional
+/// arguments into the spec.
+pub fn shim_main_with(scenario: &str, tweak: impl FnOnce(&mut ExperimentSpec)) {
+    let mut spec = match emca_harness::config::from_env() {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    spec.scenario = scenario.to_string();
+    tweak(&mut spec);
+    eprintln!(
+        "note: the per-figure binaries are deprecated; use `emca run {scenario}` \
+         (cargo run -p emca-bench --bin emca -- run {scenario})"
+    );
+    spec.log_resolved();
+    if let Err(ScenarioError(e)) = scenarios::registry().run(scenario, &spec) {
+        eprintln!("{scenario}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// [`shim_main_with`] without argument folding.
+pub fn shim_main(scenario: &str) {
+    shim_main_with(scenario, |_| {});
 }

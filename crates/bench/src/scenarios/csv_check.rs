@@ -1,0 +1,34 @@
+//! `results/` CSV schema check (CI early job): validates that every
+//! results file the registry's scenarios declare exists, has the
+//! expected header, and that every data row matches the header's column
+//! count. Catches truncated writes and accidental schema drift before
+//! the expensive jobs run.
+//!
+//! The schemas are single-sourced from each scenario's declaration
+//! (`Scenario::csv_schemas`); validation itself is
+//! `emca_harness::validate_csv`, shared with the scenario smoke tests.
+
+use super::ScenarioResult;
+use emca_harness::ExperimentSpec;
+
+/// Declared CSV outputs: none (this scenario only reads).
+pub const SCHEMAS: &[(&str, &str)] = &[];
+
+/// Runs the scenario: validates the spec's output directory (the
+/// committed `results/` by default).
+pub fn run(spec: &ExperimentSpec) -> ScenarioResult {
+    let dir = spec.csv_path("");
+    let problems = super::check_results(&dir);
+    if problems.is_empty() {
+        println!(
+            "csv_check: {} results files validate",
+            super::declared_csv_count()
+        );
+        Ok(())
+    } else {
+        for p in &problems {
+            eprintln!("csv_check: {p}");
+        }
+        Err(format!("{} CSV schema problem(s)", problems.len()).into())
+    }
+}

@@ -1,0 +1,170 @@
+//! The built-in scenarios: every former figure/table binary, registered
+//! by name. Each module holds one scenario's declared CSV schemas and
+//! its `run(&ExperimentSpec)` body; [`registry`] assembles them for the
+//! `emca` CLI, the deprecated shims, and the tests.
+
+pub mod ablation;
+pub mod csv_check;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod probe;
+pub mod tab_overhead;
+pub mod tab_summary;
+
+use emca_harness::{ExperimentSpec, FnScenario, ScenarioError, ScenarioRegistry};
+use std::path::Path;
+
+/// All built-in scenarios (the 17 former `emca-bench` binaries).
+pub fn registry() -> ScenarioRegistry {
+    let mut r = ScenarioRegistry::new();
+    let items: [FnScenario; 17] = [
+        FnScenario {
+            name: "fig04",
+            about: "Fig. 4 — Q6 vs concurrent clients (hand-coded C affinities vs OS/MonetDB)",
+            schemas: fig04::SCHEMAS,
+            run: fig04::run,
+        },
+        FnScenario {
+            name: "fig05",
+            about: "Fig. 5 — thread lifespan and core migration under the OS scheduler",
+            schemas: fig05::SCHEMAS,
+            run: fig05::run,
+        },
+        FnScenario {
+            name: "fig06",
+            about: "Fig. 6 — Tomograph of Q6 (per-operator calls and time)",
+            schemas: fig06::SCHEMAS,
+            run: fig06::run,
+        },
+        FnScenario {
+            name: "fig07",
+            about: "Fig. 7 — PrT state transitions and allocated cores over Q6",
+            schemas: fig07::SCHEMAS,
+            run: fig07::run,
+        },
+        FnScenario {
+            name: "fig13",
+            about: "Fig. 13 — thetasubselect scheduling metrics vs concurrent clients",
+            schemas: fig13::SCHEMAS,
+            run: fig13::run,
+        },
+        FnScenario {
+            name: "fig14",
+            about: "Fig. 14 — memory access metrics at 256 clients",
+            schemas: fig14::SCHEMAS,
+            run: fig14::run,
+        },
+        FnScenario {
+            name: "fig15",
+            about: "Fig. 15 — L3 misses vs selectivity (256 clients)",
+            schemas: fig15::SCHEMAS,
+            run: fig15::run,
+        },
+        FnScenario {
+            name: "fig16",
+            about: "Fig. 16 — thread migration by allocation policy (single-client Q6)",
+            schemas: fig16::SCHEMAS,
+            run: fig16::run,
+        },
+        FnScenario {
+            name: "fig17",
+            about: "Fig. 17 — CPU-load vs HT/IMC transition strategies",
+            schemas: fig17::SCHEMAS,
+            run: fig17::run,
+        },
+        FnScenario {
+            name: "fig18",
+            about: "Fig. 18 — stable-phases workload, per-socket memory throughput",
+            schemas: fig18::SCHEMAS,
+            run: fig18::run,
+        },
+        FnScenario {
+            name: "fig19",
+            about: "Fig. 19 — mixed-phases per-query speedup and HT/IMC ratios",
+            schemas: fig19::SCHEMAS,
+            run: fig19::run,
+        },
+        FnScenario {
+            name: "fig20",
+            about: "Fig. 20 — per-query energy: OS scheduler vs the mechanism",
+            schemas: fig20::SCHEMAS,
+            run: fig20::run,
+        },
+        FnScenario {
+            name: "tab_summary",
+            about: "Headline summary table; fidelity gate with check=1",
+            schemas: tab_summary::SCHEMAS,
+            run: tab_summary::run,
+        },
+        FnScenario {
+            name: "tab_overhead",
+            about: "§V overhead table — PrT step cost per allocation mode",
+            schemas: tab_overhead::SCHEMAS,
+            run: tab_overhead::run,
+        },
+        FnScenario {
+            name: "ablation",
+            about: "Ablation of the calibration choices (signal, guard, placement)",
+            schemas: ablation::SCHEMAS,
+            run: ablation::run,
+        },
+        FnScenario {
+            name: "probe",
+            about: "Calibration probe — quick OS-vs-mechanism comparison (no CSV)",
+            schemas: probe::SCHEMAS,
+            run: probe::run,
+        },
+        FnScenario {
+            name: "csv_check",
+            about: "Validate every declared results CSV against its schema",
+            schemas: csv_check::SCHEMAS,
+            run: csv_check::run,
+        },
+    ];
+    for s in items {
+        r.register(Box::new(s)).expect("built-in names are unique");
+    }
+    r
+}
+
+/// Validates every CSV declared by the registry's scenarios under
+/// `dir`, returning the list of problems (empty = all good).
+pub fn check_results(dir: &Path) -> Vec<String> {
+    let mut problems = Vec::new();
+    for scenario in registry().iter() {
+        for (name, header) in scenario.csv_schemas() {
+            if let Err(e) = emca_harness::validate_csv(&dir.join(name), header) {
+                problems.push(e);
+            }
+        }
+    }
+    problems
+}
+
+/// The number of results files the registry declares (reporting).
+pub fn declared_csv_count() -> usize {
+    registry().iter().map(|s| s.csv_schemas().len()).sum()
+}
+
+/// Shared `Result` alias for scenario bodies.
+pub type ScenarioResult = Result<(), ScenarioError>;
+
+/// The default scale factor every figure scenario uses when the spec
+/// does not pin one (the repo's pinned default scale; the paper's is
+/// 1.0).
+pub const DEFAULT_SF: f64 = 0.25;
+
+/// Helper: the spec's scale at the standard figure default.
+pub(crate) fn figure_scale(spec: &ExperimentSpec) -> volcano_db::tpch::TpchScale {
+    spec.scale(DEFAULT_SF)
+}

@@ -1,0 +1,126 @@
+//! Calibration probe: quick OS-vs-mechanism comparison plus real-time
+//! cost measurement. Not a paper figure; used to sanity-check the
+//! simulation before running the full harness. Prints only (no CSV).
+//!
+//! Extra diagnostics, deliberately probe-local (not [`ExperimentSpec`]
+//! fields — they only shape this printout): `EMCA_WORKLOAD=mixed`
+//! swaps the Q6 repeat for the mixed TPC-H workload (`q6` is the
+//! default; anything else errors), `EMCA_DETAIL=1` prints per-tag
+//! speedups and the allocation trajectory.
+
+use super::ScenarioResult;
+use emca_harness::{run as run_config, Alloc, ExperimentSpec, RunConfig};
+use volcano_db::client::Workload;
+use volcano_db::tpch::{QuerySpec, TpchData};
+
+/// Declared CSV outputs: none (diagnostic printout only).
+pub const SCHEMAS: &[(&str, &str)] = &[];
+
+/// Runs the scenario.
+pub fn run(spec: &ExperimentSpec) -> ScenarioResult {
+    // The probe's historical defaults: a fast sf=0.05 sanity pass.
+    let scale = spec.scale(0.05);
+    let clients = spec.users_or(64);
+    let iters = spec.iters_or(2);
+
+    eprintln!("generating sf={} ...", scale.sf);
+    let t0 = std::time::Instant::now();
+    let data = TpchData::generate(scale);
+    eprintln!(
+        "generated {} MB in {:?}",
+        data.raw_bytes() / 1_000_000,
+        t0.elapsed()
+    );
+
+    // Probe-local diagnostic knobs (not spec fields — they exist only
+    // for this printout); a typo is an error, not a silent Q6 run.
+    let mixed = match std::env::var("EMCA_WORKLOAD") {
+        Err(_) => false,
+        Ok(w) if w == "q6" => false,
+        Ok(w) if w == "mixed" => true,
+        Ok(w) => return Err(format!("EMCA_WORKLOAD must be q6|mixed, got {w:?}").into()),
+    };
+    let workload = if mixed {
+        let specs: Vec<QuerySpec> = (1..=22)
+            .flat_map(|n| {
+                (0..4).map(move |v| QuerySpec::Tpch {
+                    number: n,
+                    variant: v,
+                })
+            })
+            .collect();
+        Workload::Mixed {
+            specs,
+            iterations: iters,
+            seed: 7,
+        }
+    } else {
+        Workload::Repeat {
+            spec: QuerySpec::Q6 { variant: 0 },
+            iterations: iters,
+        }
+    };
+    let mut outputs = Vec::new();
+    for alloc in [Alloc::OsAll, spec.mech_alloc(), Alloc::Dense, Alloc::Sparse] {
+        let t0 = std::time::Instant::now();
+        let out = run_config(
+            spec.apply(RunConfig::new(alloc, clients, workload.clone()).with_scale(scale)),
+            &data,
+        );
+        let real = t0.elapsed();
+        let imc = out.imc_bytes_per_socket();
+        let imc_total: u64 = imc.iter().sum();
+        let l3 = out.l3_misses_per_socket();
+        println!(
+            "{:<10} wall={:>9} qps={:>7.2} ht={:>6.1}GB imc={:>6.1}GB imc_rate={:>5.2}GB/s imc/skt={:?} l3hit={:>5.1}% faults={:>7} steals={:>5} migr={:>6} cores_end={:>3}  [real {:?}]",
+            format!("{alloc:?}"),
+            format!("{}", out.wall),
+            out.throughput_qps(),
+            out.ht_bytes() as f64 / 1e9,
+            imc_total as f64 / 1e9,
+            out.wall.rate_per_sec(imc_total) / 1e9,
+            imc.iter().map(|b| ((*b as f64 / 1e8).round() / 10.0) as f32).collect::<Vec<_>>(),
+            {
+                let hits: u64 = out.hw_after.l3_hits.iter().sum::<u64>()
+                    - out.hw_before.l3_hits.iter().sum::<u64>();
+                let misses: u64 = l3.iter().sum();
+                100.0 * hits as f64 / (hits + misses).max(1) as f64
+            },
+            out.minor_faults(),
+            out.sched.steals,
+            out.sched.migrations,
+            out.cores_series.last().map(|(_, v)| v).unwrap_or(0.0),
+            real,
+        );
+        outputs.push(out);
+    }
+    // Per-tag speedup detail (OS vs mechanism), enabled by EMCA_DETAIL=1.
+    if std::env::var("EMCA_DETAIL").as_deref() == Ok("1") {
+        use emca_harness::report;
+        let os = &outputs[0];
+        let ad = &outputs[1];
+        let os_tags = report::by_tag(&os.results);
+        let ad_tags: emca_metrics::FxHashMap<u32, report::TagStats> =
+            report::by_tag(&ad.results).into_iter().collect();
+        println!("\n tag     n  os_resp_ms  ad_resp_ms  speedup  os_htimc  ad_htimc");
+        for (tag, o) in &os_tags {
+            let Some(a) = ad_tags.get(tag) else { continue };
+            println!(
+                "{tag:>4} {:>5}  {:>10.2}  {:>10.2}  {:>7.2}  {:>8.3}  {:>8.3}",
+                o.n,
+                o.mean_response.as_secs_f64() * 1e3,
+                a.mean_response.as_secs_f64() * 1e3,
+                o.mean_response.as_secs_f64() / a.mean_response.as_secs_f64(),
+                o.mean_ht_imc,
+                a.mean_ht_imc,
+            );
+        }
+        println!("\nadaptive cores over time (sampled):");
+        let s = ad.cores_series.samples();
+        let step = (s.len() / 40).max(1);
+        for (at, v) in s.iter().step_by(step) {
+            println!("  {:>8.3}s  {v:>4.1}", at.as_secs_f64());
+        }
+    }
+    Ok(())
+}

@@ -86,3 +86,40 @@ fn fig04_sweep_is_byte_identical_across_runs() {
     // Sanity: the sweep actually produced data rows.
     assert!(csv1.lines().count() > 1, "sweep produced no rows:\n{csv1}");
 }
+
+/// The registry path (`emca run <scenario>`) is as deterministic as the
+/// direct-call path: the same spec run twice through the scenario
+/// registry produces byte-identical CSV files, including the mechanism
+/// scenarios (fig07 exercises the full PrT control loop).
+#[test]
+fn registry_runs_are_byte_identical() {
+    use emca_harness::ExperimentSpec;
+
+    let registry = emca_bench::scenarios::registry();
+    let base = std::env::temp_dir().join(format!("emca_determinism_cli_{}", std::process::id()));
+    let spec = |dir: &std::path::Path| ExperimentSpec {
+        sf: Some(0.002),
+        users: Some(2),
+        iters: Some(2),
+        out_dir: Some(dir.to_path_buf()),
+        ..ExperimentSpec::default()
+    };
+    for scenario in ["fig06", "fig07"] {
+        let mut bytes: Vec<Vec<u8>> = Vec::new();
+        for round in 0..2 {
+            let dir = base.join(format!("{scenario}_{round}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            registry
+                .run(scenario, &spec(&dir))
+                .unwrap_or_else(|e| panic!("{scenario}: {e}"));
+            let (file, _) = registry.get(scenario).unwrap().csv_schemas()[0];
+            bytes.push(std::fs::read(dir.join(file)).expect("scenario wrote its CSV"));
+        }
+        assert_eq!(
+            bytes[0], bytes[1],
+            "{scenario}: registry runs must be byte-identical"
+        );
+        assert!(!bytes[0].is_empty());
+    }
+    let _ = std::fs::remove_dir_all(base);
+}

@@ -1,0 +1,136 @@
+//! Registry coverage: all 17 former binaries are registered scenarios,
+//! and every one of them runs end-to-end at tiny scale, emitting the
+//! CSV schema it declares. The final `csv_check` pass validates the
+//! freshly generated set with the same library call CI uses — so schema
+//! declarations, scenario bodies, and the checker can never drift
+//! apart.
+
+use emca_bench::scenarios;
+use emca_harness::ExperimentSpec;
+use std::path::PathBuf;
+
+/// The former one-binary-per-figure entry points, all of which must be
+/// reachable through `emca run <name>`.
+const EXPECTED: [&str; 17] = [
+    "ablation",
+    "csv_check",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "probe",
+    "tab_overhead",
+    "tab_summary",
+];
+
+#[test]
+fn registry_lists_all_former_binaries() {
+    let registry = scenarios::registry();
+    assert_eq!(registry.names(), EXPECTED.to_vec());
+    for s in registry.iter() {
+        assert!(!s.about().is_empty(), "{} needs a description", s.name());
+    }
+}
+
+#[test]
+fn registry_declares_the_full_results_schema_set() {
+    // The committed results/ dir carries one CSV per declared schema;
+    // 24 files across the 15 CSV-writing scenarios (probe and csv_check
+    // only print).
+    assert_eq!(scenarios::declared_csv_count(), 24);
+    let registry = scenarios::registry();
+    let mut seen = std::collections::BTreeSet::new();
+    for s in registry.iter() {
+        for (file, header) in s.csv_schemas() {
+            assert!(seen.insert(*file), "{file} declared twice");
+            assert!(!header.is_empty(), "{file} has an empty header");
+        }
+    }
+}
+
+#[test]
+fn unknown_scenario_is_a_listed_error() {
+    let registry = scenarios::registry();
+    let err = registry
+        .run("fig99", &ExperimentSpec::default())
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("fig99") && msg.contains("fig04"), "{msg}");
+}
+
+/// Every scenario runs at sf=0.002 with a tiny client/iteration budget
+/// and emits exactly the CSV files it declares, each matching its
+/// declared header. `csv_check` runs last, validating the full freshly
+/// generated set end-to-end.
+#[test]
+fn every_scenario_smokes_at_tiny_scale() {
+    let out_dir = std::env::temp_dir().join(format!("emca_scenario_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+    std::fs::create_dir_all(&out_dir).expect("create smoke dir");
+
+    let spec = ExperimentSpec {
+        sf: Some(0.002),
+        users: Some(2),
+        iters: Some(1),
+        out_dir: Some(PathBuf::from(&out_dir)),
+        ..ExperimentSpec::default()
+    };
+    let registry = scenarios::registry();
+    let mut order: Vec<&str> = EXPECTED
+        .iter()
+        .copied()
+        .filter(|n| *n != "csv_check")
+        .collect();
+    order.push("csv_check"); // validates everything the others wrote
+    for name in order {
+        let mut spec = spec.clone();
+        spec.scenario = name.to_string();
+        registry
+            .run(name, &spec)
+            .unwrap_or_else(|e| panic!("scenario {name} failed at tiny scale: {e}"));
+        let scenario = registry.get(name).expect("registered");
+        for (file, header) in scenario.csv_schemas() {
+            emca_harness::validate_csv(&out_dir.join(file), header)
+                .unwrap_or_else(|e| panic!("scenario {name}: {e}"));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+/// The policy override threads through a scenario end-to-end: the
+/// mechanism slot's series is relabelled and still emits the declared
+/// schema.
+#[test]
+fn policy_override_reaches_the_scenario_output() {
+    let out_dir = std::env::temp_dir().join(format!("emca_scenario_policy_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+    std::fs::create_dir_all(&out_dir).expect("create dir");
+    let spec = ExperimentSpec {
+        scenario: "fig13".into(),
+        sf: Some(0.002),
+        users: Some(2),
+        iters: Some(1),
+        policy: Some(elastic_core::PolicyId::HillClimb),
+        out_dir: Some(PathBuf::from(&out_dir)),
+        ..ExperimentSpec::default()
+    };
+    scenarios::registry().run("fig13", &spec).expect("fig13");
+    let csv = std::fs::read_to_string(out_dir.join("fig13_sched_metrics.csv")).unwrap();
+    assert!(
+        csv.contains("HillClimb"),
+        "mechanism slot must carry the policy label:\n{csv}"
+    );
+    assert!(
+        !csv.contains("Adaptive"),
+        "the adaptive slot was replaced:\n{csv}"
+    );
+    let _ = std::fs::remove_dir_all(&out_dir);
+}

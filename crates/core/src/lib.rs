@@ -35,11 +35,16 @@ pub mod lonc;
 pub mod mechanism;
 pub mod modes;
 pub mod monitor;
+pub mod policy;
 pub mod priority_queue;
 pub mod sla;
 
 pub use mechanism::{ElasticMechanism, MechanismConfig, TransitionEvent};
-pub use modes::{mode_by_name, AdaptiveMode, AllocationMode, DenseMode, ModeCtx, SparseMode};
+pub use modes::{AdaptiveMode, AllocationMode, DenseMode, ModeCtx, SparseMode};
 pub use monitor::{MetricKind, Monitor, MonitorSample};
+pub use policy::{
+    policy_by_name, Decision, HillClimbPolicy, Observation, Policy, PolicyCtx, PolicyId,
+    SlaCappedPolicy, UnknownPolicy,
+};
 pub use priority_queue::NodePriorityQueue;
 pub use sla::{SlaGovernor, SlaPolicy};

@@ -15,8 +15,9 @@
 //!
 //! A single mechanism instance supports all DBMS clients (§V).
 
-use crate::modes::{AllocationMode, ModeCtx};
+use crate::modes::ModeCtx;
 use crate::monitor::{MetricKind, Monitor, MonitorSample};
+use crate::policy::{Decision, Observation, Policy, PolicyCtx};
 use emca_metrics::{SimDuration, SimTime};
 use numa_sim::SpaceId;
 use os_sim::{CoreMask, GroupId, Kernel};
@@ -91,12 +92,13 @@ impl MechanismConfig {
     }
 
     /// Sets the actuation latency from the paper's per-mode token-flow
-    /// measurements.
+    /// measurements (the hill climber places adaptively, so it pays the
+    /// adaptive mode's token-flow cost).
     pub fn with_mode_latency(mut self, mode_name: &str) -> Self {
         self.actuation_latency = match mode_name {
             "dense" => SimDuration::from_millis(17),
             "sparse" => SimDuration::from_millis(21),
-            "adaptive" => SimDuration::from_millis(31),
+            "adaptive" | "hillclimb" => SimDuration::from_millis(31),
             _ => self.actuation_latency,
         };
         self
@@ -126,7 +128,7 @@ pub struct TransitionEvent {
 pub struct ElasticMechanism {
     cfg: MechanismConfig,
     net: ElasticNet,
-    mode: Box<dyn AllocationMode>,
+    policy: Box<dyn Policy>,
     monitor: Monitor,
     group: GroupId,
     next_control: SimTime,
@@ -136,6 +138,13 @@ pub struct ElasticMechanism {
     /// Smoothed observed query response time (seconds), fed by the
     /// harness through [`ElasticMechanism::note_response`].
     service_ewma: Option<f64>,
+    /// Completed queries since the last control step (throughput
+    /// feedback for [`Policy::observe`]).
+    completions_since: u64,
+    /// When the previous control step ran (observation window anchor).
+    last_control_at: SimTime,
+    /// Machine-wide link-byte count at the previous control step.
+    prev_link_bytes: u64,
     /// Consecutive Idle classifications (release hysteresis state).
     idle_streak: u32,
     /// A decided-but-not-yet-applied mask (actuation latency).
@@ -148,13 +157,13 @@ pub struct ElasticMechanism {
 
 impl ElasticMechanism {
     /// Installs the mechanism on a kernel: shrinks the group's cpuset to
-    /// the initial allocation (chosen by the mode) and arms the control
-    /// timer.
+    /// the initial allocation (chosen by the policy) and arms the
+    /// control timer.
     pub fn install(
         kernel: &mut Kernel,
         group: GroupId,
         space: SpaceId,
-        mut mode: Box<dyn AllocationMode>,
+        mut policy: Box<dyn Policy>,
         cfg: MechanismConfig,
     ) -> Self {
         let topo = kernel.machine().topology().clone();
@@ -163,7 +172,8 @@ impl ElasticMechanism {
             (1..=ntotal).contains(&cfg.initial_cores),
             "initial_cores out of range"
         );
-        // Build the initial mask by asking the mode for cores one by one.
+        // Build the initial mask by asking the policy for cores one by
+        // one.
         let pages = kernel.machine().mem().pages_per_node(space).to_vec();
         let mut mask = CoreMask::EMPTY;
         for _ in 0..cfg.initial_cores {
@@ -173,7 +183,7 @@ impl ElasticMechanism {
                 pages_per_node: &pages,
                 mc_util_per_node: &[],
             };
-            let core = mode.next_core(&ctx).expect("initial cores available");
+            let core = policy.next_core(&ctx).expect("initial cores available");
             mask.insert(core);
         }
         kernel.set_group_mask(group, mask);
@@ -184,15 +194,25 @@ impl ElasticMechanism {
         // must come quickly relative to the workload.
         let cur_interval = cfg.min_interval.min(cfg.interval);
         let next_control = kernel.now() + cur_interval;
+        let prev_link_bytes = kernel
+            .machine()
+            .counters()
+            .snapshot()
+            .link_bytes
+            .iter()
+            .sum();
         ElasticMechanism {
             cfg,
             net,
-            mode,
+            policy,
             monitor,
             group,
             next_control,
             cur_interval,
             service_ewma: None,
+            completions_since: 0,
+            last_control_at: kernel.now(),
+            prev_link_bytes,
             idle_streak: 0,
             pending: None,
             events: Vec::new(),
@@ -205,8 +225,11 @@ impl ElasticMechanism {
     /// service time (clamped to `[min_interval, interval]`), so the
     /// mechanism reacts within a handful of queries at any simulation
     /// scale — at full scale, where queries take seconds, the floor sits
-    /// at the paper's 50 ms default.
+    /// at the paper's 50 ms default. Each call also counts one completed
+    /// query toward the throughput feedback handed to
+    /// [`Policy::observe`].
     pub fn note_response(&mut self, response: SimDuration) {
+        self.completions_since += 1;
         let secs = response.as_secs_f64();
         self.service_ewma = Some(match self.service_ewma {
             None => secs,
@@ -243,9 +266,9 @@ impl ElasticMechanism {
         &self.net
     }
 
-    /// The allocation mode's name.
-    pub fn mode_name(&self) -> &'static str {
-        self.mode.name()
+    /// The allocation policy's name.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
     }
 
     /// Drives the mechanism; call once per simulation tick (cheap when
@@ -269,6 +292,31 @@ impl ElasticMechanism {
     fn control(&mut self, kernel: &mut Kernel) {
         self.steps += 1;
         let sample = self.monitor.sample(kernel);
+        // Throughput/traffic feedback for the policy (hill climbing, SLA
+        // budgets); plain placement modes ignore it.
+        let window = kernel.now().since(self.last_control_at);
+        let link_bytes: u64 = kernel
+            .machine()
+            .counters()
+            .snapshot()
+            .link_bytes
+            .iter()
+            .sum();
+        let ht_rate = if window.is_zero() {
+            0.0
+        } else {
+            link_bytes.saturating_sub(self.prev_link_bytes) as f64 / window.as_secs_f64()
+        };
+        self.policy.observe(&Observation {
+            sample: &sample,
+            completions: self.completions_since,
+            interval: window,
+            nalloc: self.net.nalloc(),
+            ht_rate,
+        });
+        self.completions_since = 0;
+        self.last_control_at = kernel.now();
+        self.prev_link_bytes = link_bytes;
         // Eq. 1 guard (`p(nalloc) ≥ p(ntotal)`): when the memory
         // controllers actually serving the workload's data are saturated,
         // an extra core cannot improve performance — it can only scatter
@@ -312,43 +360,58 @@ impl ElasticMechanism {
                 self.idle_streak = 0;
             }
         }
+        // Policy signal shaping (SLA damping, hill-climb probe holds):
+        // runs last so a policy-forced release is not re-damped by the
+        // hysteresis above. Identity for the plain placement modes.
+        u = self.policy.shape(
+            u,
+            kernel.group_mask(self.group).count() as u32,
+            self.cfg.thresholds,
+        );
         let report = self.net.step(u);
         let current = kernel.group_mask(self.group);
         let topo = kernel.machine().topology().clone();
-        let ctx = ModeCtx {
-            topology: &topo,
-            current,
-            pages_per_node: &sample.pages_per_node,
-            mc_util_per_node: &sample.mc_util_per_node,
-        };
-        let new_mask = match report.action {
-            AllocAction::Allocate => match self.mode.next_core(&ctx) {
-                Some(core) => {
-                    let mut m = current;
-                    m.insert(core);
-                    Some(m)
-                }
-                None => {
-                    // The model thought a core was available but the mode
-                    // found none: resync the Provision token.
-                    self.net.set_nalloc(current.count() as u32);
-                    None
-                }
+        let ctx = PolicyCtx {
+            mode: ModeCtx {
+                topology: &topo,
+                current,
+                pages_per_node: &sample.pages_per_node,
+                mc_util_per_node: &sample.mc_util_per_node,
             },
-            AllocAction::Release => match self.mode.release_core(&ctx) {
-                Some(core) => {
-                    let mut m = current;
-                    m.remove(core);
-                    Some(m)
-                }
-                None => {
-                    self.net.set_nalloc(current.count() as u32);
-                    None
-                }
-            },
-            AllocAction::Hold => None,
+            action: report.action,
         };
-        // AIMD interval adaptation: hunt fast, hold cheap.
+        let decision = self.policy.decide(&ctx);
+        let new_mask = match decision {
+            Decision::Grow(core) => {
+                debug_assert!(!current.contains(core), "policy grew an allocated core");
+                let mut m = current;
+                m.insert(core);
+                Some(m)
+            }
+            Decision::Shrink(core) => {
+                debug_assert!(current.contains(core), "policy shrank a foreign core");
+                let mut m = current;
+                m.remove(core);
+                Some(m)
+            }
+            Decision::Hold => None,
+        };
+        // Resync the Provision token whenever the decision diverged from
+        // the net's verdict — the placement found no core, or the policy
+        // vetoed/overrode the move (SLA cap, hill-climb revert).
+        let in_sync = matches!(
+            (report.action, decision),
+            (AllocAction::Allocate, Decision::Grow(_))
+                | (AllocAction::Release, Decision::Shrink(_))
+                | (AllocAction::Hold, Decision::Hold)
+        );
+        let nalloc_after = new_mask.unwrap_or(current).count() as u32;
+        if !in_sync {
+            self.net.set_nalloc(nalloc_after);
+        }
+        // AIMD interval adaptation: hunt fast, hold cheap. Keyed on the
+        // net's verdict (not the final decision) so a saturated Allocate
+        // keeps reacting at the floor, exactly as before the Policy API.
         self.cur_interval = match report.action {
             AllocAction::Allocate | AllocAction::Release => self.effective_min(),
             AllocAction::Hold => {
@@ -361,18 +424,29 @@ impl ElasticMechanism {
             let latency = self.cfg.actuation_latency.min(self.cur_interval / 2);
             self.pending = Some((kernel.now() + latency, mask));
         }
-        self.record(&sample, &report);
+        let effective = match decision {
+            Decision::Grow(_) => AllocAction::Allocate,
+            Decision::Shrink(_) => AllocAction::Release,
+            Decision::Hold => AllocAction::Hold,
+        };
+        self.record(&sample, &report, effective, nalloc_after);
     }
 
-    fn record(&mut self, sample: &MonitorSample, report: &prt_petrinet::StepReport) {
+    fn record(
+        &mut self,
+        sample: &MonitorSample,
+        report: &prt_petrinet::StepReport,
+        action: AllocAction,
+        nalloc: u32,
+    ) {
         self.events.push(TransitionEvent {
             at: sample.at,
             label: report.label.clone(),
             state: report.state,
-            action: report.action,
+            action,
             u: report.u,
             cpu_load_pct: sample.cpu_load_pct,
-            nalloc: report.nalloc,
+            nalloc,
         });
     }
 
@@ -435,7 +509,7 @@ mod tests {
         assert_eq!(k.group_mask(g).count(), 1);
         assert_eq!(k.group_mask(g).first(), Some(CoreId(0)));
         assert_eq!(mech.nalloc(), 1);
-        assert_eq!(mech.mode_name(), "dense");
+        assert_eq!(mech.policy_name(), "dense");
     }
 
     #[test]
@@ -544,7 +618,7 @@ mod tests {
         // The initial core must be on node 2 (the hottest node).
         let first = k.group_mask(g).first().expect("one core");
         assert_eq!(k.machine().topology().node_of(first), numa_sim::NodeId(2));
-        assert_eq!(mech.mode_name(), "adaptive");
+        assert_eq!(mech.policy_name(), "adaptive");
     }
 
     #[test]

@@ -179,16 +179,6 @@ impl AllocationMode for AdaptiveMode {
     }
 }
 
-/// The paper's three modes by name (harness configuration).
-pub fn mode_by_name(name: &str) -> Box<dyn AllocationMode> {
-    match name {
-        "dense" => Box::new(DenseMode),
-        "sparse" => Box::new(SparseMode),
-        "adaptive" => Box::new(AdaptiveMode::default()),
-        other => panic!("unknown allocation mode {other:?}"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,18 +285,5 @@ mod tests {
             AdaptiveMode::default().next_core(&ctx(&topo, all, &pages)),
             None
         );
-    }
-
-    #[test]
-    fn mode_by_name_resolves() {
-        assert_eq!(mode_by_name("dense").name(), "dense");
-        assert_eq!(mode_by_name("sparse").name(), "sparse");
-        assert_eq!(mode_by_name("adaptive").name(), "adaptive");
-    }
-
-    #[test]
-    #[should_panic(expected = "unknown allocation mode")]
-    fn bad_mode_name_panics() {
-        mode_by_name("magic");
     }
 }

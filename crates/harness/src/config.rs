@@ -1,12 +1,18 @@
 //! Experiment configurations.
 
-use elastic_core::MetricKind;
+use elastic_core::{MetricKind, Policy, PolicyId};
 use emca_metrics::SimDuration;
+use std::sync::Arc;
 use volcano_db::client::Workload;
 use volcano_db::exec::engine::Flavor;
 use volcano_db::tpch::TpchScale;
 
-/// Core-allocation policy of a run (the paper's four configurations).
+// Centralised `EMCA_*` environment parsing lives with the spec; this
+// re-export keeps the documented `config::from_env()` path.
+pub use crate::spec::{from_env, from_vars};
+
+/// Core-allocation policy of a run: the paper's four configurations
+/// plus the throughput hill climber.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Alloc {
     /// No mechanism: all cores handed to the OS (the baseline).
@@ -17,6 +23,9 @@ pub enum Alloc {
     Sparse,
     /// Mechanism with the adaptive priority mode.
     Adaptive,
+    /// Mechanism with the hill-climbing LONC policy (adaptive placement
+    /// plus throughput-feedback growth/revert).
+    HillClimb,
 }
 
 impl Alloc {
@@ -31,22 +40,83 @@ impl Alloc {
             Alloc::Dense => "Dense".to_string(),
             Alloc::Sparse => "Sparse".to_string(),
             Alloc::Adaptive => "Adaptive".to_string(),
+            Alloc::HillClimb => "HillClimb".to_string(),
         }
     }
 
-    /// Mechanism mode name, if this policy uses the mechanism.
-    pub fn mode_name(&self) -> Option<&'static str> {
+    /// The mechanism policy, if this allocation uses the mechanism.
+    pub fn policy_id(&self) -> Option<PolicyId> {
         match self {
             Alloc::OsAll => None,
-            Alloc::Dense => Some("dense"),
-            Alloc::Sparse => Some("sparse"),
-            Alloc::Adaptive => Some("adaptive"),
+            Alloc::Dense => Some(PolicyId::Dense),
+            Alloc::Sparse => Some(PolicyId::Sparse),
+            Alloc::Adaptive => Some(PolicyId::Adaptive),
+            Alloc::HillClimb => Some(PolicyId::HillClimb),
         }
     }
 
-    /// The four policies in figure order.
+    /// Mechanism policy name, if this allocation uses the mechanism.
+    pub fn mode_name(&self) -> Option<&'static str> {
+        self.policy_id().map(PolicyId::name)
+    }
+
+    /// The four policies in figure order (the paper's grid; the hill
+    /// climber replaces the adaptive slot via
+    /// [`crate::spec::ExperimentSpec::alloc_sweep`] instead of widening
+    /// every figure).
     pub fn all() -> [Alloc; 4] {
         [Alloc::OsAll, Alloc::Dense, Alloc::Sparse, Alloc::Adaptive]
+    }
+}
+
+impl From<PolicyId> for Alloc {
+    fn from(p: PolicyId) -> Self {
+        match p {
+            PolicyId::Dense => Alloc::Dense,
+            PolicyId::Sparse => Alloc::Sparse,
+            PolicyId::Adaptive => Alloc::Adaptive,
+            PolicyId::HillClimb => Alloc::HillClimb,
+        }
+    }
+}
+
+/// A cloneable factory for user-defined [`Policy`] implementations, so
+/// a [`RunConfig`] (which is `Clone`) can carry a custom policy through
+/// the standard runner (`examples/custom_policy.rs`).
+#[derive(Clone)]
+pub struct PolicyFactory {
+    name: &'static str,
+    make: Arc<dyn Fn() -> Box<dyn Policy> + Send + Sync>,
+}
+
+impl PolicyFactory {
+    /// Wraps a constructor for a custom policy.
+    pub fn new(
+        name: &'static str,
+        make: impl Fn() -> Box<dyn Policy> + Send + Sync + 'static,
+    ) -> Self {
+        PolicyFactory {
+            name,
+            make: Arc::new(make),
+        }
+    }
+
+    /// The policy's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Builds a fresh policy instance.
+    pub fn build(&self) -> Box<dyn Policy> {
+        (self.make)()
+    }
+}
+
+impl std::fmt::Debug for PolicyFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyFactory")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -101,6 +171,10 @@ pub struct RunConfig {
     pub mech_guard: Option<Option<f64>>,
     /// Base-data placement policy (identical for every flavor).
     pub warmup: Warmup,
+    /// User-defined mechanism policy; when set it replaces the policy
+    /// [`RunConfig::alloc`] names (the alloc still provides the label
+    /// and must not be [`Alloc::OsAll`]).
+    pub custom_policy: Option<PolicyFactory>,
 }
 
 impl RunConfig {
@@ -119,6 +193,7 @@ impl RunConfig {
             mech_interval: None,
             mech_guard: None,
             warmup: Warmup::default(),
+            custom_policy: None,
         }
     }
 
@@ -171,6 +246,17 @@ impl RunConfig {
         self.trace_sched = true;
         self
     }
+
+    /// Runs the mechanism with a user-defined policy instead of one of
+    /// the built-ins (the alloc is forced off the OS baseline so the
+    /// mechanism installs).
+    pub fn with_custom_policy(mut self, factory: PolicyFactory) -> Self {
+        if self.alloc == Alloc::OsAll {
+            self.alloc = Alloc::Adaptive;
+        }
+        self.custom_policy = Some(factory);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -189,7 +275,35 @@ mod tests {
     fn mode_names() {
         assert_eq!(Alloc::OsAll.mode_name(), None);
         assert_eq!(Alloc::Dense.mode_name(), Some("dense"));
-        assert_eq!(Alloc::all().len(), 4);
+        assert_eq!(Alloc::HillClimb.mode_name(), Some("hillclimb"));
+        assert_eq!(Alloc::HillClimb.label(Flavor::MonetDb), "HillClimb");
+        assert_eq!(Alloc::all().len(), 4, "figure sweeps stay the paper's four");
+    }
+
+    #[test]
+    fn alloc_maps_policy_ids_both_ways() {
+        for id in elastic_core::PolicyId::ALL {
+            assert_eq!(Alloc::from(id).policy_id(), Some(id));
+        }
+        assert_eq!(Alloc::OsAll.policy_id(), None);
+    }
+
+    #[test]
+    fn custom_policy_forces_mechanism_alloc() {
+        let factory = PolicyFactory::new("noop", || elastic_core::PolicyId::Dense.build());
+        assert_eq!(factory.name(), "noop");
+        assert_eq!(factory.build().name(), "dense");
+        let cfg = RunConfig::new(
+            Alloc::OsAll,
+            1,
+            Workload::Repeat {
+                spec: QuerySpec::Q6 { variant: 0 },
+                iterations: 1,
+            },
+        )
+        .with_custom_policy(factory);
+        assert_ne!(cfg.alloc, Alloc::OsAll, "mechanism must install");
+        assert!(cfg.custom_policy.is_some());
     }
 
     #[test]

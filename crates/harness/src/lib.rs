@@ -5,17 +5,29 @@
 //! declarative [`RunConfig`], runs the workload to completion, and
 //! returns every metric the paper's figures plot ([`RunOutput`]).
 //!
-//! The figure/table binaries in `emca-bench` are thin wrappers over this
-//! crate: one sweep + one render each.
+//! The experiment surface on top of the runner:
+//!
+//! - [`ExperimentSpec`] — the typed configuration of an invocation
+//!   (scenario, flavor, policy, scale, …), with `Display`/`FromStr`
+//!   round-tripping and [`config::from_env`] as the single place the
+//!   documented `EMCA_*` fallbacks are parsed;
+//! - [`Scenario`] / [`ScenarioRegistry`] — every figure/table of the
+//!   paper as a named unit (setup + sweep + declared CSV schema) that
+//!   the `emca` CLI lists and runs; user scenarios register the same
+//!   way.
 
 pub mod config;
 pub mod handcoded_runner;
 pub mod report;
 pub mod runner;
+pub mod scenario;
+pub mod spec;
 
-pub use config::{Alloc, RunConfig, Warmup};
+pub use config::{Alloc, PolicyFactory, RunConfig, Warmup};
 pub use handcoded_runner::{run_handcoded, HandcodedOutput};
 pub use runner::{run, run_all_allocs, RunOutput};
+pub use scenario::{validate_csv, FnScenario, Scenario, ScenarioError, ScenarioRegistry};
+pub use spec::{ExperimentSpec, SpecError};
 
 use std::path::PathBuf;
 

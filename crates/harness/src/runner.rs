@@ -3,7 +3,7 @@
 //! paper's figures need.
 
 use crate::config::{Alloc, RunConfig};
-use elastic_core::{mode_by_name, ElasticMechanism, MechanismConfig, TransitionEvent};
+use elastic_core::{ElasticMechanism, MechanismConfig, PolicyId, TransitionEvent};
 use emca_metrics::{SimDuration, TimeSeries};
 use numa_sim::{HwSnapshot, Machine, MachineConfig};
 use os_sim::{CoreMask, Kernel, KernelConfig, SchedStats, SchedTrace, ThreadState, Tid};
@@ -145,7 +145,11 @@ pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
     }
     engine.start_workers(&mut kernel, group);
 
-    let mut mechanism = config.alloc.mode_name().map(|mode| {
+    let policy_spec: Option<(&'static str, Option<PolicyId>)> = match &config.custom_policy {
+        Some(factory) => Some((factory.name(), None)),
+        None => config.alloc.policy_id().map(|id| (id.name(), Some(id))),
+    };
+    let mut mechanism = policy_spec.map(|(name, id)| {
         let mut mech_cfg = match config.metric {
             elastic_core::MetricKind::HtImcRatio => MechanismConfig::ht_imc(),
             metric => MechanismConfig {
@@ -153,7 +157,7 @@ pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
                 ..MechanismConfig::cpu_load()
             },
         }
-        .with_mode_latency(mode);
+        .with_mode_latency(name);
         if let Some(interval) = config.mech_interval {
             // Pinned interval: disables both the AIMD adaptation and the
             // service-time scaling (min == max == the override).
@@ -161,16 +165,22 @@ pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
             mech_cfg.min_interval = interval;
             mech_cfg.actuation_latency = mech_cfg.actuation_latency.min(interval / 2);
         }
+        // The hill climber finds the LONC knee from throughput feedback;
+        // running it under the tuned Eq. 1 guard would mask exactly the
+        // behaviour it exists to replace, so the guard defaults off for
+        // it (an explicit `mech_guard` still wins).
+        if id == Some(PolicyId::HillClimb) {
+            mech_cfg.saturation_guard = None;
+        }
         if let Some(guard) = config.mech_guard {
             mech_cfg.saturation_guard = guard;
         }
-        ElasticMechanism::install(
-            &mut kernel,
-            group,
-            engine.space(),
-            mode_by_name(mode),
-            mech_cfg,
-        )
+        let policy = match (&config.custom_policy, id) {
+            (Some(factory), _) => factory.build(),
+            (None, Some(id)) => id.build(),
+            (None, None) => unreachable!("policy_spec guarantees a source"),
+        };
+        ElasticMechanism::install(&mut kernel, group, engine.space(), policy, mech_cfg)
     });
 
     let logs = spawn_clients(
@@ -217,14 +227,15 @@ pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
         kernel.run_tick();
         if let Some(m) = mechanism.as_mut() {
             m.poll(&mut kernel);
-            if config.mech_interval.is_none() {
-                for (log, cursor) in logs.iter().zip(&mut seen) {
-                    let log = log.borrow();
-                    for r in &log.results[*cursor..] {
-                        m.note_response(r.response());
-                    }
-                    *cursor = log.results.len();
+            // Feed completed responses unconditionally: they drive the
+            // interval scaler (inert when the interval is pinned) and the
+            // completion counter behind `Policy::observe` (hill climbing).
+            for (log, cursor) in logs.iter().zip(&mut seen) {
+                let log = log.borrow();
+                for r in &log.results[*cursor..] {
+                    m.note_response(r.response());
                 }
+                *cursor = log.results.len();
             }
         }
         if kernel.now() >= next_sample {

@@ -1,0 +1,283 @@
+//! The scenario registry — every figure, table and diagnostic of the
+//! reproduction as a named, runnable unit.
+//!
+//! A [`Scenario`] is setup + sweep + declared CSV schema behind one
+//! `run(&ExperimentSpec)` entry point. The [`ScenarioRegistry`] maps
+//! names to scenarios so one CLI (`emca list` / `emca run <name>`) can
+//! drive all of them, and user code can [`ScenarioRegistry::register`]
+//! its own (see `examples/custom_policy.rs`). Declared schemas double as
+//! the validation source for `emca check`, via [`validate_csv`].
+
+use crate::spec::ExperimentSpec;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A scenario failure (fidelity violation, missing data, bad config).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioError(pub String);
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<String> for ScenarioError {
+    fn from(s: String) -> Self {
+        ScenarioError(s)
+    }
+}
+
+impl From<&str> for ScenarioError {
+    fn from(s: &str) -> Self {
+        ScenarioError(s.to_string())
+    }
+}
+
+/// A named experiment: one of the paper's figures/tables, or anything
+/// user code wants driveable through the same surface.
+pub trait Scenario {
+    /// Registry key (`fig04`, `tab_summary`, …).
+    fn name(&self) -> &str;
+
+    /// One-line description for `emca list`.
+    fn about(&self) -> &str;
+
+    /// CSV files this scenario writes: `(file name, header)`. Used by
+    /// `emca check` and the scenario smoke tests; empty for scenarios
+    /// that only print.
+    fn csv_schemas(&self) -> &[(&'static str, &'static str)] {
+        &[]
+    }
+
+    /// Runs the scenario under the given spec.
+    fn run(&self, spec: &ExperimentSpec) -> Result<(), ScenarioError>;
+}
+
+/// A scenario built from plain parts — the registration vehicle for
+/// both the built-in figures and user scenarios.
+pub struct FnScenario {
+    /// Registry key.
+    pub name: &'static str,
+    /// One-line description.
+    pub about: &'static str,
+    /// Declared CSV outputs.
+    pub schemas: &'static [(&'static str, &'static str)],
+    /// The body.
+    pub run: fn(&ExperimentSpec) -> Result<(), ScenarioError>,
+}
+
+impl Scenario for FnScenario {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn about(&self) -> &str {
+        self.about
+    }
+
+    fn csv_schemas(&self) -> &[(&'static str, &'static str)] {
+        self.schemas
+    }
+
+    fn run(&self, spec: &ExperimentSpec) -> Result<(), ScenarioError> {
+        (self.run)(spec)
+    }
+}
+
+/// Name-ordered collection of scenarios.
+#[derive(Default)]
+pub struct ScenarioRegistry {
+    items: BTreeMap<String, Box<dyn Scenario>>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a scenario; duplicate names are an error.
+    pub fn register(&mut self, scenario: Box<dyn Scenario>) -> Result<(), ScenarioError> {
+        let name = scenario.name().to_string();
+        if self.items.contains_key(&name) {
+            return Err(ScenarioError(format!("duplicate scenario name {name:?}")));
+        }
+        self.items.insert(name, scenario);
+        Ok(())
+    }
+
+    /// Looks a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Scenario> {
+        self.items.get(name).map(|s| s.as_ref())
+    }
+
+    /// All names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.items.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// All scenarios, name-ordered.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Scenario> {
+        self.items.values().map(|s| s.as_ref())
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Runs `name` under `spec`; an unknown name is an error listing
+    /// the valid scenarios (no panic).
+    pub fn run(&self, name: &str, spec: &ExperimentSpec) -> Result<(), ScenarioError> {
+        match self.get(name) {
+            Some(s) => s.run(spec),
+            None => Err(ScenarioError(format!(
+                "unknown scenario {name:?} (valid: {})",
+                self.names().join(", ")
+            ))),
+        }
+    }
+}
+
+/// Counts RFC-4180-ish CSV fields (the quoting `Table::to_csv` emits).
+fn n_fields(line: &str) -> usize {
+    let mut n = 1;
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => n += 1,
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Validates one CSV file against its declared header: the header line
+/// must match exactly and every data row must have the header's column
+/// count. This is the `csv_check` validation as a library call, shared
+/// by `emca check` and the scenario smoke tests.
+pub fn validate_csv(path: &Path, header: &str) -> Result<(), String> {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    let content = std::fs::read_to_string(path).map_err(|e| format!("{name}: unreadable ({e})"))?;
+    let mut lines = content.lines();
+    match lines.next() {
+        Some(first) if first == header => {}
+        Some(first) => {
+            return Err(format!(
+                "{name}: header mismatch\n  expected: {header}\n  found:    {first}"
+            ))
+        }
+        None => return Err(format!("{name}: empty file")),
+    }
+    let want = n_fields(header);
+    for (i, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let got = n_fields(line);
+        if got != want {
+            return Err(format!(
+                "{name}: row {} has {got} columns, header has {want}",
+                i + 2
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop(name: &'static str) -> Box<dyn Scenario> {
+        Box::new(FnScenario {
+            name,
+            about: "test scenario",
+            schemas: &[],
+            run: |_| Ok(()),
+        })
+    }
+
+    #[test]
+    fn register_get_and_list() {
+        let mut r = ScenarioRegistry::new();
+        assert!(r.is_empty());
+        r.register(noop("beta")).unwrap();
+        r.register(noop("alpha")).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.names(), vec!["alpha", "beta"], "names are sorted");
+        assert!(r.get("alpha").is_some());
+        assert!(r.get("gamma").is_none());
+        assert_eq!(r.iter().count(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut r = ScenarioRegistry::new();
+        r.register(noop("x")).unwrap();
+        let err = r.register(noop("x")).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn unknown_scenario_error_lists_valid_names() {
+        let mut r = ScenarioRegistry::new();
+        r.register(noop("fig04")).unwrap();
+        r.register(noop("tab_summary")).unwrap();
+        let err = r.run("fig99", &ExperimentSpec::default()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("fig99"), "{msg}");
+        assert!(
+            msg.contains("fig04") && msg.contains("tab_summary"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn run_dispatches() {
+        let mut r = ScenarioRegistry::new();
+        r.register(Box::new(FnScenario {
+            name: "fails",
+            about: "always fails",
+            schemas: &[],
+            run: |_| Err("boom".into()),
+        }))
+        .unwrap();
+        assert_eq!(
+            r.run("fails", &ExperimentSpec::default()),
+            Err(ScenarioError("boom".into()))
+        );
+    }
+
+    #[test]
+    fn csv_validation_catches_drift() {
+        let dir = std::env::temp_dir().join("emca_scenario_validate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ok = dir.join("ok.csv");
+        std::fs::write(&ok, "a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(validate_csv(&ok, "a,b,c"), Ok(()));
+        assert!(validate_csv(&ok, "a,b").unwrap_err().contains("header"));
+        let ragged = dir.join("ragged.csv");
+        std::fs::write(&ragged, "a,b,c\n1,2\n").unwrap();
+        assert!(validate_csv(&ragged, "a,b,c")
+            .unwrap_err()
+            .contains("2 columns"));
+        let quoted = dir.join("quoted.csv");
+        std::fs::write(&quoted, "a,b\n\"x,y\",2\n").unwrap();
+        assert_eq!(validate_csv(&quoted, "a,b"), Ok(()));
+        assert!(validate_csv(&dir.join("missing.csv"), "a").is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,528 @@
+//! The typed experiment specification — the single configuration
+//! surface of every scenario.
+//!
+//! [`ExperimentSpec`] replaces the per-binary `EMCA_*` parsing: the env
+//! vars remain as documented fallbacks, but they are read in exactly one
+//! place ([`from_env`]) and everything downstream (the `emca` CLI, the
+//! deprecated per-figure shims, library callers) works on the typed
+//! spec. Fields a scenario does not override fall back to that
+//! scenario's own defaults, so the spec only pins what the caller set.
+//!
+//! The spec is serde-able without a serde dependency (the build is
+//! offline): [`std::fmt::Display`] renders a stable `key=value` line and
+//! [`std::str::FromStr`] parses it back, round-tripping every field —
+//! the same format the CLI logs at startup and accepts in scripts.
+
+use crate::config::{Alloc, RunConfig, Warmup};
+use elastic_core::PolicyId;
+use emca_metrics::SimDuration;
+use std::path::PathBuf;
+use volcano_db::exec::engine::Flavor;
+use volcano_db::tpch::TpchScale;
+
+/// A malformed spec string or environment variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid experiment spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Full description of one experiment invocation. Unset (`None`) fields
+/// defer to the scenario's own defaults.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentSpec {
+    /// Scenario name (`fig04` … `tab_summary`); empty for ad-hoc runs.
+    pub scenario: String,
+    /// Engine flavor override (scenarios that sweep both ignore it).
+    pub flavor: Option<Flavor>,
+    /// Mechanism policy: fills the *adaptive* slot of every scenario
+    /// (`None` = the paper's adaptive mode).
+    pub policy: Option<PolicyId>,
+    /// Concurrent clients / cap on user sweeps (`EMCA_CLIENTS`).
+    pub users: Option<usize>,
+    /// Per-client iterations (`EMCA_ITERS`).
+    pub iters: Option<u32>,
+    /// TPC-H scale factor (`EMCA_SF`; scenario default 0.25).
+    pub sf: Option<f64>,
+    /// Data-generation seed.
+    pub seed: u64,
+    /// Base-data placement override (`EMCA_WARMUP`).
+    pub warmup: Option<Warmup>,
+    /// Eq. 1 saturation-guard override (`EMCA_GUARD`): `Some(None)`
+    /// disables the guard, `Some(Some(x))` pins the threshold.
+    pub guard: Option<Option<f64>>,
+    /// Pinned control interval in ms (`EMCA_INTERVAL_MS`).
+    pub interval_ms: Option<f64>,
+    /// Enforce fidelity/validation claims where the scenario defines
+    /// them (`EMCA_CHECK=1`).
+    pub check: bool,
+    /// CSV output directory (default: the workspace `results/`).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        ExperimentSpec {
+            scenario: String::new(),
+            flavor: None,
+            policy: None,
+            users: None,
+            iters: None,
+            sf: None,
+            seed: 42,
+            warmup: None,
+            guard: None,
+            interval_ms: None,
+            check: false,
+            out_dir: None,
+        }
+    }
+}
+
+impl ExperimentSpec {
+    /// A spec naming a scenario, everything else at defaults.
+    pub fn for_scenario(name: impl Into<String>) -> Self {
+        ExperimentSpec {
+            scenario: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// The TPC-H scale, falling back to the scenario's default factor.
+    pub fn scale(&self, default_sf: f64) -> TpchScale {
+        TpchScale {
+            sf: self.sf.unwrap_or(default_sf),
+            seed: self.seed,
+        }
+    }
+
+    /// Client count with the scenario's default cap.
+    pub fn users_or(&self, default: usize) -> usize {
+        self.users.unwrap_or(default)
+    }
+
+    /// Iteration count with the scenario's default.
+    pub fn iters_or(&self, default: u32) -> u32 {
+        self.iters.unwrap_or(default)
+    }
+
+    /// The allocation filling the scenario's *mechanism* slot: the
+    /// paper's adaptive mode unless a policy override is set.
+    pub fn mech_alloc(&self) -> Alloc {
+        match self.policy {
+            None => Alloc::Adaptive,
+            Some(p) => Alloc::from(p),
+        }
+    }
+
+    /// The four-series sweep of most figures, with the adaptive slot
+    /// replaced by the spec's policy (identical to the paper's
+    /// OS/Dense/Sparse/Adaptive by default).
+    pub fn alloc_sweep(&self) -> [Alloc; 4] {
+        [Alloc::OsAll, Alloc::Dense, Alloc::Sparse, self.mech_alloc()]
+    }
+
+    /// Applies the spec's mechanism overrides (guard, pinned interval,
+    /// warm-up homing) to a run configuration.
+    pub fn apply(&self, mut cfg: RunConfig) -> RunConfig {
+        if let Some(guard) = self.guard {
+            cfg = cfg.with_guard(guard);
+        }
+        if let Some(ms) = self.interval_ms {
+            cfg = cfg.with_mech_interval(SimDuration::from_micros((ms * 1000.0) as u64));
+        }
+        if let Some(w) = self.warmup {
+            cfg = cfg.with_warmup(w);
+        }
+        cfg
+    }
+
+    /// Where a scenario CSV goes: `out_dir/<name>` when set, the
+    /// workspace `results/<name>` otherwise.
+    pub fn csv_path(&self, name: &str) -> PathBuf {
+        match &self.out_dir {
+            Some(dir) => dir.join(name),
+            None => crate::results_path(name),
+        }
+    }
+
+    /// Logs the resolved spec (the startup line every entry point
+    /// prints, so a run's full configuration is always on record).
+    pub fn log_resolved(&self) {
+        eprintln!("[spec] {self}");
+    }
+}
+
+fn flavor_name(f: Flavor) -> &'static str {
+    match f {
+        Flavor::MonetDb => "monetdb",
+        Flavor::SqlServer => "sqlserver",
+    }
+}
+
+fn parse_flavor(s: &str) -> Result<Flavor, SpecError> {
+    match s {
+        "monetdb" => Ok(Flavor::MonetDb),
+        "sqlserver" => Ok(Flavor::SqlServer),
+        other => Err(SpecError(format!(
+            "flavor must be monetdb|sqlserver, got {other:?}"
+        ))),
+    }
+}
+
+fn warmup_name(w: Warmup) -> &'static str {
+    match w {
+        Warmup::Loader => "loader",
+        Warmup::Interleave => "interleave",
+        Warmup::None => "none",
+    }
+}
+
+fn parse_warmup(s: &str) -> Result<Warmup, SpecError> {
+    match s {
+        "loader" => Ok(Warmup::Loader),
+        "interleave" => Ok(Warmup::Interleave),
+        "none" => Ok(Warmup::None),
+        other => Err(SpecError(format!(
+            "warmup must be loader|interleave|none, got {other:?}"
+        ))),
+    }
+}
+
+impl std::fmt::Display for ExperimentSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut pairs: Vec<String> = Vec::new();
+        if !self.scenario.is_empty() {
+            pairs.push(format!("scenario={}", self.scenario));
+        }
+        if let Some(fl) = self.flavor {
+            pairs.push(format!("flavor={}", flavor_name(fl)));
+        }
+        if let Some(p) = self.policy {
+            pairs.push(format!("policy={p}"));
+        }
+        if let Some(u) = self.users {
+            pairs.push(format!("users={u}"));
+        }
+        if let Some(i) = self.iters {
+            pairs.push(format!("iters={i}"));
+        }
+        if let Some(sf) = self.sf {
+            pairs.push(format!("sf={sf}"));
+        }
+        pairs.push(format!("seed={}", self.seed));
+        if let Some(w) = self.warmup {
+            pairs.push(format!("warmup={}", warmup_name(w)));
+        }
+        match self.guard {
+            None => {}
+            Some(None) => pairs.push("guard=off".into()),
+            Some(Some(g)) => pairs.push(format!("guard={g}")),
+        }
+        if let Some(ms) = self.interval_ms {
+            pairs.push(format!("interval_ms={ms}"));
+        }
+        if self.check {
+            pairs.push("check=1".into());
+        }
+        if let Some(dir) = &self.out_dir {
+            let dir = dir.display().to_string();
+            // Values with whitespace are quoted so the line stays
+            // `FromStr`-parseable (the round-trip contract).
+            if dir.chars().any(char::is_whitespace) {
+                pairs.push(format!("out_dir=\"{dir}\""));
+            } else {
+                pairs.push(format!("out_dir={dir}"));
+            }
+        }
+        f.write_str(&pairs.join(" "))
+    }
+}
+
+/// Splits a spec line into `key=value` tokens, honouring double quotes
+/// around values (`out_dir="/tmp/my results"`).
+fn tokenize(s: &str) -> Result<Vec<String>, SpecError> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            c if c.is_whitespace() && !in_quotes => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(SpecError(format!("unbalanced quote in {s:?}")));
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    Ok(tokens)
+}
+
+impl std::str::FromStr for ExperimentSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut spec = ExperimentSpec::default();
+        for pair in tokenize(s)? {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| SpecError(format!("expected key=value, got {pair:?}")))?;
+            spec.set(key, value)?;
+        }
+        Ok(spec)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, SpecError> {
+    value
+        .parse()
+        .map_err(|_| SpecError(format!("{key} must be a number, got {value:?}")))
+}
+
+impl ExperimentSpec {
+    /// Sets one `key=value` field (the `FromStr`/CLI/env shared path).
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), SpecError> {
+        match key {
+            "scenario" => self.scenario = value.to_string(),
+            "flavor" => self.flavor = Some(parse_flavor(value)?),
+            "policy" => {
+                self.policy = Some(PolicyId::try_from(value).map_err(|e| SpecError(e.to_string()))?)
+            }
+            "users" => self.users = Some(parse_num(key, value)?),
+            "iters" => self.iters = Some(parse_num(key, value)?),
+            "sf" => self.sf = Some(parse_num(key, value)?),
+            "seed" => self.seed = parse_num(key, value)?,
+            "warmup" => self.warmup = Some(parse_warmup(value)?),
+            "guard" => {
+                self.guard = Some(if value == "off" {
+                    None
+                } else {
+                    Some(parse_num(key, value)?)
+                })
+            }
+            "interval_ms" => self.interval_ms = Some(parse_num(key, value)?),
+            "check" => self.check = value == "1" || value == "true",
+            "out_dir" => self.out_dir = Some(PathBuf::from(value)),
+            other => {
+                return Err(SpecError(format!(
+                    "unknown spec key {other:?} (valid: scenario flavor policy users iters \
+                     sf seed warmup guard interval_ms check out_dir)"
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds a spec from the documented `EMCA_*` environment fallbacks —
+/// the one place they are parsed. A malformed value is a hard error
+/// (the old per-binary parsers silently fell back to defaults, which
+/// made `EMCA_SF=O.25` run at 0.25× the intended scale without a
+/// word).
+///
+/// | Variable           | Spec field    |
+/// |--------------------|---------------|
+/// | `EMCA_SF`          | `sf`          |
+/// | `EMCA_SEED`        | `seed`        |
+/// | `EMCA_CLIENTS`     | `users`       |
+/// | `EMCA_ITERS`       | `iters`       |
+/// | `EMCA_FLAVOR`      | `flavor`      |
+/// | `EMCA_POLICY`      | `policy`      |
+/// | `EMCA_WARMUP`      | `warmup`      |
+/// | `EMCA_GUARD`       | `guard`       |
+/// | `EMCA_INTERVAL_MS` | `interval_ms` |
+/// | `EMCA_CHECK`       | `check`       |
+/// | `EMCA_OUT_DIR`     | `out_dir`     |
+///
+/// `PROPTEST_CASES` is consumed by the vendored proptest shim with the
+/// same strict parsing; it is not a spec field.
+pub fn from_env() -> Result<ExperimentSpec, SpecError> {
+    from_vars(|name| std::env::var(name).ok())
+}
+
+/// [`from_env`] over an arbitrary variable source (testable without
+/// mutating the process environment).
+pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> Result<ExperimentSpec, SpecError> {
+    let mut spec = ExperimentSpec::default();
+    for (var, key) in [
+        ("EMCA_SF", "sf"),
+        ("EMCA_SEED", "seed"),
+        ("EMCA_CLIENTS", "users"),
+        ("EMCA_ITERS", "iters"),
+        ("EMCA_FLAVOR", "flavor"),
+        ("EMCA_POLICY", "policy"),
+        ("EMCA_WARMUP", "warmup"),
+        ("EMCA_GUARD", "guard"),
+        ("EMCA_INTERVAL_MS", "interval_ms"),
+        ("EMCA_CHECK", "check"),
+        ("EMCA_OUT_DIR", "out_dir"),
+    ] {
+        if let Some(value) = get(var) {
+            spec.set(key, &value)
+                .map_err(|SpecError(e)| SpecError(format!("{var}: {e}")))?;
+        }
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_round_trips() {
+        let spec = ExperimentSpec::default();
+        let back: ExperimentSpec = spec.to_string().parse().unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn full_spec_round_trips() {
+        let spec = ExperimentSpec {
+            scenario: "fig19".into(),
+            flavor: Some(Flavor::SqlServer),
+            policy: Some(PolicyId::HillClimb),
+            users: Some(64),
+            iters: Some(6),
+            sf: Some(0.25),
+            seed: 7,
+            warmup: Some(Warmup::Interleave),
+            guard: Some(Some(0.85)),
+            interval_ms: Some(2.5),
+            check: true,
+            out_dir: Some(PathBuf::from("/tmp/emca-out")),
+        };
+        let line = spec.to_string();
+        let back: ExperimentSpec = line.parse().unwrap();
+        assert_eq!(spec, back, "serialised as {line:?}");
+    }
+
+    #[test]
+    fn spacey_out_dir_round_trips() {
+        let spec = ExperimentSpec {
+            out_dir: Some(PathBuf::from("/tmp/my results dir")),
+            ..ExperimentSpec::default()
+        };
+        let line = spec.to_string();
+        let back: ExperimentSpec = line.parse().unwrap();
+        assert_eq!(spec, back, "serialised as {line:?}");
+        assert!("out_dir=\"/tmp/unbalanced"
+            .parse::<ExperimentSpec>()
+            .is_err());
+    }
+
+    #[test]
+    fn guard_off_round_trips() {
+        let spec = ExperimentSpec {
+            guard: Some(None),
+            ..ExperimentSpec::default()
+        };
+        let line = spec.to_string();
+        assert!(line.contains("guard=off"), "{line}");
+        let back: ExperimentSpec = line.parse().unwrap();
+        assert_eq!(back.guard, Some(None));
+    }
+
+    #[test]
+    fn unknown_key_and_bad_values_error() {
+        assert!("nonsense=1".parse::<ExperimentSpec>().is_err());
+        assert!("sf=abc".parse::<ExperimentSpec>().is_err());
+        assert!("warmup=sideways".parse::<ExperimentSpec>().is_err());
+        let err = "policy=magic".parse::<ExperimentSpec>().unwrap_err();
+        assert!(
+            err.to_string().contains("adaptive"),
+            "policy error must list valid names: {err}"
+        );
+    }
+
+    #[test]
+    fn from_vars_reads_every_fallback() {
+        let vars = [
+            ("EMCA_SF", "0.002"),
+            ("EMCA_SEED", "9"),
+            ("EMCA_CLIENTS", "16"),
+            ("EMCA_ITERS", "2"),
+            ("EMCA_FLAVOR", "monetdb"),
+            ("EMCA_POLICY", "hillclimb"),
+            ("EMCA_WARMUP", "none"),
+            ("EMCA_GUARD", "off"),
+            ("EMCA_INTERVAL_MS", "5"),
+            ("EMCA_CHECK", "1"),
+            ("EMCA_OUT_DIR", "/tmp/x"),
+        ];
+        let spec = from_vars(|n| {
+            vars.iter()
+                .find(|(k, _)| *k == n)
+                .map(|(_, v)| v.to_string())
+        })
+        .unwrap();
+        assert_eq!(spec.sf, Some(0.002));
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.users, Some(16));
+        assert_eq!(spec.iters, Some(2));
+        assert_eq!(spec.flavor, Some(Flavor::MonetDb));
+        assert_eq!(spec.policy, Some(PolicyId::HillClimb));
+        assert_eq!(spec.warmup, Some(Warmup::None));
+        assert_eq!(spec.guard, Some(None));
+        assert_eq!(spec.interval_ms, Some(5.0));
+        assert!(spec.check);
+        assert_eq!(spec.out_dir, Some(PathBuf::from("/tmp/x")));
+    }
+
+    #[test]
+    fn from_vars_rejects_malformed_values() {
+        let err = from_vars(|n| (n == "EMCA_SF").then(|| "O.25".to_string())).unwrap_err();
+        assert!(err.to_string().contains("EMCA_SF"), "{err}");
+    }
+
+    #[test]
+    fn empty_env_is_all_defaults() {
+        let spec = from_vars(|_| None).unwrap();
+        assert_eq!(spec, ExperimentSpec::default());
+    }
+
+    #[test]
+    fn policy_fills_the_mech_slot() {
+        let mut spec = ExperimentSpec::default();
+        assert_eq!(spec.mech_alloc(), Alloc::Adaptive);
+        assert_eq!(
+            spec.alloc_sweep(),
+            [Alloc::OsAll, Alloc::Dense, Alloc::Sparse, Alloc::Adaptive]
+        );
+        spec.policy = Some(PolicyId::HillClimb);
+        assert_eq!(spec.mech_alloc(), Alloc::HillClimb);
+        assert_eq!(spec.alloc_sweep()[3], Alloc::HillClimb);
+        spec.policy = Some(PolicyId::Dense);
+        assert_eq!(spec.mech_alloc(), Alloc::Dense);
+    }
+
+    #[test]
+    fn scale_and_default_accessors() {
+        let spec = ExperimentSpec::default();
+        assert_eq!(spec.scale(0.25).sf, 0.25);
+        assert_eq!(spec.scale(0.25).seed, 42);
+        assert_eq!(spec.users_or(64), 64);
+        assert_eq!(spec.iters_or(3), 3);
+        let spec = ExperimentSpec {
+            sf: Some(0.002),
+            users: Some(4),
+            iters: Some(1),
+            ..ExperimentSpec::default()
+        };
+        assert_eq!(spec.scale(0.25).sf, 0.002);
+        assert_eq!(spec.users_or(64), 4);
+        assert_eq!(spec.iters_or(3), 1);
+    }
+}

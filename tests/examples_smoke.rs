@@ -67,3 +67,12 @@ fn selectivity_sweep_runs() {
     let out = run_example("selectivity_sweep");
     assert!(!out.trim().is_empty(), "no output");
 }
+
+#[test]
+fn custom_policy_runs() {
+    let out = run_example("custom_policy");
+    assert!(
+        out.contains("widest-first"),
+        "custom policy must appear in the report:\n{out}"
+    );
+}
