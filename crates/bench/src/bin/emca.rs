@@ -100,12 +100,16 @@ fn base_spec() -> ExperimentSpec {
     }
 }
 
-fn run_one(registry: &emca_harness::ScenarioRegistry, name: &str, spec: &ExperimentSpec) {
+/// Runs one scenario with the wall clock stamped (`[wall] <name>=..s`);
+/// returns the elapsed seconds so gates can budget them.
+fn run_one(registry: &emca_harness::ScenarioRegistry, name: &str, spec: &ExperimentSpec) -> f64 {
     spec.log_resolved();
+    let timer = emca_harness::WallTimer::start(name);
     if let Err(e) = registry.run(name, spec) {
         eprintln!("emca run {name}: {e}");
         std::process::exit(1);
     }
+    timer.finish()
 }
 
 fn main() {
@@ -203,7 +207,22 @@ fn main() {
                 let mut spec = spec.clone();
                 spec.scenario = "tab_summary".to_string();
                 spec.check = true;
-                run_one(&registry, "tab_summary", &spec);
+                let elapsed = run_one(&registry, "tab_summary", &spec);
+                // Wall budget (EMCA_WALL_BUDGET_S): the fidelity gate
+                // doubles as the hot-path regression tripwire.
+                match emca_harness::wall_budget_from_env() {
+                    Err(e) => fail(&e),
+                    Ok(Some(budget)) => {
+                        match emca_harness::enforce_wall_budget("tab_summary", elapsed, budget) {
+                            Ok(msg) => eprintln!("emca check: {msg}"),
+                            Err(msg) => {
+                                eprintln!("emca check: {msg}");
+                                std::process::exit(1);
+                            }
+                        }
+                    }
+                    Ok(None) => {}
+                }
             }
         }
         Some("help") | Some("--help") | Some("-h") => println!("{USAGE}"),

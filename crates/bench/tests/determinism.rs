@@ -123,3 +123,55 @@ fn registry_runs_are_byte_identical() {
     }
     let _ = std::fs::remove_dir_all(base);
 }
+
+/// The kernel-rework determinism guard: a join/group-heavy workload
+/// (Q3 joins + Q18's wide group-by + Q6 selections across variants)
+/// exercises every new typed kernel — branchless selection, flat
+/// direct/hashed join tables, dense/hash group accumulators, in-place
+/// projection buffers — and must replay byte-identically, including the
+/// actual query *results* (root aggregates), not just the timings.
+#[test]
+fn kernel_workload_is_byte_identical_across_runs() {
+    use volcano_db::client::Workload;
+    use volcano_db::tpch::QuerySpec;
+
+    let run_once = || {
+        let scale = TpchScale::test_tiny();
+        let data = TpchData::generate(scale);
+        let out = run(
+            RunConfig::new(
+                Alloc::OsAll,
+                3,
+                Workload::Mixed {
+                    specs: vec![
+                        QuerySpec::Tpch {
+                            number: 3,
+                            variant: 0,
+                        },
+                        QuerySpec::Tpch {
+                            number: 18,
+                            variant: 1,
+                        },
+                        QuerySpec::Q6 { variant: 2 },
+                    ],
+                    iterations: 3,
+                    seed: 42,
+                },
+            )
+            .with_scale(scale),
+            &data,
+        );
+        let mut t = Table::new("kernel determinism probe", &["metric", "value"]);
+        t.row(vec!["qps".into(), fnum(out.throughput_qps(), 4)]);
+        t.row(vec!["ht_MBps".into(), fnum(out.ht_rate() / 1e6, 2)]);
+        t.row(vec![
+            "mean_resp_ms".into(),
+            fnum(out.mean_response().as_millis_f64(), 3),
+        ]);
+        t.to_csv()
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b, "kernel workload must replay byte-identically");
+    assert!(a.lines().count() > 3);
+}

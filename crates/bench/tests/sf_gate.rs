@@ -1,0 +1,54 @@
+//! Scale-factor gate: the paper's own scale (`EMCA_SF=1`) must stay
+//! tractable end-to-end. Opt-in (`EMCA_SF_GATE=1`) because a full sf-1
+//! `tab_summary` costs minutes, not seconds — the default-scale wall
+//! budget in CI (`EMCA_WALL_BUDGET_S` on `emca check --fidelity`) is
+//! the everyday tripwire; this test is the direct claim check behind
+//! the ROADMAP's `EMCA_SF=1` item.
+//!
+//! Run with:
+//!
+//! ```sh
+//! EMCA_SF_GATE=1 cargo test --release -p emca-bench --test sf_gate -- --nocapture
+//! ```
+
+use emca_harness::ExperimentSpec;
+
+/// Wall budget for the sf-1 run, seconds (the acceptance bound;
+/// override with `EMCA_SF_GATE_BUDGET_S`).
+const DEFAULT_BUDGET_S: f64 = 300.0;
+
+#[test]
+fn sf1_tab_summary_completes_within_budget() {
+    if std::env::var("EMCA_SF_GATE")
+        .map(|v| v != "1")
+        .unwrap_or(true)
+    {
+        eprintln!("sf_gate: skipped (set EMCA_SF_GATE=1 to run the sf-1 gate)");
+        return;
+    }
+    let budget_s = std::env::var("EMCA_SF_GATE_BUDGET_S")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_BUDGET_S);
+
+    let dir = std::env::temp_dir().join(format!("emca_sf_gate_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = ExperimentSpec {
+        sf: Some(1.0),
+        users: Some(64),
+        out_dir: Some(dir.clone()),
+        ..ExperimentSpec::default()
+    };
+    let registry = emca_bench::scenarios::registry();
+    let timer = emca_harness::WallTimer::start("tab_summary@sf1");
+    registry
+        .run("tab_summary", &spec)
+        .expect("sf-1 tab_summary must complete");
+    let elapsed = timer.finish();
+    let verdict = emca_harness::enforce_wall_budget("tab_summary@sf1", elapsed, budget_s);
+    let _ = std::fs::remove_dir_all(&dir);
+    match verdict {
+        Ok(msg) => eprintln!("sf_gate: {msg}"),
+        Err(msg) => panic!("sf_gate: {msg}"),
+    }
+}

@@ -18,7 +18,8 @@
 
 use crate::exec::cost;
 use crate::exec::eval;
-use crate::exec::mat::{JoinTable, Mat, NodeStorage, PairsMat, PosMat, ValMat};
+use crate::exec::eval::GroupAcc;
+use crate::exec::mat::{FlatJoinMap, JoinTable, Mat, NodeStorage, PairsMat, PosMat, ValMat};
 use crate::exec::plan::{ColRef, NodeId, PhysOp, Plan, Side};
 use crate::exec::task::{n_parts_for, part_range, ChargeItem, Partial, QueryId, Task, TaskCursor};
 use crate::exec::tomograph::Tomograph;
@@ -126,6 +127,10 @@ struct NodeRun {
     /// node takes the same evaluate-vs-reuse path (the memo may be
     /// filled or flushed concurrently by other queries).
     memo_hit: Option<(Mat, Vec<usize>)>,
+    /// Shared output buffer of fixed-width value operators: partitions
+    /// write disjoint slices in place, finalize moves the buffer into
+    /// the Mat without a concat copy.
+    out_vals: Option<eval::ValsBuf>,
 }
 
 struct QueryRun {
@@ -194,7 +199,15 @@ pub struct EngineCore {
     stats: EngineStats,
     results: FxHashMap<u64, QueryResult>,
     parked: Vec<Option<TaskCursor>>,
+    /// Recycled charge-item vectors (capped; see [`POOL_CAP`]).
+    item_pool: Vec<Vec<ChargeItem>>,
+    /// Reusable read-segment gather buffer for task preparation.
+    seg_scratch: Vec<SegId>,
 }
+
+/// Upper bound on pooled charge-item vectors (one per in-flight task is
+/// plenty; the cap keeps a queue burst from pinning memory).
+const POOL_CAP: usize = 64;
 
 /// Cloneable handle to the engine.
 #[derive(Clone)]
@@ -221,6 +234,8 @@ impl Engine {
                 stats: EngineStats::default(),
                 results: FxHashMap::default(),
                 parked: Vec::new(),
+                item_pool: Vec::new(),
+                seg_scratch: Vec::new(),
             })),
         }
     }
@@ -407,6 +422,7 @@ impl EngineCore {
                 part_worker: Vec::new(),
                 pending_regions: Vec::new(),
                 memo_hit: None,
+                out_vals: None,
             })
             .collect();
         let pending = nodes.len();
@@ -591,8 +607,14 @@ impl EngineCore {
     /// memo), allocates its output region and builds the charge items.
     pub fn prepare_task(&mut self, task: Task, machine: &mut Machine) -> TaskCursor {
         let space = self.space.expect("engine not loaded");
+        // The gather buffer is taken out of the pool up front so the rest
+        // of the preparation can hold immutable borrows of the query run
+        // (the operator is *borrowed*, not cloned — an `InSet` predicate
+        // clone per task was a hot-path allocation).
+        let mut reads: Vec<SegId> = std::mem::take(&mut self.seg_scratch);
+        reads.clear();
         let run = self.queries.get(&task.qid.0).expect("task for dead query");
-        let op = run.plan.node(task.node).clone();
+        let op = run.plan.node(task.node);
         let stream = run.stream;
         let memo_hit = run.nodes[task.node.idx()].memo_hit.is_some();
 
@@ -602,15 +624,20 @@ impl EngineCore {
         let rows_in = end - start;
 
         // ---- gather read segments -------------------------------------
-        let mut reads: Vec<SegId> = Vec::new();
+        // Every source appends through the `*_into` forms, so no
+        // per-input vectors are allocated and the emitted sequence is
+        // unchanged.
         {
             let nodes = &run.nodes;
             let read_node_rows = |node: NodeId, s: usize, e: usize, reads: &mut Vec<SegId>| {
-                reads.extend(nodes[node.idx()].storage.segments_for_rows(s, e));
+                nodes[node.idx()]
+                    .storage
+                    .segments_for_rows_into(s, e, reads);
             };
             match &op {
                 PhysOp::ScanSelect { col, .. } => {
-                    reads.extend(self.col_bat(col).segments_for_rows(start, end));
+                    self.col_bat(col)
+                        .segments_for_rows_into(start, end, &mut reads);
                 }
                 PhysOp::SelectAnd {
                     candidates, col, ..
@@ -618,7 +645,8 @@ impl EngineCore {
                     read_node_rows(*candidates, start, end, &mut reads);
                     let cands = nodes[candidates.idx()].mat.as_ref().expect("input ready");
                     let slice = &cands.as_pos().pos[start..end];
-                    reads.extend(self.col_bat(col).segments_for_positions(slice));
+                    self.col_bat(col)
+                        .segments_for_positions_into(slice, &mut reads);
                 }
                 PhysOp::SelectColCmp {
                     candidates,
@@ -630,19 +658,24 @@ impl EngineCore {
                         read_node_rows(*c, start, end, &mut reads);
                         let cands = nodes[c.idx()].mat.as_ref().expect("input ready");
                         let slice = &cands.as_pos().pos[start..end];
-                        reads.extend(self.col_bat(left).segments_for_positions(slice));
-                        reads.extend(self.col_bat(right).segments_for_positions(slice));
+                        self.col_bat(left)
+                            .segments_for_positions_into(slice, &mut reads);
+                        self.col_bat(right)
+                            .segments_for_positions_into(slice, &mut reads);
                     }
                     None => {
-                        reads.extend(self.col_bat(left).segments_for_rows(start, end));
-                        reads.extend(self.col_bat(right).segments_for_rows(start, end));
+                        self.col_bat(left)
+                            .segments_for_rows_into(start, end, &mut reads);
+                        self.col_bat(right)
+                            .segments_for_rows_into(start, end, &mut reads);
                     }
                 },
                 PhysOp::Project { positions, col } => {
                     read_node_rows(*positions, start, end, &mut reads);
                     let pos = nodes[positions.idx()].mat.as_ref().expect("input ready");
                     let slice = &pos.as_pos().pos[start..end];
-                    reads.extend(self.col_bat(col).segments_for_positions(slice));
+                    self.col_bat(col)
+                        .segments_for_positions_into(slice, &mut reads);
                 }
                 PhysOp::ProjectSide { pairs, side, col } => {
                     read_node_rows(*pairs, start, end, &mut reads);
@@ -652,7 +685,8 @@ impl EngineCore {
                         Side::Probe => &pm.probe.pos[start..end],
                         Side::Build => &pm.build.pos[start..end],
                     };
-                    reads.extend(self.col_bat(col).segments_for_positions_unsorted(slice));
+                    self.col_bat(col)
+                        .segments_for_positions_unsorted_into(slice, &mut reads);
                 }
                 PhysOp::BinOp { left, right, .. } => {
                     read_node_rows(*left, start, end, &mut reads);
@@ -673,11 +707,33 @@ impl EngineCore {
                 PhysOp::JoinProbe { build, probe } => {
                     read_node_rows(*probe, start, end, &mut reads);
                     let build_storage = &nodes[build.idx()].storage;
-                    reads.extend(build_storage.segments_for_rows(0, build_storage.rows().max(1)));
+                    build_storage.segments_for_rows_into(
+                        0,
+                        build_storage.rows().max(1),
+                        &mut reads,
+                    );
                 }
                 PhysOp::TopN { .. } => {}
             }
         }
+
+        // Fixed-width value operators write their partition's slice into
+        // a node-level shared buffer (no finalize concat); the buffer's
+        // type and size are known before evaluation.
+        let val_buf_ty = if memo_hit {
+            None
+        } else {
+            match &op {
+                PhysOp::Project { col, .. } | PhysOp::ProjectSide { col, .. } => {
+                    Some(self.col_bat(col).data.col_type())
+                }
+                PhysOp::BinOp { .. } => Some(crate::storage::bat::ColType::F64),
+                _ => None,
+            }
+        };
+        let row_bytes = out_row_bytes(op);
+        let mal_name = op.mal_name();
+        let cycles_each = op_cycles(op);
 
         // ---- evaluate (or reuse) ---------------------------------------
         let (partial, out_rows) = if memo_hit {
@@ -687,15 +743,30 @@ impl EngineCore {
                 .expect("memo pinned at schedule");
             let rows = memo_part_rows(part_rows, task.part, task.n_parts);
             (Partial::Reuse, rows)
+        } else if let Some(ty) = val_buf_ty {
+            let run_mut = self.queries.get_mut(&task.qid.0).expect("dead query");
+            let mut buf = run_mut.nodes[task.node.idx()]
+                .out_vals
+                .take()
+                .unwrap_or_else(|| eval::ValsBuf::new(ty, primary_len));
+            evaluate_val_into(
+                run_mut.plan.node(task.node),
+                run_mut,
+                start,
+                end,
+                &self.catalog,
+                &self.store,
+                &mut buf,
+            );
+            run_mut.nodes[task.node.idx()].out_vals = Some(buf);
+            (Partial::Written(end - start), end - start)
         } else {
-            let run = &self.queries[&task.qid.0];
-            let partial = evaluate_partition(&op, run, start, end, &self.catalog, &self.store);
+            let partial = evaluate_partition(op, run, start, end, &self.catalog, &self.store);
             let rows = partial_rows(&partial);
             (partial, rows)
         };
 
         // ---- output region ---------------------------------------------
-        let row_bytes = out_row_bytes(&op);
         let out_region = if out_rows > 0 && row_bytes > 0 {
             Some(machine.alloc(space, out_rows as u64 * row_bytes))
         } else {
@@ -703,31 +774,26 @@ impl EngineCore {
         };
 
         // ---- charge items ----------------------------------------------
-        let cycles_total = rows_in as u64 * op_cycles(&op) + out_rows as u64 * cost::MERGE / 4;
+        let cycles_total = rows_in as u64 * cycles_each + out_rows as u64 * cost::MERGE / 4;
         let n_chunks = reads.len().max(1) as u64;
         let per_chunk = (cycles_total / n_chunks).max(1);
-        let mut items: Vec<ChargeItem> = Vec::with_capacity(reads.len() * 2 + 8);
+        let mut items: Vec<ChargeItem> = self.item_pool.pop().unwrap_or_default();
+        items.clear();
+        items.reserve(reads.len() * 2 + 8);
         if reads.is_empty() {
             items.push(ChargeItem::Compute(cycles_total.max(1)));
         } else {
-            for seg in reads {
+            for &seg in &reads {
                 items.push(ChargeItem::Read(seg));
                 items.push(ChargeItem::Compute(per_chunk));
             }
         }
+        self.seg_scratch = reads;
         if let Some(region) = &out_region {
             items.extend(region.segments().map(ChargeItem::Write));
         }
 
-        TaskCursor::new(
-            task,
-            stream,
-            op.mal_name(),
-            items,
-            partial,
-            out_rows,
-            out_region,
-        )
+        TaskCursor::new(task, stream, mal_name, items, partial, out_rows, out_region)
     }
 
     /// Completes an executed task. May finalize its node, schedule newly
@@ -757,6 +823,9 @@ impl EngineCore {
             nr.storage_push_pending(cursor.task.part, cursor.out_rows, region);
         }
         nr.remaining -= 1;
+        if self.item_pool.len() < POOL_CAP {
+            self.item_pool.push(cursor.take_items());
+        }
         if nr.remaining == 0 {
             self.finalize_node(qid, node, ctx, step_offset);
         }
@@ -777,10 +846,23 @@ impl EngineCore {
             let run = self.queries.get_mut(&qid.0).expect("dead query");
             fp = run.fingerprints[node.idx()];
             let op = run.plan.node(node).clone();
-            let assembled = assemble_mat(&op, run, node, &self.catalog, &self.store);
+            // Partials are handed to assembly by value: single-partition
+            // nodes move their buffers straight into the Mat instead of
+            // copying, and group/hash partials merge without clones.
+            let nr = &mut run.nodes[node.idx()];
+            let partials = std::mem::take(&mut nr.partials);
+            let out_vals = nr.out_vals.take();
+            let assembled = assemble_mat(
+                &op,
+                run,
+                node,
+                partials,
+                out_vals,
+                &self.catalog,
+                &self.store,
+            );
             let nr = &mut run.nodes[node.idx()];
             nr.storage_commit();
-            nr.partials.clear();
             nr.memo_hit = None;
             nr.mat = Some(assembled.clone());
             run.pending_nodes -= 1;
@@ -813,8 +895,8 @@ impl EngineCore {
             self.schedule_node(qid, d);
         }
         if !self.queues.is_empty() {
-            for tid in self.worker_tids.clone() {
-                ctx.wake(tid);
+            for i in 0..self.worker_tids.len() {
+                ctx.wake(self.worker_tids[i]);
             }
         }
 
@@ -970,7 +1052,7 @@ fn evaluate_partition(
         PhysOp::GroupAgg { keys, values, agg } => {
             let k = node_mat(*keys).as_val();
             let v = values.map(|v| node_mat(v).as_val());
-            Partial::Map(eval::group_agg(
+            Partial::Groups(eval::group_agg(
                 &k.data,
                 v.map(|v| &v.data),
                 *agg,
@@ -980,7 +1062,7 @@ fn evaluate_partition(
         }
         PhysOp::JoinBuild { keys } => {
             let k = node_mat(*keys).as_val();
-            Partial::Hash(eval::build_hash(&k.data, start, end))
+            Partial::BuildKeys(eval::build_hash_part(&k.data, start, end))
         }
         PhysOp::JoinProbe { build, probe } => {
             let table = node_mat(*build).as_hash();
@@ -992,30 +1074,28 @@ fn evaluate_partition(
         }
         PhysOp::TopN { input, n } => {
             let g = node_mat(*input).as_groups();
-            Partial::Map(
-                eval::top_n(g, *n)
-                    .into_iter()
-                    .collect::<FxHashMap<i64, f64>>(),
-            )
+            Partial::Groups(GroupAcc::Pairs(eval::top_n(g, *n)))
         }
     }
 }
 
 /// Assembles the node's final [`Mat`] from partials (or the pinned memo
-/// snapshot).
+/// snapshot). Partials arrive by value: the single-partition case moves
+/// its buffer into the Mat without a copy, and multi-partition concats
+/// reserve exactly once from the partial sizes.
 fn assemble_mat(
     op: &PhysOp,
     run: &QueryRun,
     node: NodeId,
+    mut partials: Vec<Option<Partial>>,
+    out_vals: Option<eval::ValsBuf>,
     catalog: &Catalog,
     store: &BatStore,
 ) -> Mat {
     let nr = &run.nodes[node.idx()];
     if let Some((mat, _)) = &nr.memo_hit {
         debug_assert!(
-            nr.partials
-                .iter()
-                .all(|p| matches!(p, Some(Partial::Reuse))),
+            partials.iter().all(|p| matches!(p, Some(Partial::Reuse))),
             "memo-pinned node produced real partials"
         );
         return mat.clone();
@@ -1026,14 +1106,14 @@ fn assemble_mat(
     let _ = (catalog, store);
     match op {
         PhysOp::ScanSelect { col, .. } | PhysOp::SelectAnd { col, .. } => {
-            let pos = concat_pos(&nr.partials);
+            let pos = concat_pos(partials);
             Mat::Pos(PosMat {
                 table: table_of(col),
                 pos: Arc::new(pos),
             })
         }
         PhysOp::SelectColCmp { left, .. } => {
-            let pos = concat_pos(&nr.partials);
+            let pos = concat_pos(partials);
             Mat::Pos(PosMat {
                 table: table_of(left),
                 pos: Arc::new(pos),
@@ -1042,7 +1122,7 @@ fn assemble_mat(
         PhysOp::Project { positions, .. } => {
             let origin = node_mat(*positions).as_pos().clone();
             Mat::Val(ValMat {
-                data: concat_vals(&nr.partials),
+                data: vals_data(out_vals, partials),
                 origin: Some(origin),
             })
         }
@@ -1053,20 +1133,19 @@ fn assemble_mat(
                 Side::Build => pm.build.clone(),
             };
             Mat::Val(ValMat {
-                data: concat_vals(&nr.partials),
+                data: vals_data(out_vals, partials),
                 origin: Some(origin),
             })
         }
         PhysOp::BinOp { left, .. } => {
             let origin = node_mat(*left).as_val().origin.clone();
             Mat::Val(ValMat {
-                data: concat_vals(&nr.partials),
+                data: vals_data(out_vals, partials),
                 origin,
             })
         }
         PhysOp::AggrSum { .. } => {
-            let total: f64 = nr
-                .partials
+            let total: f64 = partials
                 .iter()
                 .map(|p| match p {
                     Some(Partial::Sum(s)) => *s,
@@ -1076,11 +1155,11 @@ fn assemble_mat(
             Mat::Scalar(total)
         }
         PhysOp::GroupAgg { .. } | PhysOp::TopN { .. } => {
-            let maps = nr.partials.iter().map(|p| match p {
-                Some(Partial::Map(m)) => m.clone(),
-                _ => panic!("non-map partial in group/topn"),
+            let accs = partials.iter_mut().map(|p| match p.take() {
+                Some(Partial::Groups(acc)) => acc,
+                _ => panic!("non-group partial in group/topn"),
             });
-            let merged = eval::merge_groups(maps);
+            let merged = eval::merge_groups(accs);
             if let PhysOp::TopN { n, .. } = op {
                 Mat::Groups(Arc::new(eval::top_n(&merged, *n)))
             } else {
@@ -1089,15 +1168,19 @@ fn assemble_mat(
         }
         PhysOp::JoinBuild { keys } => {
             let k = node_mat(*keys).as_val();
-            let maps = nr.partials.iter().map(|p| match p {
-                Some(Partial::Hash(m)) => m.clone(),
-                _ => panic!("non-hash partial in JoinBuild"),
+            let key_parts = partials.iter_mut().map(|p| match p.take() {
+                Some(Partial::BuildKeys(v)) => v,
+                _ => panic!("non-build partial in JoinBuild"),
             });
-            let map = eval::merge_hash(maps);
+            let map = FlatJoinMap::from_parts(key_parts);
+            debug_assert_eq!(
+                map.n_rows(),
+                k.data.len(),
+                "build partials must tile the keys"
+            );
             let build_table = k.origin.as_ref().map(|o| o.table).unwrap_or("unknown");
             Mat::Hash(Arc::new(JoinTable {
                 map,
-                n_rows: k.data.len(),
                 build_origin: k.origin.clone(),
                 build_table,
             }))
@@ -1111,13 +1194,29 @@ fn assemble_mat(
                 .as_ref()
                 .map(|o| o.table)
                 .unwrap_or(table.build_table);
+            let total: usize = partials
+                .iter()
+                .map(|p| match p {
+                    Some(Partial::PairParts(a, _)) => a.len(),
+                    _ => 0,
+                })
+                .sum();
             let mut probe_pos = Vec::new();
             let mut build_pos = Vec::new();
-            for part in &nr.partials {
-                match part {
+            for part in partials.iter_mut() {
+                match part.take() {
                     Some(Partial::PairParts(po, bo)) => {
-                        probe_pos.extend_from_slice(po);
-                        build_pos.extend_from_slice(bo);
+                        if probe_pos.is_empty() && po.len() == total {
+                            // Single-partition (or single non-empty)
+                            // result: take the buffers as-is.
+                            probe_pos = po;
+                            build_pos = bo;
+                        } else {
+                            probe_pos.reserve(total - probe_pos.len());
+                            build_pos.reserve(total - build_pos.len());
+                            probe_pos.extend_from_slice(&po);
+                            build_pos.extend_from_slice(&bo);
+                        }
                     }
                     _ => panic!("non-pairs partial in JoinProbe"),
                 }
@@ -1136,7 +1235,7 @@ fn assemble_mat(
     }
 }
 
-fn concat_pos(partials: &[Option<Partial>]) -> Vec<u32> {
+fn concat_pos(mut partials: Vec<Option<Partial>>) -> Vec<u32> {
     let total: usize = partials
         .iter()
         .map(|p| match p {
@@ -1144,17 +1243,25 @@ fn concat_pos(partials: &[Option<Partial>]) -> Vec<u32> {
             _ => 0,
         })
         .sum();
-    let mut out = Vec::with_capacity(total);
-    for p in partials {
-        match p {
-            Some(Partial::Pos(v)) => out.extend_from_slice(v),
+    let mut out: Vec<u32> = Vec::new();
+    for p in partials.iter_mut() {
+        match p.take() {
+            Some(Partial::Pos(v)) => {
+                if out.is_empty() && v.len() == total {
+                    // All rows in one partial: move, don't copy.
+                    out = v;
+                } else {
+                    out.reserve(total - out.len());
+                    out.extend_from_slice(&v);
+                }
+            }
             _ => panic!("non-pos partial"),
         }
     }
     out
 }
 
-fn concat_vals(partials: &[Option<Partial>]) -> ColData {
+fn concat_vals(mut partials: Vec<Option<Partial>>) -> ColData {
     let is_f64 = partials
         .iter()
         .find_map(|p| match p {
@@ -1172,24 +1279,95 @@ fn concat_vals(partials: &[Option<Partial>]) -> ColData {
         })
         .sum();
     if is_f64 {
-        let mut out = Vec::with_capacity(total);
-        for p in partials {
-            match p {
-                Some(Partial::ValsF64(v)) => out.extend_from_slice(v),
-                Some(Partial::ValsI64(v)) => out.extend(v.iter().map(|&x| x as f64)),
+        let mut out: Vec<f64> = Vec::new();
+        for p in partials.iter_mut() {
+            match p.take() {
+                Some(Partial::ValsF64(v)) => {
+                    if out.is_empty() && v.len() == total {
+                        out = v;
+                    } else {
+                        out.reserve(total - out.len());
+                        out.extend_from_slice(&v);
+                    }
+                }
+                Some(Partial::ValsI64(v)) => {
+                    out.reserve(total.saturating_sub(out.len()));
+                    out.extend(v.iter().map(|&x| x as f64));
+                }
                 _ => panic!("non-val partial"),
             }
         }
         ColData::F64(Arc::new(out))
     } else {
-        let mut out = Vec::with_capacity(total);
-        for p in partials {
-            match p {
-                Some(Partial::ValsI64(v)) => out.extend_from_slice(v),
+        let mut out: Vec<i64> = Vec::new();
+        for p in partials.iter_mut() {
+            match p.take() {
+                Some(Partial::ValsI64(v)) => {
+                    if out.is_empty() && v.len() == total {
+                        out = v;
+                    } else {
+                        out.reserve(total - out.len());
+                        out.extend_from_slice(&v);
+                    }
+                }
                 _ => panic!("mixed val partials"),
             }
         }
         ColData::I64(Arc::new(out))
+    }
+}
+
+/// Value-operator data: the in-place buffer when present (all partitions
+/// wrote their slices), else the concatenated partials (tests and
+/// non-engine callers).
+fn vals_data(out_vals: Option<eval::ValsBuf>, partials: Vec<Option<Partial>>) -> ColData {
+    match out_vals {
+        Some(buf) => {
+            debug_assert!(
+                partials
+                    .iter()
+                    .all(|p| matches!(p, Some(Partial::Written(_)))),
+                "in-place val node produced copied partials"
+            );
+            buf.into_coldata()
+        }
+        None => concat_vals(partials),
+    }
+}
+
+/// Evaluates one partition of a fixed-width value operator straight into
+/// the node's shared output buffer.
+fn evaluate_val_into(
+    op: &PhysOp,
+    run: &QueryRun,
+    start: usize,
+    end: usize,
+    catalog: &Catalog,
+    store: &BatStore,
+    buf: &mut eval::ValsBuf,
+) {
+    let col_data = |c: &ColRef| -> &ColData { &store.get(catalog.column(c.table, c.column)).data };
+    let node_mat =
+        |n: NodeId| -> &Mat { run.nodes[n.idx()].mat.as_ref().expect("input mat ready") };
+    match op {
+        PhysOp::Project { positions, col } => {
+            let pos = node_mat(*positions).as_pos();
+            eval::project_into(&pos.pos[start..end], col_data(col), buf, start);
+        }
+        PhysOp::ProjectSide { pairs, side, col } => {
+            let pm = node_mat(*pairs).as_pairs();
+            let slice = match side {
+                Side::Probe => &pm.probe.pos[start..end],
+                Side::Build => &pm.build.pos[start..end],
+            };
+            eval::project_into(slice, col_data(col), buf, start);
+        }
+        PhysOp::BinOp { left, right, op } => {
+            let l = node_mat(*left).as_val();
+            let r = node_mat(*right).as_val();
+            eval::bin_op_into(&l.data, &r.data, *op, start, end, buf);
+        }
+        other => panic!("not a fixed-width value operator: {}", other.mal_name()),
     }
 }
 
@@ -1198,10 +1376,11 @@ fn partial_rows(p: &Partial) -> usize {
         Partial::Pos(v) => v.len(),
         Partial::ValsF64(v) => v.len(),
         Partial::ValsI64(v) => v.len(),
+        Partial::Written(rows) => *rows,
         Partial::PairParts(a, _) => a.len(),
         Partial::Sum(_) => 0,
-        Partial::Map(m) => m.len(),
-        Partial::Hash(m) => m.values().map(|v| v.len()).sum(),
+        Partial::Groups(acc) => acc.n_groups(),
+        Partial::BuildKeys(v) => v.len(),
         Partial::Reuse => 0,
     }
 }

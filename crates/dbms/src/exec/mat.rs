@@ -8,7 +8,6 @@
 //! executed the operator — the effect the adaptive priority mode tracks.
 
 use crate::storage::bat::{ColData, ROWS_PER_SEG};
-use emca_metrics::FxHashMap;
 use numa_sim::{Region, SegId};
 use std::sync::Arc;
 
@@ -41,19 +40,195 @@ pub struct PairsMat {
     pub build: PosMat,
 }
 
-/// A built hash table for joins: key → build row indices (indices into
-/// the build keys vector, mapped to base positions through `build_origin`).
+/// Sentinel for an empty bucket head / chain end in [`FlatJoinMap`].
+const CHAIN_END: u32 = u32::MAX;
+
+/// Direct-address span cap: build key domains up to this wide use the
+/// perfect-hash form (16 MiB of heads at the cap — transient, freed
+/// with the query).
+const DIRECT_JOIN_SPAN: usize = 1 << 22;
+
+/// A flat bucket-chained join table over the contiguous build-row index
+/// space. Replaces the `FxHashMap<i64, Vec<u32>>` layout, whose
+/// one-heap-`Vec`-per-distinct-key builds dominated the join hot path
+/// (the allocation tax of *On the Impact of Memory Allocation on
+/// High-Performance Query Processing*). Partial builds merge by
+/// concatenating their key slices; chains are linked once over the
+/// concatenated array — no per-key re-hash, no per-key allocation.
+///
+/// Two layouts, chosen once at build:
+///
+/// - **Direct**: TPC-H join keys are small dense integers, so for
+///   narrow key spans `heads` is indexed by `key - base` directly — no
+///   hash, no key comparisons on the chain walk (a chain holds exactly
+///   one key), at most two cache misses per probe.
+/// - **Hashed**: wide-domain fallback; Fibonacci-hashed buckets over
+///   interleaved `(key, next)` entries, so a chain step costs one cache
+///   line, with key-equality filtering for bucket collisions.
+#[derive(Debug)]
+pub enum FlatJoinMap {
+    /// Perfect-hash layout for narrow key spans.
+    Direct {
+        /// Smallest build key.
+        base: i64,
+        /// `heads[key - base]` → first build row with that key.
+        heads: Vec<u32>,
+        /// Per-row chain link (`CHAIN_END` = end); a chain links rows of
+        /// one exact key, in ascending build-row order.
+        next: Vec<u32>,
+    },
+    /// Hashed layout for wide key domains.
+    Hashed {
+        /// `(key, next)` per build row, interleaved so the chain walk
+        /// touches one cache line per step.
+        entries: Vec<(i64, u32)>,
+        /// Bucket heads (`CHAIN_END` = empty), length a power of two.
+        heads: Vec<u32>,
+        /// Fibonacci-hash shift selecting `log2(heads.len())` top bits.
+        shift: u32,
+    },
+}
+
+impl Default for FlatJoinMap {
+    fn default() -> Self {
+        FlatJoinMap::from_keys(Vec::new())
+    }
+}
+
+impl FlatJoinMap {
+    /// Builds the table from partition key slices, concatenated in
+    /// partition order (partition `p` over build rows `[start, end)`
+    /// must contribute exactly those rows' keys, in row order).
+    pub fn from_parts(parts: impl IntoIterator<Item = Vec<i64>>) -> Self {
+        let mut iter = parts.into_iter();
+        let mut keys = iter.next().unwrap_or_default();
+        for part in iter {
+            keys.reserve(part.len());
+            keys.extend_from_slice(&part);
+        }
+        Self::from_keys(keys)
+    }
+
+    /// Builds the table from the full key vector.
+    pub fn from_keys(keys: Vec<i64>) -> Self {
+        let n = keys.len();
+        let (lo, hi) = crate::exec::eval::key_bounds(&keys);
+        let span = if n == 0 {
+            0
+        } else {
+            (hi as i128 - lo as i128 + 1).min(usize::MAX as i128) as usize
+        };
+        // Direct addressing when the span stays workable: build sides
+        // are typically *selective subsets* of a dense key domain, so
+        // the span can exceed the row count considerably and direct
+        // addressing still wins — probes are mostly misses, and a miss
+        // costs one lookup in a heads array small enough to stay cache
+        // resident. The proportional bound only guards the degenerate
+        // huge-span/tiny-build case.
+        if n > 0 && span <= DIRECT_JOIN_SPAN && span <= (64 * n).max(65536) {
+            let mut heads = vec![CHAIN_END; span];
+            let mut next = vec![CHAIN_END; n];
+            // Rows link in reverse so chains walk in ascending global
+            // build index — the emission order probe results rely on.
+            for g in (0..n).rev() {
+                let idx = (keys[g] - lo) as usize;
+                next[g] = heads[idx];
+                heads[idx] = g as u32;
+            }
+            FlatJoinMap::Direct {
+                base: lo,
+                heads,
+                next,
+            }
+        } else {
+            let n_buckets = n.next_power_of_two().max(2);
+            let shift = 64 - n_buckets.trailing_zeros();
+            let mut heads = vec![CHAIN_END; n_buckets];
+            let mut entries: Vec<(i64, u32)> = keys.iter().map(|&k| (k, CHAIN_END)).collect();
+            for g in (0..n).rev() {
+                let b = Self::bucket(entries[g].0, shift);
+                entries[g].1 = heads[b];
+                heads[b] = g as u32;
+            }
+            FlatJoinMap::Hashed {
+                entries,
+                heads,
+                shift,
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn bucket(key: i64, shift: u32) -> usize {
+        // Fibonacci hashing: multiply spreads the low-entropy key bits,
+        // the shift keeps the top log2(n_buckets) bits.
+        ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift) as usize
+    }
+
+    /// Number of build rows.
+    pub fn n_rows(&self) -> usize {
+        match self {
+            FlatJoinMap::Direct { next, .. } => next.len(),
+            FlatJoinMap::Hashed { entries, .. } => entries.len(),
+        }
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows() == 0
+    }
+
+    /// Calls `f` with every build-row index matching `key`, in ascending
+    /// order.
+    #[inline(always)]
+    pub fn for_each_match(&self, key: i64, mut f: impl FnMut(u32)) {
+        match self {
+            FlatJoinMap::Direct { base, heads, next } => {
+                let idx = key.wrapping_sub(*base) as u64;
+                if (idx as usize) < heads.len() {
+                    let mut cur = heads[idx as usize];
+                    while cur != CHAIN_END {
+                        f(cur);
+                        cur = next[cur as usize];
+                    }
+                }
+            }
+            FlatJoinMap::Hashed {
+                entries,
+                heads,
+                shift,
+            } => {
+                let mut cur = heads[Self::bucket(key, *shift)];
+                while cur != CHAIN_END {
+                    let (k, nx) = entries[cur as usize];
+                    if k == key {
+                        f(cur);
+                    }
+                    cur = nx;
+                }
+            }
+        }
+    }
+}
+
+/// A built hash table for joins: a flat chained index over the build
+/// keys (build row indices map to base positions through `build_origin`).
 #[derive(Debug)]
 pub struct JoinTable {
-    /// key → indices into the build-side key vector.
-    pub map: FxHashMap<i64, Vec<u32>>,
-    /// Number of build rows.
-    pub n_rows: usize,
+    /// The flat key index.
+    pub map: FlatJoinMap,
     /// Provenance of the build keys.
     pub build_origin: Option<PosMat>,
     /// Build table name (provenance fallback when keys came straight from
     /// a base column).
     pub build_table: &'static str,
+}
+
+impl JoinTable {
+    /// Number of build rows.
+    pub fn n_rows(&self) -> usize {
+        self.map.n_rows()
+    }
 }
 
 /// The value of a completed plan node.
@@ -82,7 +257,7 @@ impl Mat {
             Mat::Pairs(p) => p.probe.pos.len(),
             Mat::Groups(g) => g.len(),
             Mat::Scalar(_) => 1,
-            Mat::Hash(h) => h.n_rows,
+            Mat::Hash(h) => h.n_rows(),
         }
     }
 
@@ -187,8 +362,18 @@ impl NodeStorage {
     /// Segments covering the row range `[start, end)` across partitions.
     pub fn segments_for_rows(&self, start: usize, end: usize) -> Vec<SegId> {
         let mut out = Vec::new();
+        self.segments_for_rows_into(start, end, &mut out);
+        out
+    }
+
+    /// [`Self::segments_for_rows`] appending into a caller-provided
+    /// buffer (the engine reuses one scratch vector across task
+    /// preparations). Deduplication is confined to the appended span, so
+    /// the emitted sequence is identical to the owned-vector form.
+    pub fn segments_for_rows_into(&self, start: usize, end: usize, out: &mut Vec<SegId>) {
+        let from = out.len();
         if start >= end || self.parts.is_empty() {
-            return out;
+            return;
         }
         let rows_per_seg = (numa_sim::SEG_BYTES / self.row_bytes.max(1)) as usize;
         let rows_per_seg = rows_per_seg.max(1);
@@ -209,8 +394,7 @@ impl NodeStorage {
                 out.push(region.segment(s));
             }
         }
-        out.dedup();
-        out
+        crate::storage::bat::dedup_from(out, from);
     }
 
     /// Rows per segment at this row width (used by charge loops).

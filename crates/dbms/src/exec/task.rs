@@ -7,8 +7,9 @@
 //! Real evaluation happens eagerly at preparation (engine side); the
 //! cursor only meters simulated time and traffic.
 
+use crate::exec::eval::GroupAcc;
 use crate::exec::plan::NodeId;
-use emca_metrics::{FxHashMap, SimDuration};
+use emca_metrics::SimDuration;
 use numa_sim::{AccessKind, Region, SegId, StreamId};
 use os_sim::WorkCtx;
 
@@ -50,14 +51,19 @@ pub enum Partial {
     ValsF64(Vec<f64>),
     /// Projected i64 values.
     ValsI64(Vec<i64>),
+    /// Rows written in place into the node's shared output buffer
+    /// (fixed-width value operators; see `NodeRun::out_vals`).
+    Written(usize),
     /// Join matches `(probe base positions, build base positions)`.
     PairParts(Vec<u32>, Vec<u32>),
     /// Partial sum.
     Sum(f64),
-    /// Partial group map.
-    Map(FxHashMap<i64, f64>),
-    /// Partial hash-join build map (indices into the build key vector).
-    Hash(FxHashMap<i64, Vec<u32>>),
+    /// Partial group accumulator (dense flat array or hash fallback).
+    Groups(GroupAcc),
+    /// Partial hash-join build: the partition's build keys, contiguous
+    /// with the global build-row index space (chains are linked once at
+    /// finalize, over the concatenated key array).
+    BuildKeys(Vec<i64>),
     /// Memo hit: the node's value is already cached; the finalize step
     /// reuses it (timing still charged).
     Reuse,
@@ -122,6 +128,13 @@ impl TaskCursor {
     /// Remaining charge items (diagnostics).
     pub fn remaining(&self) -> usize {
         self.items.len() - self.idx
+    }
+
+    /// Takes the charge-item storage for reuse (the engine pools the
+    /// vectors across tasks to cut allocator churn on the hot path).
+    pub fn take_items(&mut self) -> Vec<ChargeItem> {
+        self.idx = 0;
+        std::mem::take(&mut self.items)
     }
 
     /// Advances the cursor by at most `budget`, charging reads/writes/

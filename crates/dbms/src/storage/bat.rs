@@ -141,33 +141,77 @@ impl Bat {
 
     /// Segments covering the row range `[start, end)`, in order.
     pub fn segments_for_rows(&self, start: usize, end: usize) -> Vec<SegId> {
+        let mut segs = Vec::new();
+        self.segments_for_rows_into(start, end, &mut segs);
+        segs
+    }
+
+    /// [`Self::segments_for_rows`] appending into a caller-provided
+    /// buffer (the engine's task preparation reuses one scratch vector
+    /// instead of allocating per input).
+    pub fn segments_for_rows_into(&self, start: usize, end: usize, out: &mut Vec<SegId>) {
         if start >= end {
-            return Vec::new();
+            return;
         }
         let first = start as u64 / ROWS_PER_SEG;
         let last = (end as u64 - 1) / ROWS_PER_SEG;
-        (first..=last).map(|i| self.region.segment(i)).collect()
+        out.reserve((last - first + 1) as usize);
+        out.extend((first..=last).map(|i| self.region.segment(i)));
     }
 
     /// Distinct segments touched by a sorted position list (sparse access
     /// pattern of `algebra.projection` over a candidate list).
     pub fn segments_for_positions(&self, positions: &[u32]) -> Vec<SegId> {
         let mut segs = Vec::new();
+        self.segments_for_positions_into(positions, &mut segs);
+        segs
+    }
+
+    /// [`Self::segments_for_positions`] appending into a caller-provided
+    /// buffer. Requires a **sorted** position list (all selection-vector
+    /// producers emit ascending positions; join-pair consumers use the
+    /// `_unsorted` variant): the walk gallops from one segment boundary
+    /// to the next instead of testing every position, so cost scales
+    /// with segments touched, not list length.
+    pub fn segments_for_positions_into(&self, positions: &[u32], out: &mut Vec<SegId>) {
+        debug_assert!(positions.windows(2).all(|w| w[0] <= w[1]));
         let mut last: Option<u64> = None;
-        for &p in positions {
-            let s = p as u64 / ROWS_PER_SEG;
+        let mut i = 0usize;
+        while i < positions.len() {
+            let s = positions[i] as u64 / ROWS_PER_SEG;
             if last != Some(s) {
-                segs.push(self.region.segment(s));
+                out.push(self.region.segment(s));
                 last = Some(s);
             }
+            // Gallop past the run of positions in segment `s`.
+            let in_seg = |p: u32| p as u64 / ROWS_PER_SEG == s;
+            let mut step = 1usize;
+            while i + step < positions.len() && in_seg(positions[i + step]) {
+                i += step;
+                step *= 2;
+            }
+            while step > 0 {
+                if i + step < positions.len() && in_seg(positions[i + step]) {
+                    i += step;
+                }
+                step /= 2;
+            }
+            i += 1;
         }
-        segs
     }
 
     /// Distinct segments touched by an *unsorted* position list. Uses a
     /// per-segment bitmap instead of sorting the positions — the sort
     /// dominated the task-preparation hot path for join projections.
     pub fn segments_for_positions_unsorted(&self, positions: &[u32]) -> Vec<SegId> {
+        let mut segs = Vec::new();
+        self.segments_for_positions_unsorted_into(positions, &mut segs);
+        segs
+    }
+
+    /// [`Self::segments_for_positions_unsorted`] appending into a
+    /// caller-provided buffer.
+    pub fn segments_for_positions_unsorted_into(&self, positions: &[u32], out: &mut Vec<SegId>) {
         let n_segs = self.region.n_segments() as usize;
         let mut bits = vec![0u64; n_segs.div_ceil(64)];
         for &p in positions {
@@ -175,17 +219,33 @@ impl Bat {
             debug_assert!(s < n_segs);
             bits[s / 64] |= 1u64 << (s % 64);
         }
-        let mut segs = Vec::new();
         for (w, &word) in bits.iter().enumerate() {
             let mut word = word;
             while word != 0 {
                 let b = word.trailing_zeros() as usize;
-                segs.push(self.region.segment((w * 64 + b) as u64));
+                out.push(self.region.segment((w * 64 + b) as u64));
                 word &= word - 1;
             }
         }
-        segs
     }
+}
+
+/// Removes *consecutive* duplicates from `v[from..]`, leaving `v[..from]`
+/// untouched — `Vec::dedup` confined to an appended span, used by the
+/// `*_into` segment gatherers so a shared scratch buffer produces exactly
+/// the sequence the owned-vector forms did.
+pub fn dedup_from<T: PartialEq>(v: &mut Vec<T>, from: usize) {
+    if v.len() - from < 2 {
+        return;
+    }
+    let mut write = from + 1;
+    for read in (from + 1)..v.len() {
+        if v[read] != v[write - 1] {
+            v.swap(write, read);
+            write += 1;
+        }
+    }
+    v.truncate(write);
 }
 
 /// Identifier of a BAT inside a [`BatStore`].

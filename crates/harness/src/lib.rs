@@ -22,12 +22,14 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod spec;
+pub mod timing;
 
 pub use config::{Alloc, PolicyFactory, RunConfig, Warmup};
 pub use handcoded_runner::{run_handcoded, HandcodedOutput};
 pub use runner::{run, run_all_allocs, RunOutput};
 pub use scenario::{validate_csv, FnScenario, Scenario, ScenarioError, ScenarioRegistry};
 pub use spec::{ExperimentSpec, SpecError};
+pub use timing::{enforce_wall_budget, wall_budget_from_env, WallTimer};
 
 use std::path::PathBuf;
 

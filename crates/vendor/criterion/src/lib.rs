@@ -7,13 +7,21 @@
 //! the `criterion_group!` / `criterion_main!` macros.
 //!
 //! Measurement is intentionally simple — warm-up, then `sample_size`
-//! timed samples of an adaptively-sized iteration batch; mean and min
-//! per-iteration times (plus derived throughput) are printed to stdout.
-//! That is enough for the smoke-level performance tracking the benches
-//! do; swap the workspace dependency for real criterion when
-//! publication-grade statistics are needed.
+//! timed samples of an adaptively-sized iteration batch; mean, median
+//! and min per-iteration times plus the sample count (and derived
+//! throughput) are printed to stdout. A benchmark binary can also
+//! attach a JSON sink with [`Criterion::json_out`]: every result is
+//! collected into a machine-readable array that *replaces* the file
+//! when the last handle drops — each run regenerates the snapshot, and
+//! the trajectory accumulates through version control. That is
+//! enough for the smoke-level performance tracking the benches do; swap
+//! the workspace dependency for real criterion when publication-grade
+//! statistics are needed.
 
+use std::cell::RefCell;
 use std::fmt::Display;
+use std::path::PathBuf;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// A benchmark identifier: `name` or `name/param`.
@@ -52,12 +60,65 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// One measured benchmark, as recorded by the JSON sink.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Benchmark id (`group/name` or `group/name/param`).
+    pub id: String,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: f64,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Minimum per-iteration time, nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Elements per iteration, when declared via [`Throughput`].
+    pub elems_per_iter: Option<u64>,
+}
+
+/// Shared JSON sink: records accumulate across groups (config clones
+/// share the sink) and the array file is written when the last handle
+/// drops.
+#[derive(Debug)]
+struct JsonSink {
+    path: PathBuf,
+    records: Vec<BenchRecord>,
+}
+
+impl Drop for JsonSink {
+    fn drop(&mut self) {
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 == self.records.len() { "" } else { "," };
+            let elems = match r.elems_per_iter {
+                Some(n) => n.to_string(),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"mean_ns\": {:.2}, \"median_ns\": {:.2}, \"min_ns\": {:.2}, \"samples\": {}, \"elems_per_iter\": {}}}{sep}\n",
+                r.id.replace('\\', "\\\\").replace('"', "\\\""),
+                r.mean_ns,
+                r.median_ns,
+                r.min_ns,
+                r.samples,
+                elems,
+            ));
+        }
+        out.push_str("]\n");
+        if let Err(e) = std::fs::write(&self.path, out) {
+            eprintln!("criterion shim: cannot write {}: {e}", self.path.display());
+        }
+    }
+}
+
 /// Top-level benchmark driver and configuration.
 #[derive(Clone, Debug)]
 pub struct Criterion {
     warm_up_time: Duration,
     measurement_time: Duration,
     sample_size: usize,
+    sink: Option<Rc<RefCell<JsonSink>>>,
 }
 
 impl Default for Criterion {
@@ -66,11 +127,23 @@ impl Default for Criterion {
             warm_up_time: Duration::from_millis(500),
             measurement_time: Duration::from_secs(2),
             sample_size: 20,
+            sink: None,
         }
     }
 }
 
 impl Criterion {
+    /// Attaches a JSON sink: every benchmark result is appended to the
+    /// array written to `path` when the (last clone of the) driver
+    /// drops.
+    pub fn json_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.sink = Some(Rc::new(RefCell::new(JsonSink {
+            path: path.into(),
+            records: Vec::new(),
+        })));
+        self
+    }
+
     /// Sets the warm-up duration.
     pub fn warm_up_time(mut self, d: Duration) -> Self {
         self.warm_up_time = d;
@@ -193,6 +266,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     id: &str,
     mut f: F,
 ) {
+    let sink = config.sink.clone();
     // Calibrate: grow the batch until one batch takes >= ~1 ms (or the
     // warm-up budget is spent), so Instant overhead stays negligible.
     let mut iters: u64 = 1;
@@ -232,16 +306,41 @@ fn run_bench<F: FnMut(&mut Bencher)>(
 
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let median = {
+        let mut sorted = samples.clone();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 0 {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        } else {
+            sorted[mid]
+        }
+    };
     let rate = match throughput {
         Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / mean),
         Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 / mean),
         None => String::new(),
     };
     println!(
-        "bench {id:<48} mean {:>12} min {:>12}{rate}",
+        "bench {id:<48} mean {:>12} median {:>12} min {:>12} (n={}){rate}",
         fmt_time(mean),
-        fmt_time(min)
+        fmt_time(median),
+        fmt_time(min),
+        samples.len(),
     );
+    if let Some(sink) = sink {
+        sink.borrow_mut().records.push(BenchRecord {
+            id: id.to_string(),
+            mean_ns: mean * 1e9,
+            median_ns: median * 1e9,
+            min_ns: min * 1e9,
+            samples: samples.len(),
+            elems_per_iter: match throughput {
+                Some(Throughput::Elements(n)) => Some(n),
+                _ => None,
+            },
+        });
+    }
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -321,6 +420,28 @@ mod tests {
         }
         criterion_group! {name = benches; config = quick(); targets = target}
         benches();
+    }
+
+    #[test]
+    fn json_sink_writes_array() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_shim_test_{}.json", std::process::id()));
+        {
+            let mut c = quick().json_out(&path);
+            let mut g = c.benchmark_group("sinked");
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("a", |b| b.iter(|| 1 + 1));
+            g.finish();
+            c.bench_function("b", |b| b.iter(|| 2 + 2));
+        } // last handle drops -> file written
+        let body = std::fs::read_to_string(&path).expect("sink file written");
+        std::fs::remove_file(&path).ok();
+        assert!(body.trim_start().starts_with('['));
+        assert!(body.trim_end().ends_with(']'));
+        assert!(body.contains("\"id\": \"sinked/a\""));
+        assert!(body.contains("\"elems_per_iter\": 10"));
+        assert!(body.contains("\"id\": \"b\""));
+        assert!(body.contains("median_ns"));
     }
 
     #[test]
