@@ -20,6 +20,7 @@
 //! --warmup loader|interleave|none
 //! --guard off|<threshold>  --interval-ms <ms>
 //! --out-dir <dir>  --check
+//! --tenants name[:policy=..][:users=..][:weight=..][:cap=..],...
 //! ```
 //!
 //! Typical invocations:
@@ -49,7 +50,9 @@ flags (override the EMCA_* environment fallbacks):
   --sf <f> --seed <n> --users <n> --iters <n>
   --policy dense|sparse|adaptive|hillclimb
   --flavor monetdb|sqlserver --warmup loader|interleave|none
-  --guard off|<threshold> --interval-ms <ms> --out-dir <dir> --check";
+  --guard off|<threshold> --interval-ms <ms> --out-dir <dir> --check
+  --tenants name[:policy=..][:users=..][:weight=..][:cap=..],...
+                                     per-tenant overrides (mt_* scenarios)";
 
 fn fail(msg: &str) -> ! {
     eprintln!("emca: {msg}");
@@ -74,6 +77,7 @@ fn parse_flags(spec: &mut ExperimentSpec, args: &[String]) -> Vec<String> {
             "--guard" => "guard",
             "--interval-ms" => "interval_ms",
             "--out-dir" => "out_dir",
+            "--tenants" => "tenants",
             "--check" => {
                 spec.check = true;
                 continue;

@@ -1,9 +1,8 @@
 //! # emca-bench — figure and table regeneration
 //!
-//! Every figure/table of the paper is a registered [`Scenario`] (see
-//! [`scenarios::registry`]) driven by a typed
-//! [`ExperimentSpec`](emca_harness::ExperimentSpec); one CLI runs them
-//! all:
+//! Every figure/table of the paper is a registered
+//! [`Scenario`](emca_harness::Scenario) (see [`scenarios::registry`])
+//! driven by a typed [`ExperimentSpec`]; one CLI runs them all:
 //!
 //! ```sh
 //! cargo run --release -p emca-bench --bin emca -- list

@@ -17,6 +17,10 @@ pub mod fig17;
 pub mod fig18;
 pub mod fig19;
 pub mod fig20;
+pub mod mt;
+pub mod mt_burst;
+pub mod mt_fairshare;
+pub mod mt_interference;
 pub mod probe;
 pub mod tab_overhead;
 pub mod tab_summary;
@@ -24,10 +28,11 @@ pub mod tab_summary;
 use emca_harness::{ExperimentSpec, FnScenario, ScenarioError, ScenarioRegistry};
 use std::path::Path;
 
-/// All built-in scenarios (the 17 former `emca-bench` binaries).
+/// All built-in scenarios: the 17 former `emca-bench` binaries plus the
+/// multi-tenant (`mt_*`) workloads.
 pub fn registry() -> ScenarioRegistry {
     let mut r = ScenarioRegistry::new();
-    let items: [FnScenario; 17] = [
+    let items: [FnScenario; 20] = [
         FnScenario {
             name: "fig04",
             about: "Fig. 4 — Q6 vs concurrent clients (hand-coded C affinities vs OS/MonetDB)",
@@ -99,6 +104,24 @@ pub fn registry() -> ScenarioRegistry {
             about: "Fig. 20 — per-query energy: OS scheduler vs the mechanism",
             schemas: fig20::SCHEMAS,
             run: fig20::run,
+        },
+        FnScenario {
+            name: "mt_interference",
+            about: "Two tenants — OLAP antagonist vs steady victim, with/without SLA caps",
+            schemas: mt_interference::SCHEMAS,
+            run: mt_interference::run,
+        },
+        FnScenario {
+            name: "mt_fairshare",
+            about: "Two symmetric tenants — convergence to the fair core split",
+            schemas: mt_fairshare::SCHEMAS,
+            run: mt_fairshare::run,
+        },
+        FnScenario {
+            name: "mt_burst",
+            about: "Antagonist burst against a priority tenant — core reclaim latency",
+            schemas: mt_burst::SCHEMAS,
+            run: mt_burst::run,
         },
         FnScenario {
             name: "tab_summary",

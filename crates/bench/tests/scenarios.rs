@@ -1,17 +1,17 @@
-//! Registry coverage: all 17 former binaries are registered scenarios,
-//! and every one of them runs end-to-end at tiny scale, emitting the
-//! CSV schema it declares. The final `csv_check` pass validates the
-//! freshly generated set with the same library call CI uses — so schema
-//! declarations, scenario bodies, and the checker can never drift
-//! apart.
+//! Registry coverage: all 17 former binaries plus the multi-tenant
+//! (`mt_*`) workloads are registered scenarios, and every one of them
+//! runs end-to-end at tiny scale, emitting the CSV schema it declares.
+//! The final `csv_check` pass validates the freshly generated set with
+//! the same library call CI uses — so schema declarations, scenario
+//! bodies, and the checker can never drift apart.
 
 use emca_bench::scenarios;
 use emca_harness::ExperimentSpec;
 use std::path::PathBuf;
 
-/// The former one-binary-per-figure entry points, all of which must be
-/// reachable through `emca run <name>`.
-const EXPECTED: [&str; 17] = [
+/// Every name reachable through `emca run <name>`: the former
+/// one-binary-per-figure entry points plus the `mt_*` scenarios.
+const EXPECTED: [&str; 20] = [
     "ablation",
     "csv_check",
     "fig04",
@@ -26,6 +26,9 @@ const EXPECTED: [&str; 17] = [
     "fig18",
     "fig19",
     "fig20",
+    "mt_burst",
+    "mt_fairshare",
+    "mt_interference",
     "probe",
     "tab_overhead",
     "tab_summary",
@@ -43,9 +46,9 @@ fn registry_lists_all_former_binaries() {
 #[test]
 fn registry_declares_the_full_results_schema_set() {
     // The committed results/ dir carries one CSV per declared schema;
-    // 24 files across the 15 CSV-writing scenarios (probe and csv_check
+    // 27 files across the 18 CSV-writing scenarios (probe and csv_check
     // only print).
-    assert_eq!(scenarios::declared_csv_count(), 24);
+    assert_eq!(scenarios::declared_csv_count(), 27);
     let registry = scenarios::registry();
     let mut seen = std::collections::BTreeSet::new();
     for s in registry.iter() {

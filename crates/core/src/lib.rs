@@ -38,6 +38,7 @@ pub mod monitor;
 pub mod policy;
 pub mod priority_queue;
 pub mod sla;
+pub mod tenant;
 
 pub use mechanism::{ElasticMechanism, MechanismConfig, TransitionEvent};
 pub use modes::{AdaptiveMode, AllocationMode, DenseMode, ModeCtx, SparseMode};
@@ -48,3 +49,6 @@ pub use policy::{
 };
 pub use priority_queue::NodePriorityQueue;
 pub use sla::{SlaGovernor, SlaPolicy};
+pub use tenant::{
+    fair_guarantee, ArbiterMode, SharedArbiter, TenantArbiter, TenantBinding, TenantId,
+};

@@ -3,9 +3,10 @@
 //! > ∀w ∃ nalloc | (thmin < u < thmax) ∧ p(nalloc) ≥ p(ntotal)
 //!
 //! The LONC is reached when the per-core load of the allocated set sits
-//! inside the stable band. [`LoncTracker`] observes the mechanism's
-//! transition log and reports whether/when the allocation converged and
-//! to how many cores — the quantity Fig. 7 visualises.
+//! inside the stable band. [`analyze`] observes the mechanism's
+//! transition log and reports (as a [`LoncReport`]) whether/when the
+//! allocation converged and to how many cores — the quantity Fig. 7
+//! visualises.
 
 use crate::mechanism::TransitionEvent;
 use emca_metrics::SimTime;

@@ -8,7 +8,7 @@
 //! 2. **condition** — injects the measured `u` into the PetriNet
 //!    ([`ElasticNet::step`]), which classifies the performance state and
 //!    decides whether a core must be allocated or released;
-//! 3. **action** — asks the [`AllocationMode`] *where*, and applies the
+//! 3. **action** — asks the [`Policy`] *where*, and applies the
 //!    new cpuset mask to the DBMS group after the mode's actuation
 //!    latency (the paper's measured token-flow times: dense 17 ms,
 //!    sparse 21 ms, adaptive 31 ms).
@@ -18,6 +18,7 @@
 use crate::modes::ModeCtx;
 use crate::monitor::{MetricKind, Monitor, MonitorSample};
 use crate::policy::{Decision, Observation, Policy, PolicyCtx};
+use crate::tenant::TenantBinding;
 use emca_metrics::{SimDuration, SimTime};
 use numa_sim::SpaceId;
 use os_sim::{CoreMask, GroupId, Kernel};
@@ -147,8 +148,13 @@ pub struct ElasticMechanism {
     prev_link_bytes: u64,
     /// Consecutive Idle classifications (release hysteresis state).
     idle_streak: u32,
-    /// A decided-but-not-yet-applied mask (actuation latency).
-    pending: Option<(SimTime, CoreMask)>,
+    /// A decided-but-not-yet-applied mask (actuation latency), plus the
+    /// core whose arbiter ownership is released once the mask lands (a
+    /// tenant shrink must not free the core for peers before it has
+    /// left this group's cpuset).
+    pending: Option<(SimTime, CoreMask, Option<numa_sim::CoreId>)>,
+    /// Multi-tenant arbitration handle; `None` in single-tenant runs.
+    tenancy: Option<TenantBinding>,
     /// Transition log (Fig. 7).
     pub events: Vec<TransitionEvent>,
     /// Number of control steps executed.
@@ -163,8 +169,36 @@ impl ElasticMechanism {
         kernel: &mut Kernel,
         group: GroupId,
         space: SpaceId,
+        policy: Box<dyn Policy>,
+        cfg: MechanismConfig,
+    ) -> Self {
+        Self::install_inner(kernel, group, space, policy, cfg, None)
+    }
+
+    /// Installs one tenant's mechanism under a shared
+    /// [`TenantArbiter`](crate::tenant::TenantArbiter): the initial
+    /// cores are claimed through the arbiter, placement skips cores
+    /// owned by other tenants, and every grow/shrink is arbitrated
+    /// (growth past the tenant's entitlement can be denied, over-share
+    /// allocations are yielded back when a peer starves).
+    pub fn install_tenant(
+        kernel: &mut Kernel,
+        group: GroupId,
+        space: SpaceId,
+        policy: Box<dyn Policy>,
+        cfg: MechanismConfig,
+        binding: TenantBinding,
+    ) -> Self {
+        Self::install_inner(kernel, group, space, policy, cfg, Some(binding))
+    }
+
+    fn install_inner(
+        kernel: &mut Kernel,
+        group: GroupId,
+        space: SpaceId,
         mut policy: Box<dyn Policy>,
         cfg: MechanismConfig,
+        tenancy: Option<TenantBinding>,
     ) -> Self {
         let topo = kernel.machine().topology().clone();
         let ntotal = topo.n_cores() as u32;
@@ -173,17 +207,25 @@ impl ElasticMechanism {
             "initial_cores out of range"
         );
         // Build the initial mask by asking the policy for cores one by
-        // one.
+        // one (skipping cores other tenants already own).
         let pages = kernel.machine().mem().pages_per_node(space).to_vec();
         let mut mask = CoreMask::EMPTY;
         for _ in 0..cfg.initial_cores {
+            let barred = match &tenancy {
+                Some(t) => t.arbiter.borrow().foreign_mask(t.tenant),
+                None => CoreMask::EMPTY,
+            };
             let ctx = ModeCtx {
                 topology: &topo,
                 current: mask,
+                barred,
                 pages_per_node: &pages,
                 mc_util_per_node: &[],
             };
             let core = policy.next_core(&ctx).expect("initial cores available");
+            if let Some(t) = &tenancy {
+                t.arbiter.borrow_mut().claim_initial(t.tenant, core);
+            }
             mask.insert(core);
         }
         kernel.set_group_mask(group, mask);
@@ -215,6 +257,7 @@ impl ElasticMechanism {
             prev_link_bytes,
             idle_streak: 0,
             pending: None,
+            tenancy,
             events: Vec::new(),
             steps: 0,
         }
@@ -276,9 +319,12 @@ impl ElasticMechanism {
     /// on schedule.
     pub fn poll(&mut self, kernel: &mut Kernel) {
         let now = kernel.now();
-        if let Some((due, mask)) = self.pending {
+        if let Some((due, mask, release)) = self.pending {
             if now >= due {
                 kernel.set_group_mask(self.group, mask);
+                if let (Some(core), Some(t)) = (release, &self.tenancy) {
+                    t.arbiter.borrow_mut().release(t.tenant, core);
+                }
                 self.pending = None;
             }
         }
@@ -371,16 +417,65 @@ impl ElasticMechanism {
         let report = self.net.step(u);
         let current = kernel.group_mask(self.group);
         let topo = kernel.machine().topology().clone();
+        let barred = match &self.tenancy {
+            Some(t) => t.arbiter.borrow().foreign_mask(t.tenant),
+            None => CoreMask::EMPTY,
+        };
         let ctx = PolicyCtx {
             mode: ModeCtx {
                 topology: &topo,
                 current,
+                barred,
                 pages_per_node: &sample.pages_per_node,
                 mc_util_per_node: &sample.mc_util_per_node,
             },
             action: report.action,
         };
-        let decision = self.policy.decide(&ctx);
+        let mut decision = self.policy.decide(&ctx);
+        // Tenant arbitration: record this step's demand, yield a core
+        // toward a starved peer, and pass every grow/shrink through the
+        // shared ownership map. A denied growth becomes a Hold (the
+        // policy is told, so it can roll back probe state); the
+        // Provision resync below keeps the net honest either way. A
+        // shrink's ownership release is *deferred* to actuation time —
+        // releasing at decision time would let a peer claim (and
+        // schedule on) the core while it is still in this group's
+        // not-yet-rewritten cpuset mask.
+        let mut deferred_release = None;
+        if let Some(t) = self.tenancy.clone() {
+            let mut arb = t.arbiter.borrow_mut();
+            arb.note(t.tenant, report.action == AllocAction::Allocate);
+            if !matches!(decision, Decision::Shrink(_)) && arb.must_yield(t.tenant) {
+                // Route the forced release through the policy's own
+                // Release path (not bare release_core) so stateful
+                // policies run their release bookkeeping — the hill
+                // climber drops its in-flight probe exactly as on a
+                // net-driven release.
+                let release_ctx = PolicyCtx {
+                    mode: ctx.mode,
+                    action: AllocAction::Release,
+                };
+                decision = match self.policy.decide(&release_ctx) {
+                    Decision::Shrink(core) => {
+                        arb.yields += 1;
+                        Decision::Shrink(core)
+                    }
+                    _ => Decision::Hold,
+                };
+            }
+            decision = match decision {
+                Decision::Grow(core) if !arb.try_claim(t.tenant, core) => {
+                    self.policy.grow_denied(core);
+                    Decision::Hold
+                }
+                Decision::Shrink(core) => {
+                    deferred_release = Some(core);
+                    Decision::Shrink(core)
+                }
+                other => other,
+            };
+        }
+        let decision = decision;
         let new_mask = match decision {
             Decision::Grow(core) => {
                 debug_assert!(!current.contains(core), "policy grew an allocated core");
@@ -422,7 +517,7 @@ impl ElasticMechanism {
             debug_assert_eq!(mask.count() as u32, self.net.nalloc());
             // Actuation never blocks more than half a control period.
             let latency = self.cfg.actuation_latency.min(self.cur_interval / 2);
-            self.pending = Some((kernel.now() + latency, mask));
+            self.pending = Some((kernel.now() + latency, mask, deferred_release));
         }
         let effective = match decision {
             Decision::Grow(_) => AllocAction::Allocate,

@@ -17,17 +17,31 @@ use numa_sim::{CoreId, Topology};
 use os_sim::CoreMask;
 
 /// Context handed to a mode when it must pick a core.
+#[derive(Clone, Copy)]
 pub struct ModeCtx<'a> {
     /// Machine shape.
     pub topology: &'a Topology,
     /// Cores currently handed to the OS.
     pub current: CoreMask,
+    /// Cores this group may not allocate — owned by other tenants under
+    /// a [`TenantArbiter`](crate::tenant::TenantArbiter). Empty in
+    /// single-tenant runs. Placement must skip them; release ignores
+    /// them (a group only ever releases its own cores).
+    pub barred: CoreMask,
     /// Fresh pages-per-node statistics of the DBMS address space.
     pub pages_per_node: &'a [u64],
     /// Smoothed memory-controller utilisation per node (0 = idle,
     /// ≥ 1 = saturated). Empty when the caller has no monitor (tests,
     /// static installs); modes must treat missing data as "no pressure".
     pub mc_util_per_node: &'a [f64],
+}
+
+impl ModeCtx<'_> {
+    /// Whether `core` is available for allocation: neither already in
+    /// the group's mask nor barred by another tenant.
+    pub fn is_free(&self, core: CoreId) -> bool {
+        !self.current.contains(core) && !self.barred.contains(core)
+    }
 }
 
 /// A core allocation policy.
@@ -58,7 +72,7 @@ impl AllocationMode for DenseMode {
         (0..ctx.topology.n_nodes())
             .flat_map(|i| (0..d).map(move |j| (i, j)))
             .map(|(i, j)| CoreId((i * d + j) as u16))
-            .find(|c| !ctx.current.contains(*c))
+            .find(|&c| ctx.is_free(c))
     }
 
     fn release_core(&mut self, ctx: &ModeCtx<'_>) -> Option<CoreId> {
@@ -86,7 +100,7 @@ impl AllocationMode for SparseMode {
         (0..d)
             .flat_map(|j| (0..n).map(move |i| (i, j)))
             .map(|(i, j)| CoreId((i * d + j) as u16))
-            .find(|c| !ctx.current.contains(*c))
+            .find(|&c| ctx.is_free(c))
     }
 
     fn release_core(&mut self, ctx: &ModeCtx<'_>) -> Option<CoreId> {
@@ -144,7 +158,7 @@ impl AllocationMode for AdaptiveMode {
         let best = ctx
             .topology
             .all_nodes()
-            .filter(|&n| ctx.topology.cores_of(n).any(|c| !ctx.current.contains(c)))
+            .filter(|&n| ctx.topology.cores_of(n).any(|c| ctx.is_free(c)))
             .max_by(|&a, &b| {
                 Self::score(ctx, a)
                     .partial_cmp(&Self::score(ctx, b))
@@ -158,9 +172,7 @@ impl AllocationMode for AdaptiveMode {
                     .then_with(|| b.idx().cmp(&a.idx()))
             });
         let node = best?;
-        ctx.topology
-            .cores_of(node)
-            .find(|c| !ctx.current.contains(*c))
+        ctx.topology.cores_of(node).find(|&c| ctx.is_free(c))
     }
 
     fn release_core(&mut self, ctx: &ModeCtx<'_>) -> Option<CoreId> {
@@ -187,6 +199,7 @@ mod tests {
         ModeCtx {
             topology: topo,
             current,
+            barred: CoreMask::EMPTY,
             pages_per_node: pages,
             mc_util_per_node: &[],
         }
@@ -272,6 +285,43 @@ mod tests {
             AdaptiveMode::default().release_core(&ctx(&topo, mask, &pages)),
             None
         );
+    }
+
+    #[test]
+    fn barred_cores_are_skipped_by_every_mode() {
+        let topo = Topology::opteron_4x4();
+        // Node 0 entirely barred (another tenant owns it), plus core 4.
+        let mut barred = CoreMask::from_cores(topo.cores_of(numa_sim::NodeId(0)));
+        barred.insert(CoreId(4));
+        let pages = [100u64, 0, 0, 0]; // hottest node is fully barred
+        let mk = |current| ModeCtx {
+            topology: &topo,
+            current,
+            barred,
+            pages_per_node: &pages,
+            mc_util_per_node: &[],
+        };
+        let c = DenseMode.next_core(&mk(CoreMask::EMPTY)).unwrap();
+        assert_eq!(c, CoreId(5), "dense skips node 0 and core 4");
+        let c = SparseMode.next_core(&mk(CoreMask::EMPTY)).unwrap();
+        assert_eq!(c, CoreId(8), "sparse skips barred 0 and 4");
+        let c = AdaptiveMode::default()
+            .next_core(&mk(CoreMask::EMPTY))
+            .unwrap();
+        assert_ne!(
+            topo.node_of(c),
+            numa_sim::NodeId(0),
+            "adaptive cannot allocate on a fully barred node"
+        );
+        // A fully barred machine has no next core.
+        let all_barred = ModeCtx {
+            topology: &topo,
+            current: CoreMask::EMPTY,
+            barred: CoreMask::all(&topo),
+            pages_per_node: &pages,
+            mc_util_per_node: &[],
+        };
+        assert_eq!(DenseMode.next_core(&all_barred), None);
     }
 
     #[test]

@@ -13,6 +13,25 @@
 //! Policies are named by the typed [`PolicyId`]; parsing a name returns a
 //! proper error ([`UnknownPolicy`]) instead of panicking, so CLIs can
 //! print the valid list.
+//!
+//! ```
+//! use elastic_core::{policy_by_name, ModeCtx, Policy, PolicyId};
+//! use numa_sim::Topology;
+//! use os_sim::CoreMask;
+//!
+//! let mut policy = policy_by_name("dense").unwrap();
+//! let topo = Topology::opteron_4x4();
+//! let ctx = ModeCtx {
+//!     topology: &topo,
+//!     current: CoreMask::EMPTY,
+//!     barred: CoreMask::EMPTY,
+//!     pages_per_node: &[0; 4],
+//!     mc_util_per_node: &[],
+//! };
+//! let first = policy.next_core(&ctx).expect("an empty machine has room");
+//! assert_eq!(first.0, 0, "dense fills node 0 first");
+//! assert!(PolicyId::try_from("warp").is_err(), "unknown names are errors");
+//! ```
 
 use crate::modes::{AdaptiveMode, AllocationMode, DenseMode, ModeCtx, SparseMode};
 use crate::monitor::MonitorSample;
@@ -94,6 +113,15 @@ pub trait Policy {
     fn shape(&mut self, u: i64, _nalloc: u32, _thresholds: Thresholds) -> i64 {
         u
     }
+
+    /// Notification that a [`Decision::Grow`] returned by
+    /// [`Policy::decide`] was denied downstream (a
+    /// [`TenantArbiter`](crate::tenant::TenantArbiter) refused the
+    /// claim) and the mechanism held instead. Stateful policies must
+    /// roll back anything they armed for that growth — the hill
+    /// climber drops its in-flight probe, since there is no grown
+    /// allocation to judge. Default: ignore.
+    fn grow_denied(&mut self, _core: CoreId) {}
 
     /// Maps the net's verdict to a concrete decision. The default
     /// follows the verdict, delegating placement to
@@ -395,6 +423,13 @@ impl Policy for HillClimbPolicy {
         u
     }
 
+    fn grow_denied(&mut self, _core: CoreId) {
+        // The growth never happened: there is nothing to judge, and a
+        // lingering probe would damp the demand signal while it
+        // "settles" on an allocation that was never grown.
+        self.probe = None;
+    }
+
     fn decide(&mut self, ctx: &PolicyCtx<'_>) -> Decision {
         let nalloc = ctx.mode.current.count() as u32;
         match ctx.action {
@@ -494,6 +529,20 @@ impl HillClimbPolicy {
 /// [`Policy::observe`] and its damping becomes a [`Policy::decide`]
 /// override (growth at the cap is vetoed; an allocation above a freshly
 /// lowered cap is shrunk). The inner policy still decides *where*.
+///
+/// ```
+/// use elastic_core::{PolicyId, SlaCappedPolicy, SlaPolicy};
+///
+/// // Adaptive placement under a 4-core budget on a 16-core machine.
+/// let capped = SlaCappedPolicy::new(
+///     PolicyId::Adaptive.build(),
+///     SlaPolicy::cores(4),
+///     16,
+///     4,
+/// );
+/// assert_eq!(capped.cap(), 4, "the core budget seeds the rolling cap");
+/// assert_eq!(capped.violations(), 0);
+/// ```
 pub struct SlaCappedPolicy {
     inner: Box<dyn Policy>,
     governor: SlaGovernor,
@@ -550,6 +599,10 @@ impl Policy for SlaCappedPolicy {
         // reads as Stable, an over-cap allocation as Idle (release).
         let u = self.governor.damp(u, nalloc, thresholds);
         self.inner.shape(u, nalloc, thresholds)
+    }
+
+    fn grow_denied(&mut self, core: CoreId) {
+        self.inner.grow_denied(core);
     }
 
     fn decide(&mut self, ctx: &PolicyCtx<'_>) -> Decision {
@@ -612,6 +665,7 @@ mod tests {
             mode: ModeCtx {
                 topology: topo,
                 current,
+                barred: CoreMask::EMPTY,
                 pages_per_node: pages,
                 mc_util_per_node: &[],
             },

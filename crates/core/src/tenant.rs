@@ -1,0 +1,546 @@
+//! Multi-tenant core arbitration — running *several* elastic mechanisms
+//! on one machine.
+//!
+//! The paper allocates cores to a single DBMS group; co-located tenants
+//! (in the spirit of *SAM* and *OLTP on Hardware Islands*) each run
+//! their own [`ElasticMechanism`](crate::ElasticMechanism) + policy, and
+//! the [`TenantArbiter`] resolves their contention for the shared cores:
+//! no core is ever owned by two tenants, and an [`ArbiterMode`] decides
+//! who wins when both want to grow.
+//!
+//! Arbitration is *work-conserving*: a tenant may overshoot its
+//! guaranteed share while the machine has idle cores and nobody else is
+//! starving, but a starved tenant (one that keeps demanding while below
+//! its guarantee) forces over-share tenants to yield cores back through
+//! their normal release path.
+//!
+//! ```
+//! use elastic_core::tenant::{ArbiterMode, TenantArbiter};
+//! use numa_sim::CoreId;
+//!
+//! let mut arb = TenantArbiter::new(ArbiterMode::FairShare, 16);
+//! let a = arb.register("olap", 1, None);
+//! let b = arb.register("oltp", 1, None);
+//! assert_eq!(arb.guarantee(a), 8); // symmetric weights: half each
+//! assert!(arb.try_claim(a, CoreId(0)));
+//! assert!(!arb.try_claim(b, CoreId(0)), "core 0 is taken");
+//! assert!(arb.foreign_mask(b).contains(CoreId(0)));
+//! ```
+
+use numa_sim::CoreId;
+use os_sim::CoreMask;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Control steps a growth demand stays "live" for starvation tracking.
+const DEMAND_TTL: u32 = 8;
+/// Consecutive starved steps before over-share tenants must yield.
+const STARVE_AFTER: u32 = 2;
+
+/// Identifies one registered tenant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The tenant's index into the arbiter's registration order.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How contention between tenants is resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ArbiterMode {
+    /// Weights are strict priorities: the highest-priority demanding
+    /// tenant is entitled to every core above the one-core floor the
+    /// others keep.
+    Priority,
+    /// Weighted proportional shares: tenant *i* is guaranteed
+    /// `ntotal · wᵢ / Σw` cores (at least one), and may exceed its share
+    /// only while no other tenant is starved.
+    #[default]
+    FairShare,
+    /// Like fair share, but each tenant's registered core budget is a
+    /// *hard ceiling* it can never grow past, idle machine or not.
+    BudgetCapped,
+}
+
+impl ArbiterMode {
+    /// All modes, in CLI listing order.
+    pub const ALL: [ArbiterMode; 3] = [
+        ArbiterMode::Priority,
+        ArbiterMode::FairShare,
+        ArbiterMode::BudgetCapped,
+    ];
+
+    /// The canonical name (parseable back via `TryFrom<&str>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArbiterMode::Priority => "priority",
+            ArbiterMode::FairShare => "fairshare",
+            ArbiterMode::BudgetCapped => "budget",
+        }
+    }
+}
+
+impl std::fmt::Display for ArbiterMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl TryFrom<&str> for ArbiterMode {
+    type Error = String;
+
+    fn try_from(name: &str) -> Result<Self, Self::Error> {
+        ArbiterMode::ALL
+            .into_iter()
+            .find(|m| m.name() == name)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = ArbiterMode::ALL.iter().map(|m| m.name()).collect();
+                format!(
+                    "unknown arbiter mode {name:?} (valid: {})",
+                    valid.join(", ")
+                )
+            })
+    }
+}
+
+/// Per-tenant arbitration state.
+#[derive(Clone, Debug)]
+struct TenantState {
+    name: String,
+    /// Fair-share weight, or priority rank (higher wins) in
+    /// [`ArbiterMode::Priority`].
+    weight: u32,
+    /// Hard core ceiling in [`ArbiterMode::BudgetCapped`] (ignored by
+    /// the other modes; `None` = machine size).
+    budget: Option<u32>,
+    /// Cores this tenant currently owns.
+    owned: CoreMask,
+    /// Steps the last growth demand stays live.
+    demand_ttl: u32,
+    /// Consecutive steps spent demanding while below the guarantee.
+    starved_streak: u32,
+}
+
+/// Resolves core contention between tenant mechanisms. See the
+/// [module docs](self) for the arbitration rules.
+#[derive(Clone, Debug)]
+pub struct TenantArbiter {
+    mode: ArbiterMode,
+    ntotal: u32,
+    tenants: Vec<TenantState>,
+    /// Growth attempts denied (ceiling or contention).
+    pub denials: u64,
+    /// Forced releases of over-share tenants toward a starved one.
+    pub yields: u64,
+}
+
+/// The arbiter as shared by the tenant mechanisms of one simulation
+/// (the stack is single-threaded, like the rest of the simulator).
+pub type SharedArbiter = Rc<RefCell<TenantArbiter>>;
+
+impl TenantArbiter {
+    /// An arbiter for a machine of `ntotal` cores.
+    pub fn new(mode: ArbiterMode, ntotal: u32) -> Self {
+        assert!(ntotal >= 1, "machine must have cores");
+        TenantArbiter {
+            mode,
+            ntotal,
+            tenants: Vec::new(),
+            denials: 0,
+            yields: 0,
+        }
+    }
+
+    /// Wraps a fresh arbiter for sharing between mechanisms.
+    pub fn shared(mode: ArbiterMode, ntotal: u32) -> SharedArbiter {
+        Rc::new(RefCell::new(Self::new(mode, ntotal)))
+    }
+
+    /// Registers a tenant; `weight` is its fair-share weight (or
+    /// priority rank), `budget` its hard core ceiling under
+    /// [`ArbiterMode::BudgetCapped`].
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        weight: u32,
+        budget: Option<u32>,
+    ) -> TenantId {
+        assert!(weight >= 1, "weight must be positive");
+        assert!(
+            self.tenants.len() < self.ntotal as usize,
+            "more tenants than cores"
+        );
+        self.tenants.push(TenantState {
+            name: name.into(),
+            weight,
+            budget,
+            owned: CoreMask::EMPTY,
+            demand_ttl: 0,
+            starved_streak: 0,
+        });
+        TenantId(self.tenants.len() as u32 - 1)
+    }
+
+    /// Number of registered tenants.
+    pub fn n_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The tenant's registered name.
+    pub fn name(&self, t: TenantId) -> &str {
+        &self.tenants[t.idx()].name
+    }
+
+    /// The arbitration mode.
+    pub fn mode(&self) -> ArbiterMode {
+        self.mode
+    }
+
+    /// Cores the tenant currently owns.
+    pub fn owned(&self, t: TenantId) -> CoreMask {
+        self.tenants[t.idx()].owned
+    }
+
+    /// Cores owned by *other* tenants — the mask a tenant's placement
+    /// policy must treat as unavailable
+    /// ([`ModeCtx::barred`](crate::ModeCtx::barred)).
+    pub fn foreign_mask(&self, t: TenantId) -> CoreMask {
+        self.tenants
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != t.idx())
+            .fold(CoreMask::EMPTY, |acc, (_, s)| acc.or(s.owned))
+    }
+
+    /// Cores owned by nobody.
+    pub fn free_cores(&self) -> u32 {
+        let owned: usize = self.tenants.iter().map(|s| s.owned.count()).sum();
+        self.ntotal.saturating_sub(owned as u32)
+    }
+
+    fn demanding(&self, i: usize) -> bool {
+        self.tenants[i].demand_ttl > 0
+    }
+
+    /// The tenant's guaranteed core count under the current mode and
+    /// demand pattern: the share it may always insist on, forcing
+    /// over-share tenants to yield.
+    pub fn guarantee(&self, t: TenantId) -> u32 {
+        match self.mode {
+            ArbiterMode::FairShare => self.fair_share(t.idx()),
+            ArbiterMode::BudgetCapped => self.fair_share(t.idx()).min(self.ceiling(t)),
+            ArbiterMode::Priority => self.priority_guarantees()[t.idx()],
+        }
+    }
+
+    /// The hard core ceiling the tenant may never grow past.
+    pub fn ceiling(&self, t: TenantId) -> u32 {
+        match self.mode {
+            ArbiterMode::BudgetCapped => self.tenants[t.idx()]
+                .budget
+                .unwrap_or(self.ntotal)
+                .clamp(1, self.ntotal),
+            ArbiterMode::Priority | ArbiterMode::FairShare => self.ntotal,
+        }
+    }
+
+    /// `ntotal · wᵢ / Σw`, floored, at least one core.
+    fn fair_share(&self, i: usize) -> u32 {
+        let total: u64 = self.tenants.iter().map(|s| s.weight as u64).sum();
+        fair_guarantee(self.ntotal, self.tenants[i].weight, total)
+    }
+
+    /// Priority-mode guarantees: tenants keep a one-core floor; the
+    /// remaining cores go to tenants in priority order — a *demanding*
+    /// tenant soaks up everything still available, a quiet one is
+    /// guaranteed only what it already owns.
+    fn priority_guarantees(&self) -> Vec<u32> {
+        let n = self.tenants.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        // Higher weight first; ties broken by registration order.
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.tenants[i].weight), i));
+        let mut remaining = self.ntotal.saturating_sub(n as u32);
+        let mut g = vec![1u32; n];
+        for &i in &order {
+            let owned = self.tenants[i].owned.count() as u32;
+            let want = if self.demanding(i) {
+                remaining
+            } else {
+                owned.saturating_sub(1).min(remaining)
+            };
+            g[i] = 1 + want;
+            remaining -= want;
+        }
+        g
+    }
+
+    /// Whether any *other* tenant has been starved long enough to force
+    /// over-share tenants to yield.
+    fn someone_starved(&self, except: usize) -> bool {
+        self.tenants
+            .iter()
+            .enumerate()
+            .any(|(i, s)| i != except && s.starved_streak >= STARVE_AFTER)
+    }
+
+    /// Per-control-step bookkeeping, fed by the tenant's mechanism:
+    /// `wants_grow` is whether the PrT net classified Overload this step
+    /// (post-shaping, so an SLA-damped tenant does not read as
+    /// demanding).
+    pub fn note(&mut self, t: TenantId, wants_grow: bool) {
+        let guarantee = self.guarantee(t);
+        let s = &mut self.tenants[t.idx()];
+        if wants_grow {
+            s.demand_ttl = DEMAND_TTL;
+        } else {
+            s.demand_ttl = s.demand_ttl.saturating_sub(1);
+        }
+        let starved = s.demand_ttl > 0 && (s.owned.count() as u32) < guarantee;
+        if starved {
+            s.starved_streak += 1;
+        } else {
+            s.starved_streak = 0;
+        }
+    }
+
+    /// Claims `core` for the tenant. Fails (and counts a denial) when the
+    /// core is owned by another tenant, the claim would cross the
+    /// tenant's ceiling, or it would grow past the guarantee while
+    /// another tenant is starved.
+    pub fn try_claim(&mut self, t: TenantId, core: CoreId) -> bool {
+        if self.foreign_mask(t).contains(core) {
+            self.denials += 1;
+            return false;
+        }
+        let after = self.tenants[t.idx()].owned.count() as u32 + 1;
+        if after > self.ceiling(t) {
+            self.denials += 1;
+            return false;
+        }
+        if after > self.guarantee(t) && self.someone_starved(t.idx()) {
+            self.denials += 1;
+            return false;
+        }
+        self.tenants[t.idx()].owned.insert(core);
+        true
+    }
+
+    /// Claims a core during mechanism install, bypassing the contention
+    /// checks (the initial allocation is below any sane guarantee).
+    /// Panics if the core is already owned.
+    pub fn claim_initial(&mut self, t: TenantId, core: CoreId) {
+        assert!(
+            !self.foreign_mask(t).contains(core),
+            "initial core {core:?} already owned by another tenant"
+        );
+        self.tenants[t.idx()].owned.insert(core);
+    }
+
+    /// Returns `core` to the free pool.
+    pub fn release(&mut self, t: TenantId, core: CoreId) {
+        self.tenants[t.idx()].owned.remove(core);
+    }
+
+    /// Whether the tenant must shed a core this step: it sits above its
+    /// guarantee, the machine has no free cores, and another tenant is
+    /// starving below *its* guarantee. A pure predicate — the caller
+    /// counts a yield (bumping [`TenantArbiter::yields`]) only when a
+    /// core is actually shed.
+    pub fn must_yield(&self, t: TenantId) -> bool {
+        if self.free_cores() > 0 {
+            return false;
+        }
+        let over = self.tenants[t.idx()].owned.count() as u32 > self.guarantee(t);
+        over && self.someone_starved(t.idx())
+    }
+}
+
+/// The fair-share guarantee arithmetic — `ntotal · weight / Σweights`,
+/// floored, at least one core. Exposed so external checks (the
+/// `mt_fairshare` convergence gate) validate against exactly what the
+/// arbiter grants rather than re-deriving the rounding rule.
+pub fn fair_guarantee(ntotal: u32, weight: u32, total_weight: u64) -> u32 {
+    if total_weight == 0 {
+        return 1;
+    }
+    ((ntotal as u64 * weight as u64 / total_weight) as u32).max(1)
+}
+
+/// A tenant mechanism's handle on the shared arbiter.
+#[derive(Clone)]
+pub struct TenantBinding {
+    /// The arbiter shared by every tenant of the simulation.
+    pub arbiter: SharedArbiter,
+    /// This mechanism's tenant.
+    pub tenant: TenantId,
+}
+
+impl TenantBinding {
+    /// Binds `tenant` to `arbiter`.
+    pub fn new(arbiter: SharedArbiter, tenant: TenantId) -> Self {
+        TenantBinding { arbiter, tenant }
+    }
+}
+
+impl std::fmt::Debug for TenantBinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantBinding")
+            .field("tenant", &self.tenant)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two(mode: ArbiterMode) -> (TenantArbiter, TenantId, TenantId) {
+        let mut arb = TenantArbiter::new(mode, 16);
+        let a = arb.register("a", 1, None);
+        let b = arb.register("b", 1, None);
+        (arb, a, b)
+    }
+
+    #[test]
+    fn mode_names_round_trip() {
+        for m in ArbiterMode::ALL {
+            assert_eq!(ArbiterMode::try_from(m.name()), Ok(m));
+        }
+        let err = ArbiterMode::try_from("magic").unwrap_err();
+        assert!(err.contains("fairshare"), "{err}");
+    }
+
+    #[test]
+    fn ownership_is_exclusive() {
+        let (mut arb, a, b) = two(ArbiterMode::FairShare);
+        assert!(arb.try_claim(a, CoreId(3)));
+        assert!(!arb.try_claim(b, CoreId(3)), "double claim must fail");
+        assert_eq!(arb.denials, 1);
+        assert!(arb.foreign_mask(b).contains(CoreId(3)));
+        assert!(!arb.foreign_mask(a).contains(CoreId(3)));
+        arb.release(a, CoreId(3));
+        assert!(arb.try_claim(b, CoreId(3)), "released core is claimable");
+        assert_eq!(arb.free_cores(), 15);
+    }
+
+    #[test]
+    fn fair_share_guarantees_split_by_weight() {
+        let mut arb = TenantArbiter::new(ArbiterMode::FairShare, 16);
+        let a = arb.register("heavy", 3, None);
+        let b = arb.register("light", 1, None);
+        assert_eq!(arb.guarantee(a), 12);
+        assert_eq!(arb.guarantee(b), 4);
+        assert_eq!(arb.ceiling(a), 16, "fair share has no hard ceiling");
+    }
+
+    #[test]
+    fn overshoot_allowed_until_someone_starves() {
+        let (mut arb, a, b) = two(ArbiterMode::FairShare);
+        // Tenant a grabs 10 cores on an otherwise idle machine: fine.
+        for c in 0..10 {
+            assert!(arb.try_claim(a, CoreId(c)), "core {c} uncontended");
+        }
+        // Tenant b starts demanding below its guarantee of 8.
+        arb.note(b, true);
+        arb.note(b, true);
+        // Over-guarantee growth for a is now denied...
+        assert!(!arb.try_claim(a, CoreId(10)));
+        // ...but b may still claim free cores.
+        assert!(arb.try_claim(b, CoreId(10)));
+    }
+
+    #[test]
+    fn yield_fires_only_when_machine_is_full_and_peer_starves() {
+        let (mut arb, a, b) = two(ArbiterMode::FairShare);
+        for c in 0..14 {
+            assert!(arb.try_claim(a, CoreId(c)));
+        }
+        assert!(arb.try_claim(b, CoreId(14)));
+        assert!(arb.try_claim(b, CoreId(15)));
+        // Machine full, but b not demanding: no yield.
+        assert!(!arb.must_yield(a));
+        arb.note(b, true);
+        arb.note(b, true);
+        assert!(arb.must_yield(a), "starved peer forces the yield");
+        // b itself is below guarantee: never asked to yield.
+        assert!(!arb.must_yield(b));
+    }
+
+    #[test]
+    fn satisfied_tenant_stops_starving() {
+        let (mut arb, a, b) = two(ArbiterMode::FairShare);
+        for c in 0..8 {
+            assert!(arb.try_claim(b, CoreId(c)));
+        }
+        arb.note(b, true);
+        arb.note(b, true);
+        assert_eq!(
+            arb.guarantee(b),
+            8,
+            "b sits exactly at its guarantee — not starved"
+        );
+        for c in 8..16 {
+            assert!(arb.try_claim(a, CoreId(c)), "a can take its own half");
+        }
+        assert!(!arb.must_yield(a));
+    }
+
+    #[test]
+    fn budget_mode_enforces_hard_ceiling() {
+        let mut arb = TenantArbiter::new(ArbiterMode::BudgetCapped, 16);
+        let a = arb.register("capped", 1, Some(3));
+        assert_eq!(arb.ceiling(a), 3);
+        for c in 0..3 {
+            assert!(arb.try_claim(a, CoreId(c)));
+        }
+        assert!(
+            !arb.try_claim(a, CoreId(3)),
+            "budget is a ceiling even on an idle machine"
+        );
+        assert_eq!(arb.denials, 1);
+    }
+
+    #[test]
+    fn priority_mode_squeezes_the_low_tenant() {
+        let mut arb = TenantArbiter::new(ArbiterMode::Priority, 16);
+        let hi = arb.register("prod", 2, None);
+        let lo = arb.register("batch", 1, None);
+        // Both demanding: the high-priority tenant is guaranteed
+        // everything above the low tenant's one-core floor.
+        arb.note(hi, true);
+        arb.note(lo, true);
+        assert_eq!(arb.guarantee(hi), 15);
+        assert_eq!(arb.guarantee(lo), 1);
+        // Quiet high-priority tenant holding 4 cores keeps them, the
+        // demanding low tenant may have the rest.
+        for c in 0..4 {
+            assert!(arb.try_claim(hi, CoreId(c)));
+        }
+        for _ in 0..DEMAND_TTL + 1 {
+            arb.note(hi, false);
+        }
+        assert_eq!(arb.guarantee(hi), 4);
+        assert_eq!(arb.guarantee(lo), 12);
+    }
+
+    #[test]
+    fn claim_initial_bypasses_contention() {
+        let (mut arb, a, b) = two(ArbiterMode::BudgetCapped);
+        arb.note(b, true);
+        arb.note(b, true);
+        arb.claim_initial(a, CoreId(0));
+        assert!(arb.owned(a).contains(CoreId(0)));
+        assert_eq!(arb.denials, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already owned")]
+    fn claim_initial_panics_on_double_ownership() {
+        let (mut arb, a, b) = two(ArbiterMode::FairShare);
+        arb.claim_initial(a, CoreId(0));
+        arb.claim_initial(b, CoreId(0));
+    }
+}

@@ -10,7 +10,7 @@
 //! `ColData` variant and the predicate/operator shape **once per call**,
 //! then runs a tight typed loop over `&[i64]` / `&[f64]` slices with a
 //! capacity-estimated output. The straightforward per-row formulations
-//! they replaced live on in [`reference`], which the property tests and
+//! they replaced live on in [`mod@reference`], which the property tests and
 //! the operator benches use as the equivalence/`before` baseline. Every
 //! kernel is output-identical to its reference — the rework is a pure
 //! wall-time optimisation (simulated time is charged by the cost model,
@@ -793,7 +793,7 @@ pub fn merge_groups(parts: impl IntoIterator<Item = GroupAcc>) -> Vec<(i64, f64)
 /// the global build-row index space (partition `[start, end)` produces
 /// keys for global rows `start..end`, so partials concatenate directly).
 /// The actual bucket linking happens once, at merge, in
-/// [`FlatJoinMap::from_parts`] — no per-key allocation, no re-hash.
+/// [`FlatJoinMap::from_parts`](crate::exec::mat::FlatJoinMap::from_parts) — no per-key allocation, no re-hash.
 pub fn build_hash_part(keys: &ColData, start: usize, end: usize) -> Vec<i64> {
     match keys {
         ColData::I64(v) => v[start..end].to_vec(),

@@ -22,13 +22,17 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod spec;
+pub mod tenants;
 pub mod timing;
 
 pub use config::{Alloc, PolicyFactory, RunConfig, Warmup};
 pub use handcoded_runner::{run_handcoded, HandcodedOutput};
 pub use runner::{run, run_all_allocs, RunOutput};
 pub use scenario::{validate_csv, FnScenario, Scenario, ScenarioError, ScenarioRegistry};
-pub use spec::{ExperimentSpec, SpecError};
+pub use spec::{ExperimentSpec, SpecError, TenantSpec};
+pub use tenants::{
+    run_tenants, MultiTenantConfig, MultiTenantOutput, TenantOutput, TenantRunConfig,
+};
 pub use timing::{enforce_wall_budget, wall_budget_from_env, WallTimer};
 
 use std::path::PathBuf;

@@ -32,6 +32,102 @@ impl std::fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
+/// Per-tenant overrides for the multi-tenant (`mt_*`) scenarios: the
+/// scenario defines its tenants (names, workloads, arbitration); the
+/// spec may override each tenant's policy, client count, weight, or
+/// core budget. Rendered/parsed as `name[:key=value]*` with keys
+/// `policy|users|weight|cap`, e.g. `olap:users=24:cap=6`.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct TenantSpec {
+    /// Tenant name, matched against the scenario's tenant names (or by
+    /// position when no name matches).
+    pub name: String,
+    /// Placement-policy override.
+    pub policy: Option<PolicyId>,
+    /// Client-count override.
+    pub users: Option<usize>,
+    /// Arbiter weight / priority-rank override.
+    pub weight: Option<u32>,
+    /// Core-budget override (`SlaPolicy::max_cores`).
+    pub max_cores: Option<u32>,
+}
+
+impl TenantSpec {
+    /// A named tenant override with nothing overridden.
+    pub fn named(name: impl Into<String>) -> Self {
+        TenantSpec {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, SpecError> {
+        let mut parts = s.split(':');
+        let name = parts
+            .next()
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| SpecError(format!("tenant spec needs a name, got {s:?}")))?;
+        let mut spec = TenantSpec::named(name);
+        for part in parts {
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                SpecError(format!(
+                    "tenant field must be key=value, got {part:?} in {s:?}"
+                ))
+            })?;
+            match key {
+                "policy" => {
+                    spec.policy =
+                        Some(PolicyId::try_from(value).map_err(|e| SpecError(e.to_string()))?)
+                }
+                "users" => {
+                    let users: usize = parse_num("users", value)?;
+                    if users == 0 {
+                        return Err(SpecError(format!(
+                            "tenant users must be >= 1, got 0 in {s:?}"
+                        )));
+                    }
+                    spec.users = Some(users);
+                }
+                "weight" => {
+                    let weight: u32 = parse_num("weight", value)?;
+                    if weight == 0 {
+                        return Err(SpecError(format!(
+                            "tenant weight must be >= 1, got 0 in {s:?}"
+                        )));
+                    }
+                    spec.weight = Some(weight);
+                }
+                "cap" => spec.max_cores = Some(parse_num("cap", value)?),
+                other => {
+                    return Err(SpecError(format!(
+                        "unknown tenant field {other:?} (valid: policy users weight cap)"
+                    )))
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+impl std::fmt::Display for TenantSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(p) = self.policy {
+            write!(f, ":policy={p}")?;
+        }
+        if let Some(u) = self.users {
+            write!(f, ":users={u}")?;
+        }
+        if let Some(w) = self.weight {
+            write!(f, ":weight={w}")?;
+        }
+        if let Some(c) = self.max_cores {
+            write!(f, ":cap={c}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Full description of one experiment invocation. Unset (`None`) fields
 /// defer to the scenario's own defaults.
 #[derive(Clone, Debug, PartialEq)]
@@ -63,6 +159,10 @@ pub struct ExperimentSpec {
     pub check: bool,
     /// CSV output directory (default: the workspace `results/`).
     pub out_dir: Option<PathBuf>,
+    /// Per-tenant overrides for the multi-tenant scenarios
+    /// (`EMCA_TENANTS` / `--tenants`); `None` keeps every scenario
+    /// default.
+    pub tenants: Option<Vec<TenantSpec>>,
 }
 
 impl Default for ExperimentSpec {
@@ -80,6 +180,7 @@ impl Default for ExperimentSpec {
             interval_ms: None,
             check: false,
             out_dir: None,
+            tenants: None,
         }
     }
 }
@@ -140,6 +241,44 @@ impl ExperimentSpec {
             cfg = cfg.with_warmup(w);
         }
         cfg
+    }
+
+    /// Applies the spec's tenant overrides to a multi-tenant config:
+    /// each [`TenantSpec`] is matched *by name* against the scenario's
+    /// tenants and its set fields replace the scenario defaults. An
+    /// override naming no tenant is a hard error listing the valid
+    /// names — a typo must not silently retarget another tenant.
+    pub fn apply_tenants(
+        &self,
+        cfg: &mut crate::tenants::MultiTenantConfig,
+    ) -> Result<(), SpecError> {
+        let Some(overrides) = &self.tenants else {
+            return Ok(());
+        };
+        for ts in overrides {
+            let Some(i) = cfg.tenants.iter().position(|t| t.name == ts.name) else {
+                let valid: Vec<&str> = cfg.tenants.iter().map(|t| t.name.as_str()).collect();
+                return Err(SpecError(format!(
+                    "no tenant named {:?} in this scenario (valid: {})",
+                    ts.name,
+                    valid.join(", ")
+                )));
+            };
+            let t = &mut cfg.tenants[i];
+            if let Some(p) = ts.policy {
+                t.policy = p;
+            }
+            if let Some(u) = ts.users {
+                t.clients = u;
+            }
+            if let Some(w) = ts.weight {
+                t.weight = w;
+            }
+            if let Some(c) = ts.max_cores {
+                t.sla.max_cores = Some(c);
+            }
+        }
+        Ok(())
     }
 
     /// Where a scenario CSV goes: `out_dir/<name>` when set, the
@@ -240,6 +379,10 @@ impl std::fmt::Display for ExperimentSpec {
                 pairs.push(format!("out_dir={dir}"));
             }
         }
+        if let Some(tenants) = &self.tenants {
+            let rendered: Vec<String> = tenants.iter().map(|t| t.to_string()).collect();
+            pairs.push(format!("tenants={}", rendered.join(",")));
+        }
         f.write_str(&pairs.join(" "))
     }
 }
@@ -315,10 +458,18 @@ impl ExperimentSpec {
             "interval_ms" => self.interval_ms = Some(parse_num(key, value)?),
             "check" => self.check = value == "1" || value == "true",
             "out_dir" => self.out_dir = Some(PathBuf::from(value)),
+            "tenants" => {
+                self.tenants = Some(
+                    value
+                        .split(',')
+                        .map(TenantSpec::parse)
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
             other => {
                 return Err(SpecError(format!(
                     "unknown spec key {other:?} (valid: scenario flavor policy users iters \
-                     sf seed warmup guard interval_ms check out_dir)"
+                     sf seed warmup guard interval_ms check out_dir tenants)"
                 )))
             }
         }
@@ -345,6 +496,7 @@ impl ExperimentSpec {
 /// | `EMCA_INTERVAL_MS` | `interval_ms` |
 /// | `EMCA_CHECK`       | `check`       |
 /// | `EMCA_OUT_DIR`     | `out_dir`     |
+/// | `EMCA_TENANTS`     | `tenants`     |
 ///
 /// `PROPTEST_CASES` is consumed by the vendored proptest shim with the
 /// same strict parsing; it is not a spec field.
@@ -368,6 +520,7 @@ pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> Result<ExperimentSpec,
         ("EMCA_INTERVAL_MS", "interval_ms"),
         ("EMCA_CHECK", "check"),
         ("EMCA_OUT_DIR", "out_dir"),
+        ("EMCA_TENANTS", "tenants"),
     ] {
         if let Some(value) = get(var) {
             spec.set(key, &value)
@@ -403,6 +556,7 @@ mod tests {
             interval_ms: Some(2.5),
             check: true,
             out_dir: Some(PathBuf::from("/tmp/emca-out")),
+            tenants: Some(vec![TenantSpec::named("olap"), TenantSpec::named("steady")]),
         };
         let line = spec.to_string();
         let back: ExperimentSpec = line.parse().unwrap();
@@ -491,6 +645,89 @@ mod tests {
     fn empty_env_is_all_defaults() {
         let spec = from_vars(|_| None).unwrap();
         assert_eq!(spec, ExperimentSpec::default());
+    }
+
+    #[test]
+    fn tenant_specs_round_trip() {
+        let spec = ExperimentSpec {
+            tenants: Some(vec![
+                TenantSpec {
+                    name: "olap".into(),
+                    policy: Some(PolicyId::HillClimb),
+                    users: Some(24),
+                    weight: Some(2),
+                    max_cores: Some(6),
+                },
+                TenantSpec::named("steady"),
+            ]),
+            ..ExperimentSpec::default()
+        };
+        let line = spec.to_string();
+        assert!(
+            line.contains("tenants=olap:policy=hillclimb:users=24:weight=2:cap=6,steady"),
+            "{line}"
+        );
+        let back: ExperimentSpec = line.parse().unwrap();
+        assert_eq!(spec, back, "serialised as {line:?}");
+    }
+
+    #[test]
+    fn malformed_tenant_specs_error() {
+        assert!("tenants=".parse::<ExperimentSpec>().is_err());
+        assert!("tenants=a:users=x".parse::<ExperimentSpec>().is_err());
+        assert!("tenants=a:magic=1".parse::<ExperimentSpec>().is_err());
+        // Zero weight/users would panic deep in the arbiter/runner;
+        // they must be spec errors instead.
+        assert!("tenants=a:weight=0".parse::<ExperimentSpec>().is_err());
+        assert!("tenants=a:users=0".parse::<ExperimentSpec>().is_err());
+        let err = "tenants=a:policy=warp"
+            .parse::<ExperimentSpec>()
+            .unwrap_err();
+        assert!(err.to_string().contains("adaptive"), "{err}");
+    }
+
+    #[test]
+    fn apply_tenants_matches_by_name_and_rejects_unknown_names() {
+        use crate::tenants::{MultiTenantConfig, TenantRunConfig};
+        use volcano_db::client::Workload;
+        use volcano_db::tpch::QuerySpec;
+        let wl = Workload::Repeat {
+            spec: QuerySpec::Q6 { variant: 0 },
+            iterations: 1,
+        };
+        let mut cfg = MultiTenantConfig::new(
+            elastic_core::ArbiterMode::FairShare,
+            vec![
+                TenantRunConfig::new("steady", wl.clone(), 8),
+                TenantRunConfig::new("olap", wl, 16),
+            ],
+        );
+        let spec = ExperimentSpec {
+            tenants: Some(vec![TenantSpec {
+                name: "olap".into(),
+                users: Some(4),
+                max_cores: Some(3),
+                weight: Some(7),
+                ..TenantSpec::default()
+            }]),
+            ..ExperimentSpec::default()
+        };
+        spec.apply_tenants(&mut cfg).unwrap();
+        assert_eq!(cfg.tenants[0].clients, 8, "steady untouched");
+        assert_eq!(cfg.tenants[1].clients, 4);
+        assert_eq!(cfg.tenants[1].sla.max_cores, Some(3));
+        assert_eq!(cfg.tenants[1].weight, 7);
+
+        // A typo'd name must not silently retarget another tenant.
+        let typo = ExperimentSpec {
+            tenants: Some(vec![TenantSpec::named("olp")]),
+            ..ExperimentSpec::default()
+        };
+        let err = typo.apply_tenants(&mut cfg).unwrap_err();
+        assert!(
+            err.to_string().contains("olp") && err.to_string().contains("steady"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,687 @@
+//! The multi-tenant experiment runner: N DBMS tenants — each with its
+//! own engine, cpuset group, workload and elastic mechanism — co-located
+//! on one simulated machine, arbitrated by a shared
+//! [`TenantArbiter`].
+//!
+//! This is the harness half of the ROADMAP's *SAM* / *OLTP on Hardware
+//! Islands* direction: every tenant runs the paper's control loop
+//! unmodified, but placement skips cores other tenants own, growth is
+//! arbitrated ([`ArbiterMode`]), and each tenant may carry its own
+//! [`SlaPolicy`] budgets through an [`SlaCappedPolicy`] wrap. The
+//! output keeps per-tenant series so interference, fairness and reclaim
+//! latency are measurable (the `mt_*` scenarios in `emca-bench`).
+
+use crate::config::Warmup;
+use elastic_core::{
+    ArbiterMode, ElasticMechanism, MechanismConfig, Policy, PolicyId, SlaCappedPolicy, SlaPolicy,
+    TenantArbiter, TenantBinding,
+};
+use emca_metrics::{SimDuration, SimTime, TimeSeries};
+use numa_sim::{Machine, MachineConfig};
+use os_sim::{CoreMask, Kernel, KernelConfig, ThreadState, Tid};
+use std::cell::Cell;
+use std::rc::Rc;
+use volcano_db::client::{spawn_clients, SharedLog, Workload};
+use volcano_db::exec::engine::{Engine, EngineConfig, Flavor, QueryResult};
+use volcano_db::tpch::TpchData;
+
+/// One tenant's slice of a multi-tenant run.
+#[derive(Clone, Debug)]
+pub struct TenantRunConfig {
+    /// Display name (also the arbiter registration name).
+    pub name: String,
+    /// The workload every client of this tenant runs.
+    pub workload: Workload,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Placement policy of the tenant's mechanism.
+    pub policy: PolicyId,
+    /// SLA budgets; [`SlaPolicy::unconstrained`] runs the bare policy.
+    pub sla: SlaPolicy,
+    /// Fair-share weight / priority rank for the arbiter.
+    pub weight: u32,
+    /// Simulated delay before this tenant's clients arrive (burst
+    /// scenarios); the engine and mechanism are installed at start
+    /// regardless.
+    pub start_after: SimDuration,
+}
+
+impl TenantRunConfig {
+    /// An unconstrained tenant with weight 1 starting immediately.
+    pub fn new(name: impl Into<String>, workload: Workload, clients: usize) -> Self {
+        TenantRunConfig {
+            name: name.into(),
+            workload,
+            clients,
+            policy: PolicyId::Adaptive,
+            sla: SlaPolicy::unconstrained(),
+            weight: 1,
+            start_after: SimDuration::ZERO,
+        }
+    }
+
+    /// Sets the placement policy.
+    pub fn with_policy(mut self, policy: PolicyId) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches SLA budgets (enforced by an [`SlaCappedPolicy`] wrap).
+    pub fn with_sla(mut self, sla: SlaPolicy) -> Self {
+        self.sla = sla;
+        self
+    }
+
+    /// Sets the arbiter weight / priority rank.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Delays this tenant's client arrival.
+    pub fn with_start_after(mut self, delay: SimDuration) -> Self {
+        self.start_after = delay;
+        self
+    }
+
+    fn constrained(&self) -> bool {
+        self.sla.max_power_w.is_some()
+            || self.sla.max_ht_rate.is_some()
+            || self.sla.max_cores.is_some()
+    }
+}
+
+/// Full description of one multi-tenant run.
+#[derive(Clone, Debug)]
+pub struct MultiTenantConfig {
+    /// Engine flavor (shared by every tenant).
+    pub flavor: Flavor,
+    /// How the arbiter resolves contention.
+    pub arbiter: ArbiterMode,
+    /// The tenants.
+    pub tenants: Vec<TenantRunConfig>,
+    /// Database scale (each tenant loads its own copy).
+    pub scale: volcano_db::tpch::TpchScale,
+    /// Safety cap on simulated time.
+    pub deadline: SimDuration,
+    /// Time-series sampling interval.
+    pub sample_every: SimDuration,
+    /// Pinned mechanism control interval (`None` = adaptive).
+    pub mech_interval: Option<SimDuration>,
+    /// Base-data placement (identical for every tenant).
+    pub warmup: Warmup,
+    /// How long the simulation keeps ticking after the last client
+    /// finishes. The mechanisms keep polling during the drain, so
+    /// post-completion core release (reclaim latency) stays observable
+    /// even for the tenant that finishes last.
+    pub drain: SimDuration,
+}
+
+impl MultiTenantConfig {
+    /// A config over the given tenants with runner defaults.
+    pub fn new(arbiter: ArbiterMode, tenants: Vec<TenantRunConfig>) -> Self {
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        MultiTenantConfig {
+            flavor: Flavor::MonetDb,
+            arbiter,
+            tenants,
+            scale: volcano_db::tpch::TpchScale::harness_default(),
+            deadline: SimDuration::from_secs(600),
+            sample_every: SimDuration::from_millis(100),
+            mech_interval: None,
+            warmup: Warmup::default(),
+            drain: SimDuration::ZERO,
+        }
+    }
+
+    /// Keeps the simulation ticking for `drain` after the last client
+    /// finishes (reclaim-latency measurements).
+    pub fn with_drain(mut self, drain: SimDuration) -> Self {
+        self.drain = drain;
+        self
+    }
+
+    /// Switches the database scale.
+    pub fn with_scale(mut self, scale: volcano_db::tpch::TpchScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Pins the mechanism control interval.
+    pub fn with_mech_interval(mut self, interval: SimDuration) -> Self {
+        self.mech_interval = Some(interval);
+        self
+    }
+
+    /// Switches the engine flavor.
+    pub fn with_flavor(mut self, flavor: Flavor) -> Self {
+        self.flavor = flavor;
+        self
+    }
+}
+
+/// Everything measured for one tenant.
+pub struct TenantOutput {
+    /// The tenant's configuration.
+    pub config: TenantRunConfig,
+    /// Every completed query of this tenant.
+    pub results: Vec<QueryResult>,
+    /// Allocated cores over time.
+    pub cores_series: TimeSeries,
+    /// DBMS-group CPU load (%).
+    pub load_series: TimeSeries,
+    /// Completions per second per sample window.
+    pub qps_series: TimeSeries,
+    /// When the tenant's clients arrived.
+    pub started_at: SimTime,
+    /// When the tenant's last client finished.
+    pub finished_at: SimTime,
+    /// SLA budget violations observed by the tenant's governor.
+    pub sla_violations: u64,
+    /// Mechanism control steps executed.
+    pub control_steps: u64,
+}
+
+impl TenantOutput {
+    /// Wall time from client arrival to the last completion.
+    pub fn wall(&self) -> SimDuration {
+        self.finished_at.since(self.started_at)
+    }
+
+    /// Queries per second over the tenant's active window.
+    pub fn throughput_qps(&self) -> f64 {
+        let wall = self.wall();
+        if wall.is_zero() {
+            0.0
+        } else {
+            self.results.len() as f64 / wall.as_secs_f64()
+        }
+    }
+
+    /// Mean response time across the tenant's queries.
+    pub fn mean_response(&self) -> SimDuration {
+        self.mean_response_between(SimTime::ZERO, SimTime::MAX)
+    }
+
+    /// Mean response time over completions inside `[from, to]` (zero
+    /// when none fall in the window).
+    pub fn mean_response_between(&self, from: SimTime, to: SimTime) -> SimDuration {
+        let mut n = 0u64;
+        let total: SimDuration = self
+            .results
+            .iter()
+            .filter(|r| r.finished >= from && r.finished <= to)
+            .map(|r| {
+                n += 1;
+                r.response()
+            })
+            .sum();
+        if n == 0 {
+            SimDuration::ZERO
+        } else {
+            total / n
+        }
+    }
+
+    /// Response-time percentile over completions inside `[from, to]`.
+    pub fn response_percentile_between(&self, q: f64, from: SimTime, to: SimTime) -> SimDuration {
+        let mut secs: Vec<f64> = self
+            .results
+            .iter()
+            .filter(|r| r.finished >= from && r.finished <= to)
+            .map(|r| r.response().as_secs_f64())
+            .collect();
+        secs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        match emca_metrics::stats::percentile(&secs, q) {
+            Some(s) => SimDuration::from_secs_f64(s),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// Response-time percentile (e.g. `0.95`).
+    pub fn response_percentile(&self, q: f64) -> SimDuration {
+        self.response_percentile_between(q, SimTime::ZERO, SimTime::MAX)
+    }
+
+    /// Mean allocated cores over the tenant's active window.
+    pub fn cores_mean(&self) -> f64 {
+        self.cores_between(self.started_at, self.finished_at)
+            .unwrap_or(0.0)
+    }
+
+    /// Maximum allocated cores over the whole run.
+    pub fn cores_max(&self) -> f64 {
+        self.cores_series.max().unwrap_or(0.0)
+    }
+
+    /// Mean of the cores series restricted to `[from, to]`.
+    pub fn cores_between(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .cores_series
+            .samples()
+            .iter()
+            .filter(|(t, _)| *t >= from && *t <= to)
+            .map(|&(_, v)| v)
+            .collect();
+        emca_metrics::stats::mean(&vals)
+    }
+
+    /// Coefficient of variation (σ/μ) of the per-window completion rate
+    /// over `[from, to]` — the throughput-stability measure of the
+    /// `mt_*` scenarios (0 = perfectly steady). `None` when fewer than
+    /// two windows fall in range or the mean rate is zero.
+    pub fn qps_cov_between(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .qps_series
+            .samples()
+            .iter()
+            .filter(|(t, _)| *t >= from && *t <= to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.len() < 2 {
+            return None;
+        }
+        let mean = emca_metrics::stats::mean(&vals)?;
+        if mean <= 0.0 {
+            return None;
+        }
+        Some(emca_metrics::stats::stddev(&vals)? / mean)
+    }
+
+    /// Throughput (completions/s) restricted to `[from, to]`, counted
+    /// from the per-query completion stamps.
+    pub fn qps_between(&self, from: SimTime, to: SimTime) -> f64 {
+        let span = to.since(from).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let n = self
+            .results
+            .iter()
+            .filter(|r| r.finished >= from && r.finished <= to)
+            .count();
+        n as f64 / span
+    }
+}
+
+/// The combined outcome of a multi-tenant run.
+pub struct MultiTenantOutput {
+    /// Per-tenant measurements, in configuration order.
+    pub tenants: Vec<TenantOutput>,
+    /// Simulated time from start to the last tenant finishing.
+    pub wall: SimDuration,
+    /// Total cores of the simulated machine (what the arbiter split).
+    pub ntotal: u32,
+    /// Arbiter growth denials over the run.
+    pub arbiter_denials: u64,
+    /// Arbiter forced yields (cores actually shed toward a starved
+    /// peer) over the run.
+    pub arbiter_yields: u64,
+}
+
+impl MultiTenantOutput {
+    /// Looks a tenant up by name.
+    pub fn tenant(&self, name: &str) -> Option<&TenantOutput> {
+        self.tenants.iter().find(|t| t.config.name == name)
+    }
+}
+
+/// An [`SlaCappedPolicy`] that mirrors its governor's violation count
+/// into a shared cell, so the runner can report it after the mechanism
+/// (which owns the boxed policy) is gone.
+struct SlaProbePolicy {
+    inner: SlaCappedPolicy,
+    violations: Rc<Cell<u64>>,
+}
+
+impl Policy for SlaProbePolicy {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn next_core(&mut self, ctx: &elastic_core::ModeCtx<'_>) -> Option<numa_sim::CoreId> {
+        self.inner.next_core(ctx)
+    }
+
+    fn release_core(&mut self, ctx: &elastic_core::ModeCtx<'_>) -> Option<numa_sim::CoreId> {
+        self.inner.release_core(ctx)
+    }
+
+    fn observe(&mut self, obs: &elastic_core::Observation<'_>) {
+        self.inner.observe(obs);
+        self.violations.set(self.inner.violations());
+    }
+
+    fn shape(&mut self, u: i64, nalloc: u32, thresholds: prt_petrinet::Thresholds) -> i64 {
+        self.inner.shape(u, nalloc, thresholds)
+    }
+
+    fn grow_denied(&mut self, core: numa_sim::CoreId) {
+        self.inner.grow_denied(core);
+    }
+
+    fn decide(&mut self, ctx: &elastic_core::PolicyCtx<'_>) -> elastic_core::Decision {
+        self.inner.decide(ctx)
+    }
+}
+
+/// Per-tenant live state inside the run loop.
+struct TenantLive {
+    group: os_sim::GroupId,
+    engine: Engine,
+    mechanism: ElasticMechanism,
+    logs: Vec<SharedLog>,
+    client_tids: Vec<Tid>,
+    load_sampler: os_sim::LoadSampler,
+    cores_series: TimeSeries,
+    load_series: TimeSeries,
+    qps_series: TimeSeries,
+    /// Per-log cursors for `note_response` feeding.
+    seen: Vec<usize>,
+    /// Completions counted since the last sample window.
+    window_completions: u64,
+    violations: Rc<Cell<u64>>,
+    started_at: Option<SimTime>,
+    finished_at: Option<SimTime>,
+}
+
+/// Runs a multi-tenant experiment. `data` is shared across tenants and
+/// runs; each tenant loads its own copy into its own address space (the
+/// *OLTP on Hardware Islands* co-location shape: instances share the
+/// machine, not the buffer pool).
+pub fn run_tenants(config: MultiTenantConfig, data: &TpchData) -> MultiTenantOutput {
+    let kernel_cfg = KernelConfig::default();
+    let machine = Machine::new(MachineConfig::opteron_4x4(), kernel_cfg.tick);
+    let mut kernel = Kernel::new(machine, kernel_cfg);
+    let topo = kernel.machine().topology().clone();
+    let ntotal = topo.n_cores() as u32;
+    let cores_per_socket = (ntotal / topo.n_nodes() as u32).max(1);
+
+    let arbiter = TenantArbiter::shared(config.arbiter, ntotal);
+    for t in &config.tenants {
+        let budget = t.sla.max_cores;
+        arbiter
+            .borrow_mut()
+            .register(t.name.clone(), t.weight, budget);
+    }
+
+    let mut live: Vec<TenantLive> = Vec::with_capacity(config.tenants.len());
+    for (i, tcfg) in config.tenants.iter().enumerate() {
+        let group = kernel.create_group(CoreMask::all(&topo));
+        let engine = Engine::new(
+            EngineConfig {
+                flavor: config.flavor,
+                memo_capacity: 4096,
+                ..EngineConfig::default()
+            },
+            topo.n_nodes(),
+        );
+        let loader = match config.warmup {
+            Warmup::Loader => Some(numa_sim::CoreId(0)),
+            Warmup::Interleave | Warmup::None => None,
+        };
+        engine.load(kernel.machine_mut(), data, loader);
+        if config.warmup == Warmup::Interleave {
+            engine.interleave_base(kernel.machine_mut());
+        }
+        engine.start_workers(&mut kernel, group);
+
+        let violations = Rc::new(Cell::new(0u64));
+        let placement = tcfg.policy.build();
+        let policy: Box<dyn Policy> = if tcfg.constrained() {
+            Box::new(SlaProbePolicy {
+                inner: SlaCappedPolicy::new(placement, tcfg.sla, ntotal, cores_per_socket),
+                violations: Rc::clone(&violations),
+            })
+        } else {
+            placement
+        };
+        let mut mech_cfg = MechanismConfig::cpu_load().with_mode_latency(tcfg.policy.name());
+        if let Some(interval) = config.mech_interval {
+            mech_cfg.interval = interval;
+            mech_cfg.min_interval = interval;
+            mech_cfg.actuation_latency = mech_cfg.actuation_latency.min(interval / 2);
+        }
+        if tcfg.policy == PolicyId::HillClimb {
+            mech_cfg.saturation_guard = None;
+        }
+        let binding = TenantBinding::new(Rc::clone(&arbiter), elastic_core::TenantId(i as u32));
+        let mechanism = ElasticMechanism::install_tenant(
+            &mut kernel,
+            group,
+            engine.space(),
+            policy,
+            mech_cfg,
+            binding,
+        );
+        let load_sampler = os_sim::LoadSampler::new(&kernel, group);
+        live.push(TenantLive {
+            group,
+            engine,
+            mechanism,
+            logs: Vec::new(),
+            client_tids: Vec::new(),
+            load_sampler,
+            cores_series: TimeSeries::new(format!("{}_cores", tcfg.name)),
+            load_series: TimeSeries::new(format!("{}_load", tcfg.name)),
+            qps_series: TimeSeries::new(format!("{}_qps", tcfg.name)),
+            seen: Vec::new(),
+            window_completions: 0,
+            violations,
+            started_at: None,
+            finished_at: None,
+        });
+    }
+
+    let start = kernel.now();
+    let deadline = start + config.deadline;
+    let mut next_sample = start + config.sample_every;
+    let mut drained_from: Option<SimTime> = None;
+
+    loop {
+        let now = kernel.now();
+        if now >= deadline {
+            break;
+        }
+        // Late arrivals: spawn a tenant's clients once its delay passed.
+        for (tcfg, t) in config.tenants.iter().zip(&mut live) {
+            if t.started_at.is_none() && now.since(start) >= tcfg.start_after {
+                let before = kernel.n_threads();
+                t.logs = spawn_clients(
+                    &mut kernel,
+                    &t.engine,
+                    t.group,
+                    tcfg.clients,
+                    tcfg.workload.clone(),
+                );
+                t.client_tids = (before as u32..kernel.n_threads() as u32)
+                    .map(Tid)
+                    .collect();
+                t.seen = vec![0; t.logs.len()];
+                t.started_at = Some(now);
+            }
+        }
+        // Finish detection per tenant, and overall.
+        let mut all_done = true;
+        for t in &mut live {
+            match t.started_at {
+                None => all_done = false,
+                Some(_) => {
+                    if t.finished_at.is_none() {
+                        let done = t
+                            .client_tids
+                            .iter()
+                            .all(|&tid| kernel.thread_state(tid) == ThreadState::Finished);
+                        if done {
+                            t.finished_at = Some(now);
+                        } else {
+                            all_done = false;
+                        }
+                    }
+                }
+            }
+        }
+        if all_done {
+            let from = *drained_from.get_or_insert(now);
+            if now.since(from) >= config.drain {
+                break;
+            }
+        }
+        kernel.run_tick();
+        for t in &mut live {
+            t.mechanism.poll(&mut kernel);
+            for (log, cursor) in t.logs.iter().zip(&mut t.seen) {
+                let log = log.borrow();
+                for r in &log.results[*cursor..] {
+                    t.mechanism.note_response(r.response());
+                    t.window_completions += 1;
+                }
+                *cursor = log.results.len();
+            }
+        }
+        if kernel.now() >= next_sample {
+            let now = kernel.now();
+            let dt = config.sample_every.as_secs_f64();
+            for t in &mut live {
+                t.cores_series
+                    .push(now, kernel.group_mask(t.group).count() as f64);
+                let sample = t.load_sampler.sample(&kernel);
+                t.load_series.push(now, sample.group_load_pct());
+                t.qps_series.push(now, t.window_completions as f64 / dt);
+                t.window_completions = 0;
+            }
+            next_sample = now + config.sample_every;
+        }
+    }
+    let end = kernel.now();
+    assert!(
+        live.iter().all(|t| t.finished_at.is_some()),
+        "multi-tenant run hit the deadline ({:?}) with clients unfinished — raise \
+         MultiTenantConfig::deadline",
+        config.deadline
+    );
+
+    let (denials, yields) = {
+        let arb = arbiter.borrow();
+        (arb.denials, arb.yields)
+    };
+    let tenants = config
+        .tenants
+        .iter()
+        .zip(live)
+        .map(|(tcfg, t)| {
+            let results = volcano_db::client::drain_results(&t.logs);
+            TenantOutput {
+                config: tcfg.clone(),
+                results,
+                cores_series: t.cores_series,
+                load_series: t.load_series,
+                qps_series: t.qps_series,
+                started_at: t.started_at.unwrap_or(start),
+                finished_at: t.finished_at.unwrap_or(end),
+                sla_violations: t.violations.get(),
+                control_steps: t.mechanism.steps,
+            }
+        })
+        .collect();
+
+    // Wall is start → last completion; the drain window is
+    // measurement-only time and does not count.
+    let last_finish = drained_from.unwrap_or(end);
+    MultiTenantOutput {
+        tenants,
+        wall: last_finish.since(start),
+        ntotal,
+        arbiter_denials: denials,
+        arbiter_yields: yields,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcano_db::tpch::{QuerySpec, TpchScale};
+
+    fn tiny_data() -> TpchData {
+        TpchData::generate(TpchScale::test_tiny())
+    }
+
+    fn q6(iters: u32) -> Workload {
+        Workload::Repeat {
+            spec: QuerySpec::Q6 { variant: 0 },
+            iterations: iters,
+        }
+    }
+
+    #[test]
+    fn two_tenants_run_to_completion_without_core_overlap() {
+        let data = tiny_data();
+        let cfg = MultiTenantConfig::new(
+            ArbiterMode::FairShare,
+            vec![
+                TenantRunConfig::new("a", q6(2), 2),
+                TenantRunConfig::new("b", q6(2), 2),
+            ],
+        )
+        .with_scale(data.scale)
+        .with_mech_interval(SimDuration::from_millis(2));
+        let out = run_tenants(cfg, &data);
+        assert_eq!(out.tenants.len(), 2);
+        for t in &out.tenants {
+            assert_eq!(
+                t.results.len(),
+                4,
+                "{} must finish its queries",
+                t.config.name
+            );
+            assert!(t.throughput_qps() > 0.0);
+            assert!(t.control_steps > 0, "mechanism must run");
+        }
+        assert!(out.tenant("a").is_some() && out.tenant("missing").is_none());
+    }
+
+    #[test]
+    fn delayed_tenant_starts_late() {
+        let data = tiny_data();
+        let cfg = MultiTenantConfig::new(
+            ArbiterMode::FairShare,
+            vec![
+                TenantRunConfig::new("steady", q6(3), 2),
+                TenantRunConfig::new("burst", q6(1), 2)
+                    .with_start_after(SimDuration::from_millis(20)),
+            ],
+        )
+        .with_scale(data.scale)
+        .with_mech_interval(SimDuration::from_millis(2));
+        let out = run_tenants(cfg, &data);
+        let steady = out.tenant("steady").unwrap();
+        let burst = out.tenant("burst").unwrap();
+        assert!(
+            burst.started_at.since(steady.started_at) >= SimDuration::from_millis(20),
+            "burst tenant must arrive at least 20ms later"
+        );
+        assert_eq!(burst.results.len(), 2);
+    }
+
+    #[test]
+    fn budget_capped_tenant_stays_under_its_core_cap() {
+        let data = tiny_data();
+        let cap = 2u32;
+        let cfg = MultiTenantConfig::new(
+            ArbiterMode::BudgetCapped,
+            vec![
+                TenantRunConfig::new("capped", q6(3), 4).with_sla(SlaPolicy::cores(cap)),
+                TenantRunConfig::new("free", q6(3), 4),
+            ],
+        )
+        .with_scale(data.scale)
+        .with_mech_interval(SimDuration::from_millis(2));
+        let out = run_tenants(cfg, &data);
+        let capped = out.tenant("capped").unwrap();
+        assert!(
+            capped.cores_max() <= cap as f64,
+            "capped tenant exceeded its budget: {} cores",
+            capped.cores_max()
+        );
+    }
+}

@@ -22,6 +22,9 @@ impl SimTime {
     /// The simulation epoch (t = 0).
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The latest representable instant (unbounded-range sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Builds an instant from raw nanoseconds.
     pub const fn from_nanos(ns: u64) -> Self {
         SimTime(ns)

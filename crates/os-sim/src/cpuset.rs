@@ -3,7 +3,7 @@
 //! The elastic mechanism's *only* actuator is the cpuset mask of the
 //! DBMS's control group (paper §IV: "we use the cgroups ... to isolate
 //! the threads of the DBMS ... and limit their available resources").
-//! [`CoreMask`] is a 64-bit set of allowed cores; [`Kernel::set_group_mask`]
+//! [`CoreMask`] is a 64-bit set of allowed cores; [`Kernel::set_group_mask`](crate::sched::Kernel::set_group_mask)
 //! (in `sched`) applies a new mask, migrating displaced threads.
 
 use numa_sim::{CoreId, NodeId, Topology};

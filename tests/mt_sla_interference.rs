@@ -1,0 +1,133 @@
+//! `SlaCappedPolicy` budget composition under interference: a tenant
+//! carrying SLA budgets must keep them while an *uncapped* antagonist
+//! ramps on the same machine. The core budget is a hard invariant (the
+//! governor's cap plus the arbiter's budget-capped ceiling both bind —
+//! never a single sample above it); the power budget is a rolling cap
+//! (violations ratchet the ceiling down), so it is asserted as a
+//! steady-state property.
+
+use elastic_core::{ArbiterMode, SlaPolicy};
+use emca_harness::{run_tenants, MultiTenantConfig, MultiTenantOutput, TenantRunConfig};
+use emca_metrics::SimDuration;
+use volcano_db::client::Workload;
+use volcano_db::tpch::{QuerySpec, TpchData, TpchScale};
+
+fn q6(iters: u32) -> Workload {
+    Workload::Repeat {
+        spec: QuerySpec::Q6 { variant: 0 },
+        iterations: iters,
+    }
+}
+
+/// A heavier antagonist mix so its mechanism genuinely ramps.
+fn olap(iters: u32) -> Workload {
+    Workload::Mixed {
+        specs: vec![
+            QuerySpec::Tpch {
+                number: 3,
+                variant: 0,
+            },
+            QuerySpec::Tpch {
+                number: 6,
+                variant: 0,
+            },
+            QuerySpec::Tpch {
+                number: 18,
+                variant: 0,
+            },
+        ],
+        iterations: iters,
+        seed: 7,
+    }
+}
+
+fn run(mode: ArbiterMode, capped_sla: SlaPolicy, scale: TpchScale) -> MultiTenantOutput {
+    let data = TpchData::generate(scale);
+    let mut cfg = MultiTenantConfig::new(
+        mode,
+        vec![
+            TenantRunConfig::new("capped", q6(6), 4).with_sla(capped_sla),
+            TenantRunConfig::new("antagonist", olap(4), 8)
+                .with_start_after(SimDuration::from_millis(5)),
+        ],
+    )
+    .with_scale(data.scale)
+    .with_mech_interval(SimDuration::from_millis(1));
+    // Small-scale runs finish in tens of milliseconds; the default
+    // 100 ms sampling would miss them entirely.
+    cfg.sample_every = SimDuration::from_millis(1);
+    run_tenants(cfg, &data)
+}
+
+#[test]
+fn core_budget_holds_while_antagonist_ramps() {
+    let cap = 3u32;
+    let out = run(
+        ArbiterMode::BudgetCapped,
+        SlaPolicy::cores(cap),
+        TpchScale::test_tiny(),
+    );
+    let capped = out.tenant("capped").unwrap();
+    let antagonist = out.tenant("antagonist").unwrap();
+    // The invariant: not one sample of the capped tenant's allocation
+    // above its budget, from install to drain.
+    assert!(
+        capped.cores_max() <= cap as f64,
+        "capped tenant exceeded its core budget: {} > {cap}",
+        capped.cores_max()
+    );
+    // The antagonist must actually have ramped past the victim's cap —
+    // otherwise the run never exercised the contention.
+    assert!(
+        antagonist.cores_max() > cap as f64,
+        "antagonist never ramped ({} cores max): the scenario is vacuous",
+        antagonist.cores_max()
+    );
+    // The budget must not starve the tenant outright.
+    assert!(capped.results.len() == 6 * 4, "capped tenant must finish");
+    assert!(capped.throughput_qps() > 0.0);
+}
+
+/// Steady-state allocation: mean cores over the second half of the
+/// tenant's active window (the first half is the ramp).
+fn steady_cores(out: &MultiTenantOutput, name: &str) -> f64 {
+    let t = out.tenant(name).unwrap();
+    let mid = t.started_at + t.finished_at.since(t.started_at) / 2;
+    t.cores_between(mid, t.finished_at)
+        .expect("steady-state samples")
+}
+
+#[test]
+fn power_budget_caps_steady_state_allocation() {
+    // Machine power model: 4 sockets x (25 W idle .. 75 W busy) =
+    // 100 W idle .. 300 W flat out, i.e. ~12.5 W per *busy* core. The
+    // budget binds on busy power, not on allocation — a half-loaded
+    // allocation counts half, and this small closed loop keeps under
+    // one core busy on average — so the budget must sit just above
+    // idle (110 W ≈ 0.8 busy cores) to bind, and the claim is
+    // relative: the same tenant, same antagonist, same machine must
+    // settle measurably lower than its unconstrained twin, with the
+    // budget observed violating along the way.
+    let budget_w = 110.0;
+    let scale = TpchScale { sf: 0.01, seed: 42 };
+    let capped_run = run(
+        ArbiterMode::FairShare,
+        SlaPolicy {
+            max_power_w: Some(budget_w),
+            ..SlaPolicy::unconstrained()
+        },
+        scale,
+    );
+    let free_run = run(ArbiterMode::FairShare, SlaPolicy::unconstrained(), scale);
+    let capped_steady = steady_cores(&capped_run, "capped");
+    let free_steady = steady_cores(&free_run, "capped");
+    assert!(
+        capped_steady < free_steady,
+        "a {budget_w} W budget must depress the steady-state allocation: \
+         capped {capped_steady:.2} vs unconstrained {free_steady:.2} cores"
+    );
+    assert!(
+        capped_run.tenant("capped").unwrap().sla_violations > 0,
+        "the budget never bound — the workload must be heavy enough to violate"
+    );
+}

@@ -130,6 +130,7 @@ proptest! {
         while let Some(core) = mode.next_core(&ModeCtx {
             topology: &topo,
             current: mask,
+            barred: CoreMask::EMPTY,
             pages_per_node: &pages,
             mc_util_per_node: &[],
         }) {
@@ -143,6 +144,7 @@ proptest! {
         while let Some(core) = mode.release_core(&ModeCtx {
             topology: &topo,
             current: mask,
+            barred: CoreMask::EMPTY,
             pages_per_node: &pages,
             mc_util_per_node: &[],
         }) {
