@@ -19,7 +19,7 @@
 //! --flavor monetdb|sqlserver
 //! --warmup loader|interleave|none
 //! --guard off|<threshold>  --interval-ms <ms>
-//! --out-dir <dir>  --check
+//! --out-dir <dir>  --check  --backend sim|threads
 //! --tenants name[:policy=..][:users=..][:weight=..][:cap=..],...
 //! ```
 //!
@@ -51,6 +51,7 @@ flags (override the EMCA_* environment fallbacks):
   --policy dense|sparse|adaptive|hillclimb
   --flavor monetdb|sqlserver --warmup loader|interleave|none
   --guard off|<threshold> --interval-ms <ms> --out-dir <dir> --check
+  --backend sim|threads              execute on simulated workers or real OS threads
   --tenants name[:policy=..][:users=..][:weight=..][:cap=..],...
                                      per-tenant overrides (mt_* scenarios)";
 
@@ -78,6 +79,7 @@ fn parse_flags(spec: &mut ExperimentSpec, args: &[String]) -> Vec<String> {
             "--interval-ms" => "interval_ms",
             "--out-dir" => "out_dir",
             "--tenants" => "tenants",
+            "--backend" => "backend",
             "--check" => {
                 spec.check = true;
                 continue;

@@ -32,7 +32,14 @@ pub fn run(spec: &ExperimentSpec) -> ScenarioResult {
         spec: QuerySpec::Q6 { variant: 0 },
         iterations: iters,
     };
-    let base = || RunConfig::new(spec.mech_alloc(), users, workload.clone()).with_scale(scale);
+    // Backend is honored, but the spec's guard/interval/warmup overrides
+    // are NOT applied here: each row pins its own variant of exactly
+    // those knobs, which is the point of the ablation.
+    let base = || {
+        RunConfig::new(spec.mech_alloc(), users, workload.clone())
+            .with_scale(scale)
+            .with_backend(spec.backend)
+    };
 
     let mut t = Table::new(
         "Ablation — adaptive mode design choices",
@@ -81,7 +88,9 @@ pub fn run(spec: &ExperimentSpec) -> ScenarioResult {
     );
     {
         // OS baseline for reference.
-        let cfg = RunConfig::new(Alloc::OsAll, users, workload.clone()).with_scale(scale);
+        let cfg = RunConfig::new(Alloc::OsAll, users, workload.clone())
+            .with_scale(scale)
+            .with_backend(spec.backend);
         row("OS baseline (all 16 cores)", cfg);
     }
     emit(spec, &t, "ablation.csv");

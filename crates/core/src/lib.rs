@@ -36,6 +36,7 @@ pub mod mechanism;
 pub mod modes;
 pub mod monitor;
 pub mod policy;
+pub mod pool;
 pub mod priority_queue;
 pub mod sla;
 pub mod tenant;
@@ -47,6 +48,7 @@ pub use policy::{
     policy_by_name, Decision, HillClimbPolicy, Observation, Policy, PolicyCtx, PolicyId,
     SlaCappedPolicy, UnknownPolicy,
 };
+pub use pool::{PoolConfig, PoolController, PoolDecision};
 pub use priority_queue::NodePriorityQueue;
 pub use sla::{SlaGovernor, SlaPolicy};
 pub use tenant::{

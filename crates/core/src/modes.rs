@@ -161,8 +161,7 @@ impl AllocationMode for AdaptiveMode {
             .filter(|&n| ctx.topology.cores_of(n).any(|c| ctx.is_free(c)))
             .max_by(|&a, &b| {
                 Self::score(ctx, a)
-                    .partial_cmp(&Self::score(ctx, b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&Self::score(ctx, b))
                     .then_with(|| {
                         ctx.pages_per_node
                             .get(a.idx())

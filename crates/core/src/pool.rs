@@ -1,0 +1,217 @@
+//! Pool-level elastic control for the real-thread backend.
+//!
+//! [`PoolController`] is the mechanism's rule–condition–action pipeline
+//! re-targeted at an OS thread pool: the same PrT net
+//! ([`ElasticNet`]) consumes a measured CPU
+//! load and emits allocate/release/hold actions, but the actuation is
+//! *park/unpark workers* instead of editing a simulated cpuset. The
+//! simulated mechanism's saturation guard (HT/IMC memory-traffic ratio)
+//! has no real-hardware counterpart in this workspace — there are no
+//! performance-counter syscalls available — so the controller runs on
+//! CPU load alone; `docs/ARCHITECTURE.md` discusses the gap.
+//!
+//! Two behaviors carry over from [`ElasticMechanism`](crate::mechanism):
+//!
+//! - **AIMD cadence**: after an allocate/release the controller asks to
+//!   be polled again at `min_interval`; every hold doubles the interval
+//!   back up to the configured maximum, so a stable system is probed
+//!   rarely and a shifting one tracked closely.
+//! - **Release hysteresis**: a single under-threshold sample does not
+//!   release a core — the load must stay under `thmin` for
+//!   `release_hysteresis` consecutive observations. Real thread pools
+//!   see much noisier load than the simulator (a sample can land between
+//!   task completions), and one noisy dip must not trigger a shrink.
+
+use crate::mechanism::TransitionEvent;
+use emca_metrics::{SimDuration, SimTime};
+use prt_petrinet::{AllocAction, ElasticNet, StateKind, Thresholds};
+
+/// Configuration for a [`PoolController`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Idle / overload CPU-load thresholds (percent).
+    pub thresholds: Thresholds,
+    /// Pool capacity (total workers the controller may unpark).
+    pub ntotal: u32,
+    /// Workers unparked at start.
+    pub initial: u32,
+    /// Longest poll interval (AIMD upper bound).
+    pub interval: SimDuration,
+    /// Shortest poll interval, used right after a transition fires.
+    pub min_interval: SimDuration,
+    /// Consecutive under-`thmin` observations required before a release.
+    pub release_hysteresis: u32,
+}
+
+impl PoolConfig {
+    /// CPU-load defaults sized for a 16-worker pool.
+    pub fn cpu_load(ntotal: u32) -> Self {
+        PoolConfig {
+            thresholds: Thresholds::cpu_load_default(),
+            ntotal,
+            initial: 1,
+            interval: SimDuration::from_millis(50),
+            min_interval: SimDuration::from_micros(200),
+            release_hysteresis: 2,
+        }
+    }
+}
+
+/// One control decision: how many workers should be unparked now.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolDecision {
+    /// Target unparked-worker count.
+    pub nalloc: u32,
+    /// What the net did this step.
+    pub action: AllocAction,
+    /// The net's state after the step.
+    pub state: StateKind,
+}
+
+/// Elastic controller for a real worker pool.
+#[derive(Clone, Debug)]
+pub struct PoolController {
+    cfg: PoolConfig,
+    net: ElasticNet,
+    idle_streak: u32,
+    cur_interval: SimDuration,
+    /// Every fired transition, for the harness's `transitions` output.
+    pub events: Vec<TransitionEvent>,
+}
+
+impl PoolController {
+    /// Builds the controller with its PrT net at `cfg.initial` workers.
+    pub fn new(cfg: PoolConfig) -> Self {
+        cfg.thresholds.validate();
+        let initial = cfg.initial.clamp(1, cfg.ntotal);
+        PoolController {
+            net: ElasticNet::new(cfg.thresholds, cfg.ntotal, initial),
+            idle_streak: 0,
+            cur_interval: cfg.min_interval,
+            events: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Feeds one CPU-load observation (percent of the *active* workers'
+    /// capacity) and returns the new target allocation.
+    pub fn observe(&mut self, now: SimTime, u_pct: f64) -> PoolDecision {
+        let mut u = u_pct.round().clamp(0.0, 100.0) as i64;
+        if u <= self.cfg.thresholds.thmin {
+            self.idle_streak += 1;
+            if self.idle_streak < self.cfg.release_hysteresis {
+                // Suppress the release: report a mid-band load so the
+                // net holds instead.
+                u = (self.cfg.thresholds.thmin + self.cfg.thresholds.thmax) / 2;
+            }
+        } else {
+            self.idle_streak = 0;
+        }
+        let report = self.net.step(u);
+        self.cur_interval = match report.action {
+            AllocAction::Allocate | AllocAction::Release => self.cfg.min_interval,
+            AllocAction::Hold => (self.cur_interval + self.cur_interval)
+                .min(self.cfg.interval)
+                .max(self.cfg.min_interval),
+        };
+        if !report.fired.is_empty() {
+            self.events.push(TransitionEvent {
+                at: now,
+                label: report.label.clone(),
+                state: report.state,
+                action: report.action,
+                u,
+                cpu_load_pct: u_pct,
+                nalloc: report.nalloc,
+            });
+        }
+        PoolDecision {
+            nalloc: report.nalloc,
+            action: report.action,
+            state: report.state,
+        }
+    }
+
+    /// Forces the net's allocation to `nalloc` — used when the actuation
+    /// could not follow a decision (e.g. a multi-tenant arbiter denied
+    /// the claim), so net state and real pool state stay in step.
+    pub fn resync(&mut self, nalloc: u32) {
+        self.net.set_nalloc(nalloc.clamp(1, self.cfg.ntotal));
+    }
+
+    /// Current target allocation.
+    pub fn nalloc(&self) -> u32 {
+        self.net.nalloc()
+    }
+
+    /// How long the caller should wait before the next [`observe`]
+    /// (AIMD: short after a transition, long while stable).
+    ///
+    /// [`observe`]: PoolController::observe
+    pub fn interval(&self) -> SimDuration {
+        self.cur_interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> PoolController {
+        PoolController::new(PoolConfig::cpu_load(16))
+    }
+
+    fn drive(c: &mut PoolController, u: f64, steps: usize) -> u32 {
+        let mut n = c.nalloc();
+        for i in 0..steps {
+            n = c.observe(SimTime::from_millis(i as u64), u).nalloc;
+        }
+        n
+    }
+
+    #[test]
+    fn overload_grows_to_capacity() {
+        let mut c = controller();
+        assert_eq!(drive(&mut c, 95.0, 40), 16);
+        assert!(!c.events.is_empty());
+        assert_eq!(c.events.last().unwrap().nalloc, 16);
+    }
+
+    #[test]
+    fn idle_shrinks_but_only_after_hysteresis() {
+        let mut c = controller();
+        drive(&mut c, 95.0, 20);
+        let grown = c.nalloc();
+        assert!(grown > 1);
+        // One idle sample is noise: no release yet.
+        let d = c.observe(SimTime::from_secs(1), 2.0);
+        assert_eq!(d.nalloc, grown);
+        // Sustained idleness releases.
+        assert_eq!(drive(&mut c, 2.0, 40), 1);
+    }
+
+    #[test]
+    fn stable_band_holds_and_backs_off() {
+        let mut c = controller();
+        drive(&mut c, 95.0, 4);
+        let before = c.nalloc();
+        let d = c.observe(SimTime::from_secs(2), 40.0);
+        assert_eq!(d.nalloc, before);
+        assert!(matches!(d.action, AllocAction::Hold));
+        let short = c.interval();
+        for i in 0..16 {
+            c.observe(SimTime::from_secs(3 + i), 40.0);
+        }
+        assert!(c.interval() > short, "holds must back the cadence off");
+        assert_eq!(c.interval(), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn resync_tracks_denied_actuation() {
+        let mut c = controller();
+        drive(&mut c, 95.0, 10);
+        assert!(c.nalloc() > 3);
+        c.resync(3);
+        assert_eq!(c.nalloc(), 3);
+    }
+}

@@ -317,6 +317,32 @@ pub fn spawn_clients(
         .collect()
 }
 
+/// Materialises the query sequence one client will run, as phases: every
+/// query of phase `p` completes before any client starts phase `p+1`
+/// (the threads backend separates phases with a [`std::sync::Barrier`]).
+/// `Repeat` and `Mixed` are a single phase; `StablePhases` is one query
+/// per phase — the same sequencing [`ClientBody`] produces in the
+/// simulation. The `Mixed` draws use the identical seed mixing and RNG,
+/// so a client runs the same queries on either backend.
+pub fn materialize_phases(workload: &Workload, client_idx: usize) -> Vec<Vec<QuerySpec>> {
+    match workload {
+        Workload::Repeat { spec, iterations } => {
+            vec![vec![*spec; *iterations as usize]]
+        }
+        Workload::StablePhases { specs } => specs.iter().map(|s| vec![*s]).collect(),
+        Workload::Mixed {
+            specs,
+            iterations,
+            seed,
+        } => {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(client_idx as u64 * 0x9e37));
+            vec![(0..*iterations)
+                .map(|_| specs[rng.random_range(0..specs.len())])
+                .collect()]
+        }
+    }
+}
+
 /// Collects every query result recorded across client logs.
 pub fn drain_results(logs: &[SharedLog]) -> Vec<QueryResult> {
     logs.iter()
@@ -373,6 +399,49 @@ mod tests {
         };
         assert_eq!(mk(0), mk(0), "same client index must repeat");
         assert_ne!(mk(0), mk(1), "different clients should diverge");
+    }
+
+    #[test]
+    fn materialized_phases_match_clientbody_sequencing() {
+        let specs: Vec<QuerySpec> = (1..=22)
+            .map(|n| QuerySpec::Tpch {
+                number: n,
+                variant: 0,
+            })
+            .collect();
+        let wl = Workload::Mixed {
+            specs: specs.clone(),
+            iterations: 10,
+            seed: 7,
+        };
+        let engine = Engine::new(crate::exec::engine::EngineConfig::default(), 4);
+        for idx in [0usize, 1, 5] {
+            let (mut body, _) = ClientBody::new(engine.clone(), wl.clone(), idx, None);
+            let mut sim_seq = Vec::new();
+            while let NextAction::Run(s) = body.next_spec() {
+                sim_seq.push(s.tag());
+            }
+            let phases = materialize_phases(&wl, idx);
+            assert_eq!(phases.len(), 1);
+            let thr_seq: Vec<u32> = phases[0].iter().map(|s| s.tag()).collect();
+            assert_eq!(sim_seq, thr_seq, "client {idx} draw sequence must match");
+        }
+        let phased = materialize_phases(
+            &Workload::StablePhases {
+                specs: specs[..3].to_vec(),
+            },
+            0,
+        );
+        assert_eq!(phased.len(), 3);
+        assert!(phased.iter().all(|p| p.len() == 1));
+        let rep = materialize_phases(
+            &Workload::Repeat {
+                spec: QuerySpec::Q6 { variant: 0 },
+                iterations: 4,
+            },
+            3,
+        );
+        assert_eq!(rep, vec![vec![QuerySpec::Q6 { variant: 0 }; 4]]);
     }
 
     #[test]

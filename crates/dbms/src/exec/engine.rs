@@ -963,6 +963,39 @@ impl NodeRun {
     }
 }
 
+/// Input resolution for operator evaluation/assembly, abstracted over
+/// the executor: the simulated engine resolves against its `QueryRun`
+/// and `BatStore`, the threads backend ([`crate::exec::par`]) against a
+/// lock-free snapshot of input mats and shared base columns. Keeping
+/// both backends on these exact functions is what makes their query
+/// results bitwise identical.
+pub(crate) trait ExecInputs {
+    /// A base column's data.
+    fn col_data(&self, c: &ColRef) -> &ColData;
+    /// A finished upstream node's materialised result.
+    fn node_mat(&self, n: NodeId) -> &Mat;
+}
+
+/// Engine-side [`ExecInputs`]: resolves against the live query run.
+struct RunInputs<'a> {
+    run: &'a QueryRun,
+    catalog: &'a Catalog,
+    store: &'a BatStore,
+}
+
+impl ExecInputs for RunInputs<'_> {
+    fn col_data(&self, c: &ColRef) -> &ColData {
+        &self.store.get(self.catalog.column(c.table, c.column)).data
+    }
+
+    fn node_mat(&self, n: NodeId) -> &Mat {
+        self.run.nodes[n.idx()]
+            .mat
+            .as_ref()
+            .expect("input mat ready")
+    }
+}
+
 /// Evaluates one partition of an operator for real.
 fn evaluate_partition(
     op: &PhysOp,
@@ -972,9 +1005,28 @@ fn evaluate_partition(
     catalog: &Catalog,
     store: &BatStore,
 ) -> Partial {
-    let col_data = |c: &ColRef| -> &ColData { &store.get(catalog.column(c.table, c.column)).data };
-    let node_mat =
-        |n: NodeId| -> &Mat { run.nodes[n.idx()].mat.as_ref().expect("input mat ready") };
+    evaluate_partition_on(
+        op,
+        &RunInputs {
+            run,
+            catalog,
+            store,
+        },
+        start,
+        end,
+    )
+}
+
+/// [`evaluate_partition`] over any [`ExecInputs`] source (shared by the
+/// simulated and threads backends).
+pub(crate) fn evaluate_partition_on(
+    op: &PhysOp,
+    inputs: &impl ExecInputs,
+    start: usize,
+    end: usize,
+) -> Partial {
+    let col_data = |c: &ColRef| -> &ColData { inputs.col_data(c) };
+    let node_mat = |n: NodeId| -> &Mat { inputs.node_mat(n) };
     match op {
         PhysOp::ScanSelect { col, pred } => {
             Partial::Pos(eval::scan_select(col_data(col), start, end, pred))
@@ -1087,7 +1139,7 @@ fn assemble_mat(
     op: &PhysOp,
     run: &QueryRun,
     node: NodeId,
-    mut partials: Vec<Option<Partial>>,
+    partials: Vec<Option<Partial>>,
     out_vals: Option<eval::ValsBuf>,
     catalog: &Catalog,
     store: &BatStore,
@@ -1100,10 +1152,30 @@ fn assemble_mat(
         );
         return mat.clone();
     }
-    let node_mat =
-        |n: NodeId| -> &Mat { run.nodes[n.idx()].mat.as_ref().expect("input mat ready") };
+    assemble_parts(
+        op,
+        &RunInputs {
+            run,
+            catalog,
+            store,
+        },
+        partials,
+        out_vals,
+    )
+}
+
+/// [`assemble_mat`] over any [`ExecInputs`] source, without the memo
+/// path (the threads backend does not memoise — its timing is real).
+/// Partials are concatenated/merged strictly in partition order, so both
+/// backends produce the same float results bit for bit.
+pub(crate) fn assemble_parts(
+    op: &PhysOp,
+    inputs: &impl ExecInputs,
+    mut partials: Vec<Option<Partial>>,
+    out_vals: Option<eval::ValsBuf>,
+) -> Mat {
+    let node_mat = |n: NodeId| -> &Mat { inputs.node_mat(n) };
     let table_of = |col: &ColRef| -> &'static str { col.table };
-    let _ = (catalog, store);
     match op {
         PhysOp::ScanSelect { col, .. } | PhysOp::SelectAnd { col, .. } => {
             let pos = concat_pos(partials);
@@ -1422,7 +1494,7 @@ fn op_cycles(op: &PhysOp) -> u64 {
 /// lineage source). Mirrors [`primary_input_len`]: for a join probe the
 /// partitioning follows the *probe* side, not `inputs().first()` (which
 /// is the build). `None` for operators partitioned over base tables.
-fn primary_input(plan: &Plan, node: NodeId) -> Option<NodeId> {
+pub(crate) fn primary_input(plan: &Plan, node: NodeId) -> Option<NodeId> {
     match plan.node(node) {
         PhysOp::ScanSelect { .. } => None,
         PhysOp::SelectAnd { candidates, .. } => Some(*candidates),

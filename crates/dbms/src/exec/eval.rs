@@ -854,11 +854,7 @@ pub fn probe_hash(
 /// determinism). Partitions with `select_nth_unstable_by` and sorts only
 /// the kept prefix instead of fully sorting every group.
 pub fn top_n(groups: &[(i64, f64)], n: usize) -> Vec<(i64, f64)> {
-    let cmp = |a: &(i64, f64), b: &(i64, f64)| {
-        b.1.partial_cmp(&a.1)
-            .expect("NaN aggregate")
-            .then(a.0.cmp(&b.0))
-    };
+    let cmp = |a: &(i64, f64), b: &(i64, f64)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
     if n == 0 {
         return Vec::new();
     }
@@ -1027,11 +1023,7 @@ pub mod reference {
     /// Clone-and-fully-sort top-n.
     pub fn top_n(groups: &[(i64, f64)], n: usize) -> Vec<(i64, f64)> {
         let mut sorted = groups.to_vec();
-        sorted.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("NaN aggregate")
-                .then(a.0.cmp(&b.0))
-        });
+        sorted.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         sorted.truncate(n);
         sorted
     }

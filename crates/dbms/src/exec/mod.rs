@@ -5,11 +5,13 @@ pub mod cost;
 pub mod engine;
 pub mod eval;
 pub mod mat;
+pub mod par;
 pub mod plan;
 pub mod task;
 pub mod tomograph;
 
 pub use engine::{Engine, EngineConfig, EngineStats, Flavor, QueryResult};
 pub use mat::{Mat, NodeStorage, PairsMat, PosMat, ValMat};
+pub use par::{BaseData, ParEngine, ParEngineConfig};
 pub use plan::{AggKind, ArithOp, CmpOp, NodeId, PhysOp, Plan, ScalarPred, Side};
 pub use tomograph::{OpStats, Tomograph};

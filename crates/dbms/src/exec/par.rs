@@ -1,0 +1,727 @@
+//! Real-parallel execution backend: dedicated OS-thread workers over the
+//! same dataflow the simulated engine runs.
+//!
+//! [`ParEngine`] spawns `n_workers` OS threads up front. Each worker owns
+//! a deque fed by slice-affinity lineage (mitosis chains a slice through
+//! the operator pipeline on one dataflow thread) and steals from its
+//! peers when idle — the same MonetDB-style discipline as
+//! [`EngineCore::pop_task`](super::engine::EngineCore::pop_task). The
+//! elastic mechanism actuates the pool for real: *grow/shrink* park and
+//! unpark workers ([`ParEngine::set_active`]), *placement* is the unpark
+//! order ([`ParEngine::set_wake_order`] — advisory, since the workspace
+//! has no affinity syscalls; see `docs/ARCHITECTURE.md`).
+//!
+//! Scheduling width (partition counts, lineage preferences) depends only
+//! on `n_workers`, never on the active count, and partials are merged in
+//! strict partition order by the same `assemble_parts` the simulator
+//! uses (`super::engine::assemble_parts`) —
+//! so with `n_workers` equal to the simulated machine's core count both
+//! backends produce bitwise-identical query results, and shrinking the
+//! pool changes timing, not answers. There is no memo cache here: every
+//! execution is real work, which is the point of this backend.
+
+use crate::exec::engine::{
+    assemble_parts, evaluate_partition_on, primary_input, EngineStats, ExecInputs, QueryResult,
+};
+use crate::exec::mat::Mat;
+use crate::exec::plan::{ColRef, NodeId, PhysOp, Plan};
+use crate::exec::task::{n_parts_for, part_range, Partial, QueryId};
+use crate::exec::tomograph::Tomograph;
+use crate::storage::bat::ColData;
+use crate::tpch::gen::TpchData;
+use emca_metrics::{FxHashMap, SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Immutable base-table columns shared by every worker (all `Arc`-backed,
+/// so cloning a snapshot is pointer-cheap).
+pub struct BaseData {
+    cols: FxHashMap<(&'static str, &'static str), ColData>,
+    rows: FxHashMap<&'static str, usize>,
+}
+
+impl BaseData {
+    /// Snapshots the generated database for lock-free worker reads.
+    pub fn from_tpch(data: &TpchData) -> Self {
+        let mut cols = FxHashMap::default();
+        let mut rows = FxHashMap::default();
+        for table in &data.tables {
+            for gc in &table.columns {
+                rows.entry(table.name).or_insert_with(|| gc.data.len());
+                cols.insert((table.name, gc.name), gc.data.clone());
+            }
+        }
+        BaseData { cols, rows }
+    }
+
+    fn col(&self, c: &ColRef) -> &ColData {
+        self.cols
+            .get(&(c.table, c.column))
+            .unwrap_or_else(|| panic!("unknown column {}.{}", c.table, c.column))
+    }
+
+    fn rows(&self, table: &str) -> usize {
+        *self
+            .rows
+            .get(table)
+            .unwrap_or_else(|| panic!("unknown table {table}"))
+    }
+}
+
+/// [`ExecInputs`] over a lock-free snapshot: base columns plus the mats
+/// of already-finished nodes, cloned under the lock before evaluation.
+struct Snapshot<'a> {
+    base: &'a BaseData,
+    mats: &'a [Option<Mat>],
+}
+
+impl ExecInputs for Snapshot<'_> {
+    fn col_data(&self, c: &ColRef) -> &ColData {
+        self.base.col(c)
+    }
+
+    fn node_mat(&self, n: NodeId) -> &Mat {
+        self.mats[n.idx()].as_ref().expect("input mat ready")
+    }
+}
+
+/// One partition of one plan node (the threads-backend task descriptor;
+/// no simulated placement fields).
+#[derive(Clone, Copy, Debug)]
+struct ParTask {
+    qid: u64,
+    node: NodeId,
+    part: u32,
+    n_parts: u32,
+    pref_worker: Option<u32>,
+}
+
+struct ParNode {
+    n_parts: u32,
+    remaining: u32,
+    waiting_inputs: u32,
+    partials: Vec<Option<Partial>>,
+    mat: Option<Mat>,
+    /// Which worker executed each partition (slice-affinity lineage).
+    part_worker: Vec<Option<u32>>,
+}
+
+struct ParQuery {
+    label: String,
+    spec_tag: u32,
+    plan: Arc<Plan>,
+    dependents: Vec<Vec<NodeId>>,
+    nodes: Vec<ParNode>,
+    pending_nodes: usize,
+    submitted: SimTime,
+    busy: SimDuration,
+}
+
+/// Everything behind the pool mutex.
+struct State {
+    queries: FxHashMap<u64, ParQuery>,
+    next_qid: u64,
+    global: VecDeque<ParTask>,
+    per_worker: Vec<VecDeque<ParTask>>,
+    /// `rank_of[worker]` — a worker runs while its rank is below
+    /// `active`; the mechanism's placement preference is expressed by
+    /// permuting ranks ([`ParEngine::set_wake_order`]).
+    rank_of: Vec<usize>,
+    active: usize,
+    shutdown: bool,
+    results: FxHashMap<u64, QueryResult>,
+    stats: EngineStats,
+    tomograph: Tomograph,
+    /// Total worker-busy wall nanoseconds (the pool controller's CPU-load
+    /// signal).
+    busy_ns: u64,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for tasks or unparking.
+    work: Condvar,
+    /// Clients wait here for query completion.
+    done: Condvar,
+    base: Arc<BaseData>,
+    n_workers: usize,
+    epoch: Instant,
+}
+
+/// Construction parameters for the thread pool.
+#[derive(Clone, Copy, Debug)]
+pub struct ParEngineConfig {
+    /// Pool size — also the scheduling width that decides partition
+    /// counts (match the simulated machine's core count for sim/threads
+    /// result equivalence).
+    pub n_workers: usize,
+    /// Workers unparked at start (the rest wait for
+    /// [`ParEngine::set_active`]).
+    pub initial_active: usize,
+}
+
+/// The real-parallel engine: a worker pool plus the dataflow state.
+pub struct ParEngine {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ParEngine {
+    /// Spawns the pool. All `n_workers` threads start immediately;
+    /// workers ranked at or above `initial_active` park until grown.
+    pub fn new(cfg: ParEngineConfig, base: Arc<BaseData>) -> Self {
+        let n = cfg.n_workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queries: FxHashMap::default(),
+                next_qid: 0,
+                global: VecDeque::new(),
+                per_worker: (0..n).map(|_| VecDeque::new()).collect(),
+                rank_of: (0..n).collect(),
+                active: cfg.initial_active.clamp(1, n),
+                shutdown: false,
+                results: FxHashMap::default(),
+                stats: EngineStats::default(),
+                tomograph: Tomograph::new(),
+                busy_ns: 0,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            base,
+            n_workers: n,
+            epoch: Instant::now(),
+        });
+        let handles = (0..n)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("emca-worker{idx}"))
+                    .spawn(move || worker_loop(shared, idx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ParEngine { shared, handles }
+    }
+
+    /// Pool size (scheduling width).
+    pub fn n_workers(&self) -> usize {
+        self.shared.n_workers
+    }
+
+    /// Wall-clock time since pool start, as simulation time (both
+    /// backends report [`QueryResult`] stamps on the same axis).
+    pub fn now(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(self.shared.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Submits a query; workers are notified immediately. The result is
+    /// fetched with [`ParEngine::wait_result`].
+    pub fn submit(&self, plan: Arc<Plan>, spec_tag: u32) -> QueryId {
+        assert!(!plan.is_empty(), "cannot submit an empty plan");
+        let submitted = self.now();
+        let mut st = self.shared.state.lock().unwrap();
+        let qid = st.next_qid;
+        st.next_qid += 1;
+        st.stats.queries_submitted += 1;
+        let dependents = plan.dependents();
+        let nodes: Vec<ParNode> = plan
+            .nodes()
+            .iter()
+            .map(|op| ParNode {
+                n_parts: 0,
+                remaining: 0,
+                waiting_inputs: op.inputs().len() as u32,
+                partials: Vec::new(),
+                mat: None,
+                part_worker: Vec::new(),
+            })
+            .collect();
+        let pending = nodes.len();
+        let ready: Vec<NodeId> = plan
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.inputs().is_empty())
+            .map(|(i, _)| NodeId(i as u16))
+            .collect();
+        st.queries.insert(
+            qid,
+            ParQuery {
+                label: plan.label.clone(),
+                spec_tag,
+                plan,
+                dependents,
+                nodes,
+                pending_nodes: pending,
+                submitted,
+                busy: SimDuration::ZERO,
+            },
+        );
+        for node in ready {
+            schedule_node(&mut st, &self.shared.base, self.shared.n_workers, qid, node);
+        }
+        drop(st);
+        self.shared.work.notify_all();
+        QueryId(qid)
+    }
+
+    /// Blocks until `qid` completes and returns its result.
+    pub fn wait_result(&self, qid: QueryId) -> QueryResult {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(r) = st.results.remove(&qid.0) {
+                return r;
+            }
+            st = self.shared.done.wait(st).unwrap();
+        }
+    }
+
+    /// Unparks the first `n` workers in wake order and parks the rest
+    /// (the pool analogue of the simulator's cpuset grow/shrink). A
+    /// worker mid-task finishes its task before re-checking its rank, so
+    /// shrink has the same finish-current-slice semantics as the
+    /// simulated actuation. Clamped to `1..=n_workers`.
+    pub fn set_active(&self, n: usize) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.active = n.clamp(1, self.shared.n_workers);
+        drop(st);
+        self.shared.work.notify_all();
+    }
+
+    /// Currently unparked workers.
+    pub fn active(&self) -> usize {
+        self.shared.state.lock().unwrap().active
+    }
+
+    /// Sets the unpark order: `order[r]` is the worker holding rank `r`,
+    /// and ranks below the active count run. This is how a placement
+    /// mode expresses *which* workers an allocation uses (dense packs
+    /// neighbours, sparse strides across groups); without OS affinity
+    /// syscalls in this workspace it is advisory. Workers absent from
+    /// `order` keep ranks above every listed one (never scheduled while
+    /// the listed workers cover the active count).
+    pub fn set_wake_order(&self, order: &[usize]) {
+        let n = self.shared.n_workers;
+        let mut st = self.shared.state.lock().unwrap();
+        let mut next_rank = order.len();
+        let mut seen = vec![false; n];
+        for (rank, &w) in order.iter().enumerate() {
+            assert!(w < n, "wake order names worker {w} of a {n}-wide pool");
+            assert!(!seen[w], "wake order repeats worker {w}");
+            seen[w] = true;
+            st.rank_of[w] = rank;
+        }
+        for (w, seen) in seen.iter().enumerate() {
+            if !seen {
+                st.rank_of[w] = next_rank;
+                next_rank += 1;
+            }
+        }
+        drop(st);
+        self.shared.work.notify_all();
+    }
+
+    /// Outstanding (queued) task count.
+    pub fn queued_tasks(&self) -> usize {
+        let st = self.shared.state.lock().unwrap();
+        st.global.len() + st.per_worker.iter().map(|q| q.len()).sum::<usize>()
+    }
+
+    /// Number of in-flight queries.
+    pub fn active_queries(&self) -> usize {
+        self.shared.state.lock().unwrap().queries.len()
+    }
+
+    /// Engine statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        self.shared.state.lock().unwrap().stats
+    }
+
+    /// Total worker-busy wall nanoseconds so far (monotone; the pool
+    /// controller differences it for its CPU-load signal).
+    pub fn busy_ns(&self) -> u64 {
+        self.shared.state.lock().unwrap().busy_ns
+    }
+
+    /// Per-operator statistics snapshot.
+    pub fn tomograph(&self) -> Tomograph {
+        self.shared.state.lock().unwrap().tomograph.clone()
+    }
+
+    /// Stops and joins every worker. Called by `Drop`; explicit calls
+    /// are idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ParEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Length of the primary input an operator partitions over (mirrors the
+/// simulated engine's `primary_input_len`).
+fn primary_len_of(
+    plan: &Plan,
+    node: NodeId,
+    mat_len: impl Fn(NodeId) -> usize,
+    base: &BaseData,
+) -> usize {
+    match plan.node(node) {
+        PhysOp::ScanSelect { col, .. } => base.rows(col.table),
+        PhysOp::SelectAnd { candidates, .. } => mat_len(*candidates),
+        PhysOp::SelectColCmp {
+            candidates, left, ..
+        } => match candidates {
+            Some(c) => mat_len(*c),
+            None => base.rows(left.table),
+        },
+        PhysOp::Project { positions, .. } => mat_len(*positions),
+        PhysOp::ProjectSide { pairs, .. } => mat_len(*pairs),
+        PhysOp::BinOp { left, .. } => mat_len(*left),
+        PhysOp::AggrSum { values } => mat_len(*values),
+        PhysOp::GroupAgg { keys, .. } => mat_len(*keys),
+        PhysOp::JoinBuild { keys } => mat_len(*keys),
+        PhysOp::JoinProbe { probe, .. } => mat_len(*probe),
+        PhysOp::TopN { input, .. } => mat_len(*input),
+    }
+}
+
+/// Splits a ready node into partition tasks and enqueues them, with the
+/// same partition-count and lineage rules as the simulated engine
+/// (`workers` here is the pool's scheduling width, not the active
+/// count — results must not depend on the current allocation).
+fn schedule_node(st: &mut State, base: &BaseData, workers: usize, qid: u64, node: NodeId) {
+    let q = st.queries.get_mut(&qid).expect("scheduling dead query");
+    let primary_len = {
+        let nodes = &q.nodes;
+        primary_len_of(
+            &q.plan,
+            node,
+            |n| nodes[n.idx()].mat.as_ref().map_or(0, |m| m.len()),
+            base,
+        )
+    };
+    let n_parts = match q.plan.node(node) {
+        PhysOp::TopN { .. } => 1,
+        _ => n_parts_for(primary_len, workers),
+    };
+    let lineage: Option<&[Option<u32>]> =
+        primary_input(&q.plan, node).map(|i| q.nodes[i.idx()].part_worker.as_slice());
+    let prefs: Vec<Option<u32>> = (0..n_parts)
+        .map(|part| match lineage {
+            Some(pw) if !pw.is_empty() => pw[(part as usize * pw.len()) / n_parts as usize],
+            _ => Some(((qid as u32).wrapping_add(part)) % workers as u32),
+        })
+        .collect();
+    let nr = &mut q.nodes[node.idx()];
+    nr.n_parts = n_parts;
+    nr.remaining = n_parts;
+    nr.partials = (0..n_parts).map(|_| None).collect();
+    nr.part_worker = vec![None; n_parts as usize];
+    for part in 0..n_parts {
+        let task = ParTask {
+            qid,
+            node,
+            part,
+            n_parts,
+            pref_worker: prefs[part as usize],
+        };
+        st.stats.tasks_created += 1;
+        match task.pref_worker {
+            Some(w) if (w as usize) < st.per_worker.len() => {
+                st.per_worker[w as usize].push_back(task)
+            }
+            _ => st.global.push_back(task),
+        }
+    }
+}
+
+/// Worker-deque pop: own deque LIFO (depth-first, cache-hot consumer
+/// first), then the global queue, then FIFO steals from peers.
+fn pop_task(st: &mut State, idx: usize) -> Option<ParTask> {
+    if let Some(t) = st.per_worker[idx].pop_back() {
+        return Some(t);
+    }
+    if let Some(t) = st.global.pop_front() {
+        return Some(t);
+    }
+    for i in 0..st.per_worker.len() {
+        if i == idx {
+            continue;
+        }
+        if let Some(t) = st.per_worker[i].pop_front() {
+            st.stats.engine_steals += 1;
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// The dedicated worker loop: park while ranked out of the allocation,
+/// otherwise pop a task, snapshot its inputs under the lock, evaluate
+/// outside it, and complete.
+fn worker_loop(shared: Arc<Shared>, idx: usize) {
+    let mut st = shared.state.lock().unwrap();
+    loop {
+        if st.shutdown {
+            return;
+        }
+        if st.rank_of[idx] >= st.active {
+            st = shared.work.wait(st).unwrap();
+            continue;
+        }
+        let Some(task) = pop_task(&mut st, idx) else {
+            st = shared.work.wait(st).unwrap();
+            continue;
+        };
+
+        // ---- snapshot inputs under the lock ---------------------------
+        let q = st.queries.get(&task.qid).expect("task for dead query");
+        let plan = Arc::clone(&q.plan);
+        let mats: Vec<Option<Mat>> = q.nodes.iter().map(|n| n.mat.clone()).collect();
+        drop(st);
+
+        // ---- evaluate outside the lock --------------------------------
+        let op = plan.node(task.node);
+        let inputs = Snapshot {
+            base: &shared.base,
+            mats: &mats,
+        };
+        let primary_len = primary_len_of(
+            &plan,
+            task.node,
+            |n| mats[n.idx()].as_ref().map_or(0, |m| m.len()),
+            &shared.base,
+        );
+        let (start, end) = part_range(primary_len, task.part, task.n_parts);
+        let t0 = Instant::now();
+        let partial = evaluate_partition_on(op, &inputs, start, end);
+        let mut elapsed = SimDuration::from_nanos(t0.elapsed().as_nanos() as u64);
+
+        // ---- complete -------------------------------------------------
+        st = shared.state.lock().unwrap();
+        st.stats.tasks_executed += 1;
+        let q = st
+            .queries
+            .get_mut(&task.qid)
+            .expect("completing dead query");
+        let nr = &mut q.nodes[task.node.idx()];
+        nr.part_worker[task.part as usize] = Some(idx as u32);
+        nr.partials[task.part as usize] = Some(partial);
+        nr.remaining -= 1;
+        let node_done = nr.remaining == 0;
+        let mat = if node_done {
+            // Assemble outside the lock too: only the last completer of a
+            // node reaches here, so the taken partials race with nobody.
+            let partials = std::mem::take(&mut nr.partials);
+            drop(st);
+            let t1 = Instant::now();
+            let inputs = Snapshot {
+                base: &shared.base,
+                mats: &mats,
+            };
+            let mat = assemble_parts(op, &inputs, partials, None);
+            elapsed += SimDuration::from_nanos(t1.elapsed().as_nanos() as u64);
+            st = shared.state.lock().unwrap();
+            Some(mat)
+        } else {
+            None
+        };
+        st.busy_ns += elapsed.as_nanos();
+        st.tomograph.record(op.mal_name(), elapsed);
+        let q = st
+            .queries
+            .get_mut(&task.qid)
+            .expect("finalizing dead query");
+        q.busy += elapsed;
+        if let Some(mat) = mat {
+            finalize_node(&mut st, &shared, task.qid, task.node, mat);
+        }
+    }
+}
+
+/// Commits a node's assembled mat, schedules newly ready dependents, and
+/// completes the query when it was the last pending node.
+fn finalize_node(st: &mut State, shared: &Shared, qid: u64, node: NodeId, mat: Mat) {
+    let q = st.queries.get_mut(&qid).expect("dead query");
+    q.nodes[node.idx()].mat = Some(mat);
+    q.pending_nodes -= 1;
+    let deps = q.dependents[node.idx()].clone();
+    let ready: Vec<NodeId> = deps
+        .into_iter()
+        .filter(|d| {
+            let nr = &mut q.nodes[d.idx()];
+            nr.waiting_inputs -= 1;
+            nr.waiting_inputs == 0
+        })
+        .collect();
+    let scheduled = !ready.is_empty();
+    for d in ready {
+        schedule_node(st, &shared.base, shared.n_workers, qid, d);
+    }
+    if scheduled {
+        shared.work.notify_all();
+    }
+
+    let done = st.queries[&qid].pending_nodes == 0;
+    if done {
+        let q = st.queries.remove(&qid).expect("dead query");
+        let root = q.plan.root();
+        let result = q.nodes[root.idx()].mat.clone().expect("root mat missing");
+        st.stats.queries_completed += 1;
+        let now = SimTime::ZERO + SimDuration::from_nanos(shared.epoch.elapsed().as_nanos() as u64);
+        // Keep responses strictly positive, like the simulated engine.
+        let finished = now.max(q.submitted + SimDuration::from_nanos(1));
+        st.results.insert(
+            qid,
+            QueryResult {
+                qid: QueryId(qid),
+                label: q.label,
+                spec_tag: q.spec_tag,
+                submitted: q.submitted,
+                finished,
+                traffic: Default::default(),
+                busy: q.busy,
+                result,
+            },
+        );
+        shared.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::queries::{build_query, QuerySpec};
+    use crate::tpch::{TpchData, TpchScale};
+
+    fn tiny_base() -> Arc<BaseData> {
+        Arc::new(BaseData::from_tpch(&TpchData::generate(
+            TpchScale::test_tiny(),
+        )))
+    }
+
+    fn digest(r: &QueryResult) -> String {
+        format!("{}:{:?}", r.label, r.result)
+    }
+
+    fn run_specs(engine: &ParEngine, specs: &[QuerySpec]) -> Vec<String> {
+        specs
+            .iter()
+            .map(|s| {
+                let qid = engine.submit(Arc::new(build_query(s)), s.tag());
+                digest(&engine.wait_result(qid))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn queries_complete_and_are_deterministic() {
+        let base = tiny_base();
+        let cfg = ParEngineConfig {
+            n_workers: 16,
+            initial_active: 16,
+        };
+        let specs = [
+            QuerySpec::Q6 { variant: 0 },
+            QuerySpec::Tpch {
+                number: 1,
+                variant: 0,
+            },
+            QuerySpec::Tpch {
+                number: 14,
+                variant: 0,
+            },
+        ];
+        let a = run_specs(&ParEngine::new(cfg, Arc::clone(&base)), &specs);
+        let b = run_specs(&ParEngine::new(cfg, Arc::clone(&base)), &specs);
+        assert_eq!(a, b, "same pool width must give identical results");
+        let stats = {
+            let engine = ParEngine::new(cfg, base);
+            run_specs(&engine, &specs);
+            engine.stats()
+        };
+        assert_eq!(stats.queries_submitted, 3);
+        assert_eq!(stats.queries_completed, 3);
+        assert!(stats.tasks_executed >= stats.queries_completed);
+    }
+
+    #[test]
+    fn active_count_changes_timing_not_answers() {
+        let base = tiny_base();
+        let wide = ParEngine::new(
+            ParEngineConfig {
+                n_workers: 16,
+                initial_active: 16,
+            },
+            Arc::clone(&base),
+        );
+        let narrow = ParEngine::new(
+            ParEngineConfig {
+                n_workers: 16,
+                initial_active: 1,
+            },
+            base,
+        );
+        narrow.set_wake_order(&[0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15]);
+        let specs = [
+            QuerySpec::Q6 { variant: 0 },
+            QuerySpec::Tpch {
+                number: 4,
+                variant: 0,
+            },
+        ];
+        assert_eq!(
+            run_specs(&wide, &specs),
+            run_specs(&narrow, &specs),
+            "allocation must not leak into results"
+        );
+        assert_eq!(narrow.active(), 1);
+        narrow.set_active(8);
+        assert_eq!(narrow.active(), 8);
+        narrow.set_active(0);
+        assert_eq!(narrow.active(), 1, "active count clamps to 1");
+    }
+
+    #[test]
+    fn concurrent_clients_all_finish() {
+        let base = tiny_base();
+        let engine = Arc::new(ParEngine::new(
+            ParEngineConfig {
+                n_workers: 8,
+                initial_active: 8,
+            },
+            base,
+        ));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    for _ in 0..3 {
+                        let spec = QuerySpec::Q6 { variant: 0 };
+                        let qid = engine.submit(Arc::new(build_query(&spec)), spec.tag());
+                        let r = engine.wait_result(qid);
+                        assert!(r.finished > r.submitted);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(engine.stats().queries_completed, 12);
+        assert_eq!(engine.active_queries(), 0);
+    }
+}

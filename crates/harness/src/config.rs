@@ -1,5 +1,6 @@
 //! Experiment configurations.
 
+use crate::backend::Backend;
 use elastic_core::{MetricKind, Policy, PolicyId};
 use emca_metrics::SimDuration;
 use std::sync::Arc;
@@ -175,6 +176,8 @@ pub struct RunConfig {
     /// [`RunConfig::alloc`] names (the alloc still provides the label
     /// and must not be [`Alloc::OsAll`]).
     pub custom_policy: Option<PolicyFactory>,
+    /// Execution backend (simulated workers vs real OS threads).
+    pub backend: Backend,
 }
 
 impl RunConfig {
@@ -194,6 +197,7 @@ impl RunConfig {
             mech_guard: None,
             warmup: Warmup::default(),
             custom_policy: None,
+            backend: Backend::default(),
         }
     }
 
@@ -244,6 +248,12 @@ impl RunConfig {
     /// Enables scheduler span tracing.
     pub fn with_trace(mut self) -> Self {
         self.trace_sched = true;
+        self
+    }
+
+    /// Switches the execution backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 

@@ -16,15 +16,18 @@
 //!   the `emca` CLI lists and runs; user scenarios register the same
 //!   way.
 
+pub mod backend;
 pub mod config;
 pub mod handcoded_runner;
 pub mod report;
 pub mod runner;
+pub mod runner_threads;
 pub mod scenario;
 pub mod spec;
 pub mod tenants;
 pub mod timing;
 
+pub use backend::Backend;
 pub use config::{Alloc, PolicyFactory, RunConfig, Warmup};
 pub use handcoded_runner::{run_handcoded, HandcodedOutput};
 pub use runner::{run, run_all_allocs, RunOutput};

@@ -140,18 +140,25 @@ pub fn render_transitions(title: &str, events: &[TransitionEvent]) -> Table {
 }
 
 /// Renders a scheduler trace as the migration map of Figs. 5/16: one row
-/// per span (`thread, core, node, start_ms, end_ms`).
+/// per span (`thread, core, node, start_ms, end_ms`). On the threads
+/// backend the trace holds *host* CPU ids, which may lie outside the
+/// simulated topology — those rows get a blank node column.
 pub fn render_migration_map(title: &str, trace: &SchedTrace, topo: &numa_sim::Topology) -> Table {
     let mut t = Table::new(
         title,
         &["thread", "name_hint", "core", "node", "start_ms", "end_ms"],
     );
     for span in trace.spans() {
+        let node = if span.core.idx() < topo.n_cores() {
+            topo.node_of(span.core).0.to_string()
+        } else {
+            "-".to_string()
+        };
         t.row(vec![
             format!("T{}", span.tid.0),
             String::new(),
             span.core.0.to_string(),
-            topo.node_of(span.core).0.to_string(),
+            node,
             fnum(span.start.as_secs_f64() * 1e3, 3),
             fnum(span.end.as_secs_f64() * 1e3, 3),
         ]);

@@ -114,6 +114,9 @@ fn delta(after: &[u64], before: &[u64]) -> Vec<u64> {
 /// Runs one experiment. `data` is shared across runs of a sweep so
 /// generation cost is paid once.
 pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
+    if config.backend == crate::backend::Backend::Threads {
+        return crate::runner_threads::run_threads(config, data);
+    }
     let kernel_cfg = KernelConfig::default();
     let machine = Machine::new(MachineConfig::opteron_4x4(), kernel_cfg.tick);
     let mut kernel = Kernel::new(machine, kernel_cfg);

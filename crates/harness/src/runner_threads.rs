@@ -1,0 +1,611 @@
+//! The real-thread experiment runner: executes a [`RunConfig`] on
+//! [`ParEngine`] — dedicated OS threads doing the actual work — with the
+//! elastic mechanism actuating the worker pool instead of a simulated
+//! cpuset.
+//!
+//! What maps where, relative to [`crate::runner::run`]:
+//!
+//! - **Engine**: the same plans and partitioning, executed by real
+//!   threads ([`ParEngine`]); with the pool width fixed at the simulated
+//!   machine's core count, results are bitwise-identical to the sim
+//!   backend (allocation only changes timing).
+//! - **Mechanism**: a [`PoolController`] (the PrT net on a measured CPU
+//!   load) replaces [`ElasticMechanism`](elastic_core::ElasticMechanism).
+//!   Grow/shrink unpark/park workers; the *placement* half of a mode
+//!   degrades to the pool's wake order — this workspace links no
+//!   affinity or perf-counter syscalls, so core pinning, the HT/IMC
+//!   metric, the Eq. 1 saturation guard and SLA power budgets have no
+//!   real counterpart here ([`RunConfig::metric`], `mech_guard` and
+//!   custom policies are ignored; `warmup` is meaningless without NUMA
+//!   page homing).
+//! - **Baseline**: [`Alloc::OsAll`] becomes "no pool management": one
+//!   always-active worker per client (never fewer than the machine
+//!   width), the thread-per-task shape the paper argues against.
+//! - **Counters**: hardware series (IMC/HT) are empty; CPU load and the
+//!   allocated-core count are measured for real. With
+//!   [`RunConfig::with_trace`], the migration trace is real too: the
+//!   driver samples each worker's host CPU from `/proc/self/task`
+//!   (`ProcTracer`), so the Fig. 5/16 maps show actual OS placement.
+//!
+//! Environment knobs: `EMCA_THREADS` caps the pool width (changes
+//! partitioning, hence results — CI smoke only), `EMCA_WALL_BUDGET_S`
+//! overrides the deadline with a wall-clock budget in seconds.
+
+use crate::config::{Alloc, RunConfig};
+use crate::runner::RunOutput;
+use crate::tenants::{MultiTenantConfig, MultiTenantOutput, TenantOutput};
+use elastic_core::{PoolConfig, PoolController, TenantArbiter};
+use emca_metrics::{SimDuration, SimTime, TimeSeries};
+use numa_sim::{CoreId, HwCounters, MachineConfig};
+use os_sim::{SchedStats, SchedTrace, Tid};
+use prt_petrinet::AllocAction;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+use volcano_db::client::materialize_phases;
+use volcano_db::exec::engine::QueryResult;
+use volcano_db::exec::{BaseData, ParEngine, ParEngineConfig};
+use volcano_db::tpch::{build_query, TpchData};
+
+/// Driver poll granularity — well under the shortest control interval.
+const POLL: std::time::Duration = std::time::Duration::from_micros(100);
+
+/// Machine width the pool mirrors (the simulated Opteron's 16 cores),
+/// unless `EMCA_THREADS` caps it.
+fn capacity() -> usize {
+    let machine = MachineConfig::opteron_4x4().topology.n_cores();
+    match std::env::var("EMCA_THREADS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("EMCA_THREADS must be a thread count, got {v:?}"))
+            .clamp(1, machine),
+        Err(_) => machine,
+    }
+}
+
+/// Wall-clock deadline: `EMCA_WALL_BUDGET_S` when set (the repo-wide
+/// wall-budget knob, see [`crate::wall_budget_from_env`]), else the
+/// config's deadline read as wall time.
+fn wall_deadline(configured: SimDuration) -> SimDuration {
+    match crate::wall_budget_from_env() {
+        Ok(Some(secs)) => SimDuration::from_secs_f64(secs),
+        Ok(None) => configured,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Wall time since `t0` on the simulation-time axis.
+fn wall_now(t0: Instant) -> SimTime {
+    SimTime::ZERO + SimDuration::from_nanos(t0.elapsed().as_nanos() as u64)
+}
+
+/// Sparse-mode wake order: stride across the four "sockets" of the
+/// mirrored machine so a small allocation spreads like the sparse
+/// cpuset would.
+fn sparse_order(width: usize) -> Vec<usize> {
+    let socket = (width / 4).max(1);
+    let mut order = Vec::with_capacity(width);
+    for i in 0..socket {
+        for g in 0..4 {
+            let w = g * socket + i;
+            if w < width {
+                order.push(w);
+            }
+        }
+    }
+    order
+}
+
+/// Pool-controller configuration matching a run's control cadence.
+fn pool_cfg(ntotal: u32, interval: Option<SimDuration>) -> PoolConfig {
+    let mut cfg = PoolConfig::cpu_load(ntotal);
+    if let Some(iv) = interval {
+        cfg.interval = iv;
+        cfg.min_interval = cfg.min_interval.min(iv);
+    }
+    cfg
+}
+
+/// CPU load (%) of the active workers over a wall window: busy worker
+/// nanoseconds against the capacity `active * dt`.
+fn load_pct(busy_delta: u64, active: usize, dt_ns: u64) -> f64 {
+    if dt_ns == 0 || active == 0 {
+        return 0.0;
+    }
+    (busy_delta as f64 / (active as f64 * dt_ns as f64) * 100.0).clamp(0.0, 100.0)
+}
+
+/// Trace sampling cadence — coarser than the driver poll: a sample is
+/// one `/proc` stat read per pool worker.
+const TRACE_EVERY: SimDuration = SimDuration::from_millis(1);
+
+/// Real scheduling trace for the migration figures (Fig. 5 / Fig. 16):
+/// samples the host CPU each pool worker last ran on from
+/// `/proc/self/task/<tid>/stat` — plain pseudo-file reads, no syscall
+/// bindings. Worker `i` (thread name `emca-worker{i}`) appears as
+/// `Tid(i)`; a span's core is the *host* CPU id, not a simulated core
+/// (the renderer leaves the NUMA-node column blank for CPUs outside
+/// the simulated topology). On hosts without `/proc` the trace simply
+/// stays empty.
+struct ProcTracer {
+    trace: SchedTrace,
+    next: SimTime,
+}
+
+impl ProcTracer {
+    fn new() -> Self {
+        ProcTracer {
+            trace: SchedTrace::enabled(),
+            next: SimTime::ZERO,
+        }
+    }
+
+    /// One sample: scan the process's task list, record each running
+    /// worker on its current CPU and close the span of each sleeper.
+    fn sample(&mut self, now: SimTime) {
+        let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+            return;
+        };
+        for task in tasks.flatten() {
+            let Ok(stat) = std::fs::read_to_string(task.path().join("stat")) else {
+                continue;
+            };
+            if let Some((tid, state, cpu)) = parse_worker_stat(&stat) {
+                if state == 'R' {
+                    self.trace.on_run(tid, CoreId(cpu), now);
+                } else {
+                    self.trace.on_stop(tid, now);
+                }
+            }
+        }
+    }
+
+    fn finish(mut self, now: SimTime) -> SchedTrace {
+        self.sample(now);
+        self.trace.finish(now);
+        self.trace
+    }
+}
+
+/// Parses a `/proc/<pid>/task/<tid>/stat` line into (worker id, state,
+/// host CPU); `None` for threads that are not pool workers. The comm
+/// field is parenthesized and may itself contain spaces, so fields are
+/// counted from the closing parenthesis: state is the first after it,
+/// `processor` — the CPU the thread last ran on — is the 37th.
+fn parse_worker_stat(stat: &str) -> Option<(Tid, char, u16)> {
+    let open = stat.find('(')?;
+    let close = stat.rfind(')')?;
+    let idx: u32 = stat[open + 1..close]
+        .strip_prefix("emca-worker")?
+        .parse()
+        .ok()?;
+    let mut fields = stat[close + 1..].split_whitespace();
+    let state = fields.next()?.chars().next()?;
+    let cpu: u16 = fields.nth(35)?.parse().ok()?;
+    Some((Tid(idx), state, cpu))
+}
+
+/// Spawns one OS thread per client running the workload's phases; every
+/// client of a barrier group finishes phase `p` before any starts
+/// `p + 1`, mirroring the simulated clients' phase barrier.
+#[allow(clippy::too_many_arguments)]
+fn spawn_client_threads(
+    engine: &Arc<ParEngine>,
+    workload: &volcano_db::client::Workload,
+    clients: usize,
+    start_after: std::time::Duration,
+    results: &Arc<Mutex<Vec<QueryResult>>>,
+    remaining: &Arc<AtomicUsize>,
+    finished_at: &Arc<Mutex<SimTime>>,
+    t0: Instant,
+) -> Vec<std::thread::JoinHandle<()>> {
+    let barrier = Arc::new(Barrier::new(clients));
+    (0..clients)
+        .map(|idx| {
+            let engine = Arc::clone(engine);
+            let phases = materialize_phases(workload, idx);
+            let barrier = Arc::clone(&barrier);
+            let results = Arc::clone(results);
+            let remaining = Arc::clone(remaining);
+            let finished_at = Arc::clone(finished_at);
+            std::thread::Builder::new()
+                .name(format!("emca-client{idx}"))
+                .spawn(move || {
+                    if !start_after.is_zero() {
+                        std::thread::sleep(start_after);
+                    }
+                    let mut mine = Vec::new();
+                    for phase in phases {
+                        barrier.wait();
+                        for spec in phase {
+                            let qid = engine.submit(Arc::new(build_query(&spec)), spec.tag());
+                            mine.push(engine.wait_result(qid));
+                        }
+                    }
+                    results.lock().unwrap().extend(mine);
+                    let now = wall_now(t0);
+                    let mut last = finished_at.lock().unwrap();
+                    if now > *last {
+                        *last = now;
+                    }
+                    remaining.fetch_sub(1, Ordering::SeqCst);
+                })
+                .expect("spawn client thread")
+        })
+        .collect()
+}
+
+/// Runs one experiment on the threads backend. Same contract as
+/// [`crate::runner::run`]; called from there when
+/// [`RunConfig::backend`] is [`Backend::Threads`](crate::Backend).
+pub fn run_threads(config: RunConfig, data: &TpchData) -> RunOutput {
+    let width = capacity();
+    let os_baseline = config.alloc == Alloc::OsAll;
+    // The OS baseline hands every client a worker (thread-per-client,
+    // no elasticity); the mechanism runs a machine-width pool.
+    let pool = if os_baseline {
+        width.max(config.clients)
+    } else {
+        width
+    };
+    let base = Arc::new(BaseData::from_tpch(data));
+    let engine = Arc::new(ParEngine::new(
+        ParEngineConfig {
+            n_workers: pool,
+            initial_active: if os_baseline { pool } else { 1 },
+        },
+        base,
+    ));
+    if config.alloc == Alloc::Sparse {
+        engine.set_wake_order(&sparse_order(pool));
+    }
+    let mut controller =
+        (!os_baseline).then(|| PoolController::new(pool_cfg(pool as u32, config.mech_interval)));
+
+    let t0 = Instant::now();
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let remaining = Arc::new(AtomicUsize::new(config.clients));
+    let finished_at = Arc::new(Mutex::new(SimTime::ZERO));
+    let handles = spawn_client_threads(
+        &engine,
+        &config.workload,
+        config.clients,
+        std::time::Duration::ZERO,
+        &results,
+        &remaining,
+        &finished_at,
+        t0,
+    );
+
+    let deadline = wall_deadline(config.deadline);
+    let mut tracer = config.trace_sched.then(ProcTracer::new);
+    let mut load_series = TimeSeries::new("cpu_load");
+    let mut cores_series = TimeSeries::new("cores");
+    let mut next_control = SimTime::ZERO;
+    let mut next_sample = SimTime::ZERO;
+    let mut ctl_busy = 0u64;
+    let mut ctl_at = SimTime::ZERO;
+    let mut sample_busy = 0u64;
+    let mut sample_at = SimTime::ZERO;
+    while remaining.load(Ordering::SeqCst) > 0 {
+        std::thread::sleep(POLL);
+        let now = wall_now(t0);
+        assert!(
+            now.since(SimTime::ZERO) <= deadline,
+            "run hit the deadline ({deadline:?}) with clients unfinished — raise \
+             RunConfig::deadline"
+        );
+        if let Some(c) = controller.as_mut() {
+            if now >= next_control {
+                let busy = engine.busy_ns();
+                let u = load_pct(
+                    busy - ctl_busy,
+                    engine.active(),
+                    now.since(ctl_at).as_nanos(),
+                );
+                ctl_busy = busy;
+                ctl_at = now;
+                let d = c.observe(now, u);
+                engine.set_active(d.nalloc as usize);
+                next_control = now + c.interval();
+            }
+        }
+        if now >= next_sample {
+            let busy = engine.busy_ns();
+            let u = load_pct(
+                busy - sample_busy,
+                engine.active(),
+                now.since(sample_at).as_nanos(),
+            );
+            sample_busy = busy;
+            sample_at = now;
+            load_series.push(now, u);
+            cores_series.push(now, engine.active() as f64);
+            next_sample = now + config.sample_every;
+        }
+        if let Some(tr) = tracer.as_mut() {
+            if now >= tr.next {
+                tr.sample(now);
+                tr.next = now + TRACE_EVERY;
+            }
+        }
+    }
+    // Final sample so even a run shorter than the first poll tick
+    // leaves non-empty load/cores series.
+    {
+        let now = wall_now(t0);
+        let u = load_pct(
+            engine.busy_ns() - sample_busy,
+            engine.active(),
+            now.since(sample_at).as_nanos(),
+        );
+        load_series.push(now, u);
+        cores_series.push(now, engine.active() as f64);
+    }
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+
+    let results = Arc::try_unwrap(results)
+        .expect("clients gone")
+        .into_inner()
+        .unwrap();
+    let wall = finished_at.lock().unwrap().since(SimTime::ZERO);
+    let zero_hw = HwCounters::new(0, 0, 0);
+    RunOutput {
+        results,
+        wall,
+        hw_before: zero_hw.snapshot(),
+        hw_after: zero_hw.snapshot(),
+        sched: SchedStats::default(),
+        engine: engine.stats(),
+        imc_series: (0..4).map(|s| TimeSeries::new(format!("S{s}"))).collect(),
+        ht_series: TimeSeries::new("HT"),
+        load_series,
+        cores_series,
+        transitions: controller.map(|c| c.events).unwrap_or_default(),
+        trace: tracer.map(|t| t.finish(wall_now(t0))),
+        tomograph: engine.tomograph(),
+        config,
+    }
+}
+
+/// Per-tenant live state for [`run_tenants_threads`].
+struct TenantLive {
+    engine: Arc<ParEngine>,
+    controller: PoolController,
+    tid: elastic_core::TenantId,
+    results: Arc<Mutex<Vec<QueryResult>>>,
+    remaining: Arc<AtomicUsize>,
+    finished_at: Arc<Mutex<SimTime>>,
+    cores_series: TimeSeries,
+    load_series: TimeSeries,
+    qps_series: TimeSeries,
+    next_control: SimTime,
+    ctl_busy: u64,
+    ctl_at: SimTime,
+    sample_busy: u64,
+    sample_at: SimTime,
+    sample_completed: u64,
+    control_steps: u64,
+}
+
+/// Runs a multi-tenant experiment on the threads backend: one real
+/// worker pool per tenant, all machine-width, with a [`TenantArbiter`]
+/// splitting the core budget — a tenant's active worker count is
+/// exactly the cores it owns. SLA power/traffic budgets are not
+/// measurable on real threads (violations report as zero); the core
+/// ceiling is enforced through the arbiter's budget mode as in the
+/// simulation.
+pub fn run_tenants_threads(config: MultiTenantConfig, data: &TpchData) -> MultiTenantOutput {
+    let width = capacity();
+    let ntotal = width as u32;
+    let base = Arc::new(BaseData::from_tpch(data));
+    let mut arbiter = TenantArbiter::new(config.arbiter, ntotal);
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    let mut live: Vec<TenantLive> = config
+        .tenants
+        .iter()
+        .map(|t| {
+            let tid = arbiter.register(t.name.clone(), t.weight, t.sla.max_cores);
+            let engine = Arc::new(ParEngine::new(
+                ParEngineConfig {
+                    n_workers: width,
+                    initial_active: 1,
+                },
+                Arc::clone(&base),
+            ));
+            let seed_core = (0..ntotal)
+                .map(|c| CoreId(c as u16))
+                .find(|&c| !arbiter.foreign_mask(tid).contains(c))
+                .expect("register() guarantees a free core per tenant");
+            arbiter.claim_initial(tid, seed_core);
+            let results = Arc::new(Mutex::new(Vec::new()));
+            let remaining = Arc::new(AtomicUsize::new(t.clients));
+            let finished_at = Arc::new(Mutex::new(SimTime::ZERO));
+            handles.extend(spawn_client_threads(
+                &engine,
+                &t.workload,
+                t.clients,
+                std::time::Duration::from_nanos(t.start_after.as_nanos()),
+                &results,
+                &remaining,
+                &finished_at,
+                t0,
+            ));
+            TenantLive {
+                engine,
+                controller: PoolController::new(pool_cfg(ntotal, config.mech_interval)),
+                tid,
+                results,
+                remaining,
+                finished_at,
+                cores_series: TimeSeries::new(format!("{}_cores", t.name)),
+                load_series: TimeSeries::new(format!("{}_load", t.name)),
+                qps_series: TimeSeries::new(format!("{}_qps", t.name)),
+                next_control: SimTime::ZERO + t.start_after,
+                ctl_busy: 0,
+                ctl_at: SimTime::ZERO,
+                sample_busy: 0,
+                sample_at: SimTime::ZERO,
+                sample_completed: 0,
+                control_steps: 0,
+            }
+        })
+        .collect();
+
+    let deadline = wall_deadline(config.deadline);
+    let mut next_sample = SimTime::ZERO;
+    let mut drain_until: Option<SimTime> = None;
+    loop {
+        std::thread::sleep(POLL);
+        let now = wall_now(t0);
+        let unfinished = live.iter().any(|l| l.remaining.load(Ordering::SeqCst) > 0);
+        if unfinished {
+            assert!(
+                now.since(SimTime::ZERO) <= deadline,
+                "multi-tenant run hit the deadline ({deadline:?}) with clients unfinished — \
+                 raise MultiTenantConfig::deadline"
+            );
+        } else {
+            let until = *drain_until.get_or_insert(now + config.drain);
+            if now >= until {
+                break;
+            }
+        }
+
+        for l in live.iter_mut() {
+            if now < l.next_control {
+                continue;
+            }
+            let busy = l.engine.busy_ns();
+            let u = load_pct(
+                busy - l.ctl_busy,
+                l.engine.active(),
+                now.since(l.ctl_at).as_nanos(),
+            );
+            l.ctl_busy = busy;
+            l.ctl_at = now;
+            let d = l.controller.observe(now, u);
+            l.control_steps += 1;
+            arbiter.note(l.tid, d.action == AllocAction::Allocate);
+            let owned = arbiter.owned(l.tid);
+            match d.action {
+                AllocAction::Allocate => {
+                    let candidate = (0..ntotal)
+                        .map(|c| CoreId(c as u16))
+                        .find(|&c| !owned.contains(c) && !arbiter.foreign_mask(l.tid).contains(c));
+                    let granted = candidate.is_some_and(|c| arbiter.try_claim(l.tid, c));
+                    if !granted {
+                        if candidate.is_none() {
+                            arbiter.denials += 1;
+                        }
+                        l.controller.resync(owned.count() as u32);
+                    }
+                }
+                AllocAction::Release => {
+                    if owned.count() > 1 {
+                        let victim = owned.iter().max_by_key(|c| c.idx()).unwrap();
+                        arbiter.release(l.tid, victim);
+                    } else {
+                        l.controller.resync(1);
+                    }
+                }
+                AllocAction::Hold => {}
+            }
+            if arbiter.must_yield(l.tid) && arbiter.owned(l.tid).count() > 1 {
+                let victim = arbiter.owned(l.tid).iter().max_by_key(|c| c.idx()).unwrap();
+                arbiter.release(l.tid, victim);
+                arbiter.yields += 1;
+                l.controller.resync(arbiter.owned(l.tid).count() as u32);
+            }
+            l.engine.set_active(arbiter.owned(l.tid).count());
+            l.next_control = now + l.controller.interval();
+        }
+
+        if now >= next_sample {
+            for l in live.iter_mut() {
+                let busy = l.engine.busy_ns();
+                let u = load_pct(
+                    busy - l.sample_busy,
+                    l.engine.active(),
+                    now.since(l.sample_at).as_nanos(),
+                );
+                let completed = l.engine.stats().queries_completed;
+                let dt = now.since(l.sample_at).as_secs_f64();
+                let qps = if dt > 0.0 {
+                    (completed - l.sample_completed) as f64 / dt
+                } else {
+                    0.0
+                };
+                l.sample_busy = busy;
+                l.sample_at = now;
+                l.sample_completed = completed;
+                l.load_series.push(now, u);
+                l.cores_series
+                    .push(now, arbiter.owned(l.tid).count() as f64);
+                l.qps_series.push(now, qps);
+            }
+            next_sample = now + config.sample_every;
+        }
+    }
+    // Close every tenant's record with one last control decision and
+    // sample — a run shorter than the first poll tick must still show
+    // the controller ran and leave non-empty series.
+    let now = wall_now(t0);
+    for l in live.iter_mut() {
+        let busy = l.engine.busy_ns();
+        let u = load_pct(
+            busy - l.ctl_busy,
+            l.engine.active(),
+            now.since(l.ctl_at).as_nanos(),
+        );
+        l.controller.observe(now, u);
+        l.control_steps += 1;
+        l.load_series.push(now, u);
+        l.cores_series
+            .push(now, arbiter.owned(l.tid).count() as f64);
+    }
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+
+    let tenants: Vec<TenantOutput> = config
+        .tenants
+        .iter()
+        .zip(live)
+        .map(|(t, l)| {
+            let started_at = SimTime::ZERO + t.start_after;
+            let finished = *l.finished_at.lock().unwrap();
+            TenantOutput {
+                config: t.clone(),
+                results: Arc::try_unwrap(l.results)
+                    .expect("clients gone")
+                    .into_inner()
+                    .unwrap(),
+                cores_series: l.cores_series,
+                load_series: l.load_series,
+                qps_series: l.qps_series,
+                started_at,
+                finished_at: finished.max(started_at),
+                sla_violations: 0,
+                control_steps: l.control_steps,
+            }
+        })
+        .collect();
+    let wall = tenants
+        .iter()
+        .map(|t| t.finished_at)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .since(SimTime::ZERO);
+    MultiTenantOutput {
+        tenants,
+        wall,
+        ntotal,
+        arbiter_denials: arbiter.denials,
+        arbiter_yields: arbiter.yields,
+    }
+}

@@ -13,6 +13,7 @@
 //! [`std::str::FromStr`] parses it back, round-tripping every field —
 //! the same format the CLI logs at startup and accepts in scripts.
 
+use crate::backend::Backend;
 use crate::config::{Alloc, RunConfig, Warmup};
 use elastic_core::PolicyId;
 use emca_metrics::SimDuration;
@@ -163,6 +164,9 @@ pub struct ExperimentSpec {
     /// (`EMCA_TENANTS` / `--tenants`); `None` keeps every scenario
     /// default.
     pub tenants: Option<Vec<TenantSpec>>,
+    /// Execution backend (`EMCA_BACKEND` / `--backend`): the
+    /// deterministic simulation (default) or real OS threads.
+    pub backend: Backend,
 }
 
 impl Default for ExperimentSpec {
@@ -181,6 +185,7 @@ impl Default for ExperimentSpec {
             check: false,
             out_dir: None,
             tenants: None,
+            backend: Backend::default(),
         }
     }
 }
@@ -240,7 +245,7 @@ impl ExperimentSpec {
         if let Some(w) = self.warmup {
             cfg = cfg.with_warmup(w);
         }
-        cfg
+        cfg.with_backend(self.backend)
     }
 
     /// Applies the spec's tenant overrides to a multi-tenant config:
@@ -252,6 +257,7 @@ impl ExperimentSpec {
         &self,
         cfg: &mut crate::tenants::MultiTenantConfig,
     ) -> Result<(), SpecError> {
+        cfg.backend = self.backend;
         let Some(overrides) = &self.tenants else {
             return Ok(());
         };
@@ -383,6 +389,11 @@ impl std::fmt::Display for ExperimentSpec {
             let rendered: Vec<String> = tenants.iter().map(|t| t.to_string()).collect();
             pairs.push(format!("tenants={}", rendered.join(",")));
         }
+        // Emitted only off the default, so pre-backend spec lines stay
+        // byte-identical.
+        if self.backend != Backend::default() {
+            pairs.push(format!("backend={}", self.backend));
+        }
         f.write_str(&pairs.join(" "))
     }
 }
@@ -466,10 +477,11 @@ impl ExperimentSpec {
                         .collect::<Result<Vec<_>, _>>()?,
                 )
             }
+            "backend" => self.backend = value.parse().map_err(SpecError)?,
             other => {
                 return Err(SpecError(format!(
                     "unknown spec key {other:?} (valid: scenario flavor policy users iters \
-                     sf seed warmup guard interval_ms check out_dir tenants)"
+                     sf seed warmup guard interval_ms check out_dir tenants backend)"
                 )))
             }
         }
@@ -497,6 +509,7 @@ impl ExperimentSpec {
 /// | `EMCA_CHECK`       | `check`       |
 /// | `EMCA_OUT_DIR`     | `out_dir`     |
 /// | `EMCA_TENANTS`     | `tenants`     |
+/// | `EMCA_BACKEND`     | `backend`     |
 ///
 /// `PROPTEST_CASES` is consumed by the vendored proptest shim with the
 /// same strict parsing; it is not a spec field.
@@ -521,6 +534,7 @@ pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> Result<ExperimentSpec,
         ("EMCA_CHECK", "check"),
         ("EMCA_OUT_DIR", "out_dir"),
         ("EMCA_TENANTS", "tenants"),
+        ("EMCA_BACKEND", "backend"),
     ] {
         if let Some(value) = get(var) {
             spec.set(key, &value)
@@ -557,10 +571,26 @@ mod tests {
             check: true,
             out_dir: Some(PathBuf::from("/tmp/emca-out")),
             tenants: Some(vec![TenantSpec::named("olap"), TenantSpec::named("steady")]),
+            backend: Backend::Threads,
         };
         let line = spec.to_string();
         let back: ExperimentSpec = line.parse().unwrap();
         assert_eq!(spec, back, "serialised as {line:?}");
+    }
+
+    #[test]
+    fn backend_round_trips_and_default_is_omitted() {
+        let line = ExperimentSpec::default().to_string();
+        assert!(!line.contains("backend"), "{line}");
+        let spec = ExperimentSpec {
+            backend: Backend::Threads,
+            ..ExperimentSpec::default()
+        };
+        let line = spec.to_string();
+        assert!(line.contains("backend=threads"), "{line}");
+        let back: ExperimentSpec = line.parse().unwrap();
+        assert_eq!(back.backend, Backend::Threads);
+        assert!("backend=gpu".parse::<ExperimentSpec>().is_err());
     }
 
     #[test]
@@ -615,6 +645,7 @@ mod tests {
             ("EMCA_INTERVAL_MS", "5"),
             ("EMCA_CHECK", "1"),
             ("EMCA_OUT_DIR", "/tmp/x"),
+            ("EMCA_BACKEND", "threads"),
         ];
         let spec = from_vars(|n| {
             vars.iter()
@@ -633,6 +664,7 @@ mod tests {
         assert_eq!(spec.interval_ms, Some(5.0));
         assert!(spec.check);
         assert_eq!(spec.out_dir, Some(PathBuf::from("/tmp/x")));
+        assert_eq!(spec.backend, Backend::Threads);
     }
 
     #[test]

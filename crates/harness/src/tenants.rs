@@ -11,6 +11,7 @@
 //! output keeps per-tenant series so interference, fairness and reclaim
 //! latency are measurable (the `mt_*` scenarios in `emca-bench`).
 
+use crate::backend::Backend;
 use crate::config::Warmup;
 use elastic_core::{
     ArbiterMode, ElasticMechanism, MechanismConfig, Policy, PolicyId, SlaCappedPolicy, SlaPolicy,
@@ -115,6 +116,8 @@ pub struct MultiTenantConfig {
     /// post-completion core release (reclaim latency) stays observable
     /// even for the tenant that finishes last.
     pub drain: SimDuration,
+    /// Execution backend (simulated workers vs real OS threads).
+    pub backend: Backend,
 }
 
 impl MultiTenantConfig {
@@ -131,6 +134,7 @@ impl MultiTenantConfig {
             mech_interval: None,
             warmup: Warmup::default(),
             drain: SimDuration::ZERO,
+            backend: Backend::default(),
         }
     }
 
@@ -156,6 +160,12 @@ impl MultiTenantConfig {
     /// Switches the engine flavor.
     pub fn with_flavor(mut self, flavor: Flavor) -> Self {
         self.flavor = flavor;
+        self
+    }
+
+    /// Switches the execution backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -224,14 +234,15 @@ impl TenantOutput {
     }
 
     /// Response-time percentile over completions inside `[from, to]`.
+    /// `percentile` orders with `f64::total_cmp` internally, so no
+    /// pre-sort (and no ad-hoc NaN comparator) is needed here.
     pub fn response_percentile_between(&self, q: f64, from: SimTime, to: SimTime) -> SimDuration {
-        let mut secs: Vec<f64> = self
+        let secs: Vec<f64> = self
             .results
             .iter()
             .filter(|r| r.finished >= from && r.finished <= to)
             .map(|r| r.response().as_secs_f64())
             .collect();
-        secs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         match emca_metrics::stats::percentile(&secs, q) {
             Some(s) => SimDuration::from_secs_f64(s),
             None => SimDuration::ZERO,
@@ -271,11 +282,14 @@ impl TenantOutput {
     /// `mt_*` scenarios (0 = perfectly steady). `None` when fewer than
     /// two windows fall in range or the mean rate is zero.
     pub fn qps_cov_between(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        // Non-finite samples are dropped rather than poisoning the
+        // mean/stddev into a NaN "stability" figure (same policy as
+        // `stats::percentile` rejecting NaN input).
         let vals: Vec<f64> = self
             .qps_series
             .samples()
             .iter()
-            .filter(|(t, _)| *t >= from && *t <= to)
+            .filter(|(t, v)| *t >= from && *t <= to && v.is_finite())
             .map(|&(_, v)| v)
             .collect();
         if vals.len() < 2 {
@@ -390,6 +404,9 @@ struct TenantLive {
 /// *OLTP on Hardware Islands* co-location shape: instances share the
 /// machine, not the buffer pool).
 pub fn run_tenants(config: MultiTenantConfig, data: &TpchData) -> MultiTenantOutput {
+    if config.backend == Backend::Threads {
+        return crate::runner_threads::run_tenants_threads(config, data);
+    }
     let kernel_cfg = KernelConfig::default();
     let machine = Machine::new(MachineConfig::opteron_4x4(), kernel_cfg.tick);
     let mut kernel = Kernel::new(machine, kernel_cfg);
@@ -683,5 +700,113 @@ mod tests {
             "capped tenant exceeded its budget: {} cores",
             capped.cores_max()
         );
+    }
+
+    /// A synthetic output with completions at 1s, 2s, 3s (responses
+    /// 100ms each) and one cores/qps sample per second.
+    fn synthetic_output(n_results: usize) -> TenantOutput {
+        let mut cores_series = TimeSeries::new("t_cores");
+        let mut qps_series = TimeSeries::new("t_qps");
+        let results = (0..n_results)
+            .map(|i| {
+                let finished = SimTime::from_secs(i as u64 + 1);
+                cores_series.push(finished, (i + 1) as f64);
+                qps_series.push(finished, 1.0);
+                QueryResult {
+                    qid: volcano_db::exec::task::QueryId(i as u64),
+                    label: "q06".to_string(),
+                    spec_tag: 6,
+                    submitted: finished - SimDuration::from_millis(100),
+                    finished,
+                    traffic: Default::default(),
+                    busy: SimDuration::from_millis(50),
+                    result: volcano_db::exec::Mat::Scalar(1.0),
+                }
+            })
+            .collect();
+        TenantOutput {
+            config: TenantRunConfig::new("t", q6(1), 1),
+            results,
+            cores_series,
+            load_series: TimeSeries::new("t_load"),
+            qps_series,
+            started_at: SimTime::ZERO,
+            finished_at: SimTime::from_secs(3),
+            sla_violations: 0,
+            control_steps: 0,
+        }
+    }
+
+    #[test]
+    fn windowed_metrics_on_an_empty_window() {
+        let t = synthetic_output(3);
+        // A window past every completion holds nothing: means and
+        // percentiles report zero, optional stats report None.
+        let from = SimTime::from_secs(100);
+        let to = SimTime::from_secs(200);
+        assert_eq!(t.mean_response_between(from, to), SimDuration::ZERO);
+        assert_eq!(
+            t.response_percentile_between(0.95, from, to),
+            SimDuration::ZERO
+        );
+        assert_eq!(t.qps_between(from, to), 0.0);
+        assert_eq!(t.cores_between(from, to), None);
+        assert_eq!(t.qps_cov_between(from, to), None);
+    }
+
+    #[test]
+    fn windowed_metrics_on_a_zero_or_inverted_span() {
+        let t = synthetic_output(3);
+        let at = SimTime::from_secs(1);
+        // Zero span: a completion sits exactly on the window edge, but a
+        // rate over no time is reported as zero, not a division blow-up.
+        assert_eq!(t.qps_between(at, at), 0.0);
+        // Inverted span (to < from): empty, not negative.
+        assert_eq!(t.qps_between(SimTime::from_secs(3), at), 0.0);
+        assert_eq!(
+            t.mean_response_between(SimTime::from_secs(3), at),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn windowed_metrics_on_a_single_sample() {
+        let t = synthetic_output(1);
+        let from = SimTime::ZERO;
+        let to = SimTime::from_secs(10);
+        assert_eq!(
+            t.mean_response_between(from, to),
+            SimDuration::from_millis(100)
+        );
+        // Any percentile of one sample is that sample.
+        assert_eq!(
+            t.response_percentile_between(0.95, from, to),
+            SimDuration::from_millis(100)
+        );
+        assert_eq!(t.cores_between(from, to), Some(1.0));
+        // One qps window cannot support a variability estimate.
+        assert_eq!(t.qps_cov_between(from, to), None);
+    }
+
+    #[test]
+    fn percentile_survives_nan_responses() {
+        let mut t = synthetic_output(3);
+        // Corrupt one response into NaN territory via a saturating
+        // since(): submitted after finished yields a zero response, and
+        // stats::percentile itself filters non-finite inputs — inject an
+        // actual NaN through the series to prove the stats layer holds.
+        t.qps_series.push(SimTime::from_secs(4), f64::NAN);
+        let cov = t.qps_cov_between(SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(
+            cov,
+            Some(0.0),
+            "the NaN sample is dropped; the three steady windows give CoV 0"
+        );
+        // With only the NaN in range there is nothing to estimate from.
+        assert!(t
+            .qps_cov_between(SimTime::from_secs(4), SimTime::from_secs(10))
+            .is_none());
+        // Percentiles over the (finite) responses stay correct.
+        assert_eq!(t.response_percentile(0.5), SimDuration::from_millis(100));
     }
 }

@@ -30,13 +30,13 @@ pub fn geomean(xs: &[f64]) -> Option<f64> {
 }
 
 /// The `q`-quantile (0 ≤ q ≤ 1) using linear interpolation between order
-/// statistics; `None` for an empty slice or out-of-range `q`.
+/// statistics; `None` for an empty slice, out-of-range `q`, or NaN input.
 pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
-    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) || xs.iter().any(|x| x.is_nan()) {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -169,6 +169,24 @@ mod tests {
         assert_eq!(percentile(&xs, 0.5), Some(2.5));
         assert_eq!(percentile(&xs, 2.0), None);
         assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn percentile_rejects_nan_instead_of_panicking() {
+        assert_eq!(percentile(&[1.0, f64::NAN, 3.0], 0.5), None);
+        assert_eq!(percentile(&[f64::NAN], 0.5), None);
+        // Infinities are ordered fine and must still work.
+        assert_eq!(
+            percentile(&[f64::NEG_INFINITY, 0.0, f64::INFINITY], 0.5),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        assert_eq!(percentile(&[7.5], 0.0), Some(7.5));
+        assert_eq!(percentile(&[7.5], 0.5), Some(7.5));
+        assert_eq!(percentile(&[7.5], 1.0), Some(7.5));
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Wall-clock headline check on the real-thread backend: elastic
+//! allocation must beat the static OS baseline for a mixed concurrent
+//! workload, *in actual elapsed time*, not simulated time.
+//!
+//! The baseline models what the paper argues against: a thread-per-
+//! client server with no pool management — here `max(16, clients)`
+//! always-active workers, oversubscribing the host and contending on
+//! the scheduler state while the elastic pool holds its allocation at
+//! what the measured load justifies. Release-only: it runs dozens of
+//! real queries per configuration and timing assertions under an
+//! unoptimised build are meaningless.
+
+use emca_harness::{run, Alloc, Backend, RunConfig};
+use volcano_db::client::Workload;
+use volcano_db::tpch::{QuerySpec, TpchData, TpchScale};
+
+fn mixed(iters: u32) -> Workload {
+    Workload::Mixed {
+        specs: vec![
+            QuerySpec::Q6 { variant: 0 },
+            QuerySpec::Q6 { variant: 1 },
+            QuerySpec::Tpch {
+                number: 1,
+                variant: 0,
+            },
+            QuerySpec::Tpch {
+                number: 14,
+                variant: 0,
+            },
+            QuerySpec::Tpch {
+                number: 4,
+                variant: 0,
+            },
+        ],
+        iterations: iters,
+        seed: 3,
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "wall-clock comparison is release-only; debug timing is not meaningful"
+)]
+fn adaptive_pool_beats_static_thread_explosion_on_wall_clock() {
+    let data = TpchData::generate(TpchScale { sf: 0.1, seed: 42 });
+    let clients = 96;
+    let cfg = |alloc| {
+        RunConfig::new(alloc, clients, mixed(2))
+            .with_scale(data.scale)
+            .with_backend(Backend::Threads)
+    };
+    let qps = |alloc| {
+        let out = run(cfg(alloc), &data);
+        assert_eq!(out.results.len(), clients * 2);
+        out.results.len() as f64 / out.wall.as_secs_f64()
+    };
+    // Paired samples, median ratio: background load on a shared CI host
+    // drifts over seconds, slowing both configurations together. Running
+    // the baseline and the elastic pool back-to-back and comparing their
+    // per-pair ratio cancels that drift; the median over five pairs then
+    // shrugs off a single scheduler hiccup without rewarding a lucky run.
+    let mut ratios: Vec<f64> = (0..5)
+        .map(|_| {
+            let os = qps(Alloc::OsAll);
+            let adaptive = qps(Alloc::Adaptive);
+            eprintln!("threads wall-clock qps: os={os:.1} adaptive={adaptive:.1}");
+            adaptive / os
+        })
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    let median = ratios[2];
+    assert!(
+        median > 1.0,
+        "elastic pool must out-run the static thread-per-client baseline \
+         (median adaptive/os wall-clock ratio {median:.3} over {ratios:?})"
+    );
+}
