@@ -7,6 +7,8 @@
 //!                                     run a scenario once per value
 //! emca check [--fidelity] [flags]     validate results CSVs
 //!                                     (+ the tab_summary fidelity gate)
+//! emca legacy <binary> [args]         run a retired per-figure binary
+//!                                     by its old name
 //! emca help                           this text
 //! ```
 //!
@@ -21,13 +23,20 @@
 //! --guard off|<threshold>  --interval-ms <ms>
 //! --out-dir <dir>  --check  --backend sim|threads
 //! --tenants name[:policy=..][:users=..][:weight=..][:cap=..],...
+//! --arrival poisson:<qps>|trace:<path>  --duration <s>
+//! --admission none|limit:<n>[:queue=<cap>]  --sla-ms <ms>
 //! ```
+//!
+//! `run` and `sweep` also take `--prune-unsupported`: instead of
+//! rejecting a spec that pins a key the scenario ignores, drop the key
+//! (with a note) and run — the switch for generic CI loops that pass
+//! one flag set to every scenario.
 //!
 //! Typical invocations:
 //!
 //! ```sh
 //! cargo run --release -p emca-bench --bin emca -- run fig19 --policy adaptive --sf 0.25
-//! cargo run --release -p emca-bench --bin emca -- run tab_summary --policy hillclimb
+//! cargo run --release -p emca-bench --bin emca -- run serve_latency_curve --check
 //! cargo run --release -p emca-bench --bin emca -- sweep fig07 --over policy=dense,sparse,adaptive
 //! EMCA_SF=0.25 cargo run --release -p emca-bench --bin emca -- check --fidelity
 //! ```
@@ -43,7 +52,11 @@ commands:
   run <scenario> [flags]             run one scenario
   sweep <scenario> --over k=v1,v2,.. run once per value of one spec key
   check [--fidelity] [flags]         validate declared results CSVs;
-                                     --fidelity also runs the tab_summary gate
+                                     --fidelity also runs the tab_summary gate;
+                                     --scenario <name> (repeatable) restricts
+                                     the check to that scenario's CSVs
+  legacy <binary> [args]             run a retired per-figure binary by its
+                                     old name (fig04_q6_users, probe, ...)
   help                               show this text
 
 flags (override the EMCA_* environment fallbacks):
@@ -53,7 +66,13 @@ flags (override the EMCA_* environment fallbacks):
   --guard off|<threshold> --interval-ms <ms> --out-dir <dir> --check
   --backend sim|threads              execute on simulated workers or real OS threads
   --tenants name[:policy=..][:users=..][:weight=..][:cap=..],...
-                                     per-tenant overrides (mt_* scenarios)";
+                                     per-tenant overrides (mt_* scenarios)
+  --arrival poisson:<qps>|trace:<path>  open-loop schedule (serve_* scenarios)
+  --duration <s> --sla-ms <ms>       offered-load window and latency SLA
+  --admission none|limit:<n>[:queue=<cap>]
+                                     front-door policy of the admitted series
+  --prune-unsupported                drop (with a note) spec keys the scenario
+                                     does not honour instead of erroring";
 
 fn fail(msg: &str) -> ! {
     eprintln!("emca: {msg}");
@@ -80,6 +99,10 @@ fn parse_flags(spec: &mut ExperimentSpec, args: &[String]) -> Vec<String> {
             "--out-dir" => "out_dir",
             "--tenants" => "tenants",
             "--backend" => "backend",
+            "--arrival" => "arrival",
+            "--duration" => "duration",
+            "--admission" => "admission",
+            "--sla-ms" => "sla_ms",
             "--check" => {
                 spec.check = true;
                 continue;
@@ -106,9 +129,98 @@ fn base_spec() -> ExperimentSpec {
     }
 }
 
+/// The retired per-figure binaries, by their old `--bin` names, mapped
+/// to the scenario each one wrapped. `emca legacy <name>` keeps muscle
+/// memory and old scripts working through the one remaining binary.
+const LEGACY: &[(&str, &str)] = &[
+    ("ablation", "ablation"),
+    ("csv_check", "csv_check"),
+    ("fig04_q6_users", "fig04"),
+    ("fig05_migration_os", "fig05"),
+    ("fig06_tomograph", "fig06"),
+    ("fig07_transitions", "fig07"),
+    ("fig13_sched_metrics", "fig13"),
+    ("fig14_memory_metrics", "fig14"),
+    ("fig15_selectivity", "fig15"),
+    ("fig16_migration_modes", "fig16"),
+    ("fig17_strategies", "fig17"),
+    ("fig18_stable_phases", "fig18"),
+    ("fig19_mixed_phases", "fig19"),
+    ("fig20_energy", "fig20"),
+    ("probe", "probe"),
+    ("tab_overhead", "tab_overhead"),
+    ("tab_summary", "tab_summary"),
+];
+
+/// `emca legacy <binary> [args]` — the shim-binary surface folded into
+/// the dispatcher: EMCA_* fallbacks apply as before, and `probe` keeps
+/// its historical positional `[sf] [clients] [iters]` arguments.
+fn run_legacy(registry: &emca_harness::ScenarioRegistry, args: &[String]) {
+    let Some(binary) = args.first() else {
+        fail("legacy requires a retired binary name (e.g. fig04_q6_users)");
+    };
+    let Some((_, scenario)) = LEGACY.iter().find(|(old, _)| old == binary) else {
+        let known: Vec<&str> = LEGACY.iter().map(|(old, _)| *old).collect();
+        fail(&format!(
+            "unknown legacy binary {binary:?} (known: {})",
+            known.join(", ")
+        ));
+    };
+    let mut spec = base_spec();
+    spec.scenario = scenario.to_string();
+    let rest = &args[1..];
+    if *scenario == "probe" {
+        for (i, key) in [(0usize, "sf"), (1, "users"), (2, "iters")] {
+            if let Some(v) = rest.get(i) {
+                if let Err(e) = spec.set(key, v) {
+                    fail(&format!("legacy probe argument {}: {e}", i + 1));
+                }
+            }
+        }
+    } else if let Some(extra) = rest.first() {
+        fail(&format!(
+            "legacy {binary} takes no arguments (got {extra:?}); \
+             use `emca run {scenario}` for flags"
+        ));
+    }
+    eprintln!("note: the {binary} binary is retired; this ran `emca run {scenario}`");
+    // The retired binaries read the EMCA_* env and silently ignored
+    // what they didn't use; the compatibility path keeps that shape by
+    // pruning (with a note) rather than hard-erroring.
+    prune_spec(registry, scenario, &mut spec);
+    run_one(registry, scenario, &spec);
+}
+
+/// Removes `switch` from `rest` if present; returns whether it was.
+fn take_switch(rest: &mut Vec<String>, switch: &str) -> bool {
+    let before = rest.len();
+    rest.retain(|a| a != switch);
+    before != rest.len()
+}
+
+/// Drops (with a note) every pinned key `name` does not honour — the
+/// `--prune-unsupported` path for generic loops that pass one flag set
+/// to every scenario.
+fn prune_spec(
+    registry: &emca_harness::ScenarioRegistry,
+    name: &str,
+    spec: &mut emca_harness::ExperimentSpec,
+) {
+    for (key, value) in registry.prune_unsupported(name, spec) {
+        eprintln!("emca: {name} does not honour {key}={value}; dropped (--prune-unsupported)");
+    }
+}
+
 /// Runs one scenario with the wall clock stamped (`[wall] <name>=..s`);
 /// returns the elapsed seconds so gates can budget them.
 fn run_one(registry: &emca_harness::ScenarioRegistry, name: &str, spec: &ExperimentSpec) -> f64 {
+    // Spec problems (a pinned key the scenario ignores) are usage
+    // errors — one-line diagnostic, exit 2 — distinct from a scenario
+    // that started and then failed (exit 1).
+    if let Err(e) = registry.validate_spec(name, spec) {
+        eprintln!("emca run {name}: {e}");
+        std::process::exit(2);
+    }
     spec.log_resolved();
     let timer = emca_harness::WallTimer::start(name);
     if let Err(e) = registry.run(name, spec) {
@@ -141,7 +253,8 @@ fn main() {
             };
             let mut spec = base_spec();
             spec.scenario = name.clone();
-            let rest = parse_flags(&mut spec, &args[2..]);
+            let mut rest = parse_flags(&mut spec, &args[2..]);
+            let prune = take_switch(&mut rest, "--prune-unsupported");
             if let Some(extra) = rest.first() {
                 fail(&format!("unknown flag {extra:?}"));
             }
@@ -152,6 +265,9 @@ fn main() {
                 );
                 std::process::exit(2);
             }
+            if prune {
+                prune_spec(&registry, name, &mut spec);
+            }
             run_one(&registry, name, &spec);
         }
         Some("sweep") => {
@@ -160,7 +276,8 @@ fn main() {
             };
             let mut spec = base_spec();
             spec.scenario = name.clone();
-            let rest = parse_flags(&mut spec, &args[2..]);
+            let mut rest = parse_flags(&mut spec, &args[2..]);
+            let prune = take_switch(&mut rest, "--prune-unsupported");
             let mut over: Option<(String, Vec<String>)> = None;
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
@@ -193,6 +310,9 @@ fn main() {
                 if let Err(e) = step.set(&key, value) {
                     fail(&e.to_string());
                 }
+                if prune {
+                    prune_spec(&registry, name, &mut step);
+                }
                 eprintln!("== sweep {key}={value} ==");
                 run_one(&registry, name, &step);
             }
@@ -201,18 +321,61 @@ fn main() {
             let mut spec = base_spec();
             let rest = parse_flags(&mut spec, &args[1..]);
             let mut fidelity = false;
-            for arg in &rest {
+            let mut only: Vec<String> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--fidelity" => fidelity = true,
+                    "--scenario" => match it.next() {
+                        Some(name) => only.push(name.clone()),
+                        None => fail("--scenario requires a scenario name"),
+                    },
                     other => fail(&format!("unknown flag {other:?}")),
                 }
             }
-            spec.scenario = "csv_check".to_string();
-            run_one(&registry, "csv_check", &spec);
+            if !only.is_empty() {
+                // Restricted check: validate only the named scenarios'
+                // declared CSVs (smoke jobs that emit a subset).
+                let mut checked = 0usize;
+                let mut problems = 0usize;
+                for name in &only {
+                    let Some(s) = registry.get(name) else {
+                        fail(&format!(
+                            "unknown scenario {name:?} (valid: {})",
+                            registry.names().join(", ")
+                        ));
+                    };
+                    for (file, header) in s.csv_schemas() {
+                        checked += 1;
+                        if let Err(e) = emca_harness::validate_csv(&spec.csv_path(file), header) {
+                            eprintln!("emca check: {e}");
+                            problems += 1;
+                        }
+                    }
+                }
+                if problems > 0 {
+                    eprintln!("emca check: {problems} schema problem(s)");
+                    std::process::exit(1);
+                }
+                println!(
+                    "emca check: {checked} file(s) validate for {}",
+                    only.join(", ")
+                );
+                return;
+            }
+            // `check` inherits the ambient EMCA_* env (the fidelity
+            // gate pins scale that way); the scenarios it drives are
+            // fixed, so ambient keys they don't honour are pruned, not
+            // hard errors — only `run`/`sweep` treat pins as explicit.
+            let mut csv_spec = spec.clone();
+            csv_spec.scenario = "csv_check".to_string();
+            prune_spec(&registry, "csv_check", &mut csv_spec);
+            run_one(&registry, "csv_check", &csv_spec);
             if fidelity {
                 let mut spec = spec.clone();
                 spec.scenario = "tab_summary".to_string();
                 spec.check = true;
+                prune_spec(&registry, "tab_summary", &mut spec);
                 let elapsed = run_one(&registry, "tab_summary", &spec);
                 // Wall budget (EMCA_WALL_BUDGET_S): the fidelity gate
                 // doubles as the hot-path regression tripwire.
@@ -231,6 +394,7 @@ fn main() {
                 }
             }
         }
+        Some("legacy") => run_legacy(&registry, &args[1..]),
         Some("help") | Some("--help") | Some("-h") => println!("{USAGE}"),
         Some(other) => fail(&format!("unknown command {other:?}")),
         None => fail("missing command"),

@@ -12,12 +12,13 @@
 //!
 //! The documented `EMCA_*` environment variables remain as fallbacks,
 //! parsed once by `emca_harness::config::from_env()`; CLI flags override
-//! them. The former one-binary-per-figure entry points still exist as
-//! thin shims over the same scenarios.
+//! them. The former one-binary-per-figure entry points are retired:
+//! `emca legacy <old-binary-name>` dispatches the old names (see the
+//! README migration table).
 
 pub mod scenarios;
 
-use emca_harness::{ExperimentSpec, ScenarioError};
+use emca_harness::ExperimentSpec;
 
 /// The paper's user-count sweep {1, 4, 16, 64, 256}, capped.
 pub fn user_sweep(cap: usize) -> Vec<usize> {
@@ -37,34 +38,4 @@ pub fn emit(spec: &ExperimentSpec, table: &emca_metrics::table::Table, csv_name:
     } else {
         eprintln!("[csv] {}", path.display());
     }
-}
-
-/// Entry point of the deprecated per-figure binaries: builds the spec
-/// from the `EMCA_*` environment, runs the named scenario, exits
-/// non-zero on failure. `tweak` lets a shim fold legacy positional
-/// arguments into the spec.
-pub fn shim_main_with(scenario: &str, tweak: impl FnOnce(&mut ExperimentSpec)) {
-    let mut spec = match emca_harness::config::from_env() {
-        Ok(spec) => spec,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    spec.scenario = scenario.to_string();
-    tweak(&mut spec);
-    eprintln!(
-        "note: the per-figure binaries are deprecated; use `emca run {scenario}` \
-         (cargo run -p emca-bench --bin emca -- run {scenario})"
-    );
-    spec.log_resolved();
-    if let Err(ScenarioError(e)) = scenarios::registry().run(scenario, &spec) {
-        eprintln!("{scenario}: {e}");
-        std::process::exit(1);
-    }
-}
-
-/// [`shim_main_with`] without argument folding.
-pub fn shim_main(scenario: &str) {
-    shim_main_with(scenario, |_| {});
 }

@@ -22,136 +22,230 @@ pub mod mt_burst;
 pub mod mt_fairshare;
 pub mod mt_interference;
 pub mod probe;
+pub mod serve;
+pub mod serve_latency_curve;
+pub mod serve_overload;
 pub mod tab_overhead;
 pub mod tab_summary;
 
 use emca_harness::{ExperimentSpec, FnScenario, ScenarioError, ScenarioRegistry};
 use std::path::Path;
 
-/// All built-in scenarios: the 17 former `emca-bench` binaries plus the
-/// multi-tenant (`mt_*`) workloads.
+// Per-scenario supported spec keys: a scenario declares exactly the
+// non-universal keys it honours, and the registry rejects a spec pinning
+// anything else instead of silently ignoring it. The universal keys
+// (`scenario`, `seed`, `check`, `out_dir`) are always accepted.
+
+/// The full user/iteration/policy sweep most figures run.
+const KEYS_SWEEP: &[&str] = &[
+    "sf",
+    "users",
+    "iters",
+    "policy",
+    "warmup",
+    "guard",
+    "interval_ms",
+    "backend",
+];
+/// Fixed single-client mechanism runs (no users/iters/policy knobs).
+const KEYS_MECH: &[&str] = &["sf", "warmup", "guard", "interval_ms", "backend"];
+/// Fig. 4 sweeps users/iters but has no mechanism slot.
+const KEYS_FIG04: &[&str] = &[
+    "sf",
+    "users",
+    "iters",
+    "warmup",
+    "guard",
+    "interval_ms",
+    "backend",
+];
+/// Policy + iteration knobs, fixed client count.
+const KEYS_POLICY_ITERS: &[&str] = &[
+    "sf",
+    "iters",
+    "policy",
+    "warmup",
+    "guard",
+    "interval_ms",
+    "backend",
+];
+/// Policy knob only (single-client trace figures).
+const KEYS_POLICY: &[&str] = &["sf", "policy", "warmup", "guard", "interval_ms", "backend"];
+/// Stable-phases workload: users + policy.
+const KEYS_PHASES: &[&str] = &[
+    "sf",
+    "users",
+    "policy",
+    "warmup",
+    "guard",
+    "interval_ms",
+    "backend",
+];
+/// The ablation pins guard/interval/warmup/flavor per row itself.
+const KEYS_ABLATION: &[&str] = &["sf", "users", "iters", "policy", "backend"];
+/// Multi-tenant scenarios: tenant overrides instead of a policy slot.
+const KEYS_MT: &[&str] = &["sf", "users", "iters", "flavor", "tenants", "backend"];
+/// Pure timing/validation scenarios run no experiment at all.
+const KEYS_NONE: &[&str] = &[];
+
+/// All built-in scenarios: the former `emca-bench` binaries plus the
+/// multi-tenant (`mt_*`) workloads and the serving layer (`serve_*`).
 pub fn registry() -> ScenarioRegistry {
     let mut r = ScenarioRegistry::new();
-    let items: [FnScenario; 20] = [
+    let items: [FnScenario; 22] = [
         FnScenario {
             name: "fig04",
             about: "Fig. 4 — Q6 vs concurrent clients (hand-coded C affinities vs OS/MonetDB)",
             schemas: fig04::SCHEMAS,
             run: fig04::run,
+            keys: KEYS_FIG04,
         },
         FnScenario {
             name: "fig05",
             about: "Fig. 5 — thread lifespan and core migration under the OS scheduler",
             schemas: fig05::SCHEMAS,
             run: fig05::run,
+            keys: KEYS_MECH,
         },
         FnScenario {
             name: "fig06",
             about: "Fig. 6 — Tomograph of Q6 (per-operator calls and time)",
             schemas: fig06::SCHEMAS,
             run: fig06::run,
+            keys: KEYS_MECH,
         },
         FnScenario {
             name: "fig07",
             about: "Fig. 7 — PrT state transitions and allocated cores over Q6",
             schemas: fig07::SCHEMAS,
             run: fig07::run,
+            keys: KEYS_POLICY_ITERS,
         },
         FnScenario {
             name: "fig13",
             about: "Fig. 13 — thetasubselect scheduling metrics vs concurrent clients",
             schemas: fig13::SCHEMAS,
             run: fig13::run,
+            keys: KEYS_SWEEP,
         },
         FnScenario {
             name: "fig14",
             about: "Fig. 14 — memory access metrics at 256 clients",
             schemas: fig14::SCHEMAS,
             run: fig14::run,
+            keys: KEYS_SWEEP,
         },
         FnScenario {
             name: "fig15",
             about: "Fig. 15 — L3 misses vs selectivity (256 clients)",
             schemas: fig15::SCHEMAS,
             run: fig15::run,
+            keys: KEYS_SWEEP,
         },
         FnScenario {
             name: "fig16",
             about: "Fig. 16 — thread migration by allocation policy (single-client Q6)",
             schemas: fig16::SCHEMAS,
             run: fig16::run,
+            keys: KEYS_POLICY,
         },
         FnScenario {
             name: "fig17",
             about: "Fig. 17 — CPU-load vs HT/IMC transition strategies",
             schemas: fig17::SCHEMAS,
             run: fig17::run,
+            keys: KEYS_POLICY_ITERS,
         },
         FnScenario {
             name: "fig18",
             about: "Fig. 18 — stable-phases workload, per-socket memory throughput",
             schemas: fig18::SCHEMAS,
             run: fig18::run,
+            keys: KEYS_PHASES,
         },
         FnScenario {
             name: "fig19",
             about: "Fig. 19 — mixed-phases per-query speedup and HT/IMC ratios",
             schemas: fig19::SCHEMAS,
             run: fig19::run,
+            keys: KEYS_SWEEP,
         },
         FnScenario {
             name: "fig20",
             about: "Fig. 20 — per-query energy: OS scheduler vs the mechanism",
             schemas: fig20::SCHEMAS,
             run: fig20::run,
+            keys: KEYS_SWEEP,
         },
         FnScenario {
             name: "mt_interference",
             about: "Two tenants — OLAP antagonist vs steady victim, with/without SLA caps",
             schemas: mt_interference::SCHEMAS,
             run: mt_interference::run,
+            keys: KEYS_MT,
         },
         FnScenario {
             name: "mt_fairshare",
             about: "Two symmetric tenants — convergence to the fair core split",
             schemas: mt_fairshare::SCHEMAS,
             run: mt_fairshare::run,
+            keys: KEYS_MT,
         },
         FnScenario {
             name: "mt_burst",
             about: "Antagonist burst against a priority tenant — core reclaim latency",
             schemas: mt_burst::SCHEMAS,
             run: mt_burst::run,
+            keys: KEYS_MT,
         },
         FnScenario {
             name: "tab_summary",
             about: "Headline summary table; fidelity gate with check=1",
             schemas: tab_summary::SCHEMAS,
             run: tab_summary::run,
+            keys: KEYS_SWEEP,
         },
         FnScenario {
             name: "tab_overhead",
             about: "§V overhead table — PrT step cost per allocation mode",
             schemas: tab_overhead::SCHEMAS,
             run: tab_overhead::run,
+            keys: KEYS_NONE,
         },
         FnScenario {
             name: "ablation",
             about: "Ablation of the calibration choices (signal, guard, placement)",
             schemas: ablation::SCHEMAS,
             run: ablation::run,
+            keys: KEYS_ABLATION,
         },
         FnScenario {
             name: "probe",
             about: "Calibration probe — quick OS-vs-mechanism comparison (no CSV)",
             schemas: probe::SCHEMAS,
             run: probe::run,
+            keys: KEYS_SWEEP,
+        },
+        FnScenario {
+            name: "serve_overload",
+            about: "Serving layer — one past-saturation point: outcome split, p99, goodput",
+            schemas: serve_overload::SCHEMAS,
+            run: serve_overload::run,
+            keys: serve::SERVE_KEYS,
+        },
+        FnScenario {
+            name: "serve_latency_curve",
+            about: "Serving layer — latency/goodput vs offered load; headline gate with check=1",
+            schemas: serve_latency_curve::SCHEMAS,
+            run: serve_latency_curve::run,
+            keys: serve::SERVE_KEYS,
         },
         FnScenario {
             name: "csv_check",
             about: "Validate every declared results CSV against its schema",
             schemas: csv_check::SCHEMAS,
             run: csv_check::run,
+            keys: KEYS_NONE,
         },
     ];
     for s in items {

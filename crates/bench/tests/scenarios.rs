@@ -1,17 +1,19 @@
-//! Registry coverage: all 17 former binaries plus the multi-tenant
-//! (`mt_*`) workloads are registered scenarios, and every one of them
-//! runs end-to-end at tiny scale, emitting the CSV schema it declares.
-//! The final `csv_check` pass validates the freshly generated set with
-//! the same library call CI uses — so schema declarations, scenario
-//! bodies, and the checker can never drift apart.
+//! Registry coverage: all 17 retired binaries plus the multi-tenant
+//! (`mt_*`) and serving (`serve_*`) workloads are registered scenarios,
+//! and every one of them runs end-to-end at tiny scale, emitting the
+//! CSV schema it declares. The final `csv_check` pass validates the
+//! freshly generated set with the same library call CI uses — so schema
+//! declarations, scenario bodies, and the checker can never drift
+//! apart.
 
 use emca_bench::scenarios;
 use emca_harness::ExperimentSpec;
 use std::path::PathBuf;
 
-/// Every name reachable through `emca run <name>`: the former
-/// one-binary-per-figure entry points plus the `mt_*` scenarios.
-const EXPECTED: [&str; 20] = [
+/// Every name reachable through `emca run <name>`: the retired
+/// one-binary-per-figure entry points plus the `mt_*` and `serve_*`
+/// scenarios.
+const EXPECTED: [&str; 22] = [
     "ablation",
     "csv_check",
     "fig04",
@@ -30,6 +32,8 @@ const EXPECTED: [&str; 20] = [
     "mt_fairshare",
     "mt_interference",
     "probe",
+    "serve_latency_curve",
+    "serve_overload",
     "tab_overhead",
     "tab_summary",
 ];
@@ -46,9 +50,9 @@ fn registry_lists_all_former_binaries() {
 #[test]
 fn registry_declares_the_full_results_schema_set() {
     // The committed results/ dir carries one CSV per declared schema;
-    // 27 files across the 18 CSV-writing scenarios (probe and csv_check
+    // 29 files across the 20 CSV-writing scenarios (probe and csv_check
     // only print).
-    assert_eq!(scenarios::declared_csv_count(), 27);
+    assert_eq!(scenarios::declared_csv_count(), 29);
     let registry = scenarios::registry();
     let mut seen = std::collections::BTreeSet::new();
     for s in registry.iter() {
@@ -96,6 +100,16 @@ fn every_scenario_smokes_at_tiny_scale() {
     for name in order {
         let mut spec = spec.clone();
         spec.scenario = name.to_string();
+        if name.starts_with("serve_") {
+            // The serving layer replaces the closed-loop client knobs
+            // with an open-loop schedule; pin a tiny one so the smoke
+            // stays quick.
+            spec.set("arrival", "poisson:120").unwrap();
+            spec.set("duration", "0.25").unwrap();
+        }
+        // One generic spec drives every scenario; drop the knobs each
+        // one does not honour (the --prune-unsupported path).
+        registry.prune_unsupported(name, &mut spec);
         registry
             .run(name, &spec)
             .unwrap_or_else(|e| panic!("scenario {name} failed at tiny scale: {e}"));

@@ -148,6 +148,9 @@ pub struct ElasticMechanism {
     prev_link_bytes: u64,
     /// Consecutive Idle classifications (release hysteresis state).
     idle_streak: u32,
+    /// Requests queued in front of the engine (serving layer); 0 in
+    /// closed-loop runs. Fed by [`ElasticMechanism::note_queue_depth`].
+    queue_depth: u64,
     /// A decided-but-not-yet-applied mask (actuation latency), plus the
     /// core whose arbiter ownership is released once the mask lands (a
     /// tenant shrink must not free the core for peers before it has
@@ -256,6 +259,7 @@ impl ElasticMechanism {
             last_control_at: kernel.now(),
             prev_link_bytes,
             idle_streak: 0,
+            queue_depth: 0,
             pending: None,
             tenancy,
             events: Vec::new(),
@@ -278,6 +282,17 @@ impl ElasticMechanism {
             None => secs,
             Some(prev) => prev + 0.2 * (secs - prev),
         });
+    }
+
+    /// Reports the serving layer's current admission-queue depth. The
+    /// backlog is demand the CPU-load metric cannot see — a single
+    /// admitted query can leave a one-core allocation half idle while
+    /// dozens of requests wait — so the next control step boosts the
+    /// metric value proportionally to queued-requests-per-core. Runs
+    /// without a front door never call this and behave exactly as
+    /// before.
+    pub fn note_queue_depth(&mut self, depth: u64) {
+        self.queue_depth = depth;
     }
 
     /// The live floor of the control interval (service-time scaled).
@@ -359,6 +374,7 @@ impl ElasticMechanism {
             interval: window,
             nalloc: self.net.nalloc(),
             ht_rate,
+            queue_depth: self.queue_depth,
         });
         self.completions_since = 0;
         self.last_control_at = kernel.now();
@@ -373,6 +389,15 @@ impl ElasticMechanism {
         // page-hottest node still has free cores (reaching them adds
         // local compute and cache without new interconnect traffic).
         let mut u = sample.u;
+        // Queue pressure: requests waiting at the front door are demand
+        // the load metric cannot see (they occupy no core yet). Each
+        // queued request per allocated core pushes the signal up toward
+        // Overload, so backlog grows the allocation even while the few
+        // admitted queries leave it under-utilised.
+        if self.queue_depth > 0 {
+            let boost = (100 * self.queue_depth) / self.net.nalloc().max(1) as u64;
+            u = (u + boost as i64).min(100);
+        }
         if let Some(guard) = self.cfg.saturation_guard {
             let th = self.cfg.thresholds;
             if u >= th.thmax && sample.mc_pressure >= guard {

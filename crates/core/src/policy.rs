@@ -73,6 +73,12 @@ pub struct Observation<'a> {
     pub nalloc: u32,
     /// Interconnect traffic rate over the window (bytes/s).
     pub ht_rate: f64,
+    /// Requests waiting for admission/dispatch in front of the engine
+    /// (the serving layer's queue). Always 0 in closed-loop runs, where
+    /// demand is only visible through CPU load. An open-loop front door
+    /// feeds this via `note_queue_depth` so backlog registers as demand
+    /// even while the few admitted queries leave the allocation idle.
+    pub queue_depth: u64,
 }
 
 impl Observation<'_> {
@@ -652,6 +658,7 @@ mod tests {
             interval: SimDuration::from_millis(ms),
             nalloc,
             ht_rate: 0.0,
+            queue_depth: 0,
         }
     }
 
@@ -908,6 +915,7 @@ mod tests {
                 interval: SimDuration::from_millis(50),
                 nalloc: 4,
                 ht_rate: 1e9,
+                queue_depth: 0,
             });
         }
         assert_eq!(p.cap(), 1);

@@ -75,6 +75,9 @@ pub struct PoolController {
     net: ElasticNet,
     idle_streak: u32,
     cur_interval: SimDuration,
+    /// Requests queued in front of the engine (serving layer); 0 in
+    /// closed-loop runs. Fed by [`PoolController::note_queue_depth`].
+    queue_depth: u64,
     /// Every fired transition, for the harness's `transitions` output.
     pub events: Vec<TransitionEvent>,
 }
@@ -88,15 +91,29 @@ impl PoolController {
             net: ElasticNet::new(cfg.thresholds, cfg.ntotal, initial),
             idle_streak: 0,
             cur_interval: cfg.min_interval,
+            queue_depth: 0,
             events: Vec::new(),
             cfg,
         }
+    }
+
+    /// Reports the serving layer's current admission-queue depth; the
+    /// next [`observe`](PoolController::observe) boosts the load signal
+    /// by the queued-requests-per-worker ratio, so backlog registers as
+    /// demand even while the admitted queries leave workers idle.
+    /// Closed-loop runs never call this.
+    pub fn note_queue_depth(&mut self, depth: u64) {
+        self.queue_depth = depth;
     }
 
     /// Feeds one CPU-load observation (percent of the *active* workers'
     /// capacity) and returns the new target allocation.
     pub fn observe(&mut self, now: SimTime, u_pct: f64) -> PoolDecision {
         let mut u = u_pct.round().clamp(0.0, 100.0) as i64;
+        if self.queue_depth > 0 {
+            let boost = (100 * self.queue_depth) / self.net.nalloc().max(1) as u64;
+            u = (u + boost as i64).min(100);
+        }
         if u <= self.cfg.thresholds.thmin {
             self.idle_streak += 1;
             if self.idle_streak < self.cfg.release_hysteresis {
@@ -204,6 +221,23 @@ mod tests {
         }
         assert!(c.interval() > short, "holds must back the cadence off");
         assert_eq!(c.interval(), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn queue_backlog_grows_an_idle_pool() {
+        let mut c = controller();
+        // Low measured load, but a deep admission queue: the backlog is
+        // demand and must grow the pool despite the idle CPU signal.
+        c.note_queue_depth(32);
+        let mut n = c.nalloc();
+        for i in 0..40 {
+            c.note_queue_depth(32);
+            n = c.observe(SimTime::from_millis(i), 5.0).nalloc;
+        }
+        assert_eq!(n, 16, "queue pressure must register as demand");
+        // Backlog drained: the idle signal shrinks the pool again.
+        c.note_queue_depth(0);
+        assert_eq!(drive(&mut c, 2.0, 40), 1);
     }
 
     #[test]

@@ -267,6 +267,13 @@ impl ParEngine {
         QueryId(qid)
     }
 
+    /// Non-blocking result fetch: returns `qid`'s result if it has
+    /// completed, `None` otherwise. The serving dispatcher polls this
+    /// for every in-flight request instead of blocking per query.
+    pub fn try_result(&self, qid: QueryId) -> Option<QueryResult> {
+        self.shared.state.lock().unwrap().results.remove(&qid.0)
+    }
+
     /// Blocks until `qid` completes and returns its result.
     pub fn wait_result(&self, qid: QueryId) -> QueryResult {
         let mut st = self.shared.state.lock().unwrap();

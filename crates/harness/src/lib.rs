@@ -14,7 +14,10 @@
 //! - [`Scenario`] / [`ScenarioRegistry`] — every figure/table of the
 //!   paper as a named unit (setup + sweep + declared CSV schema) that
 //!   the `emca` CLI lists and runs; user scenarios register the same
-//!   way.
+//!   way;
+//! - [`serve`] — the serving layer (`emca serve_*`): an open-loop load
+//!   generator ([`ArrivalSchedule`]), an [`AdmissionPolicy`] front door
+//!   and a dispatcher running admitted queries on either backend.
 
 pub mod backend;
 pub mod config;
@@ -23,6 +26,7 @@ pub mod report;
 pub mod runner;
 pub mod runner_threads;
 pub mod scenario;
+pub mod serve;
 pub mod spec;
 pub mod tenants;
 pub mod timing;
@@ -31,8 +35,14 @@ pub use backend::Backend;
 pub use config::{Alloc, PolicyFactory, RunConfig, Warmup};
 pub use handcoded_runner::{run_handcoded, HandcodedOutput};
 pub use runner::{run, run_all_allocs, RunOutput};
-pub use scenario::{validate_csv, FnScenario, Scenario, ScenarioError, ScenarioRegistry};
-pub use spec::{ExperimentSpec, SpecError, TenantSpec};
+pub use scenario::{
+    validate_csv, FnScenario, Scenario, ScenarioError, ScenarioRegistry, ALL_SCENARIO_KEYS,
+};
+pub use serve::{
+    build_admission, run_serve, AcceptAll, AdmissionDecision, AdmissionPolicy, Arrival,
+    ArrivalSchedule, ConcurrencyLimit, RequestOutcome, RequestRecord, ServeConfig, ServeOutput,
+};
+pub use spec::{AdmissionSpec, ArrivalSpec, ExperimentSpec, SpecError, TenantSpec};
 pub use tenants::{
     run_tenants, MultiTenantConfig, MultiTenantOutput, TenantOutput, TenantRunConfig,
 };

@@ -111,12 +111,18 @@ fn delta(after: &[u64], before: &[u64]) -> Vec<u64> {
         .collect()
 }
 
-/// Runs one experiment. `data` is shared across runs of a sweep so
-/// generation cost is paid once.
-pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
-    if config.backend == crate::backend::Backend::Threads {
-        return crate::runner_threads::run_threads(config, data);
-    }
+/// The simulated stack one run executes on: kernel, DBMS thread group,
+/// and a loaded engine with its workers started. Shared between the
+/// closed-loop runner ([`run`]) and the serving layer
+/// ([`crate::serve`]).
+pub(crate) struct SimStack {
+    pub kernel: Kernel,
+    pub group: os_sim::GroupId,
+    pub engine: Engine,
+}
+
+/// Builds the simulated machine, engine, and worker group for `config`.
+pub(crate) fn build_sim_stack(config: &RunConfig, data: &TpchData) -> SimStack {
     let kernel_cfg = KernelConfig::default();
     let machine = Machine::new(MachineConfig::opteron_4x4(), kernel_cfg.tick);
     let mut kernel = Kernel::new(machine, kernel_cfg);
@@ -147,12 +153,26 @@ pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
         engine.interleave_base(kernel.machine_mut());
     }
     engine.start_workers(&mut kernel, group);
+    SimStack {
+        kernel,
+        group,
+        engine,
+    }
+}
 
+/// Installs the elastic mechanism `config` asks for (none for the OS
+/// baseline), with the guard/interval/mode-latency overrides applied.
+pub(crate) fn build_mechanism(
+    config: &RunConfig,
+    kernel: &mut Kernel,
+    group: os_sim::GroupId,
+    engine: &Engine,
+) -> Option<ElasticMechanism> {
     let policy_spec: Option<(&'static str, Option<PolicyId>)> = match &config.custom_policy {
         Some(factory) => Some((factory.name(), None)),
         None => config.alloc.policy_id().map(|id| (id.name(), Some(id))),
     };
-    let mut mechanism = policy_spec.map(|(name, id)| {
+    policy_spec.map(|(name, id)| {
         let mut mech_cfg = match config.metric {
             elastic_core::MetricKind::HtImcRatio => MechanismConfig::ht_imc(),
             metric => MechanismConfig {
@@ -183,8 +203,22 @@ pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
             (None, Some(id)) => id.build(),
             (None, None) => unreachable!("policy_spec guarantees a source"),
         };
-        ElasticMechanism::install(&mut kernel, group, engine.space(), policy, mech_cfg)
-    });
+        ElasticMechanism::install(kernel, group, engine.space(), policy, mech_cfg)
+    })
+}
+
+/// Runs one experiment. `data` is shared across runs of a sweep so
+/// generation cost is paid once.
+pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
+    if config.backend == crate::backend::Backend::Threads {
+        return crate::runner_threads::run_threads(config, data);
+    }
+    let SimStack {
+        mut kernel,
+        group,
+        engine,
+    } = build_sim_stack(&config, data);
+    let mut mechanism = build_mechanism(&config, &mut kernel, group, &engine);
 
     let logs = spawn_clients(
         &mut kernel,

@@ -48,11 +48,11 @@ use volcano_db::exec::{BaseData, ParEngine, ParEngineConfig};
 use volcano_db::tpch::{build_query, TpchData};
 
 /// Driver poll granularity — well under the shortest control interval.
-const POLL: std::time::Duration = std::time::Duration::from_micros(100);
+pub(crate) const POLL: std::time::Duration = std::time::Duration::from_micros(100);
 
 /// Machine width the pool mirrors (the simulated Opteron's 16 cores),
 /// unless `EMCA_THREADS` caps it.
-fn capacity() -> usize {
+pub(crate) fn capacity() -> usize {
     let machine = MachineConfig::opteron_4x4().topology.n_cores();
     match std::env::var("EMCA_THREADS") {
         Ok(v) => v
@@ -67,7 +67,7 @@ fn capacity() -> usize {
 /// Wall-clock deadline: `EMCA_WALL_BUDGET_S` when set (the repo-wide
 /// wall-budget knob, see [`crate::wall_budget_from_env`]), else the
 /// config's deadline read as wall time.
-fn wall_deadline(configured: SimDuration) -> SimDuration {
+pub(crate) fn wall_deadline(configured: SimDuration) -> SimDuration {
     match crate::wall_budget_from_env() {
         Ok(Some(secs)) => SimDuration::from_secs_f64(secs),
         Ok(None) => configured,
@@ -76,14 +76,14 @@ fn wall_deadline(configured: SimDuration) -> SimDuration {
 }
 
 /// Wall time since `t0` on the simulation-time axis.
-fn wall_now(t0: Instant) -> SimTime {
+pub(crate) fn wall_now(t0: Instant) -> SimTime {
     SimTime::ZERO + SimDuration::from_nanos(t0.elapsed().as_nanos() as u64)
 }
 
 /// Sparse-mode wake order: stride across the four "sockets" of the
 /// mirrored machine so a small allocation spreads like the sparse
 /// cpuset would.
-fn sparse_order(width: usize) -> Vec<usize> {
+pub(crate) fn sparse_order(width: usize) -> Vec<usize> {
     let socket = (width / 4).max(1);
     let mut order = Vec::with_capacity(width);
     for i in 0..socket {
@@ -98,7 +98,7 @@ fn sparse_order(width: usize) -> Vec<usize> {
 }
 
 /// Pool-controller configuration matching a run's control cadence.
-fn pool_cfg(ntotal: u32, interval: Option<SimDuration>) -> PoolConfig {
+pub(crate) fn pool_cfg(ntotal: u32, interval: Option<SimDuration>) -> PoolConfig {
     let mut cfg = PoolConfig::cpu_load(ntotal);
     if let Some(iv) = interval {
         cfg.interval = iv;
@@ -109,7 +109,7 @@ fn pool_cfg(ntotal: u32, interval: Option<SimDuration>) -> PoolConfig {
 
 /// CPU load (%) of the active workers over a wall window: busy worker
 /// nanoseconds against the capacity `active * dt`.
-fn load_pct(busy_delta: u64, active: usize, dt_ns: u64) -> f64 {
+pub(crate) fn load_pct(busy_delta: u64, active: usize, dt_ns: u64) -> f64 {
     if dt_ns == 0 || active == 0 {
         return 0.0;
     }

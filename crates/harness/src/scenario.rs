@@ -8,9 +8,28 @@
 //! its own (see `examples/custom_policy.rs`). Declared schemas double as
 //! the validation source for `emca check`, via [`validate_csv`].
 
-use crate::spec::ExperimentSpec;
+use crate::spec::{ExperimentSpec, SpecError};
 use std::collections::BTreeMap;
 use std::path::Path;
+
+/// Every non-universal spec key a scenario may declare support for —
+/// the default for scenarios that do not narrow their surface.
+pub const ALL_SCENARIO_KEYS: &[&str] = &[
+    "flavor",
+    "policy",
+    "users",
+    "iters",
+    "sf",
+    "warmup",
+    "guard",
+    "interval_ms",
+    "tenants",
+    "backend",
+    "arrival",
+    "duration",
+    "admission",
+    "sla_ms",
+];
 
 /// A scenario failure (fidelity violation, missing data, bad config).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -52,6 +71,16 @@ pub trait Scenario {
         &[]
     }
 
+    /// The non-universal spec keys this scenario honours. A spec
+    /// pinning any other key is rejected with
+    /// [`SpecError::Unsupported`] before the run starts — a scenario
+    /// silently ignoring a pinned field ran the wrong experiment
+    /// without a word. Defaults to every key, so custom scenarios opt
+    /// into narrowing rather than being rejected by default.
+    fn supported_keys(&self) -> &[&'static str] {
+        ALL_SCENARIO_KEYS
+    }
+
     /// Runs the scenario under the given spec.
     fn run(&self, spec: &ExperimentSpec) -> Result<(), ScenarioError>;
 }
@@ -65,6 +94,9 @@ pub struct FnScenario {
     pub about: &'static str,
     /// Declared CSV outputs.
     pub schemas: &'static [(&'static str, &'static str)],
+    /// Honoured non-universal spec keys (see
+    /// [`Scenario::supported_keys`]).
+    pub keys: &'static [&'static str],
     /// The body.
     pub run: fn(&ExperimentSpec) -> Result<(), ScenarioError>,
 }
@@ -80,6 +112,10 @@ impl Scenario for FnScenario {
 
     fn csv_schemas(&self) -> &[(&'static str, &'static str)] {
         self.schemas
+    }
+
+    fn supported_keys(&self) -> &[&'static str] {
+        self.keys
     }
 
     fn run(&self, spec: &ExperimentSpec) -> Result<(), ScenarioError> {
@@ -134,11 +170,61 @@ impl ScenarioRegistry {
         self.items.is_empty()
     }
 
+    /// Checks every key `spec` pins against `name`'s declared support;
+    /// the first unsupported pinned key is a hard
+    /// [`SpecError::Unsupported`]. An unknown scenario name passes —
+    /// [`ScenarioRegistry::run`] reports it with the valid-name list.
+    pub fn validate_spec(&self, name: &str, spec: &ExperimentSpec) -> Result<(), SpecError> {
+        let Some(s) = self.get(name) else {
+            return Ok(());
+        };
+        let supported = s.supported_keys();
+        for (key, value) in spec.set_keys() {
+            if !supported.contains(&key) {
+                return Err(SpecError::Unsupported {
+                    scenario: name.to_string(),
+                    key: key.to_string(),
+                    value,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears every pinned key `name` does not support and returns the
+    /// dropped `(key, value)` pairs — the `--prune-unsupported` path
+    /// for generic sweep drivers that pass one spec to every scenario.
+    pub fn prune_unsupported(
+        &self,
+        name: &str,
+        spec: &mut ExperimentSpec,
+    ) -> Vec<(&'static str, String)> {
+        let Some(s) = self.get(name) else {
+            return Vec::new();
+        };
+        let supported = s.supported_keys();
+        let dropped: Vec<(&'static str, String)> = spec
+            .set_keys()
+            .into_iter()
+            .filter(|(key, _)| !supported.contains(key))
+            .collect();
+        for (key, _) in &dropped {
+            spec.clear(key);
+        }
+        dropped
+    }
+
     /// Runs `name` under `spec`; an unknown name is an error listing
-    /// the valid scenarios (no panic).
+    /// the valid scenarios (no panic), and a spec pinning a key the
+    /// scenario ignores is rejected (see
+    /// [`ScenarioRegistry::validate_spec`]).
     pub fn run(&self, name: &str, spec: &ExperimentSpec) -> Result<(), ScenarioError> {
         match self.get(name) {
-            Some(s) => s.run(spec),
+            Some(s) => {
+                self.validate_spec(name, spec)
+                    .map_err(|e| ScenarioError(e.to_string()))?;
+                s.run(spec)
+            }
             None => Err(ScenarioError(format!(
                 "unknown scenario {name:?} (valid: {})",
                 self.names().join(", ")
@@ -206,6 +292,7 @@ mod tests {
             name,
             about: "test scenario",
             schemas: &[],
+            keys: ALL_SCENARIO_KEYS,
             run: |_| Ok(()),
         })
     }
@@ -252,6 +339,7 @@ mod tests {
             name: "fails",
             about: "always fails",
             schemas: &[],
+            keys: ALL_SCENARIO_KEYS,
             run: |_| Err("boom".into()),
         }))
         .unwrap();
@@ -259,6 +347,69 @@ mod tests {
             r.run("fails", &ExperimentSpec::default()),
             Err(ScenarioError("boom".into()))
         );
+    }
+
+    #[test]
+    fn unsupported_pinned_keys_are_rejected_not_ignored() {
+        let mut r = ScenarioRegistry::new();
+        r.register(Box::new(FnScenario {
+            name: "narrow",
+            about: "supports only sf",
+            schemas: &[],
+            keys: &["sf"],
+            run: |_| Ok(()),
+        }))
+        .unwrap();
+        let spec: ExperimentSpec = "scenario=narrow sf=0.1 seed=7 check=1".parse().unwrap();
+        assert_eq!(
+            r.validate_spec("narrow", &spec),
+            Ok(()),
+            "universal keys pass"
+        );
+        assert!(r.run("narrow", &spec).is_ok());
+
+        let spec: ExperimentSpec = "scenario=narrow sf=0.1 users=4".parse().unwrap();
+        let err = r.validate_spec("narrow", &spec).unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::Unsupported {
+                scenario: "narrow".into(),
+                key: "users".into(),
+                value: "4".into(),
+            }
+        );
+        let err = r.run("narrow", &spec).unwrap_err();
+        assert!(err.to_string().contains("users=4"), "{err}");
+
+        // Unknown scenario names pass validation; `run` reports them.
+        assert_eq!(r.validate_spec("ghost", &spec), Ok(()));
+    }
+
+    #[test]
+    fn prune_unsupported_clears_and_reports() {
+        let mut r = ScenarioRegistry::new();
+        r.register(Box::new(FnScenario {
+            name: "narrow",
+            about: "supports only sf",
+            schemas: &[],
+            keys: &["sf"],
+            run: |_| Ok(()),
+        }))
+        .unwrap();
+        let mut spec: ExperimentSpec = "scenario=narrow sf=0.1 users=4 backend=threads"
+            .parse()
+            .unwrap();
+        let dropped = r.prune_unsupported("narrow", &mut spec);
+        assert_eq!(
+            dropped,
+            vec![
+                ("users", "4".to_string()),
+                ("backend", "threads".to_string())
+            ]
+        );
+        assert_eq!(r.validate_spec("narrow", &spec), Ok(()));
+        assert_eq!(spec.sf, Some(0.1), "supported keys survive the prune");
+        assert!(r.prune_unsupported("ghost", &mut spec).is_empty());
     }
 
     #[test]

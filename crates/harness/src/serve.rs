@@ -1,0 +1,941 @@
+//! `emca serve` — the serving layer: an open-loop load generator, an
+//! admission controller, and a dispatcher running admitted queries on
+//! either backend.
+//!
+//! The closed-loop runners ([`crate::runner`], [`crate::runner_threads`])
+//! reproduce the paper's experiments: N clients that always have exactly
+//! one query outstanding, so offered load is capped by N and the system
+//! can never be pushed past saturation. A serving front door removes
+//! that cap: requests arrive on their own schedule — Poisson or
+//! trace-driven replay, materialised up front from a pinned seed
+//! ([`ArrivalSchedule`]) — an [`AdmissionPolicy`] rules accept / queue /
+//! shed per arrival, and the dispatcher runs admitted queries on the
+//! simulated or real-thread engine. The elastic mechanism sees the
+//! admission backlog as demand
+//! ([`ElasticMechanism::note_queue_depth`] /
+//! [`PoolController::note_queue_depth`]), so cores move between keeping
+//! the queue drained and executing admitted queries.
+//!
+//! Latency accounting is open-loop standard: a request's latency runs
+//! from its *scheduled arrival* to completion, so waiting — in the
+//! admission queue or inside the engine — is part of the number. A
+//! dispatched request still running when the observation window closes
+//! counts as `+inf`; an overloaded, unprotected system therefore
+//! reports an infinite p99, which is exactly the failure mode admission
+//! control exists to bound. Requests shed at the gate or timed out in
+//! the queue have no latency (they never ran); they show up in the shed
+//! counters and as lost goodput instead.
+
+use crate::backend::Backend;
+use crate::config::{Alloc, RunConfig};
+use crate::runner::{build_mechanism, build_sim_stack, SimStack};
+use crate::runner_threads::{capacity, load_pct, pool_cfg, sparse_order, wall_now, POLL};
+use crate::spec::{AdmissionSpec, ArrivalSpec};
+use elastic_core::{ElasticMechanism, PoolController, TransitionEvent};
+use emca_metrics::{stats, SimDuration, SimTime, TimeSeries};
+use os_sim::{GroupId, Kernel};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+use volcano_db::client::{ClientBody, SharedLog, Workload};
+use volcano_db::exec::engine::Engine;
+use volcano_db::exec::{BaseData, ParEngine, ParEngineConfig};
+use volcano_db::tpch::{build_query, QuerySpec, TpchData};
+
+// ---------------------------------------------------------------------------
+// Open-loop load generation
+// ---------------------------------------------------------------------------
+
+/// One scheduled request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Arrival {
+    /// Offset from serving start.
+    pub at: SimDuration,
+    /// The query this request runs.
+    pub spec: QuerySpec,
+}
+
+/// A fully materialised arrival schedule. Built once, before the run
+/// starts — the generator never consults the wall clock or the backend,
+/// so the same `(λ, horizon, seed)` triple yields the same
+/// byte-for-byte schedule ([`ArrivalSchedule::render`]) on every run
+/// and on both backends.
+#[derive(Clone, Debug)]
+pub struct ArrivalSchedule {
+    /// Arrivals in non-decreasing `at` order, all before `horizon`.
+    pub arrivals: Vec<Arrival>,
+    /// The offered-load window.
+    pub horizon: SimDuration,
+}
+
+impl ArrivalSchedule {
+    /// A Poisson process at `lambda` requests/s over `horizon`:
+    /// inter-arrival gaps are `-ln(1-u)/λ` draws from a seeded
+    /// [`StdRng`]. Every request runs the Q6 microbenchmark (use a
+    /// trace for mixed queries).
+    pub fn poisson(lambda: f64, horizon: SimDuration, seed: u64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "poisson arrival rate must be positive, got {lambda}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let end = horizon.as_secs_f64();
+        let mut arrivals = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.random_range(0.0..1.0);
+            t += -(1.0 - u).ln() / lambda;
+            if t >= end {
+                break;
+            }
+            arrivals.push(Arrival {
+                at: SimDuration::from_secs_f64(t),
+                spec: QuerySpec::Q6 { variant: 0 },
+            });
+        }
+        ArrivalSchedule { arrivals, horizon }
+    }
+
+    /// Replays a trace file: one request per line, `arrival_ms[,query]`
+    /// with `#` comments; `query` is `q6` (default) or a TPC-H number
+    /// (`3` / `q3`). Timestamps must be non-decreasing — replay
+    /// preserves the recorded order exactly.
+    pub fn from_trace(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read trace {}: {e}", path.display()))?;
+        Self::parse_trace(&text).map_err(|e| format!("trace {}: {e}", path.display()))
+    }
+
+    /// [`ArrivalSchedule::from_trace`] on in-memory text.
+    pub fn parse_trace(text: &str) -> Result<Self, String> {
+        let mut arrivals: Vec<Arrival> = Vec::new();
+        let mut last = SimDuration::ZERO;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            let mut fields = line.split(',');
+            let ms_text = fields.next().unwrap_or("").trim();
+            let ms: f64 = ms_text
+                .parse()
+                .map_err(|_| format!("line {lineno}: arrival_ms {ms_text:?} is not a number"))?;
+            if !ms.is_finite() || ms < 0.0 {
+                return Err(format!(
+                    "line {lineno}: arrival_ms must be finite and non-negative, got {ms_text}"
+                ));
+            }
+            let at = SimDuration::from_secs_f64(ms / 1000.0);
+            if at < last {
+                return Err(format!(
+                    "line {lineno}: arrivals must be non-decreasing ({ms}ms after {:.3}ms)",
+                    last.as_millis_f64()
+                ));
+            }
+            let spec = match fields.next().map(str::trim) {
+                None | Some("") | Some("q6") => QuerySpec::Q6 { variant: 0 },
+                Some(q) => {
+                    let number: u8 = q
+                        .strip_prefix('q')
+                        .unwrap_or(q)
+                        .parse()
+                        .ok()
+                        .filter(|n| (1..=22).contains(n))
+                        .ok_or_else(|| {
+                            format!("line {lineno}: query {q:?} is not q6 or a TPC-H number 1..22")
+                        })?;
+                    QuerySpec::Tpch { number, variant: 0 }
+                }
+            };
+            if fields.next().is_some() {
+                return Err(format!(
+                    "line {lineno}: expected arrival_ms[,query], got {line:?}"
+                ));
+            }
+            last = at;
+            arrivals.push(Arrival { at, spec });
+        }
+        if arrivals.is_empty() {
+            return Err("no arrivals".into());
+        }
+        Ok(ArrivalSchedule {
+            horizon: last + SimDuration::from_nanos(1),
+            arrivals,
+        })
+    }
+
+    /// Materialises the schedule an [`ArrivalSpec`] describes;
+    /// `horizon` and `seed` apply to the Poisson form only (a trace
+    /// carries its own timestamps).
+    pub fn from_spec(
+        arrival: &ArrivalSpec,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> Result<Self, String> {
+        match arrival {
+            ArrivalSpec::Poisson { lambda } => Ok(Self::poisson(*lambda, horizon, seed)),
+            ArrivalSpec::Trace { path } => Self::from_trace(path),
+        }
+    }
+
+    /// Canonical rendering, one `arrival_ns,query_tag` line per request
+    /// — the byte-identity witness the determinism tests compare.
+    pub fn render(&self) -> String {
+        self.arrivals
+            .iter()
+            .map(|a| format!("{},{}\n", a.at.as_nanos(), a.spec.tag()))
+            .collect()
+    }
+
+    /// Offered load in requests/s.
+    pub fn offered_qps(&self) -> f64 {
+        let secs = self.horizon.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.arrivals.len() as f64 / secs
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// The front door's verdict on a newly-arrived request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Dispatch now.
+    Accept,
+    /// Park in the FIFO queue.
+    Queue,
+    /// Refuse at the gate.
+    Shed,
+}
+
+/// Decides what happens to each arriving request. The driver owns the
+/// FIFO queue and the clock; a policy only judges counts, which keeps
+/// every policy backend-agnostic by construction.
+pub trait AdmissionPolicy {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+    /// Verdict for a new arrival, given current inflight and queued
+    /// request counts.
+    fn on_arrival(&mut self, inflight: usize, queued: usize) -> AdmissionDecision;
+    /// Whether the queue head may dispatch with `inflight` running.
+    fn may_dispatch(&mut self, inflight: usize) -> bool;
+    /// How long a request may wait in the queue before being shed;
+    /// `None` disables queue timeouts.
+    fn queue_timeout(&self) -> Option<SimDuration> {
+        None
+    }
+}
+
+/// No admission control: every arrival dispatches immediately — the
+/// open-loop equivalent of the paper's unprotected baseline.
+pub struct AcceptAll;
+
+impl AdmissionPolicy for AcceptAll {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn on_arrival(&mut self, _inflight: usize, _queued: usize) -> AdmissionDecision {
+        AdmissionDecision::Accept
+    }
+
+    fn may_dispatch(&mut self, _inflight: usize) -> bool {
+        true
+    }
+}
+
+/// Concurrency limiter with a deadline-aware FIFO queue: at most
+/// `max_inflight` admitted queries run at once; past that, arrivals
+/// queue (up to `queue_cap`, beyond which they shed at the gate), and a
+/// queued request that waits longer than `timeout` is shed — it can no
+/// longer meet its SLA, so running it would only steal capacity from
+/// requests that still can.
+pub struct ConcurrencyLimit {
+    /// Admitted queries allowed to run concurrently.
+    pub max_inflight: usize,
+    /// Queue bound; `None` = unbounded (timeouts still shed).
+    pub queue_cap: Option<usize>,
+    /// Longest tolerated queue wait.
+    pub timeout: SimDuration,
+}
+
+impl AdmissionPolicy for ConcurrencyLimit {
+    fn name(&self) -> &'static str {
+        "limit"
+    }
+
+    fn on_arrival(&mut self, inflight: usize, queued: usize) -> AdmissionDecision {
+        if inflight < self.max_inflight && queued == 0 {
+            AdmissionDecision::Accept
+        } else if self.queue_cap.is_some_and(|cap| queued >= cap) {
+            AdmissionDecision::Shed
+        } else {
+            AdmissionDecision::Queue
+        }
+    }
+
+    fn may_dispatch(&mut self, inflight: usize) -> bool {
+        inflight < self.max_inflight
+    }
+
+    fn queue_timeout(&self) -> Option<SimDuration> {
+        Some(self.timeout)
+    }
+}
+
+/// Builds the policy an [`AdmissionSpec`] names. The queue deadline is
+/// *half* the SLA: a request that already burned half its latency
+/// budget waiting has no room left to execute inside it, so shedding
+/// then (instead of at the full SLA) is what keeps the completions that
+/// do dispatch on the right side of the deadline.
+pub fn build_admission(spec: &AdmissionSpec, sla: SimDuration) -> Box<dyn AdmissionPolicy> {
+    match spec {
+        AdmissionSpec::None => Box::new(AcceptAll),
+        AdmissionSpec::Limit {
+            max_inflight,
+            queue,
+        } => Box::new(ConcurrencyLimit {
+            max_inflight: *max_inflight as usize,
+            queue_cap: queue.map(|q| q as usize),
+            timeout: sla.mul_f64(0.5),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests and results
+// ---------------------------------------------------------------------------
+
+/// What finally happened to a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Still unresolved (never appears in a finished [`ServeOutput`]).
+    Pending,
+    /// Dispatched and completed inside the window.
+    Completed,
+    /// Refused at the gate (queue full / policy said no).
+    ShedGate,
+    /// Shed from the queue after waiting past the deadline.
+    ShedTimeout,
+    /// Dispatched but still running when the window closed.
+    Unfinished,
+}
+
+/// Per-request bookkeeping.
+#[derive(Clone, Debug)]
+pub struct RequestRecord {
+    /// Scheduled arrival (absolute).
+    pub arrival: SimTime,
+    /// The query.
+    pub spec: QuerySpec,
+    /// When the dispatcher handed it to the engine.
+    pub dispatched: Option<SimTime>,
+    /// When it completed.
+    pub finished: Option<SimTime>,
+    /// Terminal outcome.
+    pub outcome: RequestOutcome,
+}
+
+impl RequestRecord {
+    /// Open-loop latency in ms: scheduled arrival to completion; `+inf`
+    /// for a dispatched request that never finished; `None` for shed
+    /// requests (they never ran — they count as sheds, not latencies).
+    pub fn latency_ms(&self) -> Option<f64> {
+        match self.outcome {
+            RequestOutcome::Completed => Some(
+                self.finished
+                    .expect("completed")
+                    .since(self.arrival)
+                    .as_millis_f64(),
+            ),
+            RequestOutcome::Unfinished => Some(f64::INFINITY),
+            _ => None,
+        }
+    }
+}
+
+/// One serving run.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Engine/mechanism carrier: `flavor`, `alloc`, `scale`, `warmup`,
+    /// `mech_guard`, `mech_interval`, `backend` and `sample_every` are
+    /// honoured; `clients`, `workload` and `deadline` are not — the
+    /// schedule and observation window replace them.
+    pub base: RunConfig,
+    /// When requests arrive and what they run.
+    pub schedule: ArrivalSchedule,
+    /// The front-door policy.
+    pub admission: AdmissionSpec,
+    /// Per-request SLA target: the goodput bar, and the admission
+    /// queue's shed deadline.
+    pub sla: SimDuration,
+    /// Grace past the schedule horizon for in-flight work; whatever is
+    /// still running after it counts as unfinished (`+inf` latency).
+    pub drain: SimDuration,
+}
+
+/// Everything measured by one serving run.
+#[derive(Clone, Debug)]
+pub struct ServeOutput {
+    /// One record per scheduled request, in arrival order.
+    pub records: Vec<RequestRecord>,
+    /// Scheduled arrivals (= `records.len()`).
+    pub offered: usize,
+    /// The offered-load window the schedule spanned.
+    pub horizon: SimDuration,
+    /// The SLA the run was judged against.
+    pub sla: SimDuration,
+    /// Serving start to last resolution (or window close).
+    pub wall: SimDuration,
+    /// Engine CPU load (%).
+    pub load_series: TimeSeries,
+    /// Allocated cores / active workers over time.
+    pub cores_series: TimeSeries,
+    /// Admission-queue depth over time.
+    pub queue_series: TimeSeries,
+    /// Mechanism transition log (empty for the OS baseline).
+    pub transitions: Vec<TransitionEvent>,
+}
+
+impl ServeOutput {
+    /// How many requests ended as `outcome`.
+    pub fn count(&self, outcome: RequestOutcome) -> usize {
+        self.records.iter().filter(|r| r.outcome == outcome).count()
+    }
+
+    /// Latencies (ms) of every dispatched request; unfinished ones are
+    /// `+inf`, shed ones are absent.
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        self.records.iter().filter_map(|r| r.latency_ms()).collect()
+    }
+
+    /// The `q`-quantile of [`ServeOutput::latencies_ms`]; NaN when no
+    /// request was dispatched.
+    pub fn latency_percentile_ms(&self, q: f64) -> f64 {
+        stats::percentile(&self.latencies_ms(), q).unwrap_or(f64::NAN)
+    }
+
+    /// Goodput: completions within the SLA per second of offered
+    /// window — the serving-side "useful work" rate. Shed, late, and
+    /// unfinished requests all subtract from it.
+    pub fn goodput_qps(&self) -> f64 {
+        let secs = self.horizon.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        let sla_ms = self.sla.as_millis_f64();
+        let good = self
+            .records
+            .iter()
+            .filter(|r| r.latency_ms().is_some_and(|l| l <= sla_ms))
+            .count();
+        good as f64 / secs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatchers
+// ---------------------------------------------------------------------------
+
+/// Runs one serving experiment on the backend `cfg.base` names.
+pub fn run_serve(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
+    match cfg.base.backend {
+        Backend::Sim => serve_sim(cfg, data),
+        Backend::Threads => serve_threads(cfg, data),
+    }
+}
+
+fn new_records(cfg: &ServeConfig, start: SimTime) -> Vec<RequestRecord> {
+    cfg.schedule
+        .arrivals
+        .iter()
+        .map(|a| RequestRecord {
+            arrival: start + a.at,
+            spec: a.spec,
+            dispatched: None,
+            finished: None,
+            outcome: RequestOutcome::Pending,
+        })
+        .collect()
+}
+
+/// Terminal sweep after the window closes: queued requests can no
+/// longer meet anything (the horizon is over) and in-flight ones did
+/// not make the drain.
+fn close_window(
+    records: &mut [RequestRecord],
+    queue: &VecDeque<usize>,
+    inflight_idx: impl Iterator<Item = usize>,
+) {
+    for &i in queue {
+        records[i].outcome = RequestOutcome::ShedTimeout;
+    }
+    for i in inflight_idx {
+        records[i].outcome = RequestOutcome::Unfinished;
+    }
+    for r in records.iter_mut() {
+        if r.outcome == RequestOutcome::Pending {
+            r.outcome = RequestOutcome::ShedGate;
+        }
+    }
+}
+
+/// Spawns request `i` as a one-shot client session in the simulation.
+fn dispatch_sim(
+    i: usize,
+    now: SimTime,
+    records: &mut [RequestRecord],
+    inflight: &mut Vec<(usize, SharedLog)>,
+    kernel: &mut Kernel,
+    engine: &Engine,
+    group: GroupId,
+) {
+    let (body, log) = ClientBody::new(
+        engine.clone(),
+        Workload::Repeat {
+            spec: records[i].spec,
+            iterations: 1,
+        },
+        i,
+        None,
+    );
+    kernel.spawn(format!("serve{i}"), group, None, Box::new(body));
+    records[i].dispatched = Some(now);
+    inflight.push((i, log));
+}
+
+/// The simulated dispatcher: each admitted request becomes a one-query
+/// client session spawned into the DBMS group mid-run; the mechanism
+/// polls as in the closed-loop runner, with the admission-queue depth
+/// fed in as extra demand.
+fn serve_sim(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
+    let SimStack {
+        mut kernel,
+        group,
+        engine,
+    } = build_sim_stack(&cfg.base, data);
+    let mut mechanism: Option<ElasticMechanism> =
+        build_mechanism(&cfg.base, &mut kernel, group, &engine);
+    let mut admission = build_admission(&cfg.admission, cfg.sla);
+
+    let start = kernel.now();
+    let cutoff = start + cfg.schedule.horizon + cfg.drain;
+    let mut records = new_records(cfg, start);
+    let n = records.len();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut inflight: Vec<(usize, SharedLog)> = Vec::new();
+    let mut next_arrival = 0usize;
+
+    let mut load_sampler = os_sim::LoadSampler::new(&kernel, group);
+    let mut load_series = TimeSeries::new("cpu_load");
+    let mut cores_series = TimeSeries::new("cores");
+    let mut queue_series = TimeSeries::new("queue");
+    let mut next_sample = start + cfg.base.sample_every;
+
+    let mut finished_at = None;
+    while kernel.now() < cutoff {
+        let now = kernel.now();
+        // Due arrivals meet the front door.
+        while next_arrival < n && records[next_arrival].arrival <= now {
+            let i = next_arrival;
+            next_arrival += 1;
+            match admission.on_arrival(inflight.len(), queue.len()) {
+                AdmissionDecision::Accept => dispatch_sim(
+                    i,
+                    now,
+                    &mut records,
+                    &mut inflight,
+                    &mut kernel,
+                    &engine,
+                    group,
+                ),
+                AdmissionDecision::Queue => queue.push_back(i),
+                AdmissionDecision::Shed => records[i].outcome = RequestOutcome::ShedGate,
+            }
+        }
+        // Deadline-aware queue: a head that waited past the SLA sheds.
+        if let Some(timeout) = admission.queue_timeout() {
+            while let Some(&i) = queue.front() {
+                if now.since(records[i].arrival) > timeout {
+                    queue.pop_front();
+                    records[i].outcome = RequestOutcome::ShedTimeout;
+                } else {
+                    break;
+                }
+            }
+        }
+        // Freed slots pull from the queue head.
+        while !queue.is_empty() && admission.may_dispatch(inflight.len()) {
+            let i = queue.pop_front().expect("non-empty");
+            dispatch_sim(
+                i,
+                now,
+                &mut records,
+                &mut inflight,
+                &mut kernel,
+                &engine,
+                group,
+            );
+        }
+        // Completions (one result per one-shot session).
+        let mut done: Vec<usize> = Vec::new();
+        for (pos, (i, log)) in inflight.iter().enumerate() {
+            if let Some(r) = log.borrow().results.first() {
+                records[*i].finished = Some(r.finished);
+                records[*i].outcome = RequestOutcome::Completed;
+                if let Some(m) = mechanism.as_mut() {
+                    m.note_response(r.response());
+                }
+                done.push(pos);
+            }
+        }
+        for pos in done.into_iter().rev() {
+            inflight.swap_remove(pos);
+        }
+        if next_arrival == n && queue.is_empty() && inflight.is_empty() {
+            finished_at = Some(now);
+            break;
+        }
+        kernel.run_tick();
+        if let Some(m) = mechanism.as_mut() {
+            m.note_queue_depth(queue.len() as u64);
+            m.poll(&mut kernel);
+        }
+        if kernel.now() >= next_sample {
+            let now = kernel.now();
+            load_series.push(now, load_sampler.sample(&kernel).group_load_pct());
+            cores_series.push(now, kernel.group_mask(group).count() as f64);
+            queue_series.push(now, queue.len() as f64);
+            next_sample = now + cfg.base.sample_every;
+        }
+    }
+    close_window(&mut records, &queue, inflight.iter().map(|(i, _)| *i));
+
+    ServeOutput {
+        offered: n,
+        horizon: cfg.schedule.horizon,
+        sla: cfg.sla,
+        wall: finished_at.unwrap_or(cutoff).since(start),
+        records,
+        load_series,
+        cores_series,
+        queue_series,
+        transitions: mechanism.map(|m| m.events).unwrap_or_default(),
+    }
+}
+
+/// The real-thread dispatcher: admitted requests are submitted to the
+/// [`ParEngine`] task queue and polled for completion; the
+/// [`PoolController`] parks/unparks workers, with the admission-queue
+/// depth fed in as extra demand. [`Alloc::OsAll`] is the unmanaged
+/// baseline — every worker always active, no controller.
+fn serve_threads(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
+    let width = capacity();
+    let os_baseline = cfg.base.alloc == Alloc::OsAll;
+    let engine = Arc::new(ParEngine::new(
+        ParEngineConfig {
+            n_workers: width,
+            initial_active: if os_baseline { width } else { 1 },
+        },
+        Arc::new(BaseData::from_tpch(data)),
+    ));
+    if cfg.base.alloc == Alloc::Sparse {
+        engine.set_wake_order(&sparse_order(width));
+    }
+    let mut controller =
+        (!os_baseline).then(|| PoolController::new(pool_cfg(width as u32, cfg.base.mech_interval)));
+    let mut admission = build_admission(&cfg.admission, cfg.sla);
+
+    let t0 = Instant::now();
+    let start = SimTime::ZERO;
+    let cutoff = start + cfg.schedule.horizon + cfg.drain;
+    let mut records = new_records(cfg, start);
+    let n = records.len();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut inflight: Vec<(usize, volcano_db::exec::task::QueryId)> = Vec::new();
+    let mut next_arrival = 0usize;
+
+    let mut load_series = TimeSeries::new("cpu_load");
+    let mut cores_series = TimeSeries::new("cores");
+    let mut queue_series = TimeSeries::new("queue");
+    let mut next_control = SimTime::ZERO;
+    let mut next_sample = SimTime::ZERO;
+    let mut ctl_busy = 0u64;
+    let mut ctl_at = SimTime::ZERO;
+    let mut sample_busy = 0u64;
+    let mut sample_at = SimTime::ZERO;
+
+    let mut finished_at = None;
+    loop {
+        std::thread::sleep(POLL);
+        let now = wall_now(t0);
+        if now >= cutoff {
+            break;
+        }
+        while next_arrival < n && records[next_arrival].arrival <= now {
+            let i = next_arrival;
+            next_arrival += 1;
+            match admission.on_arrival(inflight.len(), queue.len()) {
+                AdmissionDecision::Accept => {
+                    let qid = engine.submit(
+                        Arc::new(build_query(&records[i].spec)),
+                        records[i].spec.tag(),
+                    );
+                    records[i].dispatched = Some(now);
+                    inflight.push((i, qid));
+                }
+                AdmissionDecision::Queue => queue.push_back(i),
+                AdmissionDecision::Shed => records[i].outcome = RequestOutcome::ShedGate,
+            }
+        }
+        if let Some(timeout) = admission.queue_timeout() {
+            while let Some(&i) = queue.front() {
+                if now.since(records[i].arrival) > timeout {
+                    queue.pop_front();
+                    records[i].outcome = RequestOutcome::ShedTimeout;
+                } else {
+                    break;
+                }
+            }
+        }
+        while !queue.is_empty() && admission.may_dispatch(inflight.len()) {
+            let i = queue.pop_front().expect("non-empty");
+            let qid = engine.submit(
+                Arc::new(build_query(&records[i].spec)),
+                records[i].spec.tag(),
+            );
+            records[i].dispatched = Some(now);
+            inflight.push((i, qid));
+        }
+        let mut done: Vec<usize> = Vec::new();
+        for (pos, (i, qid)) in inflight.iter().enumerate() {
+            if engine.try_result(*qid).is_some() {
+                records[*i].finished = Some(now);
+                records[*i].outcome = RequestOutcome::Completed;
+                done.push(pos);
+            }
+        }
+        for pos in done.into_iter().rev() {
+            inflight.swap_remove(pos);
+        }
+        if next_arrival == n && queue.is_empty() && inflight.is_empty() {
+            finished_at = Some(now);
+            break;
+        }
+        if let Some(c) = controller.as_mut() {
+            if now >= next_control {
+                let busy = engine.busy_ns();
+                let u = load_pct(
+                    busy - ctl_busy,
+                    engine.active(),
+                    now.since(ctl_at).as_nanos(),
+                );
+                ctl_busy = busy;
+                ctl_at = now;
+                c.note_queue_depth(queue.len() as u64);
+                let d = c.observe(now, u);
+                engine.set_active(d.nalloc as usize);
+                next_control = now + c.interval();
+            }
+        }
+        if now >= next_sample {
+            let busy = engine.busy_ns();
+            let u = load_pct(
+                busy - sample_busy,
+                engine.active(),
+                now.since(sample_at).as_nanos(),
+            );
+            sample_busy = busy;
+            sample_at = now;
+            load_series.push(now, u);
+            cores_series.push(now, engine.active() as f64);
+            queue_series.push(now, queue.len() as f64);
+            next_sample = now + cfg.base.sample_every;
+        }
+    }
+    close_window(&mut records, &queue, inflight.iter().map(|(i, _)| *i));
+
+    ServeOutput {
+        offered: n,
+        horizon: cfg.schedule.horizon,
+        sla: cfg.sla,
+        wall: finished_at.unwrap_or(cutoff).since(start),
+        records,
+        load_series,
+        cores_series,
+        queue_series,
+        transitions: controller.map(|c| c.events).unwrap_or_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcano_db::tpch::TpchScale;
+
+    #[test]
+    fn poisson_schedule_is_pinned_to_the_seed() {
+        let a = ArrivalSchedule::poisson(200.0, SimDuration::from_secs(2), 7);
+        let b = ArrivalSchedule::poisson(200.0, SimDuration::from_secs(2), 7);
+        assert!(!a.arrivals.is_empty());
+        assert_eq!(a.render(), b.render(), "same seed must be byte-identical");
+        let c = ArrivalSchedule::poisson(200.0, SimDuration::from_secs(2), 8);
+        assert_ne!(a.render(), c.render(), "seeds must matter");
+        assert!(a
+            .arrivals
+            .windows(2)
+            .all(|w| w[0].at <= w[1].at && w[1].at < a.horizon));
+    }
+
+    #[test]
+    fn poisson_interarrival_mean_tracks_the_rate() {
+        // 10^5 gaps at λ=1000/s: the sample mean must land within 1% of
+        // 1/λ (≈3σ for this n; the pinned seed makes it deterministic).
+        let lambda = 1000.0;
+        let sched = ArrivalSchedule::poisson(lambda, SimDuration::from_secs(120), 42);
+        assert!(sched.arrivals.len() > 100_000, "need ≥1e5 gaps");
+        let mut prev = 0.0;
+        let gaps: Vec<f64> = sched.arrivals[..100_000]
+            .iter()
+            .map(|a| {
+                let t = a.at.as_secs_f64();
+                let g = t - prev;
+                prev = t;
+                g
+            })
+            .collect();
+        let mean = stats::mean(&gaps).unwrap();
+        let expect = 1.0 / lambda;
+        assert!(
+            (mean - expect).abs() / expect < 0.01,
+            "inter-arrival mean {mean:.6}s should be within 1% of {expect:.6}s"
+        );
+    }
+
+    #[test]
+    fn trace_replay_preserves_order_and_timestamps() {
+        let sched = ArrivalSchedule::parse_trace(
+            "# demo trace\n0\n1.5, q3\n2.5 # trailing comment\n10,6\n",
+        )
+        .unwrap();
+        assert_eq!(sched.arrivals.len(), 4);
+        assert_eq!(sched.arrivals[1].at, SimDuration::from_micros(1500));
+        assert_eq!(
+            sched.arrivals[1].spec,
+            QuerySpec::Tpch {
+                number: 3,
+                variant: 0
+            }
+        );
+        assert_eq!(
+            sched.arrivals[3].spec,
+            QuerySpec::Tpch {
+                number: 6,
+                variant: 0
+            }
+        );
+        assert!(sched.arrivals.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(sched.horizon > sched.arrivals[3].at);
+
+        for bad in ["", "5\n3\n", "1,q99\n", "x\n", "1,6,6\n", "-1\n"] {
+            assert!(
+                ArrivalSchedule::parse_trace(bad).is_err(),
+                "trace {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrency_limit_gates_queues_and_times_out() {
+        let mut p = ConcurrencyLimit {
+            max_inflight: 2,
+            queue_cap: Some(1),
+            timeout: SimDuration::from_millis(10),
+        };
+        assert_eq!(p.on_arrival(0, 0), AdmissionDecision::Accept);
+        assert_eq!(p.on_arrival(2, 0), AdmissionDecision::Queue);
+        assert_eq!(p.on_arrival(2, 1), AdmissionDecision::Shed);
+        // A non-empty queue means new arrivals go behind it even when a
+        // slot is free (FIFO fairness).
+        assert_eq!(p.on_arrival(1, 1), AdmissionDecision::Shed);
+        assert!(p.may_dispatch(1));
+        assert!(!p.may_dispatch(2));
+        assert_eq!(p.queue_timeout(), Some(SimDuration::from_millis(10)));
+        assert_eq!(AcceptAll.on_arrival(64, 64), AdmissionDecision::Accept);
+    }
+
+    #[test]
+    fn serve_sim_accounts_for_every_request() {
+        let data = TpchData::generate(TpchScale::test_tiny());
+        let base = RunConfig::new(
+            Alloc::Adaptive,
+            0,
+            Workload::Repeat {
+                spec: QuerySpec::Q6 { variant: 0 },
+                iterations: 0,
+            },
+        )
+        .with_scale(data.scale);
+        let cfg = ServeConfig {
+            base,
+            schedule: ArrivalSchedule::poisson(60.0, SimDuration::from_millis(400), 42),
+            admission: AdmissionSpec::Limit {
+                max_inflight: 4,
+                queue: Some(8),
+            },
+            sla: SimDuration::from_millis(200),
+            drain: SimDuration::from_millis(400),
+        };
+        let out = run_serve(&cfg, &data);
+        assert_eq!(out.offered, cfg.schedule.arrivals.len());
+        let resolved = out.count(RequestOutcome::Completed)
+            + out.count(RequestOutcome::ShedGate)
+            + out.count(RequestOutcome::ShedTimeout)
+            + out.count(RequestOutcome::Unfinished);
+        assert_eq!(resolved, out.offered, "every request needs an outcome");
+        assert_eq!(out.count(RequestOutcome::Pending), 0);
+        assert!(out.count(RequestOutcome::Completed) > 0);
+        assert!(out.goodput_qps() > 0.0);
+        // Completed latencies are measured from scheduled arrival.
+        for r in &out.records {
+            if let Some(l) = r.latency_ms() {
+                assert!(l > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn serve_sim_runs_the_os_baseline_without_a_mechanism() {
+        let data = TpchData::generate(TpchScale::test_tiny());
+        let base = RunConfig::new(
+            Alloc::OsAll,
+            0,
+            Workload::Repeat {
+                spec: QuerySpec::Q6 { variant: 0 },
+                iterations: 0,
+            },
+        )
+        .with_scale(data.scale);
+        let cfg = ServeConfig {
+            base,
+            schedule: ArrivalSchedule::poisson(30.0, SimDuration::from_millis(300), 11),
+            admission: AdmissionSpec::None,
+            sla: SimDuration::from_millis(500),
+            drain: SimDuration::from_millis(500),
+        };
+        let out = run_serve(&cfg, &data);
+        assert!(out.transitions.is_empty(), "baseline has no mechanism");
+        assert_eq!(out.count(RequestOutcome::ShedGate), 0);
+        assert_eq!(out.count(RequestOutcome::ShedTimeout), 0);
+        assert!(out.count(RequestOutcome::Completed) > 0);
+    }
+}

@@ -21,13 +21,131 @@ use std::path::PathBuf;
 use volcano_db::exec::engine::Flavor;
 use volcano_db::tpch::TpchScale;
 
-/// A malformed spec string or environment variable.
+/// A rejected experiment spec — every variant carries the offending
+/// `key=value` pair, so the CLI can print a one-line diagnostic (and
+/// exit 2) instead of a panic or an anonymous string.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SpecError(pub String);
+pub enum SpecError {
+    /// A key no spec field answers to.
+    UnknownKey {
+        /// The unrecognised key.
+        key: String,
+        /// The value it carried.
+        value: String,
+    },
+    /// A recognised key with an unparseable or out-of-range value.
+    Malformed {
+        /// The spec key (or `EMCA_*` variable) being set.
+        key: String,
+        /// The rejected value.
+        value: String,
+        /// What a valid value looks like.
+        reason: String,
+    },
+    /// `policy=`/`tenants=…:policy=` naming no known policy.
+    UnknownPolicy {
+        /// The spec key being set.
+        key: String,
+        /// The unknown policy name.
+        value: String,
+        /// Valid policy names, comma-joined.
+        valid: String,
+    },
+    /// A tenant override naming no tenant of the target scenario.
+    UnknownTenant {
+        /// The spec key being set (`tenants`).
+        key: String,
+        /// The unknown tenant name.
+        value: String,
+        /// The scenario's tenant names, comma-joined.
+        valid: String,
+    },
+    /// `backend=` naming no known backend.
+    UnknownBackend {
+        /// The spec key being set.
+        key: String,
+        /// The unknown backend name.
+        value: String,
+    },
+    /// A set field the target scenario ignores. Silently dropping a
+    /// pinned field ran the wrong experiment without a word (the old
+    /// `ablation.rs` drift); now it is a hard error.
+    Unsupported {
+        /// The scenario rejecting the field.
+        scenario: String,
+        /// The unsupported key.
+        key: String,
+        /// The value it carried.
+        value: String,
+    },
+}
+
+impl SpecError {
+    /// A [`SpecError::Malformed`] with owned strings.
+    pub(crate) fn malformed(
+        key: impl Into<String>,
+        value: impl Into<String>,
+        reason: impl Into<String>,
+    ) -> Self {
+        SpecError::Malformed {
+            key: key.into(),
+            value: value.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Rewrites the offending key — [`from_vars`] maps spec keys back
+    /// to the `EMCA_*` variable the value actually came from.
+    fn for_key(self, key: &str) -> Self {
+        let key = key.to_string();
+        match self {
+            SpecError::UnknownKey { value, .. } => SpecError::UnknownKey { key, value },
+            SpecError::Malformed { value, reason, .. } => {
+                SpecError::Malformed { key, value, reason }
+            }
+            SpecError::UnknownPolicy { value, valid, .. } => {
+                SpecError::UnknownPolicy { key, value, valid }
+            }
+            SpecError::UnknownTenant { value, valid, .. } => {
+                SpecError::UnknownTenant { key, value, valid }
+            }
+            SpecError::UnknownBackend { value, .. } => SpecError::UnknownBackend { key, value },
+            unsupported @ SpecError::Unsupported { .. } => unsupported,
+        }
+    }
+}
 
 impl std::fmt::Display for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid experiment spec: {}", self.0)
+        write!(f, "invalid experiment spec: ")?;
+        match self {
+            SpecError::UnknownKey { key, value } => write!(
+                f,
+                "unknown key in {key}={value} (valid: {})",
+                ExperimentSpec::KEYS.join(" ")
+            ),
+            SpecError::Malformed { key, value, reason } => {
+                write!(f, "{key}={value}: {reason}")
+            }
+            SpecError::UnknownPolicy { key, value, valid } => {
+                write!(f, "{key}={value}: unknown policy (valid: {valid})")
+            }
+            SpecError::UnknownTenant { key, value, valid } => {
+                write!(f, "{key}={value}: no such tenant (valid: {valid})")
+            }
+            SpecError::UnknownBackend { key, value } => {
+                write!(f, "{key}={value}: unknown backend (expected sim|threads)")
+            }
+            SpecError::Unsupported {
+                scenario,
+                key,
+                value,
+            } => write!(
+                f,
+                "scenario {scenario} does not support {key}={value} (it would be \
+                 silently ignored; drop the field or pick a scenario that honours it)"
+            ),
+        }
     }
 }
 
@@ -67,42 +185,56 @@ impl TenantSpec {
         let name = parts
             .next()
             .filter(|n| !n.is_empty())
-            .ok_or_else(|| SpecError(format!("tenant spec needs a name, got {s:?}")))?;
+            .ok_or_else(|| SpecError::malformed("tenants", s, "tenant spec needs a name"))?;
         let mut spec = TenantSpec::named(name);
         for part in parts {
             let (key, value) = part.split_once('=').ok_or_else(|| {
-                SpecError(format!(
-                    "tenant field must be key=value, got {part:?} in {s:?}"
-                ))
+                SpecError::malformed(
+                    "tenants",
+                    s,
+                    format!("tenant field must be key=value, got {part:?}"),
+                )
             })?;
             match key {
                 "policy" => {
                     spec.policy =
-                        Some(PolicyId::try_from(value).map_err(|e| SpecError(e.to_string()))?)
+                        Some(
+                            PolicyId::try_from(value).map_err(|_| SpecError::UnknownPolicy {
+                                key: "tenants".into(),
+                                value: value.into(),
+                                valid: policy_names(),
+                            })?,
+                        )
                 }
                 "users" => {
-                    let users: usize = parse_num("users", value)?;
+                    let users: usize = parse_num("tenants", value)?;
                     if users == 0 {
-                        return Err(SpecError(format!(
-                            "tenant users must be >= 1, got 0 in {s:?}"
-                        )));
+                        return Err(SpecError::malformed(
+                            "tenants",
+                            s,
+                            "tenant users must be >= 1",
+                        ));
                     }
                     spec.users = Some(users);
                 }
                 "weight" => {
-                    let weight: u32 = parse_num("weight", value)?;
+                    let weight: u32 = parse_num("tenants", value)?;
                     if weight == 0 {
-                        return Err(SpecError(format!(
-                            "tenant weight must be >= 1, got 0 in {s:?}"
-                        )));
+                        return Err(SpecError::malformed(
+                            "tenants",
+                            s,
+                            "tenant weight must be >= 1",
+                        ));
                     }
                     spec.weight = Some(weight);
                 }
-                "cap" => spec.max_cores = Some(parse_num("cap", value)?),
+                "cap" => spec.max_cores = Some(parse_num("tenants", value)?),
                 other => {
-                    return Err(SpecError(format!(
-                        "unknown tenant field {other:?} (valid: policy users weight cap)"
-                    )))
+                    return Err(SpecError::malformed(
+                        "tenants",
+                        s,
+                        format!("unknown tenant field {other:?} (valid: policy users weight cap)"),
+                    ))
                 }
             }
         }
@@ -126,6 +258,130 @@ impl std::fmt::Display for TenantSpec {
             write!(f, ":cap={c}")?;
         }
         Ok(())
+    }
+}
+
+/// Comma-joined valid policy names, for error messages.
+fn policy_names() -> String {
+    let names: Vec<&str> = PolicyId::ALL.iter().map(|p| p.name()).collect();
+    names.join(", ")
+}
+
+/// How the serving layer's open-loop requests arrive (`arrival=`):
+/// a Poisson process at a fixed rate, or a recorded trace replayed
+/// verbatim. Both produce a schedule pinned by the spec's seed, so a
+/// run is reproducible across repeats and backends.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArrivalSpec {
+    /// Poisson arrivals at `lambda` requests per (simulated) second.
+    Poisson {
+        /// Offered load, requests/s (> 0).
+        lambda: f64,
+    },
+    /// Replay a trace file: one arrival per line, `arrival_ms[,query]`,
+    /// `#` comments, timestamps non-decreasing.
+    Trace {
+        /// Path to the trace file.
+        path: PathBuf,
+    },
+}
+
+impl ArrivalSpec {
+    fn parse(value: &str) -> Result<Self, SpecError> {
+        let bad = |reason: &str| SpecError::malformed("arrival", value, reason);
+        match value.split_once(':') {
+            Some(("poisson", rate)) => {
+                let lambda: f64 = rate
+                    .parse()
+                    .map_err(|_| bad("poisson rate must be a number (requests/s)"))?;
+                if !(lambda > 0.0 && lambda.is_finite()) {
+                    return Err(bad("poisson rate must be finite and > 0"));
+                }
+                Ok(ArrivalSpec::Poisson { lambda })
+            }
+            Some(("trace", path)) if !path.is_empty() => Ok(ArrivalSpec::Trace {
+                path: PathBuf::from(path),
+            }),
+            _ => Err(bad("expected poisson:<rate> or trace:<path>")),
+        }
+    }
+}
+
+impl std::fmt::Display for ArrivalSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArrivalSpec::Poisson { lambda } => write!(f, "poisson:{lambda}"),
+            ArrivalSpec::Trace { path } => write!(f, "trace:{}", path.display()),
+        }
+    }
+}
+
+/// The serving layer's admission policy (`admission=`): accept
+/// everything, or cap concurrent in-flight queries with a
+/// deadline-aware wait queue behind the cap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionSpec {
+    /// Every arrival is dispatched immediately (open door).
+    None,
+    /// At most `max_inflight` queries execute concurrently; excess
+    /// arrivals wait in a queue of at most `queue` slots (`None` =
+    /// unbounded) and are shed when the queue is full or their SLA
+    /// deadline expires before dispatch.
+    Limit {
+        /// Concurrent in-flight query cap (>= 1).
+        max_inflight: u32,
+        /// Wait-queue capacity; `None` is unbounded.
+        queue: Option<u32>,
+    },
+}
+
+impl AdmissionSpec {
+    fn parse(value: &str) -> Result<Self, SpecError> {
+        let bad = |reason: &str| SpecError::malformed("admission", value, reason);
+        if value == "none" {
+            return Ok(AdmissionSpec::None);
+        }
+        let Some(rest) = value.strip_prefix("limit:") else {
+            return Err(bad("expected none or limit:<max_inflight>[:queue=<slots>]"));
+        };
+        let (cap, queue) = match rest.split_once(':') {
+            None => (rest, None),
+            Some((cap, q)) => {
+                let slots = q
+                    .strip_prefix("queue=")
+                    .ok_or_else(|| bad("expected queue=<slots> after limit:<max_inflight>"))?;
+                let slots: u32 = slots
+                    .parse()
+                    .map_err(|_| bad("queue slots must be a number"))?;
+                (cap, Some(slots))
+            }
+        };
+        let max_inflight: u32 = cap
+            .parse()
+            .map_err(|_| bad("max_inflight must be a number"))?;
+        if max_inflight == 0 {
+            return Err(bad("max_inflight must be >= 1"));
+        }
+        Ok(AdmissionSpec::Limit {
+            max_inflight,
+            queue,
+        })
+    }
+}
+
+impl std::fmt::Display for AdmissionSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionSpec::None => f.write_str("none"),
+            AdmissionSpec::Limit {
+                max_inflight,
+                queue: None,
+            } => write!(f, "limit:{max_inflight}"),
+            AdmissionSpec::Limit {
+                max_inflight,
+                queue: Some(q),
+            } => write!(f, "limit:{max_inflight}:queue={q}"),
+        }
     }
 }
 
@@ -167,6 +423,19 @@ pub struct ExperimentSpec {
     /// Execution backend (`EMCA_BACKEND` / `--backend`): the
     /// deterministic simulation (default) or real OS threads.
     pub backend: Backend,
+    /// Open-loop arrival process for the serving scenarios
+    /// (`EMCA_ARRIVAL` / `--arrival`).
+    pub arrival: Option<ArrivalSpec>,
+    /// Open-loop offered-load window in seconds (`EMCA_DURATION` /
+    /// `--duration`); arrivals stop after this, in-flight work drains.
+    pub duration: Option<f64>,
+    /// Admission policy of the serving front door (`EMCA_ADMISSION` /
+    /// `--admission`).
+    pub admission: Option<AdmissionSpec>,
+    /// Per-request SLA target in milliseconds (`EMCA_SLA_MS` /
+    /// `--sla-ms`); the deadline-aware queue sheds requests that cannot
+    /// be dispatched before `arrival + sla`.
+    pub sla_ms: Option<f64>,
 }
 
 impl Default for ExperimentSpec {
@@ -186,6 +455,10 @@ impl Default for ExperimentSpec {
             out_dir: None,
             tenants: None,
             backend: Backend::default(),
+            arrival: None,
+            duration: None,
+            admission: None,
+            sla_ms: None,
         }
     }
 }
@@ -264,11 +537,11 @@ impl ExperimentSpec {
         for ts in overrides {
             let Some(i) = cfg.tenants.iter().position(|t| t.name == ts.name) else {
                 let valid: Vec<&str> = cfg.tenants.iter().map(|t| t.name.as_str()).collect();
-                return Err(SpecError(format!(
-                    "no tenant named {:?} in this scenario (valid: {})",
-                    ts.name,
-                    valid.join(", ")
-                )));
+                return Err(SpecError::UnknownTenant {
+                    key: "tenants".into(),
+                    value: ts.name.clone(),
+                    valid: valid.join(", "),
+                });
             };
             let t = &mut cfg.tenants[i];
             if let Some(p) = ts.policy {
@@ -314,9 +587,11 @@ fn parse_flavor(s: &str) -> Result<Flavor, SpecError> {
     match s {
         "monetdb" => Ok(Flavor::MonetDb),
         "sqlserver" => Ok(Flavor::SqlServer),
-        other => Err(SpecError(format!(
-            "flavor must be monetdb|sqlserver, got {other:?}"
-        ))),
+        other => Err(SpecError::malformed(
+            "flavor",
+            other,
+            "must be monetdb|sqlserver",
+        )),
     }
 }
 
@@ -333,9 +608,11 @@ fn parse_warmup(s: &str) -> Result<Warmup, SpecError> {
         "loader" => Ok(Warmup::Loader),
         "interleave" => Ok(Warmup::Interleave),
         "none" => Ok(Warmup::None),
-        other => Err(SpecError(format!(
-            "warmup must be loader|interleave|none, got {other:?}"
-        ))),
+        other => Err(SpecError::malformed(
+            "warmup",
+            other,
+            "must be loader|interleave|none",
+        )),
     }
 }
 
@@ -389,6 +666,20 @@ impl std::fmt::Display for ExperimentSpec {
             let rendered: Vec<String> = tenants.iter().map(|t| t.to_string()).collect();
             pairs.push(format!("tenants={}", rendered.join(",")));
         }
+        // Serve fields render only when set, so pre-serve spec lines
+        // stay byte-identical.
+        if let Some(a) = &self.arrival {
+            pairs.push(format!("arrival={a}"));
+        }
+        if let Some(d) = self.duration {
+            pairs.push(format!("duration={d}"));
+        }
+        if let Some(a) = self.admission {
+            pairs.push(format!("admission={a}"));
+        }
+        if let Some(s) = self.sla_ms {
+            pairs.push(format!("sla_ms={s}"));
+        }
         // Emitted only off the default, so pre-backend spec lines stay
         // byte-identical.
         if self.backend != Backend::default() {
@@ -416,7 +707,7 @@ fn tokenize(s: &str) -> Result<Vec<String>, SpecError> {
         }
     }
     if in_quotes {
-        return Err(SpecError(format!("unbalanced quote in {s:?}")));
+        return Err(SpecError::malformed("spec", s, "unbalanced quote"));
     }
     if !cur.is_empty() {
         tokens.push(cur);
@@ -432,7 +723,7 @@ impl std::str::FromStr for ExperimentSpec {
         for pair in tokenize(s)? {
             let (key, value) = pair
                 .split_once('=')
-                .ok_or_else(|| SpecError(format!("expected key=value, got {pair:?}")))?;
+                .ok_or_else(|| SpecError::malformed("spec", &pair, "expected key=value"))?;
             spec.set(key, value)?;
         }
         Ok(spec)
@@ -442,17 +733,51 @@ impl std::str::FromStr for ExperimentSpec {
 fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, SpecError> {
     value
         .parse()
-        .map_err(|_| SpecError(format!("{key} must be a number, got {value:?}")))
+        .map_err(|_| SpecError::malformed(key, value, "must be a number"))
 }
 
 impl ExperimentSpec {
+    /// Every spec key, in `Display` rendering order.
+    pub const KEYS: &'static [&'static str] = &[
+        "scenario",
+        "flavor",
+        "policy",
+        "users",
+        "iters",
+        "sf",
+        "seed",
+        "warmup",
+        "guard",
+        "interval_ms",
+        "check",
+        "out_dir",
+        "tenants",
+        "arrival",
+        "duration",
+        "admission",
+        "sla_ms",
+        "backend",
+    ];
+
+    /// Keys that are *universal* — every scenario honours them (or they
+    /// configure the harness around the scenario), so the supported-keys
+    /// validation never checks them.
+    pub const UNIVERSAL_KEYS: &'static [&'static str] = &["scenario", "seed", "check", "out_dir"];
+
     /// Sets one `key=value` field (the `FromStr`/CLI/env shared path).
     pub fn set(&mut self, key: &str, value: &str) -> Result<(), SpecError> {
         match key {
             "scenario" => self.scenario = value.to_string(),
             "flavor" => self.flavor = Some(parse_flavor(value)?),
             "policy" => {
-                self.policy = Some(PolicyId::try_from(value).map_err(|e| SpecError(e.to_string()))?)
+                self.policy =
+                    Some(
+                        PolicyId::try_from(value).map_err(|_| SpecError::UnknownPolicy {
+                            key: key.into(),
+                            value: value.into(),
+                            valid: policy_names(),
+                        })?,
+                    )
             }
             "users" => self.users = Some(parse_num(key, value)?),
             "iters" => self.iters = Some(parse_num(key, value)?),
@@ -477,15 +802,123 @@ impl ExperimentSpec {
                         .collect::<Result<Vec<_>, _>>()?,
                 )
             }
-            "backend" => self.backend = value.parse().map_err(SpecError)?,
+            "arrival" => self.arrival = Some(ArrivalSpec::parse(value)?),
+            "duration" => {
+                let d: f64 = parse_num(key, value)?;
+                if !(d > 0.0 && d.is_finite()) {
+                    return Err(SpecError::malformed(
+                        key,
+                        value,
+                        "must be finite seconds > 0",
+                    ));
+                }
+                self.duration = Some(d);
+            }
+            "admission" => self.admission = Some(AdmissionSpec::parse(value)?),
+            "sla_ms" => {
+                let s: f64 = parse_num(key, value)?;
+                if !(s > 0.0 && s.is_finite()) {
+                    return Err(SpecError::malformed(
+                        key,
+                        value,
+                        "must be finite milliseconds > 0",
+                    ));
+                }
+                self.sla_ms = Some(s);
+            }
+            "backend" => {
+                self.backend = value
+                    .parse()
+                    .map_err(|_: String| SpecError::UnknownBackend {
+                        key: key.into(),
+                        value: value.into(),
+                    })?
+            }
             other => {
-                return Err(SpecError(format!(
-                    "unknown spec key {other:?} (valid: scenario flavor policy users iters \
-                     sf seed warmup guard interval_ms check out_dir tenants backend)"
-                )))
+                return Err(SpecError::UnknownKey {
+                    key: other.into(),
+                    value: value.into(),
+                })
             }
         }
         Ok(())
+    }
+
+    /// The non-universal keys this spec has pinned, as `(key, value)`
+    /// pairs — what the supported-keys validation checks against a
+    /// scenario's declared support, and what `--prune-unsupported`
+    /// clears. `backend` counts as set only off its default.
+    pub fn set_keys(&self) -> Vec<(&'static str, String)> {
+        let mut keys = Vec::new();
+        if let Some(fl) = self.flavor {
+            keys.push(("flavor", flavor_name(fl).to_string()));
+        }
+        if let Some(p) = self.policy {
+            keys.push(("policy", p.to_string()));
+        }
+        if let Some(u) = self.users {
+            keys.push(("users", u.to_string()));
+        }
+        if let Some(i) = self.iters {
+            keys.push(("iters", i.to_string()));
+        }
+        if let Some(sf) = self.sf {
+            keys.push(("sf", sf.to_string()));
+        }
+        if let Some(w) = self.warmup {
+            keys.push(("warmup", warmup_name(w).to_string()));
+        }
+        match self.guard {
+            None => {}
+            Some(None) => keys.push(("guard", "off".to_string())),
+            Some(Some(g)) => keys.push(("guard", g.to_string())),
+        }
+        if let Some(ms) = self.interval_ms {
+            keys.push(("interval_ms", ms.to_string()));
+        }
+        if let Some(tenants) = &self.tenants {
+            let rendered: Vec<String> = tenants.iter().map(|t| t.to_string()).collect();
+            keys.push(("tenants", rendered.join(",")));
+        }
+        if let Some(a) = &self.arrival {
+            keys.push(("arrival", a.to_string()));
+        }
+        if let Some(d) = self.duration {
+            keys.push(("duration", d.to_string()));
+        }
+        if let Some(a) = self.admission {
+            keys.push(("admission", a.to_string()));
+        }
+        if let Some(s) = self.sla_ms {
+            keys.push(("sla_ms", s.to_string()));
+        }
+        if self.backend != Backend::default() {
+            keys.push(("backend", self.backend.to_string()));
+        }
+        keys
+    }
+
+    /// Clears one non-universal field by key name (the
+    /// `--prune-unsupported` path). Unknown or universal keys are left
+    /// untouched.
+    pub fn clear(&mut self, key: &str) {
+        match key {
+            "flavor" => self.flavor = None,
+            "policy" => self.policy = None,
+            "users" => self.users = None,
+            "iters" => self.iters = None,
+            "sf" => self.sf = None,
+            "warmup" => self.warmup = None,
+            "guard" => self.guard = None,
+            "interval_ms" => self.interval_ms = None,
+            "tenants" => self.tenants = None,
+            "arrival" => self.arrival = None,
+            "duration" => self.duration = None,
+            "admission" => self.admission = None,
+            "sla_ms" => self.sla_ms = None,
+            "backend" => self.backend = Backend::default(),
+            _ => {}
+        }
     }
 }
 
@@ -510,6 +943,10 @@ impl ExperimentSpec {
 /// | `EMCA_OUT_DIR`     | `out_dir`     |
 /// | `EMCA_TENANTS`     | `tenants`     |
 /// | `EMCA_BACKEND`     | `backend`     |
+/// | `EMCA_ARRIVAL`     | `arrival`     |
+/// | `EMCA_DURATION`    | `duration`    |
+/// | `EMCA_ADMISSION`   | `admission`   |
+/// | `EMCA_SLA_MS`      | `sla_ms`      |
 ///
 /// `PROPTEST_CASES` is consumed by the vendored proptest shim with the
 /// same strict parsing; it is not a spec field.
@@ -535,10 +972,15 @@ pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> Result<ExperimentSpec,
         ("EMCA_OUT_DIR", "out_dir"),
         ("EMCA_TENANTS", "tenants"),
         ("EMCA_BACKEND", "backend"),
+        ("EMCA_ARRIVAL", "arrival"),
+        ("EMCA_DURATION", "duration"),
+        ("EMCA_ADMISSION", "admission"),
+        ("EMCA_SLA_MS", "sla_ms"),
     ] {
         if let Some(value) = get(var) {
-            spec.set(key, &value)
-                .map_err(|SpecError(e)| SpecError(format!("{var}: {e}")))?;
+            // Re-key the error to the variable it came from: the user
+            // set `EMCA_SF`, not `sf`.
+            spec.set(key, &value).map_err(|e| e.for_key(var))?;
         }
     }
     Ok(spec)
@@ -572,10 +1014,95 @@ mod tests {
             out_dir: Some(PathBuf::from("/tmp/emca-out")),
             tenants: Some(vec![TenantSpec::named("olap"), TenantSpec::named("steady")]),
             backend: Backend::Threads,
+            arrival: Some(ArrivalSpec::Poisson { lambda: 12.5 }),
+            duration: Some(3.0),
+            admission: Some(AdmissionSpec::Limit {
+                max_inflight: 8,
+                queue: Some(64),
+            }),
+            sla_ms: Some(250.0),
         };
         let line = spec.to_string();
         let back: ExperimentSpec = line.parse().unwrap();
         assert_eq!(spec, back, "serialised as {line:?}");
+    }
+
+    #[test]
+    fn serve_fields_round_trip_and_default_is_omitted() {
+        let line = ExperimentSpec::default().to_string();
+        for key in ["arrival", "duration", "admission", "sla_ms"] {
+            assert!(!line.contains(key), "{line}");
+        }
+        for (line, check) in [
+            ("arrival=poisson:40", "poisson 40/s"),
+            ("arrival=trace:/tmp/a.trace", "trace path"),
+            ("admission=none", "open door"),
+            ("admission=limit:8", "cap only"),
+            ("admission=limit:8:queue=64", "cap and queue"),
+            ("duration=2.5 sla_ms=100", "window and SLA"),
+        ] {
+            let spec: ExperimentSpec = line.parse().unwrap_or_else(|e| panic!("{check}: {e}"));
+            assert_eq!(spec.to_string(), format!("seed=42 {line}"), "{check}");
+        }
+    }
+
+    #[test]
+    fn malformed_serve_fields_error_with_the_offending_pair() {
+        for line in [
+            "arrival=poisson:-3",
+            "arrival=poisson:abc",
+            "arrival=uniform:3",
+            "arrival=trace:",
+            "admission=limit:0",
+            "admission=limit:8:depth=2",
+            "admission=open",
+            "duration=0",
+            "duration=x",
+            "sla_ms=-1",
+        ] {
+            let err = line.parse::<ExperimentSpec>().unwrap_err();
+            let (key, value) = line.split_once('=').unwrap();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(key) && msg.contains(value),
+                "{line:?} must report its key=value, got: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn set_keys_tracks_pinned_fields_and_clear_unpins() {
+        let mut spec: ExperimentSpec =
+            "scenario=fig04 sf=0.1 users=4 arrival=poisson:10 backend=threads"
+                .parse()
+                .unwrap();
+        let keys: Vec<&str> = spec.set_keys().iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, ["users", "sf", "arrival", "backend"]);
+        assert!(
+            !keys.contains(&"scenario"),
+            "universal keys are never reported"
+        );
+        for (k, v) in spec.set_keys() {
+            assert!(!v.is_empty(), "{k} renders its value");
+        }
+        spec.clear("arrival");
+        spec.clear("backend");
+        let keys: Vec<&str> = spec.set_keys().iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, ["users", "sf"]);
+    }
+
+    #[test]
+    fn unsupported_error_names_the_scenario_and_pair() {
+        let err = SpecError::Unsupported {
+            scenario: "tab_overhead".into(),
+            key: "users".into(),
+            value: "64".into(),
+        };
+        let msg = err.to_string();
+        assert!(
+            msg.contains("tab_overhead") && msg.contains("users=64"),
+            "{msg}"
+        );
     }
 
     #[test]

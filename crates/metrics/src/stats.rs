@@ -140,6 +140,32 @@ impl Running {
     }
 }
 
+/// p50/p95/p99 of a latency population in one shot (the serving layer's
+/// standard report). The population may contain `+inf` entries —
+/// unfinished requests under overload — which then surface as infinite
+/// tail quantiles; that is the signal, not an error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Population size.
+    pub n: usize,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Summarises `xs` (any unit); `None` when empty or NaN-polluted.
+pub fn latency_summary(xs: &[f64]) -> Option<LatencySummary> {
+    Some(LatencySummary {
+        n: xs.len(),
+        p50: percentile(xs, 0.50)?,
+        p95: percentile(xs, 0.95)?,
+        p99: percentile(xs, 0.99)?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +195,17 @@ mod tests {
         assert_eq!(percentile(&xs, 0.5), Some(2.5));
         assert_eq!(percentile(&xs, 2.0), None);
         assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn latency_summary_carries_infinite_tails() {
+        let mut xs: Vec<f64> = (1..=99).map(f64::from).collect();
+        xs.push(f64::INFINITY);
+        let s = latency_summary(&xs).unwrap();
+        assert_eq!(s.n, 100);
+        assert!(s.p50.is_finite() && s.p95.is_finite());
+        assert!(s.p99.is_infinite(), "1% unfinished must surface in p99");
+        assert_eq!(latency_summary(&[]), None);
     }
 
     #[test]

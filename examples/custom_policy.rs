@@ -96,6 +96,17 @@ fn main() {
             about: "sparse growth + page-cold release vs the OS baseline",
             schemas: &[],
             run: widest_first_scenario,
+            // The keys this scenario honours; pinning anything else
+            // (e.g. `policy=`) is a hard SpecError, not a silent no-op.
+            keys: &[
+                "sf",
+                "users",
+                "iters",
+                "warmup",
+                "guard",
+                "interval_ms",
+                "backend",
+            ],
         }))
         .expect("fresh registry");
 
