@@ -7,6 +7,8 @@
 //!                                     run a scenario once per value
 //! emca check [--fidelity] [flags]     validate results CSVs
 //!                                     (+ the tab_summary fidelity gate)
+//! emca check --lint                   run the workspace lint (emca-lint)
+//!                                     and refresh results/lint_report.json
 //! emca legacy <binary> [args]         run a retired per-figure binary
 //!                                     by its old name
 //! emca help                           this text
@@ -54,7 +56,9 @@ commands:
   check [--fidelity] [flags]         validate declared results CSVs;
                                      --fidelity also runs the tab_summary gate;
                                      --scenario <name> (repeatable) restricts
-                                     the check to that scenario's CSVs
+                                     the check to that scenario's CSVs;
+                                     --lint runs the workspace static analysis
+                                     (emca-lint, see docs/LINTS.md) instead
   legacy <binary> [args]             run a retired per-figure binary by its
                                      old name (fig04_q6_users, probe, ...)
   help                               show this text
@@ -78,6 +82,47 @@ fn fail(msg: &str) -> ! {
     eprintln!("emca: {msg}");
     eprintln!("{USAGE}");
     std::process::exit(2);
+}
+
+/// `emca check --lint`: runs the emca-lint engine over the workspace,
+/// prints every diagnostic, refreshes `results/lint_report.json`, and
+/// exits non-zero on violations. Exclusive of the CSV check — the lint
+/// reads source trees, not results files.
+fn run_lint() {
+    let root = emca_harness::results_path("")
+        .parent()
+        .map(std::path::Path::to_path_buf)
+        .filter(|r| r.join("lint.toml").exists())
+        .or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|cwd| emca_lint::find_repo_root(&cwd))
+        })
+        .unwrap_or_else(|| fail("check --lint: no lint.toml found (run from inside the repo)"));
+    let outcome = match emca_lint::run_workspace(&root) {
+        Ok(o) => o,
+        Err(e) => fail(&format!("check --lint: {e}")),
+    };
+    for d in &outcome.diagnostics {
+        println!("{d}");
+    }
+    let report_path = root.join("results").join("lint_report.json");
+    if let Err(e) = std::fs::write(&report_path, emca_lint::report::render(&outcome)) {
+        fail(&format!(
+            "check --lint: writing {}: {e}",
+            report_path.display()
+        ));
+    }
+    println!(
+        "check --lint: {} files, {} violations, {} waivers -> {}",
+        outcome.files.len(),
+        outcome.diagnostics.len(),
+        outcome.waivers.len(),
+        report_path.display()
+    );
+    if !outcome.clean() {
+        std::process::exit(1);
+    }
 }
 
 /// Maps `--flag value` pairs onto spec fields; returns leftovers that
@@ -321,17 +366,23 @@ fn main() {
             let mut spec = base_spec();
             let rest = parse_flags(&mut spec, &args[1..]);
             let mut fidelity = false;
+            let mut lint = false;
             let mut only: Vec<String> = Vec::new();
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--fidelity" => fidelity = true,
+                    "--lint" => lint = true,
                     "--scenario" => match it.next() {
                         Some(name) => only.push(name.clone()),
                         None => fail("--scenario requires a scenario name"),
                     },
                     other => fail(&format!("unknown flag {other:?}")),
                 }
+            }
+            if lint {
+                run_lint();
+                return;
             }
             if !only.is_empty() {
                 // Restricted check: validate only the named scenarios'

@@ -33,6 +33,17 @@ pub fn run(spec: &ExperimentSpec) -> ScenarioResult {
             Err(e) => problems.push(format!("BENCH_operators.json: unreadable: {e}")),
         }
     }
+    let lint_report = dir.join("lint_report.json");
+    if lint_report.exists() {
+        match std::fs::read_to_string(&lint_report) {
+            Ok(body) => problems.extend(
+                check_lint_report(&body)
+                    .into_iter()
+                    .map(|p| format!("lint_report.json: {p}")),
+            ),
+            Err(e) => problems.push(format!("lint_report.json: unreadable: {e}")),
+        }
+    }
     if problems.is_empty() {
         println!(
             "csv_check: {} results files validate",
@@ -85,9 +96,51 @@ pub fn check_bench_json(body: &str) -> Vec<String> {
     problems
 }
 
+/// Validates the committed lint report (`emca-lint`'s output): the
+/// scalar fields must be present, `violations` must be `0` (a report
+/// recording violations must never be committed), and every waiver
+/// entry must carry file/line/rule/justification. Line-oriented like
+/// [`check_bench_json`] — the report writer emits one waiver per line.
+pub fn check_lint_report(body: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    for field in [
+        "\"version\"",
+        "\"files_scanned\"",
+        "\"rules\"",
+        "\"waivers\"",
+    ] {
+        if !body.contains(field) {
+            problems.push(format!("missing field {field}"));
+        }
+    }
+    match body.lines().find(|l| l.contains("\"violations\"")) {
+        None => problems.push("missing field \"violations\"".to_string()),
+        Some(line) if !line.contains(": 0") => {
+            problems.push(format!(
+                "committed report records violations: {}",
+                line.trim()
+            ));
+        }
+        Some(_) => {}
+    }
+    for (i, line) in body
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{') && l.contains("\"rule\""))
+        .enumerate()
+    {
+        for field in ["\"file\"", "\"line\"", "\"rule\"", "\"justification\""] {
+            if !line.contains(field) {
+                problems.push(format!("waiver {i}: missing field {field}"));
+            }
+        }
+    }
+    problems
+}
+
 #[cfg(test)]
 mod tests {
-    use super::check_bench_json;
+    use super::{check_bench_json, check_lint_report};
 
     #[test]
     fn bench_json_accepts_shim_output() {
@@ -108,5 +161,44 @@ mod tests {
 ]"#;
         let problems = check_bench_json(missing);
         assert_eq!(problems.len(), 2); // median_ns and min_ns missing
+    }
+
+    #[test]
+    fn lint_report_accepts_clean_report() {
+        let good = r#"{
+  "version": 1,
+  "files_scanned": 102,
+  "rules": ["determinism", "float-ordering"],
+  "violations": 0,
+  "waivers": [
+    {"file": "crates/dbms/src/exec/par.rs", "line": 42, "rule": "panic-freedom", "justification": "contained by catch_unwind"}
+  ]
+}
+"#;
+        assert!(check_lint_report(good).is_empty());
+    }
+
+    #[test]
+    fn lint_report_rejects_violations_and_bare_waivers() {
+        let dirty = r#"{
+  "version": 1,
+  "files_scanned": 5,
+  "rules": [],
+  "violations": 3,
+  "waivers": [
+    {"file": "x.rs", "line": 1, "rule": "determinism"}
+  ]
+}
+"#;
+        let problems = check_lint_report(dirty);
+        assert!(
+            problems.iter().any(|p| p.contains("violations")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("justification")),
+            "{problems:?}"
+        );
+        assert!(!check_lint_report("{}").is_empty());
     }
 }

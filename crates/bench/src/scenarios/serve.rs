@@ -284,3 +284,17 @@ pub fn headline_violation(os: &ServeOutput, admitted: &ServeOutput) -> Option<St
     }
     None
 }
+
+#[cfg(test)]
+mod tests {
+    use super::{ROW_FIELDS, ROW_HEADER};
+
+    /// The serve scenarios declare `ROW_HEADER` in their SCHEMAS and
+    /// build tables from `ROW_FIELDS`; the schema-sync waivers in
+    /// serve_latency_curve.rs and serve_overload.rs cite this test as
+    /// the cross-file link the per-file lint cannot see.
+    #[test]
+    fn row_header_matches_fields() {
+        assert_eq!(ROW_FIELDS.join(","), ROW_HEADER);
+    }
+}

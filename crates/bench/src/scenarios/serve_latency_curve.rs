@@ -52,6 +52,7 @@ pub fn run(spec: &ExperimentSpec) -> ScenarioResult {
             .collect(),
     };
 
+    // emca-lint: allow(schema-sync) — header is serve::ROW_FIELDS, declared as serve::ROW_HEADER; serve.rs's row_header_matches_fields test pins their agreement
     let mut table = Table::new(
         "serve_latency_curve — latency and goodput vs offered load",
         ROW_FIELDS,

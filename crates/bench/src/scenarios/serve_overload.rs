@@ -45,6 +45,7 @@ pub fn run(spec: &ExperimentSpec) -> ScenarioResult {
         sla.as_millis_f64()
     );
 
+    // emca-lint: allow(schema-sync) — header is serve::ROW_FIELDS, declared as serve::ROW_HEADER; serve.rs's row_header_matches_fields test pins their agreement
     let mut table = Table::new("serve_overload — one past-saturation point", ROW_FIELDS);
     let mut admitted_p99 = f64::NAN;
     for s in series(spec) {

@@ -19,6 +19,19 @@
 //! backends produce bitwise-identical query results, and shrinking the
 //! pool changes timing, not answers. There is no memo cache here: every
 //! execution is real work, which is the point of this backend.
+//!
+//! ## Failure model
+//!
+//! A panic inside operator evaluation must not poison the pool mutex
+//! and wedge every parked peer. Evaluation and assembly run under
+//! `catch_unwind`; a panicking worker marks itself **dead**, drains its
+//! deque back to the global queue, fails the offending query with a
+//! typed [`QueryError`], and exits its thread. Survivors keep serving
+//! (dead workers are skipped in the wake order), and when the last
+//! worker dies every in-flight and future query fails fast with
+//! [`QueryError::PoolDead`]. All lock acquisitions recover from
+//! poisoning (`unwrap_or_else(PoisonError::into_inner)`) so a panic
+//! elsewhere can never wedge the pool either.
 
 use crate::exec::engine::{
     assemble_parts, evaluate_partition_on, primary_input, EngineStats, ExecInputs, QueryResult,
@@ -31,9 +44,43 @@ use crate::storage::bat::ColData;
 use crate::tpch::gen::TpchData;
 use emca_metrics::{FxHashMap, SimDuration, SimTime};
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Why a query produced no result. The pool stays serviceable after
+/// either: callers decide whether to retry, shed, or abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// A worker panicked evaluating this query's operator; the worker is
+    /// dead and the pool degraded to the survivors.
+    WorkerPanicked {
+        /// MAL name of the operator that was evaluating.
+        op: &'static str,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// Every worker has died; the pool cannot execute anything.
+    PoolDead,
+    /// An internal dataflow invariant broke (a bug, reported instead of
+    /// unwound).
+    Internal(&'static str),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::WorkerPanicked { op, message } => {
+                write!(f, "worker panicked in {op}: {message}")
+            }
+            QueryError::PoolDead => write!(f, "every pool worker has died"),
+            QueryError::Internal(what) => write!(f, "internal engine invariant broke: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// Immutable base-table columns shared by every worker (all `Arc`-backed,
 /// so cloning a snapshot is pointer-cheap).
@@ -59,6 +106,7 @@ impl BaseData {
     fn col(&self, c: &ColRef) -> &ColData {
         self.cols
             .get(&(c.table, c.column))
+            // emca-lint: allow(panic-freedom) — plan/catalog mismatch is a construction bug; workers evaluate under catch_unwind, so this fails the query, not the pool
             .unwrap_or_else(|| panic!("unknown column {}.{}", c.table, c.column))
     }
 
@@ -66,6 +114,7 @@ impl BaseData {
         *self
             .rows
             .get(table)
+            // emca-lint: allow(panic-freedom) — plan/catalog mismatch is a construction bug; workers evaluate under catch_unwind, so this fails the query, not the pool
             .unwrap_or_else(|| panic!("unknown table {table}"))
     }
 }
@@ -83,6 +132,7 @@ impl ExecInputs for Snapshot<'_> {
     }
 
     fn node_mat(&self, n: NodeId) -> &Mat {
+        // emca-lint: allow(panic-freedom) — dataflow ordering invariant; only reachable inside catch_unwind (evaluate/assemble), so it fails the query, not the pool
         self.mats[n.idx()].as_ref().expect("input mat ready")
     }
 }
@@ -125,18 +175,33 @@ struct State {
     next_qid: u64,
     global: VecDeque<ParTask>,
     per_worker: Vec<VecDeque<ParTask>>,
-    /// `rank_of[worker]` — a worker runs while its rank is below
-    /// `active`; the mechanism's placement preference is expressed by
-    /// permuting ranks ([`ParEngine::set_wake_order`]).
+    /// `rank_of[worker]` — a worker runs while its rank (among live
+    /// workers) is below `active`; the mechanism's placement preference
+    /// is expressed by permuting ranks ([`ParEngine::set_wake_order`]).
     rank_of: Vec<usize>,
     active: usize,
     shutdown: bool,
-    results: FxHashMap<u64, QueryResult>,
+    /// Workers that panicked and exited; skipped in the wake order and
+    /// never scheduled to again.
+    dead: Vec<bool>,
+    n_dead: usize,
+    results: FxHashMap<u64, Result<QueryResult, QueryError>>,
     stats: EngineStats,
     tomograph: Tomograph,
     /// Total worker-busy wall nanoseconds (the pool controller's CPU-load
     /// signal).
     busy_ns: u64,
+}
+
+impl State {
+    /// This worker's rank counting live workers only, so dead workers
+    /// are transparently skipped by grow/shrink.
+    fn live_rank(&self, idx: usize) -> usize {
+        let mine = self.rank_of[idx];
+        (0..self.rank_of.len())
+            .filter(|&w| !self.dead[w] && self.rank_of[w] < mine)
+            .count()
+    }
 }
 
 struct Shared {
@@ -148,6 +213,28 @@ struct Shared {
     base: Arc<BaseData>,
     n_workers: usize,
     epoch: Instant,
+}
+
+impl Shared {
+    /// Locks the pool state, recovering from poisoning: the invariants
+    /// behind this mutex are repaired by the dead-worker path, never
+    /// abandoned mid-update (updates happen outside the lock and commit
+    /// under it), so a poisoned guard's data is still consistent.
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait_work<'a>(&self, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        self.work
+            .wait(guard)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait_done<'a>(&self, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        self.done
+            .wait(guard)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// Construction parameters for the thread pool.
@@ -182,6 +269,8 @@ impl ParEngine {
                 rank_of: (0..n).collect(),
                 active: cfg.initial_active.clamp(1, n),
                 shutdown: false,
+                dead: vec![false; n],
+                n_dead: 0,
                 results: FxHashMap::default(),
                 stats: EngineStats::default(),
                 tomograph: Tomograph::new(),
@@ -199,6 +288,7 @@ impl ParEngine {
                 std::thread::Builder::new()
                     .name(format!("emca-worker{idx}"))
                     .spawn(move || worker_loop(shared, idx))
+                    // emca-lint: allow(panic-freedom) — construction-time spawn failure (fd/thread exhaustion) happens before any query exists; nothing to degrade to
                     .expect("spawn worker thread")
             })
             .collect();
@@ -210,6 +300,11 @@ impl ParEngine {
         self.shared.n_workers
     }
 
+    /// Workers that have panicked and exited.
+    pub fn dead_workers(&self) -> usize {
+        self.shared.lock_state().n_dead
+    }
+
     /// Wall-clock time since pool start, as simulation time (both
     /// backends report [`QueryResult`] stamps on the same axis).
     pub fn now(&self) -> SimTime {
@@ -217,14 +312,22 @@ impl ParEngine {
     }
 
     /// Submits a query; workers are notified immediately. The result is
-    /// fetched with [`ParEngine::wait_result`].
+    /// fetched with [`ParEngine::wait_result`]. On a fully dead pool the
+    /// query fails fast with [`QueryError::PoolDead`] instead of queuing
+    /// forever.
     pub fn submit(&self, plan: Arc<Plan>, spec_tag: u32) -> QueryId {
         assert!(!plan.is_empty(), "cannot submit an empty plan");
         let submitted = self.now();
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = self.shared.lock_state();
         let qid = st.next_qid;
         st.next_qid += 1;
         st.stats.queries_submitted += 1;
+        if st.n_dead == self.shared.n_workers {
+            st.results.insert(qid, Err(QueryError::PoolDead));
+            drop(st);
+            self.shared.done.notify_all();
+            return QueryId(qid);
+        }
         let dependents = plan.dependents();
         let nodes: Vec<ParNode> = plan
             .nodes()
@@ -267,31 +370,37 @@ impl ParEngine {
         QueryId(qid)
     }
 
-    /// Non-blocking result fetch: returns `qid`'s result if it has
-    /// completed, `None` otherwise. The serving dispatcher polls this
-    /// for every in-flight request instead of blocking per query.
-    pub fn try_result(&self, qid: QueryId) -> Option<QueryResult> {
-        self.shared.state.lock().unwrap().results.remove(&qid.0)
+    /// Non-blocking result fetch: returns `qid`'s outcome if it has
+    /// completed (or failed), `None` while still in flight. The serving
+    /// dispatcher polls this for every in-flight request instead of
+    /// blocking per query.
+    pub fn try_result(&self, qid: QueryId) -> Option<Result<QueryResult, QueryError>> {
+        self.shared.lock_state().results.remove(&qid.0)
     }
 
-    /// Blocks until `qid` completes and returns its result.
-    pub fn wait_result(&self, qid: QueryId) -> QueryResult {
-        let mut st = self.shared.state.lock().unwrap();
+    /// Blocks until `qid` completes and returns its outcome. A query
+    /// whose worker panicked resolves to `Err` instead of hanging.
+    pub fn wait_result(&self, qid: QueryId) -> Result<QueryResult, QueryError> {
+        let mut st = self.shared.lock_state();
         loop {
             if let Some(r) = st.results.remove(&qid.0) {
                 return r;
             }
-            st = self.shared.done.wait(st).unwrap();
+            // Unknown qid on a dead pool would otherwise wait forever.
+            if !st.queries.contains_key(&qid.0) && st.n_dead == self.shared.n_workers {
+                return Err(QueryError::PoolDead);
+            }
+            st = self.shared.wait_done(st);
         }
     }
 
-    /// Unparks the first `n` workers in wake order and parks the rest
-    /// (the pool analogue of the simulator's cpuset grow/shrink). A
+    /// Unparks the first `n` live workers in wake order and parks the
+    /// rest (the pool analogue of the simulator's cpuset grow/shrink). A
     /// worker mid-task finishes its task before re-checking its rank, so
     /// shrink has the same finish-current-slice semantics as the
     /// simulated actuation. Clamped to `1..=n_workers`.
     pub fn set_active(&self, n: usize) {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = self.shared.lock_state();
         st.active = n.clamp(1, self.shared.n_workers);
         drop(st);
         self.shared.work.notify_all();
@@ -299,7 +408,7 @@ impl ParEngine {
 
     /// Currently unparked workers.
     pub fn active(&self) -> usize {
-        self.shared.state.lock().unwrap().active
+        self.shared.lock_state().active
     }
 
     /// Sets the unpark order: `order[r]` is the worker holding rank `r`,
@@ -311,7 +420,7 @@ impl ParEngine {
     /// the listed workers cover the active count).
     pub fn set_wake_order(&self, order: &[usize]) {
         let n = self.shared.n_workers;
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = self.shared.lock_state();
         let mut next_rank = order.len();
         let mut seen = vec![false; n];
         for (rank, &w) in order.iter().enumerate() {
@@ -332,36 +441,36 @@ impl ParEngine {
 
     /// Outstanding (queued) task count.
     pub fn queued_tasks(&self) -> usize {
-        let st = self.shared.state.lock().unwrap();
+        let st = self.shared.lock_state();
         st.global.len() + st.per_worker.iter().map(|q| q.len()).sum::<usize>()
     }
 
     /// Number of in-flight queries.
     pub fn active_queries(&self) -> usize {
-        self.shared.state.lock().unwrap().queries.len()
+        self.shared.lock_state().queries.len()
     }
 
     /// Engine statistics snapshot.
     pub fn stats(&self) -> EngineStats {
-        self.shared.state.lock().unwrap().stats
+        self.shared.lock_state().stats
     }
 
     /// Total worker-busy wall nanoseconds so far (monotone; the pool
     /// controller differences it for its CPU-load signal).
     pub fn busy_ns(&self) -> u64 {
-        self.shared.state.lock().unwrap().busy_ns
+        self.shared.lock_state().busy_ns
     }
 
     /// Per-operator statistics snapshot.
     pub fn tomograph(&self) -> Tomograph {
-        self.shared.state.lock().unwrap().tomograph.clone()
+        self.shared.lock_state().tomograph.clone()
     }
 
     /// Stops and joins every worker. Called by `Drop`; explicit calls
     /// are idempotent.
     pub fn shutdown(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = self.shared.lock_state();
             st.shutdown = true;
         }
         self.shared.work.notify_all();
@@ -408,9 +517,12 @@ fn primary_len_of(
 /// Splits a ready node into partition tasks and enqueues them, with the
 /// same partition-count and lineage rules as the simulated engine
 /// (`workers` here is the pool's scheduling width, not the active
-/// count — results must not depend on the current allocation).
+/// count — results must not depend on the current allocation). Tasks
+/// preferring a dead worker fall through to the global queue.
 fn schedule_node(st: &mut State, base: &BaseData, workers: usize, qid: u64, node: NodeId) {
-    let q = st.queries.get_mut(&qid).expect("scheduling dead query");
+    let Some(q) = st.queries.get_mut(&qid) else {
+        return; // query failed by a dying peer; nothing to schedule
+    };
     let primary_len = {
         let nodes = &q.nodes;
         primary_len_of(
@@ -447,7 +559,7 @@ fn schedule_node(st: &mut State, base: &BaseData, workers: usize, qid: u64, node
         };
         st.stats.tasks_created += 1;
         match task.pref_worker {
-            Some(w) if (w as usize) < st.per_worker.len() => {
+            Some(w) if (w as usize) < st.per_worker.len() && !st.dead[w as usize] => {
                 st.per_worker[w as usize].push_back(task)
             }
             _ => st.global.push_back(task),
@@ -476,54 +588,119 @@ fn pop_task(st: &mut State, idx: usize) -> Option<ParTask> {
     None
 }
 
+/// Renders a `catch_unwind` payload for the [`QueryError`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// The dead-worker path: marks `idx` dead, rehomes its queued tasks,
+/// fails the query it was executing, and — when it was the last live
+/// worker — fails everything else with [`QueryError::PoolDead`]. The
+/// caller (the worker thread) returns right after.
+fn worker_dies(shared: &Shared, st: &mut State, idx: usize, qid: u64, error: QueryError) {
+    eprintln!(
+        "[par] worker {idx} died ({error}); pool degrades to {} live workers",
+        shared.n_workers - st.n_dead - 1
+    );
+    st.dead[idx] = true;
+    st.n_dead += 1;
+    // Rehome tasks routed to this worker so lineage preferences cannot
+    // strand them.
+    let orphans = std::mem::take(&mut st.per_worker[idx]);
+    st.global.extend(orphans);
+    if st.queries.remove(&qid).is_some() {
+        st.results.insert(qid, Err(error));
+    }
+    if st.n_dead == shared.n_workers {
+        let in_flight: Vec<u64> = st.queries.keys().copied().collect();
+        for q in in_flight {
+            st.queries.remove(&q);
+            st.results.insert(q, Err(QueryError::PoolDead));
+        }
+        st.global.clear();
+        for dq in &mut st.per_worker {
+            dq.clear();
+        }
+    }
+    shared.work.notify_all();
+    shared.done.notify_all();
+}
+
 /// The dedicated worker loop: park while ranked out of the allocation,
 /// otherwise pop a task, snapshot its inputs under the lock, evaluate
-/// outside it, and complete.
+/// outside it (under `catch_unwind`), and complete.
 fn worker_loop(shared: Arc<Shared>, idx: usize) {
-    let mut st = shared.state.lock().unwrap();
+    let mut st = shared.lock_state();
     loop {
         if st.shutdown {
             return;
         }
-        if st.rank_of[idx] >= st.active {
-            st = shared.work.wait(st).unwrap();
+        if st.live_rank(idx) >= st.active {
+            st = shared.wait_work(st);
             continue;
         }
         let Some(task) = pop_task(&mut st, idx) else {
-            st = shared.work.wait(st).unwrap();
+            st = shared.wait_work(st);
             continue;
         };
 
         // ---- snapshot inputs under the lock ---------------------------
-        let q = st.queries.get(&task.qid).expect("task for dead query");
+        let Some(q) = st.queries.get(&task.qid) else {
+            continue; // query failed by a dying peer; drop its task
+        };
         let plan = Arc::clone(&q.plan);
         let mats: Vec<Option<Mat>> = q.nodes.iter().map(|n| n.mat.clone()).collect();
         drop(st);
 
         // ---- evaluate outside the lock --------------------------------
         let op = plan.node(task.node);
-        let inputs = Snapshot {
-            base: &shared.base,
-            mats: &mats,
-        };
-        let primary_len = primary_len_of(
-            &plan,
-            task.node,
-            |n| mats[n.idx()].as_ref().map_or(0, |m| m.len()),
-            &shared.base,
-        );
-        let (start, end) = part_range(primary_len, task.part, task.n_parts);
         let t0 = Instant::now();
-        let partial = evaluate_partition_on(op, &inputs, start, end);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let inputs = Snapshot {
+                base: &shared.base,
+                mats: &mats,
+            };
+            let primary_len = primary_len_of(
+                &plan,
+                task.node,
+                |n| mats[n.idx()].as_ref().map_or(0, |m| m.len()),
+                &shared.base,
+            );
+            let (start, end) = part_range(primary_len, task.part, task.n_parts);
+            evaluate_partition_on(op, &inputs, start, end)
+        }));
         let mut elapsed = SimDuration::from_nanos(t0.elapsed().as_nanos() as u64);
+        let partial = match outcome {
+            Ok(p) => p,
+            Err(payload) => {
+                st = shared.lock_state();
+                worker_dies(
+                    &shared,
+                    &mut st,
+                    idx,
+                    task.qid,
+                    QueryError::WorkerPanicked {
+                        op: op.mal_name(),
+                        message: panic_message(payload),
+                    },
+                );
+                return;
+            }
+        };
 
         // ---- complete -------------------------------------------------
-        st = shared.state.lock().unwrap();
+        st = shared.lock_state();
         st.stats.tasks_executed += 1;
-        let q = st
-            .queries
-            .get_mut(&task.qid)
-            .expect("completing dead query");
+        let Some(q) = st.queries.get_mut(&task.qid) else {
+            // Query failed while this valid partition was in flight;
+            // count the work and move on.
+            st.busy_ns += elapsed.as_nanos();
+            continue;
+        };
         let nr = &mut q.nodes[task.node.idx()];
         nr.part_worker[task.part as usize] = Some(idx as u32);
         nr.partials[task.part as usize] = Some(partial);
@@ -535,23 +712,39 @@ fn worker_loop(shared: Arc<Shared>, idx: usize) {
             let partials = std::mem::take(&mut nr.partials);
             drop(st);
             let t1 = Instant::now();
-            let inputs = Snapshot {
-                base: &shared.base,
-                mats: &mats,
-            };
-            let mat = assemble_parts(op, &inputs, partials, None);
+            let assembled = catch_unwind(AssertUnwindSafe(|| {
+                let inputs = Snapshot {
+                    base: &shared.base,
+                    mats: &mats,
+                };
+                assemble_parts(op, &inputs, partials, None)
+            }));
             elapsed += SimDuration::from_nanos(t1.elapsed().as_nanos() as u64);
-            st = shared.state.lock().unwrap();
-            Some(mat)
+            st = shared.lock_state();
+            match assembled {
+                Ok(m) => Some(m),
+                Err(payload) => {
+                    worker_dies(
+                        &shared,
+                        &mut st,
+                        idx,
+                        task.qid,
+                        QueryError::WorkerPanicked {
+                            op: op.mal_name(),
+                            message: panic_message(payload),
+                        },
+                    );
+                    return;
+                }
+            }
         } else {
             None
         };
         st.busy_ns += elapsed.as_nanos();
         st.tomograph.record(op.mal_name(), elapsed);
-        let q = st
-            .queries
-            .get_mut(&task.qid)
-            .expect("finalizing dead query");
+        let Some(q) = st.queries.get_mut(&task.qid) else {
+            continue;
+        };
         q.busy += elapsed;
         if let Some(mat) = mat {
             finalize_node(&mut st, &shared, task.qid, task.node, mat);
@@ -562,7 +755,9 @@ fn worker_loop(shared: Arc<Shared>, idx: usize) {
 /// Commits a node's assembled mat, schedules newly ready dependents, and
 /// completes the query when it was the last pending node.
 fn finalize_node(st: &mut State, shared: &Shared, qid: u64, node: NodeId, mat: Mat) {
-    let q = st.queries.get_mut(&qid).expect("dead query");
+    let Some(q) = st.queries.get_mut(&qid) else {
+        return;
+    };
     q.nodes[node.idx()].mat = Some(mat);
     q.pending_nodes -= 1;
     let deps = q.dependents[node.idx()].clone();
@@ -582,28 +777,33 @@ fn finalize_node(st: &mut State, shared: &Shared, qid: u64, node: NodeId, mat: M
         shared.work.notify_all();
     }
 
-    let done = st.queries[&qid].pending_nodes == 0;
+    let done = st.queries.get(&qid).is_some_and(|q| q.pending_nodes == 0);
     if done {
-        let q = st.queries.remove(&qid).expect("dead query");
+        let Some(q) = st.queries.remove(&qid) else {
+            return;
+        };
         let root = q.plan.root();
-        let result = q.nodes[root.idx()].mat.clone().expect("root mat missing");
-        st.stats.queries_completed += 1;
-        let now = SimTime::ZERO + SimDuration::from_nanos(shared.epoch.elapsed().as_nanos() as u64);
-        // Keep responses strictly positive, like the simulated engine.
-        let finished = now.max(q.submitted + SimDuration::from_nanos(1));
-        st.results.insert(
-            qid,
-            QueryResult {
-                qid: QueryId(qid),
-                label: q.label,
-                spec_tag: q.spec_tag,
-                submitted: q.submitted,
-                finished,
-                traffic: Default::default(),
-                busy: q.busy,
-                result,
-            },
-        );
+        let outcome = match q.nodes[root.idx()].mat.clone() {
+            Some(result) => {
+                st.stats.queries_completed += 1;
+                let now = SimTime::ZERO
+                    + SimDuration::from_nanos(shared.epoch.elapsed().as_nanos() as u64);
+                // Keep responses strictly positive, like the simulated engine.
+                let finished = now.max(q.submitted + SimDuration::from_nanos(1));
+                Ok(QueryResult {
+                    qid: QueryId(qid),
+                    label: q.label,
+                    spec_tag: q.spec_tag,
+                    submitted: q.submitted,
+                    finished,
+                    traffic: Default::default(),
+                    busy: q.busy,
+                    result,
+                })
+            }
+            None => Err(QueryError::Internal("root mat missing at completion")),
+        };
+        st.results.insert(qid, outcome);
         shared.done.notify_all();
     }
 }
@@ -629,7 +829,7 @@ mod tests {
             .iter()
             .map(|s| {
                 let qid = engine.submit(Arc::new(build_query(s)), s.tag());
-                digest(&engine.wait_result(qid))
+                digest(&engine.wait_result(qid).expect("query should complete"))
             })
             .collect()
     }
@@ -719,7 +919,7 @@ mod tests {
                     for _ in 0..3 {
                         let spec = QuerySpec::Q6 { variant: 0 };
                         let qid = engine.submit(Arc::new(build_query(&spec)), spec.tag());
-                        let r = engine.wait_result(qid);
+                        let r = engine.wait_result(qid).expect("query should complete");
                         assert!(r.finished > r.submitted);
                     }
                 })
@@ -730,5 +930,48 @@ mod tests {
         }
         assert_eq!(engine.stats().queries_completed, 12);
         assert_eq!(engine.active_queries(), 0);
+    }
+
+    /// A panicking worker must fail its query with a typed error, not
+    /// poison the mutex: the engine stays queryable, and once the last
+    /// worker dies submissions fail fast with `PoolDead`.
+    #[test]
+    fn worker_panic_degrades_without_poisoning() {
+        // A catalog missing a column Q6 needs: evaluation panics inside
+        // the worker, under catch_unwind.
+        let mut data = TpchData::generate(TpchScale::test_tiny());
+        for table in &mut data.tables {
+            if table.name == "lineitem" {
+                table.columns.retain(|c| c.name != "l_extendedprice");
+            }
+        }
+        let base = Arc::new(BaseData::from_tpch(&data));
+        let engine = ParEngine::new(
+            ParEngineConfig {
+                n_workers: 1,
+                initial_active: 1,
+            },
+            base,
+        );
+        let spec = QuerySpec::Q6 { variant: 0 };
+        let qid = engine.submit(Arc::new(build_query(&spec)), spec.tag());
+        match engine.wait_result(qid) {
+            Err(QueryError::WorkerPanicked { message, .. }) => {
+                assert!(message.contains("l_extendedprice"), "got: {message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // No poisoning: every accessor still works after the panic.
+        assert_eq!(engine.dead_workers(), 1);
+        assert_eq!(engine.active_queries(), 0);
+        let _ = engine.stats();
+        // The single worker was the whole pool: everything now fails
+        // fast instead of queuing forever.
+        let qid2 = engine.submit(Arc::new(build_query(&spec)), spec.tag());
+        assert!(matches!(
+            engine.wait_result(qid2),
+            Err(QueryError::PoolDead)
+        ));
+        assert!(engine.try_result(qid2).is_none(), "error was consumed");
     }
 }

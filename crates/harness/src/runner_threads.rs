@@ -40,7 +40,7 @@ use numa_sim::{CoreId, HwCounters, MachineConfig};
 use os_sim::{SchedStats, SchedTrace, Tid};
 use prt_petrinet::AllocAction;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 use volcano_db::client::materialize_phases;
 use volcano_db::exec::engine::QueryResult;
@@ -50,16 +50,24 @@ use volcano_db::tpch::{build_query, TpchData};
 /// Driver poll granularity — well under the shortest control interval.
 pub(crate) const POLL: std::time::Duration = std::time::Duration::from_micros(100);
 
+/// Locks a mutex, recovering from poisoning: the values behind these
+/// mutexes (result vectors, completion stamps) are only appended to, so
+/// a panicking peer cannot leave them half-updated.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // emca-lint: allow(lock-order) — generic poison-recovery wrapper; the mutex's rank belongs to the call site, and no caller holds two of these result-sink locks at once
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Machine width the pool mirrors (the simulated Opteron's 16 cores),
 /// unless `EMCA_THREADS` caps it.
 pub(crate) fn capacity() -> usize {
     let machine = MachineConfig::opteron_4x4().topology.n_cores();
     match std::env::var("EMCA_THREADS") {
-        Ok(v) => v
-            .trim()
-            .parse::<usize>()
-            .unwrap_or_else(|_| panic!("EMCA_THREADS must be a thread count, got {v:?}"))
-            .clamp(1, machine),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.clamp(1, machine),
+            // emca-lint: allow(panic-freedom) — config-parse tripwire on the driver thread at startup, before any pool exists
+            Err(_) => panic!("EMCA_THREADS must be a thread count, got {v:?}"),
+        },
         Err(_) => machine,
     }
 }
@@ -71,6 +79,7 @@ pub(crate) fn wall_deadline(configured: SimDuration) -> SimDuration {
     match crate::wall_budget_from_env() {
         Ok(Some(secs)) => SimDuration::from_secs_f64(secs),
         Ok(None) => configured,
+        // emca-lint: allow(panic-freedom) — config-parse tripwire on the driver thread at startup, before any pool exists
         Err(e) => panic!("{e}"),
     }
 }
@@ -131,6 +140,11 @@ const TRACE_EVERY: SimDuration = SimDuration::from_millis(1);
 struct ProcTracer {
     trace: SchedTrace,
     next: SimTime,
+    /// Task entries skipped this run: stat reads that failed (the
+    /// thread exited mid-scan) or worker stat lines that would not
+    /// parse (a kernel format surprise). The trace degrades to the
+    /// samples that did parse instead of aborting the run.
+    skipped: u64,
 }
 
 impl ProcTracer {
@@ -138,52 +152,81 @@ impl ProcTracer {
         ProcTracer {
             trace: SchedTrace::enabled(),
             next: SimTime::ZERO,
+            skipped: 0,
         }
     }
 
     /// One sample: scan the process's task list, record each running
     /// worker on its current CPU and close the span of each sleeper.
+    /// Unreadable or malformed entries are counted and skipped.
     fn sample(&mut self, now: SimTime) {
         let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
             return;
         };
         for task in tasks.flatten() {
-            let Ok(stat) = std::fs::read_to_string(task.path().join("stat")) else {
-                continue;
-            };
-            if let Some((tid, state, cpu)) = parse_worker_stat(&stat) {
-                if state == 'R' {
-                    self.trace.on_run(tid, CoreId(cpu), now);
-                } else {
-                    self.trace.on_stop(tid, now);
-                }
+            match std::fs::read_to_string(task.path().join("stat")) {
+                Err(_) => self.skipped += 1,
+                Ok(stat) => match parse_worker_stat(&stat) {
+                    WorkerStat::Worker(tid, 'R', cpu) => self.trace.on_run(tid, CoreId(cpu), now),
+                    WorkerStat::Worker(tid, _, _) => self.trace.on_stop(tid, now),
+                    WorkerStat::NotWorker => {}
+                    WorkerStat::Malformed => self.skipped += 1,
+                },
             }
         }
     }
 
     fn finish(mut self, now: SimTime) -> SchedTrace {
         self.sample(now);
+        if self.skipped > 0 {
+            eprintln!(
+                "[trace] skipped {} unreadable or malformed /proc task stat entries",
+                self.skipped
+            );
+        }
         self.trace.finish(now);
         self.trace
     }
 }
 
-/// Parses a `/proc/<pid>/task/<tid>/stat` line into (worker id, state,
-/// host CPU); `None` for threads that are not pool workers. The comm
-/// field is parenthesized and may itself contain spaces, so fields are
-/// counted from the closing parenthesis: state is the first after it,
-/// `processor` — the CPU the thread last ran on — is the 37th.
-fn parse_worker_stat(stat: &str) -> Option<(Tid, char, u16)> {
-    let open = stat.find('(')?;
-    let close = stat.rfind(')')?;
-    let idx: u32 = stat[open + 1..close]
-        .strip_prefix("emca-worker")?
-        .parse()
-        .ok()?;
+/// What one `/proc/<pid>/task/<tid>/stat` line turned out to be.
+#[derive(Debug, PartialEq, Eq)]
+enum WorkerStat {
+    /// A pool worker: (worker id, state char, host CPU).
+    Worker(Tid, char, u16),
+    /// Some other thread (clients, the driver, the main thread).
+    NotWorker,
+    /// Named like a worker but the line would not parse — skip and
+    /// count, never abort the trace.
+    Malformed,
+}
+
+/// Parses a `/proc/<pid>/task/<tid>/stat` line. The comm field is
+/// parenthesized and may itself contain spaces and parentheses, so
+/// fields are counted from the *last* closing parenthesis: state is the
+/// first after it, `processor` — the CPU the thread last ran on — is
+/// the 37th.
+fn parse_worker_stat(stat: &str) -> WorkerStat {
+    let comm = stat
+        .find('(')
+        .and_then(|open| stat.rfind(')').map(|close| (open, close)))
+        .filter(|(open, close)| open < close);
+    let Some((open, close)) = comm else {
+        return WorkerStat::NotWorker;
+    };
+    let Some(idx) = stat[open + 1..close]
+        .strip_prefix("emca-worker")
+        .and_then(|n| n.parse::<u32>().ok())
+    else {
+        return WorkerStat::NotWorker;
+    };
     let mut fields = stat[close + 1..].split_whitespace();
-    let state = fields.next()?.chars().next()?;
-    let cpu: u16 = fields.nth(35)?.parse().ok()?;
-    Some((Tid(idx), state, cpu))
+    let state = fields.next().and_then(|f| f.chars().next());
+    let cpu = fields.nth(35).and_then(|f| f.parse::<u16>().ok());
+    match (state, cpu) {
+        (Some(state), Some(cpu)) => WorkerStat::Worker(Tid(idx), state, cpu),
+        _ => WorkerStat::Malformed,
+    }
 }
 
 /// Spawns one OS thread per client running the workload's phases; every
@@ -198,6 +241,7 @@ fn spawn_client_threads(
     results: &Arc<Mutex<Vec<QueryResult>>>,
     remaining: &Arc<AtomicUsize>,
     finished_at: &Arc<Mutex<SimTime>>,
+    errors: &Arc<Mutex<Vec<String>>>,
     t0: Instant,
 ) -> Vec<std::thread::JoinHandle<()>> {
     let barrier = Arc::new(Barrier::new(clients));
@@ -209,6 +253,7 @@ fn spawn_client_threads(
             let results = Arc::clone(results);
             let remaining = Arc::clone(remaining);
             let finished_at = Arc::clone(finished_at);
+            let errors = Arc::clone(errors);
             std::thread::Builder::new()
                 .name(format!("emca-client{idx}"))
                 .spawn(move || {
@@ -216,21 +261,37 @@ fn spawn_client_threads(
                         std::thread::sleep(start_after);
                     }
                     let mut mine = Vec::new();
+                    let mut failed: Option<String> = None;
                     for phase in phases {
+                        // Keep hitting the barrier even after a failure:
+                        // peers block on every phase boundary.
                         barrier.wait();
+                        if failed.is_some() {
+                            continue;
+                        }
                         for spec in phase {
                             let qid = engine.submit(Arc::new(build_query(&spec)), spec.tag());
-                            mine.push(engine.wait_result(qid));
+                            match engine.wait_result(qid) {
+                                Ok(r) => mine.push(r),
+                                Err(e) => {
+                                    failed = Some(format!("client {idx}: {e}"));
+                                    break;
+                                }
+                            }
                         }
                     }
-                    results.lock().unwrap().extend(mine);
+                    lock(&results).extend(mine);
+                    if let Some(e) = failed {
+                        lock(&errors).push(e);
+                    }
                     let now = wall_now(t0);
-                    let mut last = finished_at.lock().unwrap();
+                    let mut last = lock(&finished_at);
                     if now > *last {
                         *last = now;
                     }
                     remaining.fetch_sub(1, Ordering::SeqCst);
                 })
+                // emca-lint: allow(panic-freedom) — construction-time spawn failure (thread exhaustion) happens before the run starts; nothing to degrade to
                 .expect("spawn client thread")
         })
         .collect()
@@ -267,6 +328,7 @@ pub fn run_threads(config: RunConfig, data: &TpchData) -> RunOutput {
     let results = Arc::new(Mutex::new(Vec::new()));
     let remaining = Arc::new(AtomicUsize::new(config.clients));
     let finished_at = Arc::new(Mutex::new(SimTime::ZERO));
+    let errors = Arc::new(Mutex::new(Vec::new()));
     let handles = spawn_client_threads(
         &engine,
         &config.workload,
@@ -275,6 +337,7 @@ pub fn run_threads(config: RunConfig, data: &TpchData) -> RunOutput {
         &results,
         &remaining,
         &finished_at,
+        &errors,
         t0,
     );
 
@@ -343,15 +406,25 @@ pub fn run_threads(config: RunConfig, data: &TpchData) -> RunOutput {
         load_series.push(now, u);
         cores_series.push(now, engine.active() as f64);
     }
-    for h in handles {
-        h.join().expect("client thread panicked");
-    }
+    let panicked = handles
+        .into_iter()
+        .map(|h| h.join())
+        .filter(Result::is_err)
+        .count();
+    assert!(panicked == 0, "{panicked} client thread(s) panicked");
+    let client_errors = std::mem::take(&mut *lock(&errors));
+    assert!(
+        client_errors.is_empty(),
+        "client queries failed in the engine: {client_errors:?}"
+    );
 
-    let results = Arc::try_unwrap(results)
-        .expect("clients gone")
-        .into_inner()
-        .unwrap();
-    let wall = finished_at.lock().unwrap().since(SimTime::ZERO);
+    let results = match Arc::try_unwrap(results) {
+        Ok(m) => m.into_inner().unwrap_or_else(PoisonError::into_inner),
+        // Clients have all joined; a straggler Arc clone would be a
+        // driver bug, but drain the data rather than unwind.
+        Err(arc) => std::mem::take(&mut *lock(&arc)),
+    };
+    let wall = lock(&finished_at).since(SimTime::ZERO);
     let zero_hw = HwCounters::new(0, 0, 0);
     RunOutput {
         results,
@@ -405,6 +478,7 @@ pub fn run_tenants_threads(config: MultiTenantConfig, data: &TpchData) -> MultiT
     let mut arbiter = TenantArbiter::new(config.arbiter, ntotal);
     let t0 = Instant::now();
     let mut handles = Vec::new();
+    let errors = Arc::new(Mutex::new(Vec::new()));
     let mut live: Vec<TenantLive> = config
         .tenants
         .iter()
@@ -420,6 +494,7 @@ pub fn run_tenants_threads(config: MultiTenantConfig, data: &TpchData) -> MultiT
             let seed_core = (0..ntotal)
                 .map(|c| CoreId(c as u16))
                 .find(|&c| !arbiter.foreign_mask(tid).contains(c))
+                // emca-lint: allow(panic-freedom) — register() rejects configs with more tenants than cores, so a free seed core always exists; tripwire on the driver thread before clients start
                 .expect("register() guarantees a free core per tenant");
             arbiter.claim_initial(tid, seed_core);
             let results = Arc::new(Mutex::new(Vec::new()));
@@ -433,6 +508,7 @@ pub fn run_tenants_threads(config: MultiTenantConfig, data: &TpchData) -> MultiT
                 &results,
                 &remaining,
                 &finished_at,
+                &errors,
                 t0,
             ));
             TenantLive {
@@ -506,20 +582,22 @@ pub fn run_tenants_threads(config: MultiTenantConfig, data: &TpchData) -> MultiT
                     }
                 }
                 AllocAction::Release => {
-                    if owned.count() > 1 {
-                        let victim = owned.iter().max_by_key(|c| c.idx()).unwrap();
-                        arbiter.release(l.tid, victim);
-                    } else {
-                        l.controller.resync(1);
+                    let victim = (owned.count() > 1)
+                        .then(|| owned.iter().max_by_key(|c| c.idx()))
+                        .flatten();
+                    match victim {
+                        Some(v) => arbiter.release(l.tid, v),
+                        None => l.controller.resync(1),
                     }
                 }
                 AllocAction::Hold => {}
             }
             if arbiter.must_yield(l.tid) && arbiter.owned(l.tid).count() > 1 {
-                let victim = arbiter.owned(l.tid).iter().max_by_key(|c| c.idx()).unwrap();
-                arbiter.release(l.tid, victim);
-                arbiter.yields += 1;
-                l.controller.resync(arbiter.owned(l.tid).count() as u32);
+                if let Some(victim) = arbiter.owned(l.tid).iter().max_by_key(|c| c.idx()) {
+                    arbiter.release(l.tid, victim);
+                    arbiter.yields += 1;
+                    l.controller.resync(arbiter.owned(l.tid).count() as u32);
+                }
             }
             l.engine.set_active(arbiter.owned(l.tid).count());
             l.next_control = now + l.controller.interval();
@@ -568,9 +646,17 @@ pub fn run_tenants_threads(config: MultiTenantConfig, data: &TpchData) -> MultiT
         l.cores_series
             .push(now, arbiter.owned(l.tid).count() as f64);
     }
-    for h in handles {
-        h.join().expect("client thread panicked");
-    }
+    let panicked = handles
+        .into_iter()
+        .map(|h| h.join())
+        .filter(Result::is_err)
+        .count();
+    assert!(panicked == 0, "{panicked} client thread(s) panicked");
+    let client_errors = std::mem::take(&mut *lock(&errors));
+    assert!(
+        client_errors.is_empty(),
+        "client queries failed in the engine: {client_errors:?}"
+    );
 
     let tenants: Vec<TenantOutput> = config
         .tenants
@@ -578,13 +664,13 @@ pub fn run_tenants_threads(config: MultiTenantConfig, data: &TpchData) -> MultiT
         .zip(live)
         .map(|(t, l)| {
             let started_at = SimTime::ZERO + t.start_after;
-            let finished = *l.finished_at.lock().unwrap();
+            let finished = *lock(&l.finished_at);
             TenantOutput {
                 config: t.clone(),
-                results: Arc::try_unwrap(l.results)
-                    .expect("clients gone")
-                    .into_inner()
-                    .unwrap(),
+                results: match Arc::try_unwrap(l.results) {
+                    Ok(m) => m.into_inner().unwrap_or_else(PoisonError::into_inner),
+                    Err(arc) => std::mem::take(&mut *lock(&arc)),
+                },
                 cores_series: l.cores_series,
                 load_series: l.load_series,
                 qps_series: l.qps_series,
@@ -607,5 +693,63 @@ pub fn run_tenants_threads(config: MultiTenantConfig, data: &TpchData) -> MultiT
         ntotal,
         arbiter_denials: arbiter.denials,
         arbiter_yields: arbiter.yields,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{parse_worker_stat, WorkerStat};
+    use os_sim::Tid;
+
+    /// A stat line for `comm` with `state` and `processor` in the field
+    /// positions the kernel uses (processor is the 37th field after the
+    /// comm's closing parenthesis).
+    fn stat_line(comm: &str, state: &str, cpu: &str) -> String {
+        let filler = "0 ".repeat(35);
+        format!("4242 ({comm}) {state} {filler}{cpu} 0 0")
+    }
+
+    #[test]
+    fn parses_a_running_worker() {
+        let line = stat_line("emca-worker3", "R", "7");
+        assert_eq!(parse_worker_stat(&line), WorkerStat::Worker(Tid(3), 'R', 7));
+    }
+
+    #[test]
+    fn comm_with_spaces_and_parens_is_not_a_worker() {
+        // The comm field may contain anything, including parentheses;
+        // fields must be counted from the LAST closing parenthesis.
+        let line = stat_line("evil) R comm (x", "S", "2");
+        assert_eq!(parse_worker_stat(&line), WorkerStat::NotWorker);
+    }
+
+    #[test]
+    fn other_threads_are_not_workers() {
+        assert_eq!(
+            parse_worker_stat(&stat_line("emca-client0", "R", "1")),
+            WorkerStat::NotWorker
+        );
+        assert_eq!(
+            parse_worker_stat(&stat_line("bash", "S", "0")),
+            WorkerStat::NotWorker
+        );
+        assert_eq!(parse_worker_stat("no parens at all"), WorkerStat::NotWorker);
+    }
+
+    #[test]
+    fn truncated_worker_lines_are_malformed_not_fatal() {
+        // A worker-named line missing the processor field must degrade
+        // to Malformed (skip-and-count), never panic or misparse.
+        assert_eq!(
+            parse_worker_stat("4242 (emca-worker1) S 0 0"),
+            WorkerStat::Malformed
+        );
+        assert_eq!(
+            parse_worker_stat("4242 (emca-worker1)"),
+            WorkerStat::Malformed
+        );
+        // Non-numeric processor field.
+        let line = stat_line("emca-worker2", "R", "x");
+        assert_eq!(parse_worker_stat(&line), WorkerStat::Malformed);
     }
 }

@@ -718,10 +718,19 @@ fn serve_threads(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
         }
         let mut done: Vec<usize> = Vec::new();
         for (pos, (i, qid)) in inflight.iter().enumerate() {
-            if engine.try_result(*qid).is_some() {
-                records[*i].finished = Some(now);
-                records[*i].outcome = RequestOutcome::Completed;
-                done.push(pos);
+            match engine.try_result(*qid) {
+                Some(Ok(_)) => {
+                    records[*i].finished = Some(now);
+                    records[*i].outcome = RequestOutcome::Completed;
+                    done.push(pos);
+                }
+                Some(Err(e)) => {
+                    // A degraded pool fails the request, not the run:
+                    // leave the record Unfinished and stop tracking it.
+                    eprintln!("[serve] request {i} failed in the engine: {e}");
+                    done.push(pos);
+                }
+                None => {}
             }
         }
         for pos in done.into_iter().rev() {

@@ -1,0 +1,146 @@
+//! Diagnostics and the waiver mechanism.
+//!
+//! A rule violation can be *fixed* or *waived* — never ignored. A
+//! waiver is a comment of the form
+//!
+//! ```text
+//! // emca-lint: allow(<rule-id>) — <justification>
+//! ```
+//!
+//! placed on the offending line (trailing) or on the line directly
+//! above it. The justification is **required**: a waiver without one is
+//! itself a diagnostic (`waiver-syntax`), and a waiver that suppresses
+//! nothing is a diagnostic too (`unused-waiver`) so stale exemptions
+//! are garbage-collected instead of rotting. `—`, `--`, `-` and `:`
+//! all work as the separator.
+
+use crate::lexer::{Kind, Token};
+
+/// One finding: rule id, file, 1-based line, human message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `emca-lint: allow(...)` comment.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    pub rule: String,
+    pub line: u32,
+    pub justification: String,
+    /// Set when the waiver suppressed at least one diagnostic.
+    pub used: bool,
+}
+
+/// Scans a file's comment tokens for waivers. Malformed waivers (no
+/// rule, or no justification) are returned as diagnostics immediately.
+pub fn collect_waivers(path: &str, tokens: &[Token]) -> (Vec<Waiver>, Vec<Diagnostic>) {
+    let mut waivers = Vec::new();
+    let mut diags = Vec::new();
+    for t in tokens.iter().filter(|t| t.kind == Kind::Comment) {
+        // Doc comments illustrate the syntax; only plain comments waive.
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|p| t.text.starts_with(p))
+        {
+            continue;
+        }
+        let Some(at) = t.text.find("emca-lint:") else {
+            continue;
+        };
+        let rest = t.text[at + "emca-lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            diags.push(Diagnostic {
+                rule: "waiver-syntax",
+                path: path.to_string(),
+                line: t.line,
+                message: "expected `emca-lint: allow(<rule>) — <justification>`".to_string(),
+            });
+            continue;
+        };
+        let Some((rule, after)) = rest.split_once(')') else {
+            diags.push(Diagnostic {
+                rule: "waiver-syntax",
+                path: path.to_string(),
+                line: t.line,
+                message: "unclosed allow(<rule>)".to_string(),
+            });
+            continue;
+        };
+        let justification = after
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':', ' '])
+            .trim()
+            .to_string();
+        if justification.is_empty() {
+            diags.push(Diagnostic {
+                rule: "waiver-syntax",
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "waiver for `{}` has no justification — say why the invariant \
+                     does not apply here",
+                    rule.trim()
+                ),
+            });
+            continue;
+        }
+        waivers.push(Waiver {
+            rule: rule.trim().to_string(),
+            line: t.line,
+            justification,
+            used: false,
+        });
+    }
+    (waivers, diags)
+}
+
+/// Applies `waivers` to `diags`: a diagnostic on line L is suppressed
+/// by a same-rule waiver on line L (trailing comment) or L-1 (comment
+/// above). Returns the surviving diagnostics; used waivers are marked.
+pub fn apply_waivers(diags: Vec<Diagnostic>, waivers: &mut [Waiver]) -> Vec<Diagnostic> {
+    diags
+        .into_iter()
+        .filter(|d| {
+            let mut waived = false;
+            for w in waivers.iter_mut() {
+                if w.rule == d.rule && (w.line == d.line || w.line + 1 == d.line) {
+                    w.used = true;
+                    waived = true;
+                }
+            }
+            !waived
+        })
+        .collect()
+}
+
+/// Diagnostics for waivers that suppressed nothing.
+pub fn unused_waiver_diags(path: &str, waivers: &[Waiver]) -> Vec<Diagnostic> {
+    waivers
+        .iter()
+        .filter(|w| !w.used)
+        .map(|w| Diagnostic {
+            rule: "unused-waiver",
+            path: path.to_string(),
+            line: w.line,
+            message: format!(
+                "waiver for `{}` suppresses nothing — fix the rule id, move it next \
+                 to the violation, or delete it",
+                w.rule
+            ),
+        })
+        .collect()
+}

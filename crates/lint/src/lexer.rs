@@ -1,0 +1,427 @@
+//! A dependency-free, token-level Rust lexer — just enough syntax to
+//! lint reliably: the rules must never fire on an `unwrap()` inside a
+//! string literal or a commented-out line, and must never miss one
+//! because a raw string or nested block comment confused a regex.
+//!
+//! The lexer understands:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! - string literals with escapes, byte strings, and raw (byte) strings
+//!   with any number of `#` guards (`r"..."`, `r##"..."##`, `br#"..."#`);
+//! - char literals vs lifetimes (`'a'` is a char, `'a` is a lifetime,
+//!   `'\n'` and `'\u{1F600}'` are chars);
+//! - raw identifiers (`r#fn`);
+//! - identifiers, numbers, and single-character punctuation.
+//!
+//! It does **not** build an AST: rules work on the token stream plus
+//! line numbers, which is exactly the granularity diagnostics and
+//! waivers need.
+
+/// What a token is. String-like literals keep their *content* (between
+/// the quotes, escapes unprocessed) in [`Token::text`]; comments keep
+/// their full source text for the waiver scanner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, `r#type`).
+    Ident,
+    /// String literal of any flavor (`"x"`, `r#"x"#`, `b"x"`).
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Numeric literal (integer or float, suffixes included).
+    Num,
+    /// One punctuation character (`.`, `(`, `!`, ...).
+    Punct,
+    /// Line or block comment, full text included.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True for an identifier token spelling exactly `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token spelling exactly `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn take_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while self.peek(0).is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream. Unterminated literals or comments
+/// lex as best-effort tokens running to end of input — the lint must
+/// degrade, not panic, on syntactically broken files (the compiler
+/// reports those).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let start = cur.pos;
+        let line = cur.line;
+        match b {
+            b if b.is_ascii_whitespace() => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                cur.take_while(|b| b != b'\n');
+                out.push(token(src, Kind::Comment, start, cur.pos, line));
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.push(token(src, Kind::Comment, start, cur.pos, line));
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                out.push(content_token(src, Kind::Str, start + 1, cur.pos, line));
+            }
+            b'r' | b'b' => {
+                if let Some((kind, content_start)) = lex_raw_or_byte(&mut cur) {
+                    out.push(content_token(src, kind, content_start, cur.pos, line));
+                } else {
+                    // Plain identifier starting with r/b, or a raw
+                    // identifier r#name (the `r#` prefix is stripped
+                    // from the token text).
+                    let text_start = if src[start..].starts_with("r#")
+                        && cur.peek(2).is_some_and(is_ident_start)
+                    {
+                        cur.bump(); // r
+                        cur.bump(); // #
+                        cur.pos
+                    } else {
+                        start
+                    };
+                    cur.take_while(is_ident_cont);
+                    out.push(token(src, Kind::Ident, text_start, cur.pos, line));
+                }
+            }
+            b'\'' => {
+                let kind = lex_char_or_lifetime(&mut cur);
+                out.push(token(src, kind, start, cur.pos, line));
+            }
+            b if is_ident_start(b) => {
+                cur.take_while(is_ident_cont);
+                out.push(token(src, Kind::Ident, start, cur.pos, line));
+            }
+            b if b.is_ascii_digit() => {
+                cur.take_while(is_ident_cont);
+                // One fractional part, but never swallow `..` ranges.
+                if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+                    cur.bump();
+                    cur.take_while(is_ident_cont);
+                }
+                out.push(token(src, Kind::Num, start, cur.pos, line));
+            }
+            _ => {
+                cur.bump();
+                out.push(token(src, Kind::Punct, start, cur.pos, line));
+            }
+        }
+    }
+    out
+}
+
+fn token(src: &str, kind: Kind, start: usize, end: usize, line: u32) -> Token {
+    Token {
+        kind,
+        text: src[start..end].to_string(),
+        line,
+    }
+}
+
+/// Like [`token`] but trims the closing delimiter (an optional run of
+/// `#` guards preceded by a quote) so [`Token::text`] is the literal's
+/// content. `start` points just past the opening delimiter and `end`
+/// just past the closing one; the delimiter structure is always
+/// `content` `"` `#`* so stripping trailing hashes then one quote is
+/// exact. Unterminated literals (EOF) keep whatever is there.
+fn content_token(src: &str, kind: Kind, start: usize, end: usize, line: u32) -> Token {
+    let raw = &src[start..end.max(start)];
+    let text = match kind {
+        Kind::Str | Kind::Char => {
+            let no_hashes = raw.trim_end_matches('#');
+            no_hashes.strip_suffix(['"', '\'']).unwrap_or(raw)
+        }
+        _ => raw,
+    };
+    Token {
+        kind,
+        text: text.to_string(),
+        line,
+    }
+}
+
+/// Consumes a `"..."` string (cursor on the opening quote).
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Tries to consume a raw/byte string starting at `r` or `b`. Returns
+/// the token kind and the content start offset, or `None` if this is an
+/// identifier after all. On `None` the cursor has not moved.
+fn lex_raw_or_byte(cur: &mut Cursor<'_>) -> Option<(Kind, usize)> {
+    let mut ahead = 0usize;
+    let mut byte = false;
+    if cur.peek(ahead) == Some(b'b') {
+        byte = true;
+        ahead += 1;
+    }
+    if byte && cur.peek(ahead) == Some(b'\'') {
+        // b'x' byte-char literal.
+        cur.bump(); // b
+        let content = cur.pos + 1;
+        cur.bump(); // '
+        if cur.peek(0) == Some(b'\\') {
+            cur.bump();
+        }
+        cur.bump();
+        if cur.peek(0) == Some(b'\'') {
+            cur.bump();
+        }
+        return Some((Kind::Char, content));
+    }
+    let raw = cur.peek(ahead) == Some(b'r');
+    if raw {
+        ahead += 1;
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while cur.peek(ahead + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+    }
+    if cur.peek(ahead + hashes) != Some(b'"') {
+        return None; // identifier (possibly r#raw_ident, handled by caller)
+    }
+    if !raw && !byte {
+        return None;
+    }
+    // Consume prefix + hashes + opening quote.
+    for _ in 0..(ahead + hashes + 1) {
+        cur.bump();
+    }
+    let content = cur.pos;
+    if raw {
+        // Terminated by `"` followed by `hashes` hash marks.
+        loop {
+            match cur.bump() {
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && cur.peek(0) == Some(b'#') {
+                        cur.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        return Some((Kind::Str, content));
+                    }
+                }
+                Some(_) => {}
+                None => return Some((Kind::Str, content)),
+            }
+        }
+    } else {
+        // b"..." with escapes.
+        while let Some(b) = cur.bump() {
+            match b {
+                b'\\' => {
+                    cur.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        Some((Kind::Str, content))
+    }
+}
+
+/// Distinguishes `'a'` (char) from `'a` (lifetime); cursor on the quote.
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>) -> Kind {
+    cur.bump(); // opening quote
+    match cur.peek(0) {
+        Some(b'\\') => {
+            // Escaped char literal: consume escape then to closing quote.
+            cur.bump();
+            cur.bump();
+            while cur.peek(0).is_some() && cur.peek(0) != Some(b'\'') {
+                cur.bump();
+            }
+            cur.bump();
+            Kind::Char
+        }
+        Some(b) if is_ident_start(b) || b.is_ascii_digit() => {
+            cur.take_while(is_ident_cont);
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+                Kind::Char
+            } else {
+                Kind::Lifetime
+            }
+        }
+        Some(_) => {
+            // Punctuation char literal like '(' or ' '.
+            cur.bump();
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+            }
+            Kind::Char
+        }
+        None => Kind::Lifetime,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_in_strings_and_comments_is_not_an_ident() {
+        let src = r###"
+            // commented: x.unwrap()
+            /* block /* nested */ x.unwrap() */
+            let a = "call .unwrap() here";
+            let b = r#"raw .unwrap() text"#;
+            let c = b"bytes unwrap()";
+            real.clone();
+        "###;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap"), "{ids:?}");
+        assert!(ids.iter().any(|i| i == "real"));
+        assert!(ids.iter().any(|i| i == "clone"));
+    }
+
+    #[test]
+    fn raw_string_hash_guards_terminate_correctly() {
+        let src = r####"let x = r##"inner "# quote"## ; after()"####;
+        let toks = lex(src);
+        let s = toks.iter().find(|t| t.kind == Kind::Str).unwrap();
+        assert_eq!(s.text, r##"inner "# quote"##);
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = \"x\ny\";\nfinal_ident();";
+        let toks = lex(src);
+        let f = toks.iter().find(|t| t.is_ident("final_ident")).unwrap();
+        assert_eq!(f.line, 6);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_without_prefix() {
+        let ids = idents("let r#type = r#match;");
+        assert!(ids.iter().any(|i| i == "type"));
+        assert!(ids.iter().any(|i| i == "match"));
+    }
+
+    #[test]
+    fn comments_keep_text_for_the_waiver_scanner() {
+        let toks = lex("x(); // emca-lint: allow(panic-freedom) — because\n");
+        let c = toks.iter().find(|t| t.kind == Kind::Comment).unwrap();
+        assert!(c.text.contains("allow(panic-freedom)"));
+        assert_eq!(c.line, 1);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = lex("for i in 0..n { let f = 1.5e3; }");
+        assert!(toks.iter().any(|t| t.kind == Kind::Num && t.text == "0"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == Kind::Num && t.text == "1.5e3"));
+        assert!(toks.iter().any(|t| t.is_ident("n")));
+    }
+}

@@ -1,0 +1,81 @@
+//! Standalone entry point: `cargo run -p emca-lint [-- --root <dir>]`.
+//!
+//! Walks upward from the current directory to find `lint.toml`, lints
+//! the workspace, prints every diagnostic, rewrites
+//! `results/lint_report.json`, and exits 1 on violations. `emca check
+//! --lint` runs the same engine from the bench CLI.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: emca-lint [--root <repo-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("emca-lint: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("emca-lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match emca_lint::find_repo_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "emca-lint: no lint.toml found walking up from {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let outcome = match emca_lint::run_workspace(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("emca-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &outcome.diagnostics {
+        println!("{d}");
+    }
+    // The report reflects the tree even when violations exist — it
+    // records violations=N so CI's `git diff --exit-code` also fails.
+    let report_path = root.join("results").join("lint_report.json");
+    if let Some(parent) = report_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&report_path, emca_lint::report::render(&outcome)) {
+        eprintln!("emca-lint: writing {}: {e}", report_path.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "emca-lint: {} files, {} violations, {} waivers -> {}",
+        outcome.files.len(),
+        outcome.diagnostics.len(),
+        outcome.waivers.len(),
+        report_path.display()
+    );
+    if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
