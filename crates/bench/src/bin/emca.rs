@@ -75,6 +75,9 @@ flags (override the EMCA_* environment fallbacks):
   --duration <s> --sla-ms <ms>       offered-load window and latency SLA
   --admission none|limit:<n>[:queue=<cap>]
                                      front-door policy of the admitted series
+  --faults panic:worker=<n>@<t>,stall:worker=<n>@<t>:dur=<d>,badquery:rate=<p>
+                                     deterministic fault plan (chaos_* scenarios,
+                                     or any run; unset = fault plane inert)
   --prune-unsupported                drop (with a note) spec keys the scenario
                                      does not honour instead of erroring";
 
@@ -148,6 +151,7 @@ fn parse_flags(spec: &mut ExperimentSpec, args: &[String]) -> Vec<String> {
             "--duration" => "duration",
             "--admission" => "admission",
             "--sla-ms" => "sla_ms",
+            "--faults" => "faults",
             "--check" => {
                 spec.check = true;
                 continue;

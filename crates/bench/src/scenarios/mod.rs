@@ -4,6 +4,8 @@
 //! `emca` CLI, the deprecated shims, and the tests.
 
 pub mod ablation;
+pub mod chaos_recovery;
+pub mod chaos_serve;
 pub mod csv_check;
 pub mod fig04;
 pub mod fig05;
@@ -85,6 +87,18 @@ const KEYS_PHASES: &[&str] = &[
 const KEYS_ABLATION: &[&str] = &["sf", "users", "iters", "policy", "backend"];
 /// Multi-tenant scenarios: tenant overrides instead of a policy slot.
 const KEYS_MT: &[&str] = &["sf", "users", "iters", "flavor", "tenants", "backend"];
+/// Chaos scenarios: the sweep knobs plus a fault plan.
+const KEYS_CHAOS: &[&str] = &[
+    "sf",
+    "users",
+    "iters",
+    "policy",
+    "warmup",
+    "guard",
+    "interval_ms",
+    "backend",
+    "faults",
+];
 /// Pure timing/validation scenarios run no experiment at all.
 const KEYS_NONE: &[&str] = &[];
 
@@ -92,7 +106,7 @@ const KEYS_NONE: &[&str] = &[];
 /// multi-tenant (`mt_*`) workloads and the serving layer (`serve_*`).
 pub fn registry() -> ScenarioRegistry {
     let mut r = ScenarioRegistry::new();
-    let items: [FnScenario; 22] = [
+    let items: [FnScenario; 24] = [
         FnScenario {
             name: "fig04",
             about: "Fig. 4 — Q6 vs concurrent clients (hand-coded C affinities vs OS/MonetDB)",
@@ -225,6 +239,21 @@ pub fn registry() -> ScenarioRegistry {
             schemas: probe::SCHEMAS,
             run: probe::run,
             keys: KEYS_SWEEP,
+        },
+        FnScenario {
+            name: "chaos_recovery",
+            about:
+                "Kill workers mid-run — zero lost queries, bounded MTTR; chaos gate with check=1",
+            schemas: chaos_recovery::SCHEMAS,
+            run: chaos_recovery::run,
+            keys: KEYS_CHAOS,
+        },
+        FnScenario {
+            name: "chaos_serve",
+            about: "Serving under faults — retries, deadlines, exact accounting; gate with check=1",
+            schemas: chaos_serve::SCHEMAS,
+            run: chaos_serve::run,
+            keys: chaos_serve::CHAOS_SERVE_KEYS,
         },
         FnScenario {
             name: "serve_overload",

@@ -217,6 +217,11 @@ pub fn run_point(
             .mul_f64(2.0)
             .max(SimDuration::from_millis(250))
             .min(SimDuration::from_secs(2)),
+        // The plain serve scenarios predate the fault plane and keep
+        // retry/deadline off so their committed CSVs stay byte-stable;
+        // chaos_serve exercises both.
+        retry: None,
+        request_deadline: None,
     };
     run_serve(&cfg, data)
 }

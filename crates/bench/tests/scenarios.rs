@@ -13,8 +13,10 @@ use std::path::PathBuf;
 /// Every name reachable through `emca run <name>`: the retired
 /// one-binary-per-figure entry points plus the `mt_*` and `serve_*`
 /// scenarios.
-const EXPECTED: [&str; 22] = [
+const EXPECTED: [&str; 24] = [
     "ablation",
+    "chaos_recovery",
+    "chaos_serve",
     "csv_check",
     "fig04",
     "fig05",
@@ -50,9 +52,9 @@ fn registry_lists_all_former_binaries() {
 #[test]
 fn registry_declares_the_full_results_schema_set() {
     // The committed results/ dir carries one CSV per declared schema;
-    // 29 files across the 20 CSV-writing scenarios (probe and csv_check
+    // 31 files across the 22 CSV-writing scenarios (probe and csv_check
     // only print).
-    assert_eq!(scenarios::declared_csv_count(), 29);
+    assert_eq!(scenarios::declared_csv_count(), 31);
     let registry = scenarios::registry();
     let mut seen = std::collections::BTreeSet::new();
     for s in registry.iter() {
@@ -100,7 +102,7 @@ fn every_scenario_smokes_at_tiny_scale() {
     for name in order {
         let mut spec = spec.clone();
         spec.scenario = name.to_string();
-        if name.starts_with("serve_") {
+        if name.starts_with("serve_") || name == "chaos_serve" {
             // The serving layer replaces the closed-loop client knobs
             // with an open-loop schedule; pin a tiny one so the smoke
             // stays quick.

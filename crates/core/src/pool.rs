@@ -156,6 +156,18 @@ impl PoolController {
         self.net.set_nalloc(nalloc.clamp(1, self.cfg.ntotal));
     }
 
+    /// Reports how many workers are actually allocatable right now
+    /// (`live` excludes fault-killed, not-yet-recovered workers). A
+    /// target above the live width is clamped down so grow decisions
+    /// never point the actuation at a dead worker; recovery raises
+    /// `live` again and the controller is free to re-grow.
+    pub fn note_capacity(&mut self, live: u32) {
+        let cap = live.clamp(1, self.cfg.ntotal);
+        if self.net.nalloc() > cap {
+            self.net.set_nalloc(cap);
+        }
+    }
+
     /// Current target allocation.
     pub fn nalloc(&self) -> u32 {
         self.net.nalloc()
@@ -238,6 +250,24 @@ mod tests {
         // Backlog drained: the idle signal shrinks the pool again.
         c.note_queue_depth(0);
         assert_eq!(drive(&mut c, 2.0, 40), 1);
+    }
+
+    #[test]
+    fn dead_capacity_clamps_and_recovery_regrows() {
+        let mut c = controller();
+        drive(&mut c, 95.0, 40);
+        assert_eq!(c.nalloc(), 16);
+        // 4 workers die: the target drops to the live width.
+        c.note_capacity(12);
+        assert_eq!(c.nalloc(), 12);
+        // Recovery restores capacity; sustained load re-grows.
+        c.note_capacity(16);
+        assert_eq!(c.nalloc(), 12, "note_capacity never grows by itself");
+        assert_eq!(drive(&mut c, 95.0, 40), 16);
+        // A fully dead pool still reports one allocatable slot (the
+        // controller cannot target zero workers).
+        c.note_capacity(0);
+        assert_eq!(c.nalloc(), 1);
     }
 
     #[test]

@@ -79,6 +79,10 @@ impl PhaseBarrier {
 pub struct ClientLog {
     /// One entry per completed query.
     pub results: Vec<QueryResult>,
+    /// One rendered [`crate::exec::QueryError`] per *failed* query
+    /// (e.g. fault-plan poisoning). A failed query never aliases an
+    /// unfinished one: it is recorded here and the client moves on.
+    pub errors: Vec<String>,
 }
 
 /// Shared collection of client logs (harness side).
@@ -243,8 +247,15 @@ impl SimWork for ClientBody {
                 ClientState::Waiting(qid) => {
                     let qid = *qid;
                     match self.engine.take_result(qid) {
-                        Some(result) => {
+                        Some(Ok(result)) => {
                             self.log.borrow_mut().results.push(result);
+                            self.state = ClientState::Idle;
+                        }
+                        Some(Err(error)) => {
+                            // A failed query is terminal for the query,
+                            // not the client: record the typed error and
+                            // continue the workload.
+                            self.log.borrow_mut().errors.push(error.to_string());
                             self.state = ClientState::Idle;
                         }
                         // Spurious wake (e.g. broadcast): keep waiting.
@@ -347,6 +358,13 @@ pub fn materialize_phases(workload: &Workload, client_idx: usize) -> Vec<Vec<Que
 pub fn drain_results(logs: &[SharedLog]) -> Vec<QueryResult> {
     logs.iter()
         .flat_map(|l| l.borrow().results.clone())
+        .collect()
+}
+
+/// Collects every rendered query error recorded across client logs.
+pub fn drain_errors(logs: &[SharedLog]) -> Vec<String> {
+    logs.iter()
+        .flat_map(|l| l.borrow().errors.clone())
         .collect()
 }
 

@@ -19,7 +19,9 @@
 use crate::exec::cost;
 use crate::exec::eval;
 use crate::exec::eval::GroupAcc;
+use crate::exec::fault::{FaultPlan, WorkerFaultKind};
 use crate::exec::mat::{FlatJoinMap, JoinTable, Mat, NodeStorage, PairsMat, PosMat, ValMat};
+use crate::exec::par::QueryError;
 use crate::exec::plan::{ColRef, NodeId, PhysOp, Plan, Side};
 use crate::exec::task::{n_parts_for, part_range, ChargeItem, Partial, QueryId, Task, TaskCursor};
 use crate::exec::tomograph::Tomograph;
@@ -55,6 +57,11 @@ pub struct EngineConfig {
     pub plan_overhead: SimDuration,
     /// Memo cache entries before an epoch flush.
     pub memo_capacity: usize,
+    /// Deterministic fault plan (`faults=` spec field); `None` (or an
+    /// empty plan) keeps the fault plane fully inert.
+    pub faults: Option<FaultPlan>,
+    /// Seed for the plan's `badquery` poisoning draws.
+    pub fault_seed: u64,
 }
 
 impl Default for EngineConfig {
@@ -64,6 +71,8 @@ impl Default for EngineConfig {
             n_workers: 0,
             plan_overhead: SimDuration::from_micros(200),
             memo_capacity: 512,
+            faults: None,
+            fault_seed: 0,
         }
     }
 }
@@ -81,6 +90,24 @@ pub struct EngineStats {
     pub queries_completed: u64,
     /// Queries submitted.
     pub queries_submitted: u64,
+    /// Worker recoveries: watchdog respawns of dead/stalled workers on
+    /// the threads backend, timed revives of killed workers on the sim.
+    pub engine_recoveries: u64,
+    /// Cumulative downtime repaired by those recoveries, in
+    /// milliseconds (wall on threads, simulated on sim).
+    pub recovery_ms: f64,
+}
+
+impl EngineStats {
+    /// Mean time to recover a dead/stalled worker, in milliseconds
+    /// (`0.0` when nothing was ever recovered).
+    pub fn mttr_ms(&self) -> f64 {
+        if self.engine_recoveries == 0 {
+            0.0
+        } else {
+            self.recovery_ms / self.engine_recoveries as f64
+        }
+    }
 }
 
 /// The outcome of one query execution.
@@ -197,7 +224,9 @@ pub struct EngineCore {
     /// Per-operator trace (Fig. 6).
     pub tomograph: Tomograph,
     stats: EngineStats,
-    results: FxHashMap<u64, QueryResult>,
+    results: FxHashMap<u64, Result<QueryResult, QueryError>>,
+    /// Armed fault plan runtime, if the config carried one.
+    faults: Option<SimFaults>,
     parked: Vec<Option<TaskCursor>>,
     /// Recycled charge-item vectors (capped; see [`POOL_CAP`]).
     item_pool: Vec<Vec<ChargeItem>>,
@@ -209,6 +238,24 @@ pub struct EngineCore {
 /// plenty; the cap keeps a queue burst from pinning memory).
 const POOL_CAP: usize = 64;
 
+/// How long a fault-killed simulated worker stays dark before it
+/// revives (the sim analogue of the threads watchdog's detect+respawn
+/// turnaround; fixed so recovery stays a pure function of the spec).
+fn sim_revive_delay() -> SimDuration {
+    SimDuration::from_millis(200)
+}
+
+/// Runtime state of the simulated fault plane: which scheduled worker
+/// faults already fired, and until when each worker is dark (killed and
+/// not yet revived, or mid-stall). All in simulated time — a faulted
+/// run is exactly as deterministic as a healthy one.
+struct SimFaults {
+    plan: FaultPlan,
+    seed: u64,
+    fired: Vec<bool>,
+    dark_until: Vec<SimTime>,
+}
+
 /// Cloneable handle to the engine.
 #[derive(Clone)]
 pub struct Engine {
@@ -218,6 +265,16 @@ pub struct Engine {
 impl Engine {
     /// Creates an engine for a machine with `n_numa` nodes.
     pub fn new(cfg: EngineConfig, n_numa: usize) -> Self {
+        let faults = cfg
+            .faults
+            .as_ref()
+            .filter(|p| !p.is_empty())
+            .map(|p| SimFaults {
+                plan: p.clone(),
+                seed: cfg.fault_seed,
+                fired: vec![false; p.worker_faults.len()],
+                dark_until: Vec::new(),
+            });
         Engine {
             core: Rc::new(RefCell::new(EngineCore {
                 cfg,
@@ -233,6 +290,7 @@ impl Engine {
                 tomograph: Tomograph::new(),
                 stats: EngineStats::default(),
                 results: FxHashMap::default(),
+                faults,
                 parked: Vec::new(),
                 item_pool: Vec::new(),
                 seg_scratch: Vec::new(),
@@ -360,14 +418,22 @@ impl Engine {
     ) -> QueryId {
         let mut core = self.core();
         let qid = core.submit_inner(plan, spec_tag, ctx.tid, ctx.now + step_offset);
+        if core.results.contains_key(&qid.0) {
+            // Poisoned at the front door: nothing was scheduled, so no
+            // worker will ever wake the client — wake it ourselves.
+            ctx.wake(ctx.tid);
+            return qid;
+        }
         for tid in core.worker_tids.clone() {
             ctx.wake(tid);
         }
         qid
     }
 
-    /// Fetches (and removes) a completed query's result.
-    pub fn take_result(&self, qid: QueryId) -> Option<QueryResult> {
+    /// Fetches (and removes) a completed query's outcome: `Ok` with the
+    /// result, or the typed [`QueryError`] the query failed with (on
+    /// this backend, only fault-plan poisoning).
+    pub fn take_result(&self, qid: QueryId) -> Option<Result<QueryResult, QueryError>> {
         self.core().results.remove(&qid.0)
     }
 
@@ -406,6 +472,14 @@ impl EngineCore {
         let stream = StreamId(self.next_stream);
         self.next_stream += 1;
         self.stats.queries_submitted += 1;
+        if let Some(f) = &self.faults {
+            // Same per-(seed, qid) draw as the threads backend, so both
+            // poison the same query ids.
+            if f.plan.bad_query(f.seed, qid.0) {
+                self.results.insert(qid.0, Err(QueryError::BadQuery));
+                return qid;
+            }
+        }
 
         let dependents = plan.dependents();
         let fingerprints = fingerprint_plan(&plan);
@@ -920,7 +994,7 @@ impl EngineCore {
             let finished = (ctx.now + step_offset).max(run.submitted + SimDuration::from_nanos(1));
             self.results.insert(
                 qid.0,
-                QueryResult {
+                Ok(QueryResult {
                     qid,
                     label: run.label,
                     spec_tag: run.spec_tag,
@@ -929,7 +1003,7 @@ impl EngineCore {
                     traffic,
                     busy: run.busy,
                     result,
-                },
+                }),
             );
             ctx.wake(run.client);
         }
@@ -937,6 +1011,93 @@ impl EngineCore {
 
     fn col_bat(&self, col: &ColRef) -> &Bat {
         self.store.get(self.catalog.column(col.table, col.column))
+    }
+
+    /// The simulated fault plane, checked at the top of every worker
+    /// step. Fires any due fault for worker `idx`, then reports how
+    /// long the worker is still dark (`None` = healthy, run normally).
+    ///
+    /// A **kill** loses the worker's in-flight cursor: its task is
+    /// requeued (exactly once — the partial was never committed) and
+    /// its allocated output freed, then the worker goes dark for
+    /// [`sim_revive_delay`], the sim's fixed detect+respawn turnaround,
+    /// counted in [`EngineStats::engine_recoveries`]/`recovery_ms`. A
+    /// **stall** keeps the cursor and just goes dark for the stall
+    /// duration. Dark workers burn their simulated quantum without
+    /// progress, so recovery timing is deterministic.
+    fn fault_dark(&mut self, idx: usize, ctx: &mut WorkCtx<'_>) -> Option<SimDuration> {
+        self.faults.as_ref()?;
+        let now = ctx.now;
+        let mut kill = false;
+        let mut stall: Option<SimDuration> = None;
+        {
+            let f = self.faults.as_mut()?;
+            if f.dark_until.len() <= idx {
+                f.dark_until.resize(idx + 1, SimTime::ZERO);
+            }
+            for i in 0..f.plan.worker_faults.len() {
+                let wf = f.plan.worker_faults[i];
+                if f.fired[i] || wf.worker as usize != idx {
+                    continue;
+                }
+                if now >= SimTime::ZERO + wf.at {
+                    f.fired[i] = true;
+                    match wf.kind {
+                        WorkerFaultKind::Kill => kill = true,
+                        WorkerFaultKind::Stall(d) => stall = Some(d),
+                    }
+                }
+            }
+        }
+        if kill {
+            self.sim_kill_worker(idx, ctx);
+            let revive = now + sim_revive_delay();
+            self.stats.engine_recoveries += 1;
+            self.stats.recovery_ms += sim_revive_delay().as_secs_f64() * 1e3;
+            let f = self.faults.as_mut()?;
+            if revive > f.dark_until[idx] {
+                f.dark_until[idx] = revive;
+            }
+        }
+        if let Some(d) = stall {
+            let f = self.faults.as_mut()?;
+            let until = now + d;
+            if until > f.dark_until[idx] {
+                f.dark_until[idx] = until;
+            }
+        }
+        let dark = *self.faults.as_ref()?.dark_until.get(idx)?;
+        if now < dark {
+            Some(dark - now)
+        } else {
+            None
+        }
+    }
+
+    /// The sim analogue of a worker dying mid-task: its parked cursor's
+    /// task goes back to the global queue (to be re-prepared and
+    /// re-executed by a survivor or by this worker after it revives),
+    /// the cursor's output region is freed, and the worker's private
+    /// queue is rehomed so lineage preferences cannot strand tasks on a
+    /// dark worker.
+    fn sim_kill_worker(&mut self, idx: usize, ctx: &mut WorkCtx<'_>) {
+        if let Some(mut cursor) = self.resume_slot(idx) {
+            if let Some(region) = cursor.out_region.take() {
+                ctx.machine.free(&region);
+            }
+            self.queues.global.push_back(cursor.task);
+            if self.item_pool.len() < POOL_CAP {
+                self.item_pool.push(cursor.take_items());
+            }
+        }
+        if let Some(q) = self.queues.per_worker.get_mut(idx) {
+            let orphans: Vec<Task> = q.drain(..).collect();
+            self.queues.global.extend(orphans);
+        }
+        // Survivors may now have work they were never woken for.
+        for tid in self.worker_tids.clone() {
+            ctx.wake(tid);
+        }
     }
 }
 
@@ -1640,6 +1801,11 @@ pub struct WorkerBody {
 
 impl SimWork for WorkerBody {
     fn step(&mut self, ctx: &mut WorkCtx<'_>) -> StepOutcome {
+        // Fault plane first: a killed/stalled worker burns its quantum
+        // dark instead of executing (inert unless a plan is armed).
+        if let Some(dark) = self.engine.core().fault_dark(self.idx, ctx) {
+            return StepOutcome::Ran(dark.min(ctx.budget));
+        }
         let mut elapsed = SimDuration::ZERO;
         loop {
             if elapsed >= ctx.budget {

@@ -32,10 +32,32 @@
 //! [`QueryError::PoolDead`]. All lock acquisitions recover from
 //! poisoning (`unwrap_or_else(PoisonError::into_inner)`) so a panic
 //! elsewhere can never wedge the pool either.
+//!
+//! ## Self-healing
+//!
+//! Panics are *permanent* deaths (the worker is provably wedged on a
+//! deterministic input), but workers can also go dark without a panic:
+//! an injected fault ([`FaultPlan`]), a scheduling stall, a hung
+//! syscall. Every worker bumps a per-worker heartbeat counter once per
+//! loop iteration (parked workers wake on a timeout to keep beating),
+//! and a **watchdog** thread sweeps the counters. A heartbeat frozen
+//! for [`ParEngineConfig::stall_after`] gets recovered: the watchdog
+//! bumps the worker's *generation*, requeues the one task the worker
+//! was holding (`running[idx]`) **exactly once** — only if its partial
+//! was never committed — drains the worker's deque back to the global
+//! queue, respawns a replacement thread under the new generation, and
+//! counts the repair in [`EngineStats::engine_recoveries`] /
+//! [`EngineStats::recovery_ms`]. A superseded worker that turns out to
+//! be merely slow discovers the generation bump at its next lock
+//! acquisition and exits without committing, and partial commits are
+//! additionally gated on "this partition is still empty", so a
+//! watchdog false positive can duplicate *work* but never a *result* —
+//! the backend-equivalence invariant survives recovery.
 
 use crate::exec::engine::{
     assemble_parts, evaluate_partition_on, primary_input, EngineStats, ExecInputs, QueryResult,
 };
+use crate::exec::fault::{FaultPlan, WorkerFaultKind};
 use crate::exec::mat::Mat;
 use crate::exec::plan::{ColRef, NodeId, PhysOp, Plan};
 use crate::exec::task::{n_parts_for, part_range, Partial, QueryId};
@@ -45,9 +67,10 @@ use crate::tpch::gen::TpchData;
 use emca_metrics::{FxHashMap, SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Why a query produced no result. The pool stays serviceable after
 /// either: callers decide whether to retry, shed, or abort.
@@ -63,9 +86,25 @@ pub enum QueryError {
     },
     /// Every worker has died; the pool cannot execute anything.
     PoolDead,
+    /// The query was poisoned at the front door by the armed
+    /// [`FaultPlan`] (`badquery:rate=…`); it never reached a worker.
+    BadQuery,
     /// An internal dataflow invariant broke (a bug, reported instead of
     /// unwound).
     Internal(&'static str),
+}
+
+impl QueryError {
+    /// Whether resubmitting the same query can plausibly succeed: the
+    /// serve-path retry policy retries worker deaths (another worker —
+    /// possibly a watchdog respawn — can run it) but not poisoned
+    /// queries (deterministically poisoned again) or internal bugs.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            QueryError::WorkerPanicked { .. } | QueryError::PoolDead
+        )
+    }
 }
 
 impl std::fmt::Display for QueryError {
@@ -75,6 +114,7 @@ impl std::fmt::Display for QueryError {
                 write!(f, "worker panicked in {op}: {message}")
             }
             QueryError::PoolDead => write!(f, "every pool worker has died"),
+            QueryError::BadQuery => write!(f, "query poisoned by the armed fault plan"),
             QueryError::Internal(what) => write!(f, "internal engine invariant broke: {what}"),
         }
     }
@@ -185,6 +225,14 @@ struct State {
     /// never scheduled to again.
     dead: Vec<bool>,
     n_dead: usize,
+    /// The one task each worker popped and is evaluating right now.
+    /// Set at pop, cleared at commit (both under this mutex): if the
+    /// worker dies in between, the watchdog requeues it exactly once.
+    running: Vec<Option<ParTask>>,
+    /// Incarnation counter per worker slot. The watchdog bumps it when
+    /// it recovers a worker; a thread whose generation no longer
+    /// matches has been superseded and must exit without committing.
+    worker_gen: Vec<u64>,
     results: FxHashMap<u64, Result<QueryResult, QueryError>>,
     stats: EngineStats,
     tomograph: Tomograph,
@@ -204,6 +252,16 @@ impl State {
     }
 }
 
+/// An armed fault plan plus its runtime bookkeeping (which scheduled
+/// worker faults already fired, and the wall-clock zero the fault
+/// offsets are measured from).
+struct FaultsRt {
+    plan: FaultPlan,
+    seed: u64,
+    t0: Instant,
+    fired: Vec<bool>,
+}
+
 struct Shared {
     state: Mutex<State>,
     /// Workers wait here for tasks or unparking.
@@ -213,6 +271,18 @@ struct Shared {
     base: Arc<BaseData>,
     n_workers: usize,
     epoch: Instant,
+    cfg: ParEngineConfig,
+    /// Per-worker liveness counters, bumped once per worker loop
+    /// iteration; the watchdog's only health signal.
+    heartbeats: Vec<AtomicU64>,
+    /// The armed fault plan, if any ([`ParEngine::arm_faults`]).
+    faults: Mutex<Option<FaultsRt>>,
+    /// Fast-path gate so un-faulted runs never touch the `faults`
+    /// mutex (the fault plane must be fully inert when unused).
+    faults_armed: AtomicBool,
+    /// Worker thread handles — shared (not on [`ParEngine`]) because
+    /// the watchdog pushes respawned workers here too.
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shared {
@@ -224,10 +294,18 @@ impl Shared {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn wait_work<'a>(&self, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+    /// Waits for work with a bounded park so the worker keeps
+    /// heartbeating: a worker that waited forever would be
+    /// indistinguishable from a dead one.
+    fn wait_work_timeout<'a>(
+        &self,
+        guard: MutexGuard<'a, State>,
+        dur: Duration,
+    ) -> MutexGuard<'a, State> {
         self.work
-            .wait(guard)
+            .wait_timeout(guard, dur)
             .unwrap_or_else(PoisonError::into_inner)
+            .0
     }
 
     fn wait_done<'a>(&self, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
@@ -235,6 +313,55 @@ impl Shared {
             .wait(guard)
             .unwrap_or_else(PoisonError::into_inner)
     }
+
+    /// How long a parked worker sleeps between heartbeats: well inside
+    /// the watchdog's stall window so idle workers never look dead.
+    fn worker_poll(&self) -> Duration {
+        (self.cfg.stall_after / 4).clamp(Duration::from_millis(1), Duration::from_millis(50))
+    }
+
+    /// Pops the next due fault for worker `idx`, if any. Each scheduled
+    /// fault fires at most once; with no plan armed this is a single
+    /// relaxed atomic load.
+    fn due_fault(&self, idx: usize) -> Option<WorkerFaultKind> {
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let mut guard = self.faults.lock().unwrap_or_else(PoisonError::into_inner);
+        let rt = guard.as_mut()?;
+        let elapsed = rt.t0.elapsed().as_nanos() as u64;
+        for (i, wf) in rt.plan.worker_faults.iter().enumerate() {
+            if rt.fired[i] || wf.worker as usize != idx {
+                continue;
+            }
+            if elapsed >= wf.at.as_nanos() {
+                rt.fired[i] = true;
+                return Some(wf.kind);
+            }
+        }
+        None
+    }
+
+    /// Whether the armed fault plan poisons query `qid` (deterministic
+    /// in the plan seed and qid; see [`FaultPlan::bad_query`]).
+    fn query_poisoned(&self, qid: u64) -> bool {
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return false;
+        }
+        let guard = self.faults.lock().unwrap_or_else(PoisonError::into_inner);
+        guard
+            .as_ref()
+            .is_some_and(|rt| rt.plan.bad_query(rt.seed, qid))
+    }
+}
+
+/// Registers a worker thread handle for join-at-shutdown.
+fn push_handle(shared: &Shared, h: JoinHandle<()>) {
+    shared
+        .handles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(h);
 }
 
 /// Construction parameters for the thread pool.
@@ -247,19 +374,43 @@ pub struct ParEngineConfig {
     /// Workers unparked at start (the rest wait for
     /// [`ParEngine::set_active`]).
     pub initial_active: usize,
+    /// How long a worker's heartbeat may stay frozen before the
+    /// watchdog declares it dead/stalled and recovers it. Must comfortably
+    /// exceed one operator-partition evaluation (a worker does not beat
+    /// mid-evaluation); false positives are safe but waste work.
+    pub stall_after: Duration,
+    /// Watchdog sweep interval (also bounds shutdown-join latency).
+    pub sweep: Duration,
+}
+
+impl Default for ParEngineConfig {
+    fn default() -> Self {
+        ParEngineConfig {
+            n_workers: 1,
+            initial_active: 1,
+            stall_after: Duration::from_millis(500),
+            sweep: Duration::from_millis(50),
+        }
+    }
 }
 
 /// The real-parallel engine: a worker pool plus the dataflow state.
 pub struct ParEngine {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl ParEngine {
     /// Spawns the pool. All `n_workers` threads start immediately;
-    /// workers ranked at or above `initial_active` park until grown.
+    /// workers ranked at or above `initial_active` park until grown. A
+    /// watchdog thread sweeps worker heartbeats from the start — self-
+    /// healing is always on, fault plan or not.
     pub fn new(cfg: ParEngineConfig, base: Arc<BaseData>) -> Self {
         let n = cfg.n_workers.max(1);
+        let cfg = ParEngineConfig {
+            n_workers: n,
+            ..cfg
+        };
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queries: FxHashMap::default(),
@@ -271,6 +422,8 @@ impl ParEngine {
                 shutdown: false,
                 dead: vec![false; n],
                 n_dead: 0,
+                running: vec![None; n],
+                worker_gen: vec![0; n],
                 results: FxHashMap::default(),
                 stats: EngineStats::default(),
                 tomograph: Tomograph::new(),
@@ -281,18 +434,65 @@ impl ParEngine {
             base,
             n_workers: n,
             epoch: Instant::now(),
+            cfg,
+            heartbeats: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            faults: Mutex::new(None),
+            faults_armed: AtomicBool::new(false),
+            handles: Mutex::new(Vec::with_capacity(n + 4)),
         });
-        let handles = (0..n)
-            .map(|idx| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("emca-worker{idx}"))
-                    .spawn(move || worker_loop(shared, idx))
-                    // emca-lint: allow(panic-freedom) — construction-time spawn failure (fd/thread exhaustion) happens before any query exists; nothing to degrade to
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        ParEngine { shared, handles }
+        for idx in 0..n {
+            let worker = Arc::clone(&shared);
+            let h = std::thread::Builder::new()
+                .name(format!("emca-worker{idx}"))
+                .spawn(move || worker_loop(worker, idx, 0))
+                // emca-lint: allow(panic-freedom) — construction-time spawn failure (fd/thread exhaustion) happens before any query exists; nothing to degrade to
+                .expect("spawn worker thread");
+            push_handle(&shared, h);
+        }
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("emca-watchdog".to_string())
+                .spawn(move || watchdog_loop(shared))
+                // emca-lint: allow(panic-freedom) — construction-time spawn failure happens before any query exists; nothing to degrade to
+                .expect("spawn watchdog thread")
+        };
+        ParEngine {
+            shared,
+            watchdog: Some(watchdog),
+        }
+    }
+
+    /// Arms a deterministic fault plan: worker faults fire at their
+    /// offsets measured from *now*, and `badquery` poisoning applies to
+    /// every later submission. Arm once, before the run's first query;
+    /// an empty plan is a no-op (the fault plane stays fully inert).
+    pub fn arm_faults(&self, plan: &FaultPlan, seed: u64) {
+        if plan.is_empty() {
+            return;
+        }
+        let fired = vec![false; plan.worker_faults.len()];
+        let mut guard = self
+            .shared
+            .faults
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *guard = Some(FaultsRt {
+            plan: plan.clone(),
+            seed,
+            t0: Instant::now(),
+            fired,
+        });
+        drop(guard);
+        self.shared.faults_armed.store(true, Ordering::Relaxed);
+    }
+
+    /// Workers the allocator may still count on: pool width minus
+    /// permanently dead (panicked or unrespawnable) workers. Watchdog-
+    /// recovered workers stay live; the elastic controller clamps its
+    /// allocation to this so claims stay honest during degradation.
+    pub fn live_workers(&self) -> usize {
+        self.shared.n_workers - self.shared.lock_state().n_dead
     }
 
     /// Pool size (scheduling width).
@@ -327,6 +527,27 @@ impl ParEngine {
             drop(st);
             self.shared.done.notify_all();
             return QueryId(qid);
+        }
+        if self.shared.faults_armed.load(Ordering::Relaxed) {
+            // The poison draw locks the fault plan; take it outside the
+            // state lock (the qid is already allocated, so the draw is
+            // deterministic regardless of the interleaving).
+            drop(st);
+            if self.shared.query_poisoned(qid) {
+                let mut st = self.shared.lock_state();
+                st.results.insert(qid, Err(QueryError::BadQuery));
+                drop(st);
+                self.shared.done.notify_all();
+                return QueryId(qid);
+            }
+            st = self.shared.lock_state();
+            // The pool may have fully died while the lock was released.
+            if st.n_dead == self.shared.n_workers {
+                st.results.insert(qid, Err(QueryError::PoolDead));
+                drop(st);
+                self.shared.done.notify_all();
+                return QueryId(qid);
+            }
         }
         let dependents = plan.dependents();
         let nodes: Vec<ParNode> = plan
@@ -466,15 +687,28 @@ impl ParEngine {
         self.shared.lock_state().tomograph.clone()
     }
 
-    /// Stops and joins every worker. Called by `Drop`; explicit calls
-    /// are idempotent.
+    /// Stops and joins every worker and the watchdog. Called by
+    /// `Drop`; explicit calls are idempotent.
     pub fn shutdown(&mut self) {
         {
             let mut st = self.shared.lock_state();
             st.shutdown = true;
         }
         self.shared.work.notify_all();
-        for h in self.handles.drain(..) {
+        self.shared.done.notify_all();
+        // Watchdog first, so no new workers are respawned mid-join.
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+        let drained: Vec<JoinHandle<()>> = {
+            let mut handles = self
+                .shared
+                .handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            handles.drain(..).collect()
+        };
+        for h in drained {
             let _ = h.join();
         }
     }
@@ -597,64 +831,216 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
+/// Fails one query with a typed error and wakes its waiting client.
+fn fail_query(shared: &Shared, st: &mut State, qid: u64, error: QueryError) {
+    if st.queries.remove(&qid).is_some() {
+        st.results.insert(qid, Err(error));
+    }
+    shared.done.notify_all();
+}
+
+/// The last live worker is gone: fail everything in flight fast
+/// instead of queuing forever.
+fn collapse_pool(st: &mut State) {
+    let in_flight: Vec<u64> = st.queries.keys().copied().collect();
+    for q in in_flight {
+        st.queries.remove(&q);
+        st.results.insert(q, Err(QueryError::PoolDead));
+    }
+    st.global.clear();
+    for dq in &mut st.per_worker {
+        dq.clear();
+    }
+}
+
 /// The dead-worker path: marks `idx` dead, rehomes its queued tasks,
 /// fails the query it was executing, and — when it was the last live
 /// worker — fails everything else with [`QueryError::PoolDead`]. The
-/// caller (the worker thread) returns right after.
+/// caller (the worker thread) returns right after. A *panicked* worker
+/// is permanently dead: the panic was deterministic, so the watchdog
+/// never respawns into it (`dead[idx]` is skipped in its sweep).
 fn worker_dies(shared: &Shared, st: &mut State, idx: usize, qid: u64, error: QueryError) {
     eprintln!(
         "[par] worker {idx} died ({error}); pool degrades to {} live workers",
         shared.n_workers - st.n_dead - 1
     );
+    st.running[idx] = None;
     st.dead[idx] = true;
     st.n_dead += 1;
     // Rehome tasks routed to this worker so lineage preferences cannot
     // strand them.
     let orphans = std::mem::take(&mut st.per_worker[idx]);
     st.global.extend(orphans);
-    if st.queries.remove(&qid).is_some() {
-        st.results.insert(qid, Err(error));
-    }
+    fail_query(shared, st, qid, error);
     if st.n_dead == shared.n_workers {
-        let in_flight: Vec<u64> = st.queries.keys().copied().collect();
-        for q in in_flight {
-            st.queries.remove(&q);
-            st.results.insert(q, Err(QueryError::PoolDead));
+        collapse_pool(st);
+    }
+    shared.work.notify_all();
+    shared.done.notify_all();
+}
+
+/// One watchdog recovery: supersede worker `idx`'s generation, requeue
+/// the task it was holding (exactly once — only if its partial was
+/// never committed and the query is still live), rehome its deque, and
+/// respawn a replacement thread under the new generation.
+fn recover_worker(shared: &Arc<Shared>, idx: usize, downtime: Duration) {
+    let gen = {
+        let mut st = shared.lock_state();
+        if st.shutdown || st.dead[idx] {
+            return;
         }
-        st.global.clear();
-        for dq in &mut st.per_worker {
-            dq.clear();
+        st.worker_gen[idx] += 1;
+        let gen = st.worker_gen[idx];
+        if let Some(task) = st.running[idx].take() {
+            let requeue = st.queries.get(&task.qid).is_some_and(|q| {
+                let nr = &q.nodes[task.node.idx()];
+                nr.partials.len() == task.n_parts as usize
+                    && nr.partials[task.part as usize].is_none()
+            });
+            if requeue {
+                st.global.push_back(task);
+            }
+        }
+        let orphans = std::mem::take(&mut st.per_worker[idx]);
+        st.global.extend(orphans);
+        st.stats.engine_recoveries += 1;
+        st.stats.recovery_ms += downtime.as_secs_f64() * 1e3;
+        gen
+    };
+    eprintln!(
+        "[par] watchdog: worker {idx} unresponsive for {downtime:?}; requeued its work, respawning (gen {gen})"
+    );
+    // Spawn outside the state lock.
+    let spawned = {
+        let worker = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name(format!("emca-worker{idx}g{gen}"))
+            .spawn(move || worker_loop(worker, idx, gen))
+    };
+    match spawned {
+        Ok(h) => push_handle(shared, h),
+        Err(e) => {
+            // Cannot heal this slot: degrade it permanently, like a
+            // panicked worker.
+            eprintln!("[par] failed to respawn worker {idx} ({e}); pool degrades");
+            let mut st = shared.lock_state();
+            if !st.dead[idx] {
+                st.dead[idx] = true;
+                st.n_dead += 1;
+                if st.n_dead == shared.n_workers {
+                    collapse_pool(&mut st);
+                }
+            }
         }
     }
     shared.work.notify_all();
     shared.done.notify_all();
 }
 
+/// The watchdog: sweeps worker heartbeats every `cfg.sweep`; a live,
+/// not-permanently-dead worker whose heartbeat stayed frozen for
+/// `cfg.stall_after` is recovered via [`recover_worker`].
+fn watchdog_loop(shared: Arc<Shared>) {
+    let sweep = shared.cfg.sweep.max(Duration::from_millis(1));
+    let stall_after = shared.cfg.stall_after.max(sweep);
+    let n = shared.n_workers;
+    let mut seen: Vec<u64> = (0..n)
+        .map(|i| shared.heartbeats[i].load(Ordering::Relaxed))
+        .collect();
+    let mut since: Vec<Instant> = vec![Instant::now(); n];
+    loop {
+        std::thread::sleep(sweep);
+        let now = Instant::now();
+        let mut stalled: Vec<(usize, Duration)> = Vec::new();
+        {
+            let st = shared.lock_state();
+            if st.shutdown {
+                return;
+            }
+            for i in 0..n {
+                let beat = shared.heartbeats[i].load(Ordering::Relaxed);
+                if beat != seen[i] {
+                    seen[i] = beat;
+                    since[i] = now;
+                    continue;
+                }
+                if st.dead[i] {
+                    continue;
+                }
+                let down = now.duration_since(since[i]);
+                if down >= stall_after {
+                    stalled.push((i, down));
+                }
+            }
+        }
+        for (idx, down) in stalled {
+            recover_worker(&shared, idx, down);
+            // The replacement starts a fresh heartbeat epoch.
+            seen[idx] = shared.heartbeats[idx].load(Ordering::Relaxed);
+            since[idx] = Instant::now();
+        }
+    }
+}
+
 /// The dedicated worker loop: park while ranked out of the allocation,
 /// otherwise pop a task, snapshot its inputs under the lock, evaluate
-/// outside it (under `catch_unwind`), and complete.
-fn worker_loop(shared: Arc<Shared>, idx: usize) {
-    let mut st = shared.lock_state();
+/// outside it (under `catch_unwind`), and complete. `my_gen` is the
+/// incarnation this thread was spawned under: a generation mismatch at
+/// any lock acquisition means the watchdog superseded this worker (it
+/// already requeued the in-flight task), so the thread exits without
+/// committing anything.
+fn worker_loop(shared: Arc<Shared>, idx: usize, my_gen: u64) {
+    let poll = shared.worker_poll();
     loop {
+        shared.heartbeats[idx].fetch_add(1, Ordering::Relaxed);
+        // Injected faults fire between tasks, never mid-evaluation
+        // (the idle-worker window; the post-pop window is below).
+        match shared.due_fault(idx) {
+            // Silent death: no bookkeeping, a frozen heartbeat is the
+            // only trace. Recovery is the watchdog's job.
+            Some(WorkerFaultKind::Kill) => return,
+            Some(WorkerFaultKind::Stall(d)) => {
+                std::thread::sleep(Duration::from_nanos(d.as_nanos()));
+                continue; // re-beat; a long stall may have been superseded
+            }
+            None => {}
+        }
+        let mut st = shared.lock_state();
         if st.shutdown {
             return;
         }
+        if st.worker_gen[idx] != my_gen {
+            return; // superseded by a watchdog respawn
+        }
         if st.live_rank(idx) >= st.active {
-            st = shared.wait_work(st);
+            drop(shared.wait_work_timeout(st, poll));
             continue;
         }
         let Some(task) = pop_task(&mut st, idx) else {
-            st = shared.wait_work(st);
+            drop(shared.wait_work_timeout(st, poll));
             continue;
         };
+        st.running[idx] = Some(task);
 
         // ---- snapshot inputs under the lock ---------------------------
         let Some(q) = st.queries.get(&task.qid) else {
+            st.running[idx] = None;
             continue; // query failed by a dying peer; drop its task
         };
         let plan = Arc::clone(&q.plan);
         let mats: Vec<Option<Mat>> = q.nodes.iter().map(|n| n.mat.clone()).collect();
         drop(st);
+
+        // Post-pop fault window: a kill here strands the popped task in
+        // `running[idx]`, exactly what the watchdog's exactly-once
+        // requeue must recover without losing or duplicating it.
+        match shared.due_fault(idx) {
+            Some(WorkerFaultKind::Kill) => return,
+            Some(WorkerFaultKind::Stall(d)) => {
+                std::thread::sleep(Duration::from_nanos(d.as_nanos()))
+            }
+            None => {}
+        }
 
         // ---- evaluate outside the lock --------------------------------
         let op = plan.node(task.node);
@@ -678,6 +1064,12 @@ fn worker_loop(shared: Arc<Shared>, idx: usize) {
             Ok(p) => p,
             Err(payload) => {
                 st = shared.lock_state();
+                if st.worker_gen[idx] != my_gen {
+                    // Superseded mid-evaluation: the requeued copy of
+                    // this task will hit the same deterministic panic on
+                    // the replacement worker, which does the bookkeeping.
+                    return;
+                }
                 worker_dies(
                     &shared,
                     &mut st,
@@ -694,6 +1086,14 @@ fn worker_loop(shared: Arc<Shared>, idx: usize) {
 
         // ---- complete -------------------------------------------------
         st = shared.lock_state();
+        if st.worker_gen[idx] != my_gen {
+            // Superseded while evaluating (a watchdog false positive on
+            // a slow partition): the task was requeued, so drop this
+            // partial — it must commit exactly once, from whichever
+            // copy reaches here first under a live generation.
+            return;
+        }
+        st.running[idx] = None;
         st.stats.tasks_executed += 1;
         let Some(q) = st.queries.get_mut(&task.qid) else {
             // Query failed while this valid partition was in flight;
@@ -702,6 +1102,13 @@ fn worker_loop(shared: Arc<Shared>, idx: usize) {
             continue;
         };
         let nr = &mut q.nodes[task.node.idx()];
+        if nr.partials.len() != task.n_parts as usize || nr.partials[task.part as usize].is_some() {
+            // A requeued duplicate raced the original commit (or the
+            // node is already assembling): first commit won, this copy
+            // is dropped without touching `remaining`.
+            st.busy_ns += elapsed.as_nanos();
+            continue;
+        }
         nr.part_worker[task.part as usize] = Some(idx as u32);
         nr.partials[task.part as usize] = Some(partial);
         nr.remaining -= 1;
@@ -724,16 +1131,19 @@ fn worker_loop(shared: Arc<Shared>, idx: usize) {
             match assembled {
                 Ok(m) => Some(m),
                 Err(payload) => {
-                    worker_dies(
-                        &shared,
-                        &mut st,
-                        idx,
-                        task.qid,
-                        QueryError::WorkerPanicked {
-                            op: op.mal_name(),
-                            message: panic_message(payload),
-                        },
-                    );
+                    let error = QueryError::WorkerPanicked {
+                        op: op.mal_name(),
+                        message: panic_message(payload),
+                    };
+                    if st.worker_gen[idx] != my_gen {
+                        // The partials are consumed — nobody else can
+                        // finish this node — so even a superseded worker
+                        // must fail the query before exiting, or its
+                        // client hangs.
+                        fail_query(&shared, &mut st, task.qid, error);
+                        return;
+                    }
+                    worker_dies(&shared, &mut st, idx, task.qid, error);
                     return;
                 }
             }
@@ -747,7 +1157,14 @@ fn worker_loop(shared: Arc<Shared>, idx: usize) {
         };
         q.busy += elapsed;
         if let Some(mat) = mat {
+            // The one-finalizer exception: this worker took the node's
+            // partials, so it must commit the mat and schedule the
+            // dependents even if a watchdog supersession landed during
+            // assembly — then exit.
             finalize_node(&mut st, &shared, task.qid, task.node, mat);
+            if st.worker_gen[idx] != my_gen {
+                return;
+            }
         }
     }
 }
@@ -840,6 +1257,7 @@ mod tests {
         let cfg = ParEngineConfig {
             n_workers: 16,
             initial_active: 16,
+            ..ParEngineConfig::default()
         };
         let specs = [
             QuerySpec::Q6 { variant: 0 },
@@ -872,6 +1290,7 @@ mod tests {
             ParEngineConfig {
                 n_workers: 16,
                 initial_active: 16,
+                ..ParEngineConfig::default()
             },
             Arc::clone(&base),
         );
@@ -879,6 +1298,7 @@ mod tests {
             ParEngineConfig {
                 n_workers: 16,
                 initial_active: 1,
+                ..ParEngineConfig::default()
             },
             base,
         );
@@ -909,6 +1329,7 @@ mod tests {
             ParEngineConfig {
                 n_workers: 8,
                 initial_active: 8,
+                ..ParEngineConfig::default()
             },
             base,
         ));
@@ -950,6 +1371,7 @@ mod tests {
             ParEngineConfig {
                 n_workers: 1,
                 initial_active: 1,
+                ..ParEngineConfig::default()
             },
             base,
         );
@@ -973,5 +1395,125 @@ mod tests {
             Err(QueryError::PoolDead)
         ));
         assert!(engine.try_result(qid2).is_none(), "error was consumed");
+        assert_eq!(engine.live_workers(), 0, "a panicked worker stays dead");
+    }
+
+    /// The watchdog must recover injected worker kills with zero lost
+    /// and zero duplicated queries: every submission resolves `Ok` with
+    /// the fault-free digest, and the pool heals back to full strength
+    /// instead of degrading.
+    #[test]
+    fn killed_workers_recover_without_losing_queries() {
+        let base = tiny_base();
+        let cfg = ParEngineConfig {
+            n_workers: 8,
+            initial_active: 8,
+            stall_after: Duration::from_millis(40),
+            sweep: Duration::from_millis(10),
+        };
+        let expected = {
+            let engine = ParEngine::new(cfg, Arc::clone(&base));
+            let spec = QuerySpec::Q6 { variant: 0 };
+            let qid = engine.submit(Arc::new(build_query(&spec)), spec.tag());
+            digest(&engine.wait_result(qid).expect("fault-free run completes"))
+        };
+        let engine = Arc::new(ParEngine::new(cfg, base));
+        engine.arm_faults(
+            &FaultPlan::default()
+                .with_kill(2, SimDuration::from_millis(10))
+                .with_kill(5, SimDuration::from_millis(20)),
+            42,
+        );
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let t0 = Instant::now();
+                    let mut n = 0u64;
+                    // Keep queries flowing across both kills and the
+                    // recoveries (~10/20ms kills + 40ms detection).
+                    while t0.elapsed() < Duration::from_millis(150) {
+                        let spec = QuerySpec::Q6 { variant: 0 };
+                        let qid = engine.submit(Arc::new(build_query(&spec)), spec.tag());
+                        let r = engine
+                            .wait_result(qid)
+                            .expect("query lost across a worker kill");
+                        assert_eq!(digest(&r), expected, "recovery corrupted a result");
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        let total: u64 = clients
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum();
+        // Both kills fire whether or not a query is in flight; wait for
+        // the watchdog to notice and respawn both victims.
+        let t0 = Instant::now();
+        while engine.stats().engine_recoveries < 2 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "watchdog never recovered the killed workers"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = engine.stats();
+        assert_eq!(
+            stats.queries_completed, total,
+            "every submitted query completed exactly once"
+        );
+        assert_eq!(stats.queries_submitted, total);
+        assert!(stats.mttr_ms() > 0.0 && stats.mttr_ms().is_finite());
+        assert_eq!(
+            engine.live_workers(),
+            8,
+            "killed workers were respawned, not declared dead"
+        );
+        assert_eq!(engine.dead_workers(), 0);
+        // The healed pool still serves, and still gives the same answer.
+        let spec = QuerySpec::Q6 { variant: 0 };
+        let qid = engine.submit(Arc::new(build_query(&spec)), spec.tag());
+        let r = engine.wait_result(qid).expect("post-recovery query");
+        assert_eq!(digest(&r), expected);
+    }
+
+    /// `badquery` poisoning is deterministic per qid and surfaces as a
+    /// typed, non-retryable error; unpoisoned queries are untouched.
+    #[test]
+    fn badquery_poisons_deterministically() {
+        let base = tiny_base();
+        let cfg = ParEngineConfig {
+            n_workers: 4,
+            initial_active: 4,
+            ..ParEngineConfig::default()
+        };
+        let run = |seed: u64| -> Vec<bool> {
+            let engine = ParEngine::new(cfg, Arc::clone(&base));
+            engine.arm_faults(&FaultPlan::default().with_badquery(0.3), seed);
+            (0..40)
+                .map(|_| {
+                    let spec = QuerySpec::Q6 { variant: 0 };
+                    let qid = engine.submit(Arc::new(build_query(&spec)), spec.tag());
+                    match engine.wait_result(qid) {
+                        Ok(_) => false,
+                        Err(QueryError::BadQuery) => true,
+                        Err(other) => panic!("unexpected error: {other}"),
+                    }
+                })
+                .collect()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed must poison the same qids");
+        assert!(
+            a.iter().any(|&p| p),
+            "rate 0.3 over 40 queries poisons some"
+        );
+        assert!(!a.iter().all(|&p| p), "…but not all");
+        assert!(!QueryError::BadQuery.is_retryable());
+        assert!(QueryError::PoolDead.is_retryable());
     }
 }

@@ -6,6 +6,7 @@ use emca_metrics::SimDuration;
 use std::sync::Arc;
 use volcano_db::client::Workload;
 use volcano_db::exec::engine::Flavor;
+use volcano_db::exec::FaultPlan;
 use volcano_db::tpch::TpchScale;
 
 // Centralised `EMCA_*` environment parsing lives with the spec; this
@@ -178,6 +179,11 @@ pub struct RunConfig {
     pub custom_policy: Option<PolicyFactory>,
     /// Execution backend (simulated workers vs real OS threads).
     pub backend: Backend,
+    /// Deterministic fault-injection plan (the `faults=` spec field).
+    /// `None` — the default — leaves the fault plane fully inert: no
+    /// injection site is consulted and results are byte-identical to
+    /// the pre-fault-plane runner.
+    pub faults: Option<FaultPlan>,
 }
 
 impl RunConfig {
@@ -198,6 +204,7 @@ impl RunConfig {
             warmup: Warmup::default(),
             custom_policy: None,
             backend: Backend::default(),
+            faults: None,
         }
     }
 
@@ -254,6 +261,13 @@ impl RunConfig {
     /// Switches the execution backend.
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan. Empty plans are kept
+    /// as `None` so the fault plane stays inert.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = (!plan.is_empty()).then_some(plan);
         self
     }
 

@@ -40,13 +40,17 @@ pub use scenario::{
 };
 pub use serve::{
     build_admission, run_serve, AcceptAll, AdmissionDecision, AdmissionPolicy, Arrival,
-    ArrivalSchedule, ConcurrencyLimit, RequestOutcome, RequestRecord, ServeConfig, ServeOutput,
+    ArrivalSchedule, ConcurrencyLimit, RequestOutcome, RequestRecord, RetryPolicy, ServeConfig,
+    ServeOutput,
 };
 pub use spec::{AdmissionSpec, ArrivalSpec, ExperimentSpec, SpecError, TenantSpec};
 pub use tenants::{
     run_tenants, MultiTenantConfig, MultiTenantOutput, TenantOutput, TenantRunConfig,
 };
-pub use timing::{enforce_wall_budget, wall_budget_from_env, WallTimer};
+pub use timing::{
+    enforce_wall_budget, run_deadline_from_env, wall_budget_from_env, BudgetExceeded, RunAborted,
+    WallTimer,
+};
 
 use std::path::PathBuf;
 

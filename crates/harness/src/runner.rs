@@ -42,6 +42,12 @@ pub struct RunOutput {
     pub trace: Option<SchedTrace>,
     /// Per-operator statistics.
     pub tomograph: Tomograph,
+    /// Query failures surfaced by the engine, one rendered
+    /// [`QueryError`](volcano_db::exec::QueryError) per failed query
+    /// (the threads backend prefixes `"client <n>: "`). Empty on
+    /// fault-free runs; under a fault plan a failed query lands here
+    /// instead of silently aliasing an unfinished one.
+    pub errors: Vec<String>,
 }
 
 impl RunOutput {
@@ -135,6 +141,8 @@ pub(crate) fn build_sim_stack(config: &RunConfig, data: &TpchData) -> SimStack {
         EngineConfig {
             flavor: config.flavor,
             memo_capacity: 4096,
+            faults: config.faults.clone(),
+            fault_seed: config.scale.seed,
             ..EngineConfig::default()
         },
         kernel.machine().topology().n_nodes(),
@@ -301,12 +309,17 @@ pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
     let end = finished_at.unwrap_or_else(|| kernel.now());
     assert!(
         finished_at.is_some(),
-        "run hit the deadline ({:?}) with clients unfinished — raise RunConfig::deadline",
-        config.deadline
+        "{}",
+        crate::timing::RunAborted {
+            label: "run".to_string(),
+            deadline_s: config.deadline.as_secs_f64(),
+            hint: "RunConfig::deadline",
+        }
     );
 
     let hw_after = kernel.machine().counters().snapshot();
     let results = drain_results(&logs);
+    let errors = volcano_db::client::drain_errors(&logs);
     let sched = kernel.stats();
     let engine_stats = engine.stats();
     let tomograph = engine.core_ref().tomograph.clone();
@@ -328,6 +341,7 @@ pub fn run(config: RunConfig, data: &TpchData) -> RunOutput {
         transitions,
         trace,
         tomograph,
+        errors,
     }
 }
 
@@ -389,6 +403,46 @@ mod tests {
         if let Some(max) = out.cores_series.max() {
             assert!(max <= 16.0);
         }
+    }
+
+    #[test]
+    fn sim_faults_are_deterministic_and_lose_nothing() {
+        use volcano_db::exec::FaultPlan;
+        let data = tiny_data();
+        let run_once = |data: &TpchData| {
+            let plan = FaultPlan::default()
+                .with_kill(0, SimDuration::from_millis(1))
+                .with_badquery(0.25);
+            let cfg = RunConfig::new(Alloc::Adaptive, 4, q6_workload(3))
+                .with_scale(data.scale)
+                .with_faults(plan);
+            run(cfg, data)
+        };
+        let a = run_once(&data);
+        // A worker kill requeues its work and a poisoned query surfaces
+        // as an error: every one of the 12 queries is accounted for.
+        assert_eq!(
+            a.results.len() + a.errors.len(),
+            12,
+            "no query may be lost to the fault plane"
+        );
+        assert!(
+            a.engine.engine_recoveries >= 1,
+            "the 1ms kill must fire and be recovered"
+        );
+        assert!(a.engine.mttr_ms().is_finite() && a.engine.mttr_ms() > 0.0);
+        // Same seed + same plan ⇒ byte-identical outputs, kill and all.
+        let b = run_once(&data);
+        let digest = |o: &RunOutput| {
+            o.results
+                .iter()
+                .map(|r| (r.label.clone(), r.finished, r.result.len()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(digest(&a), digest(&b), "faulted sim runs must replay");
+        assert_eq!(a.errors, b.errors, "error sets must replay too");
+        assert_eq!(a.engine.engine_recoveries, b.engine.engine_recoveries);
+        assert_eq!(a.wall, b.wall, "even the clock must agree");
     }
 
     #[test]

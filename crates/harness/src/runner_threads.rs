@@ -28,8 +28,10 @@
 //!   (`ProcTracer`), so the Fig. 5/16 maps show actual OS placement.
 //!
 //! Environment knobs: `EMCA_THREADS` caps the pool width (changes
-//! partitioning, hence results — CI smoke only), `EMCA_WALL_BUDGET_S`
-//! overrides the deadline with a wall-clock budget in seconds.
+//! partitioning, hence results — CI smoke only); `EMCA_RUN_DEADLINE_S`
+//! overrides the run-abort deadline in wall seconds, and when it is
+//! unset `EMCA_WALL_BUDGET_S` doubles as the deadline (the pre-split
+//! behaviour — see [`crate::timing`] for the distinction).
 
 use crate::config::{Alloc, RunConfig};
 use crate::runner::RunOutput;
@@ -72,10 +74,18 @@ pub(crate) fn capacity() -> usize {
     }
 }
 
-/// Wall-clock deadline: `EMCA_WALL_BUDGET_S` when set (the repo-wide
-/// wall-budget knob, see [`crate::wall_budget_from_env`]), else the
-/// config's deadline read as wall time.
+/// Wall-clock run-abort deadline: `EMCA_RUN_DEADLINE_S` when set (the
+/// dedicated deadline knob, see [`crate::run_deadline_from_env`]), else
+/// `EMCA_WALL_BUDGET_S` (the fidelity budget doubling as the deadline,
+/// which keeps pre-split CI jobs working), else the config's deadline
+/// read as wall time.
 pub(crate) fn wall_deadline(configured: SimDuration) -> SimDuration {
+    match crate::run_deadline_from_env() {
+        Ok(Some(secs)) => return SimDuration::from_secs_f64(secs),
+        Ok(None) => {}
+        // emca-lint: allow(panic-freedom) — config-parse tripwire on the driver thread at startup, before any pool exists
+        Err(e) => panic!("{e}"),
+    }
     match crate::wall_budget_from_env() {
         Ok(Some(secs)) => SimDuration::from_secs_f64(secs),
         Ok(None) => configured,
@@ -315,9 +325,13 @@ pub fn run_threads(config: RunConfig, data: &TpchData) -> RunOutput {
         ParEngineConfig {
             n_workers: pool,
             initial_active: if os_baseline { pool } else { 1 },
+            ..ParEngineConfig::default()
         },
         base,
     ));
+    if let Some(plan) = &config.faults {
+        engine.arm_faults(plan, config.scale.seed);
+    }
     if config.alloc == Alloc::Sparse {
         engine.set_wake_order(&sparse_order(pool));
     }
@@ -356,8 +370,12 @@ pub fn run_threads(config: RunConfig, data: &TpchData) -> RunOutput {
         let now = wall_now(t0);
         assert!(
             now.since(SimTime::ZERO) <= deadline,
-            "run hit the deadline ({deadline:?}) with clients unfinished — raise \
-             RunConfig::deadline"
+            "{}",
+            crate::timing::RunAborted {
+                label: "run".to_string(),
+                deadline_s: deadline.as_secs_f64(),
+                hint: "RunConfig::deadline or EMCA_RUN_DEADLINE_S",
+            }
         );
         if let Some(c) = controller.as_mut() {
             if now >= next_control {
@@ -369,6 +387,10 @@ pub fn run_threads(config: RunConfig, data: &TpchData) -> RunOutput {
                 );
                 ctl_busy = busy;
                 ctl_at = now;
+                // Dead (fault-killed, not-yet-recovered) workers are
+                // non-allocatable: clamp the controller's view first so
+                // a grow decision never targets a corpse.
+                c.note_capacity(engine.live_workers() as u32);
                 let d = c.observe(now, u);
                 engine.set_active(d.nalloc as usize);
                 next_control = now + c.interval();
@@ -413,8 +435,11 @@ pub fn run_threads(config: RunConfig, data: &TpchData) -> RunOutput {
         .count();
     assert!(panicked == 0, "{panicked} client thread(s) panicked");
     let client_errors = std::mem::take(&mut *lock(&errors));
+    // With a fault plan armed, failed queries are an expected outcome
+    // and surface in [`RunOutput::errors`]; without one, any engine
+    // error is a real defect and trips the tripwire as before.
     assert!(
-        client_errors.is_empty(),
+        config.faults.is_some() || client_errors.is_empty(),
         "client queries failed in the engine: {client_errors:?}"
     );
 
@@ -440,6 +465,7 @@ pub fn run_threads(config: RunConfig, data: &TpchData) -> RunOutput {
         transitions: controller.map(|c| c.events).unwrap_or_default(),
         trace: tracer.map(|t| t.finish(wall_now(t0))),
         tomograph: engine.tomograph(),
+        errors: client_errors,
         config,
     }
 }
@@ -488,9 +514,13 @@ pub fn run_tenants_threads(config: MultiTenantConfig, data: &TpchData) -> MultiT
                 ParEngineConfig {
                     n_workers: width,
                     initial_active: 1,
+                    ..ParEngineConfig::default()
                 },
                 Arc::clone(&base),
             ));
+            if let Some(plan) = &config.faults {
+                engine.arm_faults(plan, config.scale.seed);
+            }
             let seed_core = (0..ntotal)
                 .map(|c| CoreId(c as u16))
                 .find(|&c| !arbiter.foreign_mask(tid).contains(c))
@@ -542,8 +572,12 @@ pub fn run_tenants_threads(config: MultiTenantConfig, data: &TpchData) -> MultiT
         if unfinished {
             assert!(
                 now.since(SimTime::ZERO) <= deadline,
-                "multi-tenant run hit the deadline ({deadline:?}) with clients unfinished — \
-                 raise MultiTenantConfig::deadline"
+                "{}",
+                crate::timing::RunAborted {
+                    label: "multi-tenant run".to_string(),
+                    deadline_s: deadline.as_secs_f64(),
+                    hint: "MultiTenantConfig::deadline or EMCA_RUN_DEADLINE_S",
+                }
             );
         } else {
             let until = *drain_until.get_or_insert(now + config.drain);
@@ -564,6 +598,10 @@ pub fn run_tenants_threads(config: MultiTenantConfig, data: &TpchData) -> MultiT
             );
             l.ctl_busy = busy;
             l.ctl_at = now;
+            // Fault-killed, not-yet-recovered workers are not
+            // allocatable; keep the controller's target inside the
+            // live width.
+            l.controller.note_capacity(l.engine.live_workers() as u32);
             let d = l.controller.observe(now, u);
             l.control_steps += 1;
             arbiter.note(l.tid, d.action == AllocAction::Allocate);
@@ -653,8 +691,10 @@ pub fn run_tenants_threads(config: MultiTenantConfig, data: &TpchData) -> MultiT
         .count();
     assert!(panicked == 0, "{panicked} client thread(s) panicked");
     let client_errors = std::mem::take(&mut *lock(&errors));
+    // Same policy as [`run_threads`]: expected under a fault plan,
+    // tripwire without one.
     assert!(
-        client_errors.is_empty(),
+        config.faults.is_some() || client_errors.is_empty(),
         "client queries failed in the engine: {client_errors:?}"
     );
 
@@ -693,6 +733,7 @@ pub fn run_tenants_threads(config: MultiTenantConfig, data: &TpchData) -> MultiT
         ntotal,
         arbiter_denials: arbiter.denials,
         arbiter_yields: arbiter.yields,
+        errors: client_errors,
     }
 }
 

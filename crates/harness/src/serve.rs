@@ -25,6 +25,18 @@
 //! control exists to bound. Requests shed at the gate or timed out in
 //! the queue have no latency (they never ran); they show up in the shed
 //! counters and as lost goodput instead.
+//!
+//! Failures are first-class: an armed fault plan (`faults=` on the
+//! spec) can kill or stall workers and poison queries mid-run. A
+//! request whose attempt dies with a *retryable* error (worker death)
+//! is resubmitted under the [`RetryPolicy`] — deterministic jittered
+//! exponential backoff, bypassing admission, bounded by
+//! `max_attempts` and the per-request deadline — while poisoned
+//! queries fail immediately ([`RequestOutcome::Failed`], never aliased
+//! to a shed or an unfinished request). The per-request deadline runs
+//! from *scheduled arrival* and covers every attempt, so a drain at
+//! least as long as the deadline guarantees every dispatched request
+//! resolves inside the window.
 
 use crate::backend::Backend;
 use crate::config::{Alloc, RunConfig};
@@ -42,7 +54,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use volcano_db::client::{ClientBody, SharedLog, Workload};
 use volcano_db::exec::engine::Engine;
-use volcano_db::exec::{BaseData, ParEngine, ParEngineConfig};
+use volcano_db::exec::{BaseData, EngineStats, ParEngine, ParEngineConfig};
 use volcano_db::tpch::{build_query, QuerySpec, TpchData};
 
 // ---------------------------------------------------------------------------
@@ -315,6 +327,45 @@ pub fn build_admission(spec: &AdmissionSpec, sla: SimDuration) -> Box<dyn Admiss
 // Requests and results
 // ---------------------------------------------------------------------------
 
+/// Retry policy for requests whose attempt dies inside the engine with
+/// a *retryable* [`QueryError`](volcano_db::exec::QueryError) — a
+/// worker death, where resubmitting can land on a survivor or a
+/// watchdog respawn. Non-retryable errors (poisoned queries, internal
+/// bugs) fail at once: the same input fails the same way again.
+/// Resubmission bypasses admission — the request was admitted once and
+/// keeps its slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first dispatch (≥ 1; `1` means no
+    /// retries).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; each further attempt doubles
+    /// it. A ±25% jitter drawn from the run-seeded rng decorrelates
+    /// retry bursts after a worker kill without costing run-to-run
+    /// determinism.
+    pub backoff: SimDuration,
+}
+
+impl RetryPolicy {
+    /// Three attempts, 20ms base backoff — the chaos scenarios' shape.
+    pub fn default_chaos() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: SimDuration::from_millis(20),
+        }
+    }
+
+    /// How long to wait before attempt `next_attempt` (`2` = first
+    /// retry). Deterministic in the rng state: exponential in the
+    /// attempt number, jittered by a factor in `[0.75, 1.25)`.
+    pub fn delay(&self, next_attempt: u32, rng: &mut StdRng) -> SimDuration {
+        let doublings = next_attempt.saturating_sub(2).min(16);
+        let base = self.backoff.as_secs_f64() * (1u64 << doublings) as f64;
+        let jitter: f64 = rng.random_range(0.75..1.25);
+        SimDuration::from_secs_f64(base * jitter)
+    }
+}
+
 /// What finally happened to a request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RequestOutcome {
@@ -328,6 +379,12 @@ pub enum RequestOutcome {
     ShedTimeout,
     /// Dispatched but still running when the window closed.
     Unfinished,
+    /// Dispatched and *failed*: the engine returned an error with
+    /// retries exhausted (or non-retryable), or the per-request
+    /// deadline expired before an attempt completed. Never aliased to
+    /// [`RequestOutcome::Unfinished`] — a failed request carries its
+    /// error.
+    Failed,
 }
 
 /// Per-request bookkeeping.
@@ -339,24 +396,28 @@ pub struct RequestRecord {
     pub spec: QuerySpec,
     /// When the dispatcher handed it to the engine.
     pub dispatched: Option<SimTime>,
-    /// When it completed.
+    /// When it completed (or failed for good).
     pub finished: Option<SimTime>,
     /// Terminal outcome.
     pub outcome: RequestOutcome,
+    /// Engine submissions so far (0 = never dispatched; >1 = retried).
+    pub attempts: u32,
+    /// The rendered engine error that failed the request, if any.
+    pub error: Option<String>,
 }
 
 impl RequestRecord {
     /// Open-loop latency in ms: scheduled arrival to completion; `+inf`
     /// for a dispatched request that never finished; `None` for shed
-    /// requests (they never ran — they count as sheds, not latencies).
+    /// and failed requests (they produced no answer — they count in the
+    /// shed/failed columns, not in the latency distribution).
     pub fn latency_ms(&self) -> Option<f64> {
         match self.outcome {
-            RequestOutcome::Completed => Some(
-                self.finished
-                    .expect("completed")
-                    .since(self.arrival)
-                    .as_millis_f64(),
-            ),
+            // A completed record always has `finished` set; `map`
+            // instead of unwrapping keeps the accessor panic-free.
+            RequestOutcome::Completed => {
+                self.finished.map(|f| f.since(self.arrival).as_millis_f64())
+            }
             RequestOutcome::Unfinished => Some(f64::INFINITY),
             _ => None,
         }
@@ -381,6 +442,21 @@ pub struct ServeConfig {
     /// Grace past the schedule horizon for in-flight work; whatever is
     /// still running after it counts as unfinished (`+inf` latency).
     pub drain: SimDuration,
+    /// Retry policy for retryable engine failures (threads backend;
+    /// the sim engine recovers worker kills internally — work is
+    /// requeued, never lost — and its only surfaced error is a
+    /// deterministically poisoned query, which a retry would poison
+    /// again, so the sim path fails such requests at once). `None` =
+    /// fail on the first error.
+    pub retry: Option<RetryPolicy>,
+    /// Per-request deadline measured from *scheduled arrival*,
+    /// covering queueing, every attempt and every backoff: a request
+    /// still unresolved past it fails (the engine may finish the
+    /// abandoned work, but the answer no longer has a taker). Distinct
+    /// from the run's wall budget — this bounds one request, not the
+    /// run. `None` = no deadline; a dispatched request may run to the
+    /// window edge and count as unfinished.
+    pub request_deadline: Option<SimDuration>,
 }
 
 /// Everything measured by one serving run.
@@ -404,6 +480,9 @@ pub struct ServeOutput {
     pub queue_series: TimeSeries,
     /// Mechanism transition log (empty for the OS baseline).
     pub transitions: Vec<TransitionEvent>,
+    /// Engine counters, including `engine_recoveries` / `mttr_ms()`
+    /// when a fault plan was armed.
+    pub engine: EngineStats,
 }
 
 impl ServeOutput {
@@ -464,23 +543,33 @@ fn new_records(cfg: &ServeConfig, start: SimTime) -> Vec<RequestRecord> {
             dispatched: None,
             finished: None,
             outcome: RequestOutcome::Pending,
+            attempts: 0,
+            error: None,
         })
         .collect()
 }
 
 /// Terminal sweep after the window closes: queued requests can no
-/// longer meet anything (the horizon is over) and in-flight ones did
-/// not make the drain.
+/// longer meet anything (the horizon is over), in-flight ones did not
+/// make the drain, and requests still waiting out a retry backoff
+/// never got their next attempt.
 fn close_window(
     records: &mut [RequestRecord],
     queue: &VecDeque<usize>,
     inflight_idx: impl Iterator<Item = usize>,
+    retrying_idx: impl Iterator<Item = usize>,
 ) {
     for &i in queue {
         records[i].outcome = RequestOutcome::ShedTimeout;
     }
     for i in inflight_idx {
         records[i].outcome = RequestOutcome::Unfinished;
+    }
+    for i in retrying_idx {
+        records[i].outcome = RequestOutcome::Failed;
+        if records[i].error.is_none() {
+            records[i].error = Some("window closed mid-backoff".into());
+        }
     }
     for r in records.iter_mut() {
         if r.outcome == RequestOutcome::Pending {
@@ -510,6 +599,7 @@ fn dispatch_sim(
     );
     kernel.spawn(format!("serve{i}"), group, None, Box::new(body));
     records[i].dispatched = Some(now);
+    records[i].attempts += 1;
     inflight.push((i, log));
 }
 
@@ -574,8 +664,8 @@ fn serve_sim(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
             }
         }
         // Freed slots pull from the queue head.
-        while !queue.is_empty() && admission.may_dispatch(inflight.len()) {
-            let i = queue.pop_front().expect("non-empty");
+        while admission.may_dispatch(inflight.len()) {
+            let Some(i) = queue.pop_front() else { break };
             dispatch_sim(
                 i,
                 now,
@@ -586,20 +676,50 @@ fn serve_sim(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
                 group,
             );
         }
-        // Completions (one result per one-shot session).
+        // Completions (one result or one error per one-shot session).
+        // The sim engine's worker kills requeue the parked work
+        // internally — no query is lost to them — so the only error a
+        // session can surface is a deterministically poisoned query,
+        // which fails outright (retrying would poison it again).
         let mut done: Vec<usize> = Vec::new();
         for (pos, (i, log)) in inflight.iter().enumerate() {
-            if let Some(r) = log.borrow().results.first() {
+            let lb = log.borrow();
+            if let Some(r) = lb.results.first() {
                 records[*i].finished = Some(r.finished);
                 records[*i].outcome = RequestOutcome::Completed;
                 if let Some(m) = mechanism.as_mut() {
                     m.note_response(r.response());
                 }
                 done.push(pos);
+            } else if let Some(e) = lb.errors.first() {
+                records[*i].finished = Some(now);
+                records[*i].outcome = RequestOutcome::Failed;
+                records[*i].error = Some(e.clone());
+                done.push(pos);
             }
         }
         for pos in done.into_iter().rev() {
             inflight.swap_remove(pos);
+        }
+        // Per-request deadline: abandon attempts that can no longer
+        // answer in time (the session still burns simulated cycles —
+        // the answer just has no taker).
+        if let Some(dl) = cfg.request_deadline {
+            let mut expired: Vec<usize> = Vec::new();
+            for (pos, (i, _)) in inflight.iter().enumerate() {
+                if now.since(records[*i].arrival) >= dl {
+                    records[*i].finished = Some(now);
+                    records[*i].outcome = RequestOutcome::Failed;
+                    records[*i].error = Some(format!(
+                        "request deadline ({:.0}ms) expired",
+                        dl.as_millis_f64()
+                    ));
+                    expired.push(pos);
+                }
+            }
+            for pos in expired.into_iter().rev() {
+                inflight.swap_remove(pos);
+            }
         }
         if next_arrival == n && queue.is_empty() && inflight.is_empty() {
             finished_at = Some(now);
@@ -618,7 +738,12 @@ fn serve_sim(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
             next_sample = now + cfg.base.sample_every;
         }
     }
-    close_window(&mut records, &queue, inflight.iter().map(|(i, _)| *i));
+    close_window(
+        &mut records,
+        &queue,
+        inflight.iter().map(|(i, _)| *i),
+        std::iter::empty(),
+    );
 
     ServeOutput {
         offered: n,
@@ -630,6 +755,7 @@ fn serve_sim(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
         cores_series,
         queue_series,
         transitions: mechanism.map(|m| m.events).unwrap_or_default(),
+        engine: engine.stats(),
     }
 }
 
@@ -645,15 +771,22 @@ fn serve_threads(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
         ParEngineConfig {
             n_workers: width,
             initial_active: if os_baseline { width } else { 1 },
+            ..ParEngineConfig::default()
         },
         Arc::new(BaseData::from_tpch(data)),
     ));
     if cfg.base.alloc == Alloc::Sparse {
         engine.set_wake_order(&sparse_order(width));
     }
+    if let Some(plan) = &cfg.base.faults {
+        engine.arm_faults(plan, cfg.base.scale.seed);
+    }
     let mut controller =
         (!os_baseline).then(|| PoolController::new(pool_cfg(width as u32, cfg.base.mech_interval)));
     let mut admission = build_admission(&cfg.admission, cfg.sla);
+    // The backoff jitter rng is seeded from the run seed: the *choice*
+    // of delays is reproducible even though thread timing is not.
+    let mut retry_rng = StdRng::seed_from_u64(cfg.base.scale.seed ^ 0x7E7A_11CE);
 
     let t0 = Instant::now();
     let start = SimTime::ZERO;
@@ -662,6 +795,8 @@ fn serve_threads(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
     let n = records.len();
     let mut queue: VecDeque<usize> = VecDeque::new();
     let mut inflight: Vec<(usize, volcano_db::exec::task::QueryId)> = Vec::new();
+    // Requests waiting out a retry backoff: (resubmit at, index).
+    let mut retry_at: Vec<(SimTime, usize)> = Vec::new();
     let mut next_arrival = 0usize;
 
     let mut load_series = TimeSeries::new("cpu_load");
@@ -681,6 +816,23 @@ fn serve_threads(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
         if now >= cutoff {
             break;
         }
+        // Due retries resubmit first: they were admitted already and
+        // re-enter ahead of the gate.
+        let mut due: Vec<usize> = Vec::new();
+        for (pos, (at, _)) in retry_at.iter().enumerate() {
+            if *at <= now {
+                due.push(pos);
+            }
+        }
+        for pos in due.into_iter().rev() {
+            let (_, i) = retry_at.swap_remove(pos);
+            let qid = engine.submit(
+                Arc::new(build_query(&records[i].spec)),
+                records[i].spec.tag(),
+            );
+            records[i].attempts += 1;
+            inflight.push((i, qid));
+        }
         while next_arrival < n && records[next_arrival].arrival <= now {
             let i = next_arrival;
             next_arrival += 1;
@@ -691,6 +843,7 @@ fn serve_threads(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
                         records[i].spec.tag(),
                     );
                     records[i].dispatched = Some(now);
+                    records[i].attempts += 1;
                     inflight.push((i, qid));
                 }
                 AdmissionDecision::Queue => queue.push_back(i),
@@ -707,13 +860,14 @@ fn serve_threads(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
                 }
             }
         }
-        while !queue.is_empty() && admission.may_dispatch(inflight.len()) {
-            let i = queue.pop_front().expect("non-empty");
+        while admission.may_dispatch(inflight.len()) {
+            let Some(i) = queue.pop_front() else { break };
             let qid = engine.submit(
                 Arc::new(build_query(&records[i].spec)),
                 records[i].spec.tag(),
             );
             records[i].dispatched = Some(now);
+            records[i].attempts += 1;
             inflight.push((i, qid));
         }
         let mut done: Vec<usize> = Vec::new();
@@ -725,10 +879,24 @@ fn serve_threads(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
                     done.push(pos);
                 }
                 Some(Err(e)) => {
-                    // A degraded pool fails the request, not the run:
-                    // leave the record Unfinished and stop tracking it.
-                    eprintln!("[serve] request {i} failed in the engine: {e}");
+                    // A degraded pool fails the request, not the run.
+                    // Retryable deaths go back through the engine after
+                    // a backoff (another worker — possibly a watchdog
+                    // respawn — can run them); anything else fails the
+                    // request here and now, explicitly, so it can never
+                    // masquerade as shed or unfinished.
                     done.push(pos);
+                    match cfg.retry {
+                        Some(p) if e.is_retryable() && records[*i].attempts < p.max_attempts => {
+                            let wait = p.delay(records[*i].attempts + 1, &mut retry_rng);
+                            retry_at.push((now + wait, *i));
+                        }
+                        _ => {
+                            records[*i].finished = Some(now);
+                            records[*i].outcome = RequestOutcome::Failed;
+                            records[*i].error = Some(e.to_string());
+                        }
+                    }
                 }
                 None => {}
             }
@@ -736,7 +904,39 @@ fn serve_threads(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
         for pos in done.into_iter().rev() {
             inflight.swap_remove(pos);
         }
-        if next_arrival == n && queue.is_empty() && inflight.is_empty() {
+        // Per-request deadline: fail attempts (in flight or waiting out
+        // a backoff) that can no longer answer in time.
+        if let Some(dl) = cfg.request_deadline {
+            let mut expired: Vec<usize> = Vec::new();
+            for (pos, (i, _)) in inflight.iter().enumerate() {
+                if now.since(records[*i].arrival) >= dl {
+                    records[*i].finished = Some(now);
+                    records[*i].outcome = RequestOutcome::Failed;
+                    records[*i].error = Some(format!(
+                        "request deadline ({:.0}ms) expired",
+                        dl.as_millis_f64()
+                    ));
+                    expired.push(pos);
+                }
+            }
+            for pos in expired.into_iter().rev() {
+                inflight.swap_remove(pos);
+            }
+            retry_at.retain(|(_, i)| {
+                if now.since(records[*i].arrival) >= dl {
+                    records[*i].finished = Some(now);
+                    records[*i].outcome = RequestOutcome::Failed;
+                    records[*i].error = Some(format!(
+                        "request deadline ({:.0}ms) expired mid-backoff",
+                        dl.as_millis_f64()
+                    ));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        if next_arrival == n && queue.is_empty() && inflight.is_empty() && retry_at.is_empty() {
             finished_at = Some(now);
             break;
         }
@@ -750,6 +950,8 @@ fn serve_threads(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
                 );
                 ctl_busy = busy;
                 ctl_at = now;
+                // Dead, not-yet-recovered workers are not allocatable.
+                c.note_capacity(engine.live_workers() as u32);
                 c.note_queue_depth(queue.len() as u64);
                 let d = c.observe(now, u);
                 engine.set_active(d.nalloc as usize);
@@ -771,7 +973,12 @@ fn serve_threads(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
             next_sample = now + cfg.base.sample_every;
         }
     }
-    close_window(&mut records, &queue, inflight.iter().map(|(i, _)| *i));
+    close_window(
+        &mut records,
+        &queue,
+        inflight.iter().map(|(i, _)| *i),
+        retry_at.iter().map(|(_, i)| *i),
+    );
 
     ServeOutput {
         offered: n,
@@ -783,6 +990,7 @@ fn serve_threads(cfg: &ServeConfig, data: &TpchData) -> ServeOutput {
         cores_series,
         queue_series,
         transitions: controller.map(|c| c.events).unwrap_or_default(),
+        engine: engine.stats(),
     }
 }
 
@@ -903,14 +1111,18 @@ mod tests {
             },
             sla: SimDuration::from_millis(200),
             drain: SimDuration::from_millis(400),
+            retry: None,
+            request_deadline: None,
         };
         let out = run_serve(&cfg, &data);
         assert_eq!(out.offered, cfg.schedule.arrivals.len());
         let resolved = out.count(RequestOutcome::Completed)
             + out.count(RequestOutcome::ShedGate)
             + out.count(RequestOutcome::ShedTimeout)
-            + out.count(RequestOutcome::Unfinished);
+            + out.count(RequestOutcome::Unfinished)
+            + out.count(RequestOutcome::Failed);
         assert_eq!(resolved, out.offered, "every request needs an outcome");
+        assert_eq!(out.count(RequestOutcome::Failed), 0, "no faults armed");
         assert_eq!(out.count(RequestOutcome::Pending), 0);
         assert!(out.count(RequestOutcome::Completed) > 0);
         assert!(out.goodput_qps() > 0.0);
@@ -940,11 +1152,128 @@ mod tests {
             admission: AdmissionSpec::None,
             sla: SimDuration::from_millis(500),
             drain: SimDuration::from_millis(500),
+            retry: None,
+            request_deadline: None,
         };
         let out = run_serve(&cfg, &data);
         assert!(out.transitions.is_empty(), "baseline has no mechanism");
         assert_eq!(out.count(RequestOutcome::ShedGate), 0);
         assert_eq!(out.count(RequestOutcome::ShedTimeout), 0);
         assert!(out.count(RequestOutcome::Completed) > 0);
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            backoff: SimDuration::from_millis(20),
+        };
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let da: Vec<SimDuration> = (2..=4).map(|k| p.delay(k, &mut a)).collect();
+        let db: Vec<SimDuration> = (2..=4).map(|k| p.delay(k, &mut b)).collect();
+        assert_eq!(da, db, "same rng state must yield the same delays");
+        for (k, d) in da.iter().enumerate() {
+            // Attempt k+2 backs off around backoff * 2^k, jittered ±25%.
+            let nominal = 20.0 * (1u64 << k) as f64;
+            let ms = d.as_millis_f64();
+            assert!(
+                ms >= nominal * 0.75 && ms < nominal * 1.25,
+                "delay {ms}ms outside the jitter band around {nominal}ms"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_sim_fails_poisoned_queries_and_stays_deterministic() {
+        use volcano_db::exec::FaultPlan;
+        let data = TpchData::generate(TpchScale::test_tiny());
+        let run_once = |data: &TpchData| {
+            let base = RunConfig::new(
+                Alloc::Adaptive,
+                0,
+                Workload::Repeat {
+                    spec: QuerySpec::Q6 { variant: 0 },
+                    iterations: 0,
+                },
+            )
+            .with_scale(data.scale)
+            .with_faults(FaultPlan::default().with_badquery(0.5));
+            let cfg = ServeConfig {
+                base,
+                schedule: ArrivalSchedule::poisson(60.0, SimDuration::from_millis(400), 42),
+                admission: AdmissionSpec::None,
+                sla: SimDuration::from_millis(200),
+                drain: SimDuration::from_millis(400),
+                retry: None,
+                request_deadline: None,
+            };
+            run_serve(&cfg, data)
+        };
+        let a = run_once(&data);
+        assert!(
+            a.count(RequestOutcome::Failed) > 0,
+            "rate=0.5 must poison some queries"
+        );
+        assert!(a.count(RequestOutcome::Completed) > 0);
+        let resolved = a.count(RequestOutcome::Completed)
+            + a.count(RequestOutcome::ShedGate)
+            + a.count(RequestOutcome::ShedTimeout)
+            + a.count(RequestOutcome::Unfinished)
+            + a.count(RequestOutcome::Failed);
+        assert_eq!(resolved, a.offered, "failures must not break accounting");
+        for r in &a.records {
+            if r.outcome == RequestOutcome::Failed {
+                assert!(
+                    r.error.as_deref().is_some_and(|e| e.contains("poisoned")),
+                    "a failed request must carry its error, got {:?}",
+                    r.error
+                );
+                assert!(r.latency_ms().is_none(), "failed ≠ a latency sample");
+            }
+        }
+        // Same seed + same plan ⇒ byte-identical outcome sequence.
+        let b = run_once(&data);
+        let digest = |o: &ServeOutput| {
+            o.records
+                .iter()
+                .map(|r| (r.outcome, r.attempts, r.error.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(digest(&a), digest(&b), "recovery must stay deterministic");
+    }
+
+    #[test]
+    fn request_deadline_resolves_every_dispatched_request() {
+        // An impossibly tight deadline: every dispatched request fails
+        // by its deadline, and because drain ≥ deadline none survive to
+        // be counted Unfinished at the window edge.
+        let data = TpchData::generate(TpchScale::test_tiny());
+        let base = RunConfig::new(
+            Alloc::Adaptive,
+            0,
+            Workload::Repeat {
+                spec: QuerySpec::Q6 { variant: 0 },
+                iterations: 0,
+            },
+        )
+        .with_scale(data.scale);
+        let cfg = ServeConfig {
+            base,
+            schedule: ArrivalSchedule::poisson(60.0, SimDuration::from_millis(300), 7),
+            admission: AdmissionSpec::None,
+            sla: SimDuration::from_millis(200),
+            drain: SimDuration::from_millis(400),
+            retry: None,
+            request_deadline: Some(SimDuration::from_nanos(1)),
+        };
+        let out = run_serve(&cfg, &data);
+        assert_eq!(out.count(RequestOutcome::Unfinished), 0);
+        assert_eq!(out.count(RequestOutcome::Completed), 0);
+        assert_eq!(out.count(RequestOutcome::Failed), out.offered);
+        assert!(out
+            .records
+            .iter()
+            .all(|r| r.error.as_deref().is_some_and(|e| e.contains("deadline"))));
     }
 }

@@ -19,6 +19,7 @@ use elastic_core::PolicyId;
 use emca_metrics::SimDuration;
 use std::path::PathBuf;
 use volcano_db::exec::engine::Flavor;
+use volcano_db::exec::FaultPlan;
 use volcano_db::tpch::TpchScale;
 
 /// A rejected experiment spec — every variant carries the offending
@@ -436,6 +437,10 @@ pub struct ExperimentSpec {
     /// `--sla-ms`); the deadline-aware queue sheds requests that cannot
     /// be dispatched before `arrival + sla`.
     pub sla_ms: Option<f64>,
+    /// Deterministic fault-injection plan (`EMCA_FAULTS` / `--faults`),
+    /// e.g. `panic:worker=3@2s,badquery:rate=0.01`. Unset leaves the
+    /// fault plane fully inert.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ExperimentSpec {
@@ -459,6 +464,7 @@ impl Default for ExperimentSpec {
             duration: None,
             admission: None,
             sla_ms: None,
+            faults: None,
         }
     }
 }
@@ -517,6 +523,9 @@ impl ExperimentSpec {
         }
         if let Some(w) = self.warmup {
             cfg = cfg.with_warmup(w);
+        }
+        if let Some(p) = &self.faults {
+            cfg = cfg.with_faults(p.clone());
         }
         cfg.with_backend(self.backend)
     }
@@ -680,6 +689,12 @@ impl std::fmt::Display for ExperimentSpec {
         if let Some(s) = self.sla_ms {
             pairs.push(format!("sla_ms={s}"));
         }
+        // The canonical FaultPlan rendering contains no whitespace, so
+        // the line stays tokenizable; rendered only when set, keeping
+        // pre-fault spec lines byte-identical.
+        if let Some(p) = &self.faults {
+            pairs.push(format!("faults={p}"));
+        }
         // Emitted only off the default, so pre-backend spec lines stay
         // byte-identical.
         if self.backend != Backend::default() {
@@ -756,6 +771,7 @@ impl ExperimentSpec {
         "duration",
         "admission",
         "sla_ms",
+        "faults",
         "backend",
     ];
 
@@ -815,6 +831,13 @@ impl ExperimentSpec {
                 self.duration = Some(d);
             }
             "admission" => self.admission = Some(AdmissionSpec::parse(value)?),
+            "faults" => {
+                let plan =
+                    FaultPlan::parse(value).map_err(|e| SpecError::malformed(key, value, e))?;
+                // An explicitly empty plan is the same as no plan: the
+                // fault plane stays inert and the spec line unchanged.
+                self.faults = (!plan.is_empty()).then_some(plan);
+            }
             "sla_ms" => {
                 let s: f64 = parse_num(key, value)?;
                 if !(s > 0.0 && s.is_finite()) {
@@ -892,6 +915,9 @@ impl ExperimentSpec {
         if let Some(s) = self.sla_ms {
             keys.push(("sla_ms", s.to_string()));
         }
+        if let Some(p) = &self.faults {
+            keys.push(("faults", p.to_string()));
+        }
         if self.backend != Backend::default() {
             keys.push(("backend", self.backend.to_string()));
         }
@@ -916,6 +942,7 @@ impl ExperimentSpec {
             "duration" => self.duration = None,
             "admission" => self.admission = None,
             "sla_ms" => self.sla_ms = None,
+            "faults" => self.faults = None,
             "backend" => self.backend = Backend::default(),
             _ => {}
         }
@@ -947,6 +974,7 @@ impl ExperimentSpec {
 /// | `EMCA_DURATION`    | `duration`    |
 /// | `EMCA_ADMISSION`   | `admission`   |
 /// | `EMCA_SLA_MS`      | `sla_ms`      |
+/// | `EMCA_FAULTS`      | `faults`      |
 ///
 /// `PROPTEST_CASES` is consumed by the vendored proptest shim with the
 /// same strict parsing; it is not a spec field.
@@ -976,6 +1004,7 @@ pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> Result<ExperimentSpec,
         ("EMCA_DURATION", "duration"),
         ("EMCA_ADMISSION", "admission"),
         ("EMCA_SLA_MS", "sla_ms"),
+        ("EMCA_FAULTS", "faults"),
     ] {
         if let Some(value) = get(var) {
             // Re-key the error to the variable it came from: the user
@@ -1021,10 +1050,38 @@ mod tests {
                 queue: Some(64),
             }),
             sla_ms: Some(250.0),
+            faults: Some(
+                FaultPlan::default()
+                    .with_kill(3, emca_metrics::SimDuration::from_secs(2))
+                    .with_badquery(0.01),
+            ),
         };
         let line = spec.to_string();
         let back: ExperimentSpec = line.parse().unwrap();
         assert_eq!(spec, back, "serialised as {line:?}");
+    }
+
+    #[test]
+    fn faults_round_trip_and_default_is_omitted() {
+        let line = ExperimentSpec::default().to_string();
+        assert!(!line.contains("faults"), "{line}");
+        let spec: ExperimentSpec =
+            "faults=panic:worker=3@2s,stall:worker=5@1s:dur=500ms,badquery:rate=0.01"
+                .parse()
+                .unwrap();
+        let plan = spec.faults.as_ref().expect("plan parsed");
+        assert_eq!(plan.worker_faults.len(), 2);
+        assert_eq!(plan.badquery_rate, 0.01);
+        let back: ExperimentSpec = spec.to_string().parse().unwrap();
+        assert_eq!(spec, back);
+        // Malformed plans report the offending pair; an empty plan is
+        // the same as no plan.
+        let err = "faults=flood:worker=1@1s"
+            .parse::<ExperimentSpec>()
+            .unwrap_err();
+        assert!(err.to_string().contains("faults"), "{err}");
+        let empty: ExperimentSpec = "faults=".parse().unwrap();
+        assert_eq!(empty.faults, None);
     }
 
     #[test]

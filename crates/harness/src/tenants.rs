@@ -24,6 +24,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 use volcano_db::client::{spawn_clients, SharedLog, Workload};
 use volcano_db::exec::engine::{Engine, EngineConfig, Flavor, QueryResult};
+use volcano_db::exec::FaultPlan;
 use volcano_db::tpch::TpchData;
 
 /// One tenant's slice of a multi-tenant run.
@@ -118,6 +119,10 @@ pub struct MultiTenantConfig {
     pub drain: SimDuration,
     /// Execution backend (simulated workers vs real OS threads).
     pub backend: Backend,
+    /// Deterministic fault-injection plan, applied identically to every
+    /// tenant's engine. `None` (the default) keeps the fault plane
+    /// inert.
+    pub faults: Option<FaultPlan>,
 }
 
 impl MultiTenantConfig {
@@ -135,6 +140,7 @@ impl MultiTenantConfig {
             warmup: Warmup::default(),
             drain: SimDuration::ZERO,
             backend: Backend::default(),
+            faults: None,
         }
     }
 
@@ -166,6 +172,14 @@ impl MultiTenantConfig {
     /// Switches the execution backend.
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan on every tenant's
+    /// engine. Empty plans are kept as `None` so the fault plane stays
+    /// inert.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = (!plan.is_empty()).then_some(plan);
         self
     }
 }
@@ -331,6 +345,11 @@ pub struct MultiTenantOutput {
     /// Arbiter forced yields (cores actually shed toward a starved
     /// peer) over the run.
     pub arbiter_yields: u64,
+    /// Query failures surfaced by the engines (`"<tenant>: <error>"` on
+    /// the sim backend, `"client <n>: <error>"` on threads, where the
+    /// shared error sink loses tenant attribution). Empty on fault-free
+    /// runs — a failed query never silently aliases an unfinished one.
+    pub errors: Vec<String>,
 }
 
 impl MultiTenantOutput {
@@ -429,6 +448,8 @@ pub fn run_tenants(config: MultiTenantConfig, data: &TpchData) -> MultiTenantOut
             EngineConfig {
                 flavor: config.flavor,
                 memo_capacity: 4096,
+                faults: config.faults.clone(),
+                fault_seed: config.scale.seed,
                 ..EngineConfig::default()
             },
             topo.n_nodes(),
@@ -582,12 +603,18 @@ pub fn run_tenants(config: MultiTenantConfig, data: &TpchData) -> MultiTenantOut
         let arb = arbiter.borrow();
         (arb.denials, arb.yields)
     };
+    let mut errors = Vec::new();
     let tenants = config
         .tenants
         .iter()
         .zip(live)
         .map(|(tcfg, t)| {
             let results = volcano_db::client::drain_results(&t.logs);
+            errors.extend(
+                volcano_db::client::drain_errors(&t.logs)
+                    .into_iter()
+                    .map(|e| format!("{}: {e}", tcfg.name)),
+            );
             TenantOutput {
                 config: tcfg.clone(),
                 results,
@@ -611,6 +638,7 @@ pub fn run_tenants(config: MultiTenantConfig, data: &TpchData) -> MultiTenantOut
         ntotal,
         arbiter_denials: denials,
         arbiter_yields: yields,
+        errors,
     }
 }
 

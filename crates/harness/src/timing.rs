@@ -7,10 +7,20 @@
 //! turns a blown budget into a hard failure — so hot-path regressions
 //! fail loudly instead of silently inflating the fidelity job.
 
+use std::fmt;
 use std::time::Instant;
 
 /// Environment variable carrying the wall-time budget, in seconds.
 pub const WALL_BUDGET_ENV: &str = "EMCA_WALL_BUDGET_S";
+
+/// Environment variable carrying the run-abort deadline, in seconds.
+///
+/// Distinct from [`WALL_BUDGET_ENV`]: the budget judges a *finished*
+/// run after the fact (the CI fidelity gate), while the deadline aborts
+/// a run that is still going — the threads backend's hang watchdog.
+/// When only the budget is set it doubles as the deadline, preserving
+/// the pre-split behaviour of CI smoke jobs.
+pub const RUN_DEADLINE_ENV: &str = "EMCA_RUN_DEADLINE_S";
 
 /// A started wall-clock measurement of one named phase.
 pub struct WallTimer {
@@ -55,13 +65,82 @@ pub fn wall_budget_from_env() -> Result<Option<f64>, String> {
     }
 }
 
+/// The run-abort deadline from the environment, if set. Same contract
+/// as [`wall_budget_from_env`]: malformed values are hard errors.
+pub fn run_deadline_from_env() -> Result<Option<f64>, String> {
+    match std::env::var(RUN_DEADLINE_ENV) {
+        Err(_) => Ok(None),
+        Ok(s) => match s.parse::<f64>() {
+            Ok(v) if v > 0.0 => Ok(Some(v)),
+            _ => Err(format!(
+                "{RUN_DEADLINE_ENV} must be a positive number of seconds, got {s:?}"
+            )),
+        },
+    }
+}
+
+/// Typed outcome of a blown wall budget: the run *finished*, but took
+/// longer than the fidelity gate allows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BudgetExceeded {
+    /// What was being timed.
+    pub label: String,
+    /// Measured wall seconds.
+    pub elapsed_s: f64,
+    /// The budget it blew.
+    pub budget_s: f64,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wall budget blown: {} took {:.2}s > budget {:.2}s",
+            self.label, self.elapsed_s, self.budget_s
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Typed outcome of a run aborted at its deadline: work was still
+/// outstanding when time ran out. Distinct from [`BudgetExceeded`] —
+/// an abort loses results, a blown budget only flags slowness.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunAborted {
+    /// Which run hit the deadline.
+    pub label: String,
+    /// The deadline, in seconds.
+    pub deadline_s: f64,
+    /// What to raise to let the run finish.
+    pub hint: &'static str,
+}
+
+impl fmt::Display for RunAborted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hit the deadline ({:.2}s) with work unfinished — raise {}",
+            self.label, self.deadline_s, self.hint
+        )
+    }
+}
+
+impl std::error::Error for RunAborted {}
+
 /// Asserts `elapsed_s` against `budget_s`: `Err` describes the blown
 /// budget, `Ok` restates the margin.
-pub fn enforce_wall_budget(label: &str, elapsed_s: f64, budget_s: f64) -> Result<String, String> {
+pub fn enforce_wall_budget(
+    label: &str,
+    elapsed_s: f64,
+    budget_s: f64,
+) -> Result<String, BudgetExceeded> {
     if elapsed_s > budget_s {
-        Err(format!(
-            "wall budget blown: {label} took {elapsed_s:.2}s > budget {budget_s:.2}s"
-        ))
+        Err(BudgetExceeded {
+            label: label.to_string(),
+            elapsed_s,
+            budget_s,
+        })
     } else {
         Ok(format!(
             "wall budget held: {label} took {elapsed_s:.2}s of {budget_s:.2}s"
@@ -85,8 +164,10 @@ mod tests {
     fn budget_enforcement() {
         assert!(enforce_wall_budget("x", 1.0, 2.0).is_ok());
         let err = enforce_wall_budget("x", 3.0, 2.0).unwrap_err();
-        assert!(err.contains("blown"));
-        assert!(err.contains("3.00s"));
+        assert_eq!(err.elapsed_s, 3.0);
+        let shown = err.to_string();
+        assert!(shown.contains("blown"));
+        assert!(shown.contains("3.00s"));
     }
 
     #[test]
@@ -97,5 +178,21 @@ mod tests {
         if std::env::var(WALL_BUDGET_ENV).is_err() {
             assert_eq!(wall_budget_from_env().unwrap(), None);
         }
+        if std::env::var(RUN_DEADLINE_ENV).is_err() {
+            assert_eq!(run_deadline_from_env().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn typed_outcomes_render_their_cause() {
+        let aborted = RunAborted {
+            label: "run".to_string(),
+            deadline_s: 12.5,
+            hint: "RunConfig::deadline or EMCA_RUN_DEADLINE_S",
+        };
+        let shown = aborted.to_string();
+        assert!(shown.contains("deadline"));
+        assert!(shown.contains("12.50s"));
+        assert!(shown.contains("EMCA_RUN_DEADLINE_S"));
     }
 }
