@@ -78,6 +78,8 @@ flags (override the EMCA_* environment fallbacks):
   --faults panic:worker=<n>@<t>,stall:worker=<n>@<t>:dur=<d>,badquery:rate=<p>
                                      deterministic fault plan (chaos_* scenarios,
                                      or any run; unset = fault plane inert)
+  --churn <n>[:resident=<r>][:skew=<s>][:spread=<secs>]
+                                     generated churn population (mt_churn/mt_zipf)
   --prune-unsupported                drop (with a note) spec keys the scenario
                                      does not honour instead of erroring";
 
@@ -152,6 +154,7 @@ fn parse_flags(spec: &mut ExperimentSpec, args: &[String]) -> Vec<String> {
             "--admission" => "admission",
             "--sla-ms" => "sla_ms",
             "--faults" => "faults",
+            "--churn" => "churn",
             "--check" => {
                 spec.check = true;
                 continue;

@@ -21,8 +21,10 @@ pub mod fig19;
 pub mod fig20;
 pub mod mt;
 pub mod mt_burst;
+pub mod mt_churn;
 pub mod mt_fairshare;
 pub mod mt_interference;
+pub mod mt_zipf;
 pub mod probe;
 pub mod serve;
 pub mod serve_latency_curve;
@@ -87,6 +89,9 @@ const KEYS_PHASES: &[&str] = &[
 const KEYS_ABLATION: &[&str] = &["sf", "users", "iters", "policy", "backend"];
 /// Multi-tenant scenarios: tenant overrides instead of a policy slot.
 const KEYS_MT: &[&str] = &["sf", "users", "iters", "flavor", "tenants", "backend"];
+/// Churn scenarios: a generated tenant population (`churn=`) instead of
+/// named tenant overrides.
+const KEYS_CHURN: &[&str] = &["sf", "users", "iters", "flavor", "churn", "backend"];
 /// Chaos scenarios: the sweep knobs plus a fault plan.
 const KEYS_CHAOS: &[&str] = &[
     "sf",
@@ -106,7 +111,7 @@ const KEYS_NONE: &[&str] = &[];
 /// multi-tenant (`mt_*`) workloads and the serving layer (`serve_*`).
 pub fn registry() -> ScenarioRegistry {
     let mut r = ScenarioRegistry::new();
-    let items: [FnScenario; 24] = [
+    let items: [FnScenario; 26] = [
         FnScenario {
             name: "fig04",
             about: "Fig. 4 — Q6 vs concurrent clients (hand-coded C affinities vs OS/MonetDB)",
@@ -211,6 +216,20 @@ pub fn registry() -> ScenarioRegistry {
             schemas: mt_burst::SCHEMAS,
             run: mt_burst::run,
             keys: KEYS_MT,
+        },
+        FnScenario {
+            name: "mt_churn",
+            about: "Serverless churn at 64+ tenants — adaptive arbitration vs static partitioning",
+            schemas: mt_churn::SCHEMAS,
+            run: mt_churn::run,
+            keys: KEYS_CHURN,
+        },
+        FnScenario {
+            name: "mt_zipf",
+            about: "Zipf demand-skew sweep under churn — core split vs demand distribution",
+            schemas: mt_zipf::SCHEMAS,
+            run: mt_zipf::run,
+            keys: KEYS_CHURN,
         },
         FnScenario {
             name: "tab_summary",

@@ -6,19 +6,102 @@
 //! here; precise distributions in `cargo bench petrinet_step`), and
 //! (b) the actuation latencies the simulation charges, which are set
 //! from the paper's measurements.
+//!
+//! A second table measures the multi-tenant arbitration cost per
+//! control tick at serverless tenant counts: the indexed
+//! [`TenantArbiter`] against the retained O(tenants × cores)
+//! [`reference`](elastic_core::tenant::reference) scan, churning 256
+//! tenants through a 64-core arbiter at several resident-set sizes.
+//! One "tick" is the arbitration work one tenant's control step costs:
+//! a demand note, a claim attempt and a yield check.
 
 use super::ScenarioResult;
 use crate::emit;
+use elastic_core::tenant::reference::ReferenceArbiter;
+use elastic_core::{ArbiterMode, TenantArbiter};
 use emca_harness::ExperimentSpec;
 use emca_metrics::table::{fnum, Table};
+use numa_sim::CoreId;
 use prt_petrinet::{ElasticNet, Thresholds};
 use std::time::Instant;
 
 /// Declared CSV outputs.
-pub const SCHEMAS: &[(&str, &str)] = &[(
-    "tab_overhead.csv",
-    "mode,paper_token_flow_s,simulated_actuation_s,our_prt_step_us",
-)];
+pub const SCHEMAS: &[(&str, &str)] = &[
+    (
+        "tab_overhead.csv",
+        "mode,paper_token_flow_s,simulated_actuation_s,our_prt_step_us",
+    ),
+    (
+        "tab_arbiter.csv",
+        "resident,churned,ticks,indexed_ns_per_tick,reference_ns_per_tick,speedup",
+    ),
+];
+
+/// Cores of the benchmarked arbiter (the mask maximum).
+const ARB_CORES: u32 = 64;
+/// Tenants churned through the arbiter per measurement.
+const ARB_CHURNED: u32 = 256;
+/// Control rounds per resident set between churn steps.
+const ARB_ROUNDS: usize = 8;
+
+/// Drives one arbiter implementation through an identical churn +
+/// control-tick schedule, returning (ticks, elapsed ns). Works for both
+/// implementations via the macro below — their mutating surfaces are
+/// name-identical but share no trait.
+macro_rules! drive_arbiter {
+    ($arb:expr, $resident:expr) => {{
+        let mut arb = $arb;
+        let resident: u32 = $resident;
+        let mut active: std::collections::VecDeque<elastic_core::TenantId> =
+            std::collections::VecDeque::new();
+        let mut registered = 0u32;
+        let mut ticks = 0u64;
+        let start = Instant::now();
+        while registered < ARB_CHURNED || !active.is_empty() {
+            // Admit up to the resident cap.
+            while registered < ARB_CHURNED && (active.len() as u32) < resident {
+                let t = arb.register(format!("t{registered}"), 1 + registered % 4, None);
+                // Seed with a free core when one exists; a coreless
+                // tenant is legal and claims via try_claim below.
+                let free = (0..ARB_CORES as u16)
+                    .map(CoreId)
+                    .find(|&c| !arb.foreign_mask(t).contains(c));
+                if let Some(c) = free {
+                    arb.claim_initial(t, c);
+                }
+                active.push_back(t);
+                registered += 1;
+            }
+            // Control rounds: each resident tenant notes demand, tries
+            // a claim, and answers a yield check — one arbitration tick.
+            for _ in 0..ARB_ROUNDS {
+                for &t in &active {
+                    arb.note(t, true);
+                    let candidate = (0..ARB_CORES as u16)
+                        .map(CoreId)
+                        .find(|&c| !arb.owned(t).contains(c) && !arb.foreign_mask(t).contains(c));
+                    if let Some(c) = candidate {
+                        if !arb.try_claim(t, c) {
+                            arb.denials += 1;
+                        }
+                    }
+                    if arb.must_yield(t) {
+                        if let Some(v) = arb.owned(t).iter().last() {
+                            arb.release(t, v);
+                            arb.yields += 1;
+                        }
+                    }
+                    ticks += 1;
+                }
+            }
+            // Depart the oldest resident, freeing its slot and cores.
+            if let Some(t) = active.pop_front() {
+                arb.deregister(t);
+            }
+        }
+        (ticks, start.elapsed().as_nanos() as u64)
+    }};
+}
 
 /// Runs the scenario.
 pub fn run(spec: &ExperimentSpec) -> ScenarioResult {
@@ -60,5 +143,47 @@ pub fn run(spec: &ExperimentSpec) -> ScenarioResult {
          of host time per control interval (50 ms), i.e. {:.4}% of one core.",
         per_step_us / 50_000.0 * 100.0
     );
+
+    let mut t2 = Table::new(
+        "tab_arbiter — indexed vs reference arbitration cost per tick",
+        &[
+            "resident",
+            "churned",
+            "ticks",
+            "indexed_ns_per_tick",
+            "reference_ns_per_tick",
+            "speedup",
+        ],
+    );
+    for resident in [8u32, 16, 64] {
+        let (ticks_i, ns_i) = drive_arbiter!(
+            TenantArbiter::new(ArbiterMode::FairShare, ARB_CORES),
+            resident
+        );
+        let (ticks_r, ns_r) = drive_arbiter!(
+            ReferenceArbiter::new(ArbiterMode::FairShare, ARB_CORES),
+            resident
+        );
+        assert_eq!(
+            ticks_i, ticks_r,
+            "both implementations must execute the same churn schedule"
+        );
+        let per_i = ns_i as f64 / ticks_i.max(1) as f64;
+        let per_r = ns_r as f64 / ticks_r.max(1) as f64;
+        t2.row(vec![
+            resident.to_string(),
+            ARB_CHURNED.to_string(),
+            ticks_i.to_string(),
+            fnum(per_i, 1),
+            fnum(per_r, 1),
+            fnum(per_r / per_i.max(1e-9), 2),
+        ]);
+        println!(
+            "arbiter resident={resident}: indexed {per_i:.0} ns/tick, \
+             reference {per_r:.0} ns/tick ({:.1}x)",
+            per_r / per_i.max(1e-9)
+        );
+    }
+    emit(spec, &t2, "tab_arbiter.csv");
     Ok(())
 }

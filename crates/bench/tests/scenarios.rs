@@ -13,7 +13,7 @@ use std::path::PathBuf;
 /// Every name reachable through `emca run <name>`: the retired
 /// one-binary-per-figure entry points plus the `mt_*` and `serve_*`
 /// scenarios.
-const EXPECTED: [&str; 24] = [
+const EXPECTED: [&str; 26] = [
     "ablation",
     "chaos_recovery",
     "chaos_serve",
@@ -31,8 +31,10 @@ const EXPECTED: [&str; 24] = [
     "fig19",
     "fig20",
     "mt_burst",
+    "mt_churn",
     "mt_fairshare",
     "mt_interference",
+    "mt_zipf",
     "probe",
     "serve_latency_curve",
     "serve_overload",
@@ -52,9 +54,9 @@ fn registry_lists_all_former_binaries() {
 #[test]
 fn registry_declares_the_full_results_schema_set() {
     // The committed results/ dir carries one CSV per declared schema;
-    // 31 files across the 22 CSV-writing scenarios (probe and csv_check
+    // 34 files across the 24 CSV-writing scenarios (probe and csv_check
     // only print).
-    assert_eq!(scenarios::declared_csv_count(), 31);
+    assert_eq!(scenarios::declared_csv_count(), 34);
     let registry = scenarios::registry();
     let mut seen = std::collections::BTreeSet::new();
     for s in registry.iter() {

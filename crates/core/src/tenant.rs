@@ -14,6 +14,36 @@
 //! its guarantee) forces over-share tenants to yield cores back through
 //! their normal release path.
 //!
+//! # Index structures
+//!
+//! At serverless tenant counts (64–256 over a run's lifetime, with
+//! churn) the original per-decision scans — fold every tenant's mask for
+//! `foreign_mask`, sum every mask for `free_cores`, walk every streak
+//! for `someone_starved`, sort every call for the priority ladder — put
+//! O(tenants × cores) on the control tick. [`TenantArbiter`] instead
+//! maintains:
+//!
+//! - an **ownership index** `owner[core] → tenant slot`, making the
+//!   foreign test per core O(1) and `foreign_mask` a single mask
+//!   subtraction from the aggregate `all_owned`;
+//! - a **free-core count** derived from `all_owned` (O(1));
+//! - a cached **active weight total**, making the fair-share guarantee
+//!   O(1);
+//! - an incremental **starved-tenant counter**, making the yield
+//!   predicate O(1);
+//! - a maintained **priority order** (active slots sorted by descending
+//!   weight) plus a per-tick guarantee cache, so priority-mode
+//!   guarantees cost one O(active) pass instead of a sort per query.
+//!
+//! Tenants arrive and depart ([`TenantArbiter::register`] /
+//! [`TenantArbiter::deregister`]): slots are a slab, reused
+//! lowest-index-first, and the *resident* set (active tenants) is capped
+//! at the machine width so every resident keeps its one-core floor. The
+//! original scan-based arbiter survives verbatim as
+//! [`reference::ReferenceArbiter`]; the property suite in
+//! `tests/arbiter_equivalence.rs` drives both with identical traces and
+//! demands identical decisions.
+//!
 //! ```
 //! use elastic_core::tenant::{ArbiterMode, TenantArbiter};
 //! use numa_sim::CoreId;
@@ -25,24 +55,31 @@
 //! assert!(arb.try_claim(a, CoreId(0)));
 //! assert!(!arb.try_claim(b, CoreId(0)), "core 0 is taken");
 //! assert!(arb.foreign_mask(b).contains(CoreId(0)));
+//! let freed = arb.deregister(a); // departure reclaims the cores
+//! assert!(freed.contains(CoreId(0)));
+//! assert!(arb.try_claim(b, CoreId(0)), "reclaimed core is claimable");
 //! ```
 
 use numa_sim::CoreId;
 use os_sim::CoreMask;
 use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::rc::Rc;
 
 /// Control steps a growth demand stays "live" for starvation tracking.
-const DEMAND_TTL: u32 = 8;
+pub const DEMAND_TTL: u32 = 8;
 /// Consecutive starved steps before over-share tenants must yield.
-const STARVE_AFTER: u32 = 2;
+pub const STARVE_AFTER: u32 = 2;
 
-/// Identifies one registered tenant.
+/// Identifies one registered tenant (a slot in the arbiter's slab —
+/// reused after [`TenantArbiter::deregister`], so holders must drop the
+/// id when the tenant departs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TenantId(pub u32);
 
 impl TenantId {
-    /// The tenant's index into the arbiter's registration order.
+    /// The tenant's slot index in the arbiter's slab.
     pub fn idx(self) -> usize {
         self.0 as usize
     }
@@ -106,7 +143,7 @@ impl TryFrom<&str> for ArbiterMode {
     }
 }
 
-/// Per-tenant arbitration state.
+/// Per-tenant arbitration state (one slab slot).
 #[derive(Clone, Debug)]
 struct TenantState {
     name: String,
@@ -122,15 +159,35 @@ struct TenantState {
     demand_ttl: u32,
     /// Consecutive steps spent demanding while below the guarantee.
     starved_streak: u32,
+    /// False once the tenant has departed (slot awaits reuse).
+    active: bool,
 }
 
 /// Resolves core contention between tenant mechanisms. See the
-/// [module docs](self) for the arbitration rules.
+/// [module docs](self) for the arbitration rules and index structures.
 #[derive(Clone, Debug)]
 pub struct TenantArbiter {
     mode: ArbiterMode,
     ntotal: u32,
     tenants: Vec<TenantState>,
+    /// Ownership index: `owner[core] = Some(slot)` iff some tenant owns
+    /// the core. Sized at the mask width so any claimable core id maps.
+    owner: Vec<Option<u32>>,
+    /// Union of every tenant's `owned` mask (`foreign_mask` = this minus
+    /// the tenant's own mask; `free_cores` = `ntotal` minus its count).
+    all_owned: CoreMask,
+    /// Σ weight over *active* tenants (fair-share denominator).
+    total_weight: u64,
+    /// Number of active (resident) tenants.
+    n_active: u32,
+    /// Active tenants with `starved_streak >= STARVE_AFTER`.
+    starved_now: u32,
+    /// Inactive slots, reused lowest-index-first.
+    free_slots: BinaryHeap<Reverse<u32>>,
+    /// Active slots by `(descending weight, slot)` — the priority ladder.
+    prio_order: Vec<u32>,
+    /// Priority-mode guarantees, cached until the next state mutation.
+    prio_cache: RefCell<Option<Vec<u32>>>,
     /// Growth attempts denied (ceiling or contention).
     pub denials: u64,
     /// Forced releases of over-share tenants toward a starved one.
@@ -141,6 +198,10 @@ pub struct TenantArbiter {
 /// (the stack is single-threaded, like the rest of the simulator).
 pub type SharedArbiter = Rc<RefCell<TenantArbiter>>;
 
+/// Width of the ownership index: [`CoreMask`] caps machines at 64
+/// cores, so every claimable core id fits.
+const OWNER_SLOTS: usize = 64;
+
 impl TenantArbiter {
     /// An arbiter for a machine of `ntotal` cores.
     pub fn new(mode: ArbiterMode, ntotal: u32) -> Self {
@@ -149,6 +210,14 @@ impl TenantArbiter {
             mode,
             ntotal,
             tenants: Vec::new(),
+            owner: vec![None; OWNER_SLOTS],
+            all_owned: CoreMask::EMPTY,
+            total_weight: 0,
+            n_active: 0,
+            starved_now: 0,
+            free_slots: BinaryHeap::new(),
+            prio_order: Vec::new(),
+            prio_cache: RefCell::new(None),
             denials: 0,
             yields: 0,
         }
@@ -161,7 +230,9 @@ impl TenantArbiter {
 
     /// Registers a tenant; `weight` is its fair-share weight (or
     /// priority rank), `budget` its hard core ceiling under
-    /// [`ArbiterMode::BudgetCapped`].
+    /// [`ArbiterMode::BudgetCapped`]. The resident set is capped at the
+    /// machine width (every resident keeps a one-core floor); departed
+    /// tenants' slots are reused lowest-index-first.
     pub fn register(
         &mut self,
         name: impl Into<String>,
@@ -169,23 +240,80 @@ impl TenantArbiter {
         budget: Option<u32>,
     ) -> TenantId {
         assert!(weight >= 1, "weight must be positive");
-        assert!(
-            self.tenants.len() < self.ntotal as usize,
-            "more tenants than cores"
-        );
-        self.tenants.push(TenantState {
+        assert!(self.n_active < self.ntotal, "more tenants than cores");
+        let state = TenantState {
             name: name.into(),
             weight,
             budget,
             owned: CoreMask::EMPTY,
             demand_ttl: 0,
             starved_streak: 0,
-        });
-        TenantId(self.tenants.len() as u32 - 1)
+            active: true,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(Reverse(s)) => {
+                self.tenants[s as usize] = state;
+                s
+            }
+            None => {
+                self.tenants.push(state);
+                self.tenants.len() as u32 - 1
+            }
+        };
+        self.total_weight += weight as u64;
+        self.n_active += 1;
+        self.prio_insert(slot);
+        self.invalidate();
+        TenantId(slot)
     }
 
-    /// Number of registered tenants.
+    /// Departs a tenant: its cores return to the free pool (for the
+    /// caller to redistribute), its slot becomes reusable, and it stops
+    /// counting toward guarantees and starvation. Returns the reclaimed
+    /// mask.
+    pub fn deregister(&mut self, t: TenantId) -> CoreMask {
+        let slot = t.idx();
+        assert!(
+            self.tenants.get(slot).is_some_and(|s| s.active),
+            "deregistering an unknown or departed tenant"
+        );
+        let s = &mut self.tenants[slot];
+        let released = s.owned;
+        let weight = s.weight;
+        let was_starved = s.starved_streak >= STARVE_AFTER;
+        s.owned = CoreMask::EMPTY;
+        s.demand_ttl = 0;
+        s.starved_streak = 0;
+        s.active = false;
+        for core in released.iter() {
+            if let Some(o) = self.owner.get_mut(core.idx()) {
+                *o = None;
+            }
+        }
+        self.all_owned = self.all_owned.minus(released);
+        self.total_weight = self.total_weight.saturating_sub(weight as u64);
+        self.n_active = self.n_active.saturating_sub(1);
+        if was_starved {
+            self.starved_now = self.starved_now.saturating_sub(1);
+        }
+        self.prio_order.retain(|&p| p != slot as u32);
+        self.free_slots.push(Reverse(slot as u32));
+        self.invalidate();
+        released
+    }
+
+    /// Whether the tenant is currently registered (has not departed).
+    pub fn is_active(&self, t: TenantId) -> bool {
+        self.tenants.get(t.idx()).is_some_and(|s| s.active)
+    }
+
+    /// Number of resident (active) tenants.
     pub fn n_tenants(&self) -> usize {
+        self.n_active as usize
+    }
+
+    /// Total slab slots ever allocated (active + reusable).
+    pub fn n_slots(&self) -> usize {
         self.tenants.len()
     }
 
@@ -206,23 +334,15 @@ impl TenantArbiter {
 
     /// Cores owned by *other* tenants — the mask a tenant's placement
     /// policy must treat as unavailable
-    /// ([`ModeCtx::barred`](crate::ModeCtx::barred)).
+    /// ([`ModeCtx::barred`](crate::ModeCtx::barred)). One mask
+    /// subtraction from the aggregate ownership index.
     pub fn foreign_mask(&self, t: TenantId) -> CoreMask {
-        self.tenants
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != t.idx())
-            .fold(CoreMask::EMPTY, |acc, (_, s)| acc.or(s.owned))
+        self.all_owned.minus(self.tenants[t.idx()].owned)
     }
 
     /// Cores owned by nobody.
     pub fn free_cores(&self) -> u32 {
-        let owned: usize = self.tenants.iter().map(|s| s.owned.count()).sum();
-        self.ntotal.saturating_sub(owned as u32)
-    }
-
-    fn demanding(&self, i: usize) -> bool {
-        self.tenants[i].demand_ttl > 0
+        self.ntotal.saturating_sub(self.all_owned.count() as u32)
     }
 
     /// The tenant's guaranteed core count under the current mode and
@@ -232,7 +352,7 @@ impl TenantArbiter {
         match self.mode {
             ArbiterMode::FairShare => self.fair_share(t.idx()),
             ArbiterMode::BudgetCapped => self.fair_share(t.idx()).min(self.ceiling(t)),
-            ArbiterMode::Priority => self.priority_guarantees()[t.idx()],
+            ArbiterMode::Priority => self.priority_guarantee_of(t.idx()),
         }
     }
 
@@ -247,43 +367,56 @@ impl TenantArbiter {
         }
     }
 
-    /// `ntotal · wᵢ / Σw`, floored, at least one core.
+    /// `ntotal · wᵢ / Σw` over *active* weights, floored, at least one
+    /// core — O(1) via the cached weight total.
     fn fair_share(&self, i: usize) -> u32 {
-        let total: u64 = self.tenants.iter().map(|s| s.weight as u64).sum();
-        fair_guarantee(self.ntotal, self.tenants[i].weight, total)
+        fair_guarantee(self.ntotal, self.tenants[i].weight, self.total_weight)
     }
 
-    /// Priority-mode guarantees: tenants keep a one-core floor; the
-    /// remaining cores go to tenants in priority order — a *demanding*
-    /// tenant soaks up everything still available, a quiet one is
-    /// guaranteed only what it already owns.
-    fn priority_guarantees(&self) -> Vec<u32> {
-        let n = self.tenants.len();
-        let mut order: Vec<usize> = (0..n).collect();
-        // Higher weight first; ties broken by registration order.
-        order.sort_by_key(|&i| (std::cmp::Reverse(self.tenants[i].weight), i));
-        let mut remaining = self.ntotal.saturating_sub(n as u32);
-        let mut g = vec![1u32; n];
-        for &i in &order {
-            let owned = self.tenants[i].owned.count() as u32;
-            let want = if self.demanding(i) {
+    /// Priority-mode guarantee for one slot, from the per-tick cache
+    /// (computed by one pass over the maintained priority ladder).
+    fn priority_guarantee_of(&self, slot: usize) -> u32 {
+        {
+            let cached = self.prio_cache.borrow();
+            if let Some(g) = cached.as_ref() {
+                return g.get(slot).copied().unwrap_or(1);
+            }
+        }
+        let g = self.compute_priority_guarantees();
+        let out = g.get(slot).copied().unwrap_or(1);
+        *self.prio_cache.borrow_mut() = Some(g);
+        out
+    }
+
+    /// Priority-mode guarantees: active tenants keep a one-core floor;
+    /// the remaining cores go to tenants in priority order — a
+    /// *demanding* tenant soaks up everything still available, a quiet
+    /// one is guaranteed only what it already owns.
+    fn compute_priority_guarantees(&self) -> Vec<u32> {
+        let mut g = vec![1u32; self.tenants.len()];
+        let mut remaining = self.ntotal.saturating_sub(self.n_active);
+        for &slot in &self.prio_order {
+            let s = &self.tenants[slot as usize];
+            let owned = s.owned.count() as u32;
+            let want = if s.demand_ttl > 0 {
                 remaining
             } else {
                 owned.saturating_sub(1).min(remaining)
             };
-            g[i] = 1 + want;
+            g[slot as usize] = 1 + want;
             remaining -= want;
         }
         g
     }
 
     /// Whether any *other* tenant has been starved long enough to force
-    /// over-share tenants to yield.
+    /// over-share tenants to yield — O(1) via the incremental counter.
     fn someone_starved(&self, except: usize) -> bool {
-        self.tenants
-            .iter()
-            .enumerate()
-            .any(|(i, s)| i != except && s.starved_streak >= STARVE_AFTER)
+        let self_counted = self
+            .tenants
+            .get(except)
+            .is_some_and(|s| s.active && s.starved_streak >= STARVE_AFTER);
+        self.starved_now > u32::from(self_counted)
     }
 
     /// Per-control-step bookkeeping, fed by the tenant's mechanism:
@@ -299,11 +432,19 @@ impl TenantArbiter {
             s.demand_ttl = s.demand_ttl.saturating_sub(1);
         }
         let starved = s.demand_ttl > 0 && (s.owned.count() as u32) < guarantee;
+        let was_counted = s.starved_streak >= STARVE_AFTER;
         if starved {
             s.starved_streak += 1;
         } else {
             s.starved_streak = 0;
         }
+        let now_counted = s.starved_streak >= STARVE_AFTER;
+        match (was_counted, now_counted) {
+            (false, true) => self.starved_now += 1,
+            (true, false) => self.starved_now = self.starved_now.saturating_sub(1),
+            _ => {}
+        }
+        self.invalidate();
     }
 
     /// Claims `core` for the tenant. Fails (and counts a denial) when the
@@ -311,7 +452,13 @@ impl TenantArbiter {
     /// tenant's ceiling, or it would grow past the guarantee while
     /// another tenant is starved.
     pub fn try_claim(&mut self, t: TenantId, core: CoreId) -> bool {
-        if self.foreign_mask(t).contains(core) {
+        let foreign = self
+            .owner
+            .get(core.idx())
+            .copied()
+            .flatten()
+            .is_some_and(|o| o != t.0);
+        if foreign {
             self.denials += 1;
             return false;
         }
@@ -324,7 +471,7 @@ impl TenantArbiter {
             self.denials += 1;
             return false;
         }
-        self.tenants[t.idx()].owned.insert(core);
+        self.grant(t, core);
         true
     }
 
@@ -336,12 +483,28 @@ impl TenantArbiter {
             !self.foreign_mask(t).contains(core),
             "initial core {core:?} already owned by another tenant"
         );
+        self.grant(t, core);
+    }
+
+    /// Records ownership in both the per-tenant mask and the indexes.
+    fn grant(&mut self, t: TenantId, core: CoreId) {
         self.tenants[t.idx()].owned.insert(core);
+        self.all_owned.insert(core);
+        if let Some(o) = self.owner.get_mut(core.idx()) {
+            *o = Some(t.0);
+        }
+        self.invalidate();
     }
 
     /// Returns `core` to the free pool.
     pub fn release(&mut self, t: TenantId, core: CoreId) {
-        self.tenants[t.idx()].owned.remove(core);
+        if self.tenants[t.idx()].owned.remove(core) {
+            self.all_owned.remove(core);
+            if let Some(o) = self.owner.get_mut(core.idx()) {
+                *o = None;
+            }
+        }
+        self.invalidate();
     }
 
     /// Whether the tenant must shed a core this step: it sits above its
@@ -355,6 +518,74 @@ impl TenantArbiter {
         }
         let over = self.tenants[t.idx()].owned.count() as u32 > self.guarantee(t);
         over && self.someone_starved(t.idx())
+    }
+
+    /// Drops the priority-guarantee cache (any state mutation).
+    fn invalidate(&mut self) {
+        *self.prio_cache.borrow_mut() = None;
+    }
+
+    /// Inserts an active slot into the priority ladder at its
+    /// `(descending weight, slot)` position.
+    fn prio_insert(&mut self, slot: u32) {
+        let key = (Reverse(self.tenants[slot as usize].weight), slot);
+        let pos = self
+            .prio_order
+            .partition_point(|&s| (Reverse(self.tenants[s as usize].weight), s) < key);
+        self.prio_order.insert(pos, slot);
+    }
+
+    /// Cross-checks every index against a full scan of the slab.
+    /// Test/diagnostic aid for the equivalence suite; panics (asserts)
+    /// on any divergence.
+    #[doc(hidden)]
+    pub fn check_index_invariants(&self) {
+        let mut scan_all = CoreMask::EMPTY;
+        let mut scan_weight = 0u64;
+        let mut scan_active = 0u32;
+        let mut scan_starved = 0u32;
+        for (i, s) in self.tenants.iter().enumerate() {
+            if !s.active {
+                assert!(s.owned.is_empty(), "departed slot {i} still owns cores");
+                continue;
+            }
+            scan_active += 1;
+            scan_weight += s.weight as u64;
+            if s.starved_streak >= STARVE_AFTER {
+                scan_starved += 1;
+            }
+            assert!(
+                scan_all.and(s.owned).is_empty(),
+                "slot {i} overlaps another tenant's cores"
+            );
+            scan_all = scan_all.or(s.owned);
+            for core in s.owned.iter() {
+                assert!(
+                    self.owner.get(core.idx()).copied().flatten() == Some(i as u32),
+                    "owner index disagrees on core {core:?}"
+                );
+            }
+        }
+        assert!(scan_all == self.all_owned, "aggregate ownership mask stale");
+        assert!(scan_weight == self.total_weight, "weight total stale");
+        assert!(scan_active == self.n_active, "active count stale");
+        assert!(scan_starved == self.starved_now, "starved counter stale");
+        for (c, o) in self.owner.iter().enumerate() {
+            if let Some(slot) = o {
+                let owned = self
+                    .tenants
+                    .get(*slot as usize)
+                    .is_some_and(|s| s.active && s.owned.contains(CoreId(c as u16)));
+                assert!(owned, "owner index has a dangling entry for core {c}");
+            }
+        }
+        let mut sorted = self.prio_order.clone();
+        sorted.sort_by_key(|&s| (Reverse(self.tenants[s as usize].weight), s));
+        assert!(sorted == self.prio_order, "priority ladder out of order");
+        assert!(
+            self.prio_order.len() == self.n_active as usize,
+            "priority ladder misses active tenants"
+        );
     }
 }
 
@@ -393,6 +624,267 @@ impl std::fmt::Debug for TenantBinding {
     }
 }
 
+pub mod reference {
+    //! The original O(tenants × cores) scan-based arbiter, retained
+    //! verbatim (plus churn: `active` flags and lowest-slot reuse, the
+    //! same slab policy as the indexed arbiter) as the oracle for the
+    //! decision-equivalence property suite. Every decision method scans
+    //! the full slab; none of the indexes exist here.
+
+    use super::{fair_guarantee, ArbiterMode, TenantId, DEMAND_TTL, STARVE_AFTER};
+    use numa_sim::CoreId;
+    use os_sim::CoreMask;
+    use std::cmp::Reverse;
+
+    #[derive(Clone, Debug)]
+    struct RefTenantState {
+        name: String,
+        weight: u32,
+        budget: Option<u32>,
+        owned: CoreMask,
+        demand_ttl: u32,
+        starved_streak: u32,
+        active: bool,
+    }
+
+    /// Scan-based arbiter with the exact decision rules of
+    /// [`TenantArbiter`](super::TenantArbiter) — the equivalence
+    /// oracle.
+    #[derive(Clone, Debug)]
+    pub struct ReferenceArbiter {
+        mode: ArbiterMode,
+        ntotal: u32,
+        tenants: Vec<RefTenantState>,
+        /// Growth attempts denied (ceiling or contention).
+        pub denials: u64,
+        /// Forced releases of over-share tenants toward a starved one.
+        pub yields: u64,
+    }
+
+    impl ReferenceArbiter {
+        /// An arbiter for a machine of `ntotal` cores.
+        pub fn new(mode: ArbiterMode, ntotal: u32) -> Self {
+            assert!(ntotal >= 1, "machine must have cores");
+            ReferenceArbiter {
+                mode,
+                ntotal,
+                tenants: Vec::new(),
+                denials: 0,
+                yields: 0,
+            }
+        }
+
+        /// Registers a tenant into the lowest inactive slot (or a fresh
+        /// one) — the same slab policy as the indexed arbiter.
+        pub fn register(
+            &mut self,
+            name: impl Into<String>,
+            weight: u32,
+            budget: Option<u32>,
+        ) -> TenantId {
+            assert!(weight >= 1, "weight must be positive");
+            let n_active = self.tenants.iter().filter(|s| s.active).count() as u32;
+            assert!(n_active < self.ntotal, "more tenants than cores");
+            let state = RefTenantState {
+                name: name.into(),
+                weight,
+                budget,
+                owned: CoreMask::EMPTY,
+                demand_ttl: 0,
+                starved_streak: 0,
+                active: true,
+            };
+            let slot = match self.tenants.iter().position(|s| !s.active) {
+                Some(s) => {
+                    self.tenants[s] = state;
+                    s
+                }
+                None => {
+                    self.tenants.push(state);
+                    self.tenants.len() - 1
+                }
+            };
+            TenantId(slot as u32)
+        }
+
+        /// Departs a tenant; returns the reclaimed mask.
+        pub fn deregister(&mut self, t: TenantId) -> CoreMask {
+            let s = &mut self.tenants[t.idx()];
+            assert!(s.active, "deregistering an unknown or departed tenant");
+            let released = s.owned;
+            s.owned = CoreMask::EMPTY;
+            s.demand_ttl = 0;
+            s.starved_streak = 0;
+            s.active = false;
+            released
+        }
+
+        /// Whether the tenant is currently registered.
+        pub fn is_active(&self, t: TenantId) -> bool {
+            self.tenants.get(t.idx()).is_some_and(|s| s.active)
+        }
+
+        /// Number of resident (active) tenants — a full scan.
+        pub fn n_tenants(&self) -> usize {
+            self.tenants.iter().filter(|s| s.active).count()
+        }
+
+        /// The tenant's registered name.
+        pub fn name(&self, t: TenantId) -> &str {
+            &self.tenants[t.idx()].name
+        }
+
+        /// Cores the tenant currently owns.
+        pub fn owned(&self, t: TenantId) -> CoreMask {
+            self.tenants[t.idx()].owned
+        }
+
+        /// Cores owned by *other* tenants — a fold over the slab.
+        pub fn foreign_mask(&self, t: TenantId) -> CoreMask {
+            self.tenants
+                .iter()
+                .enumerate()
+                .filter(|&(i, s)| i != t.idx() && s.active)
+                .fold(CoreMask::EMPTY, |acc, (_, s)| acc.or(s.owned))
+        }
+
+        /// Cores owned by nobody — a sum over the slab.
+        pub fn free_cores(&self) -> u32 {
+            let owned: usize = self
+                .tenants
+                .iter()
+                .filter(|s| s.active)
+                .map(|s| s.owned.count())
+                .sum();
+            self.ntotal.saturating_sub(owned as u32)
+        }
+
+        fn demanding(&self, i: usize) -> bool {
+            self.tenants[i].demand_ttl > 0
+        }
+
+        /// The tenant's guaranteed core count.
+        pub fn guarantee(&self, t: TenantId) -> u32 {
+            match self.mode {
+                ArbiterMode::FairShare => self.fair_share(t.idx()),
+                ArbiterMode::BudgetCapped => self.fair_share(t.idx()).min(self.ceiling(t)),
+                ArbiterMode::Priority => self.priority_guarantees()[t.idx()],
+            }
+        }
+
+        /// The hard core ceiling the tenant may never grow past.
+        pub fn ceiling(&self, t: TenantId) -> u32 {
+            match self.mode {
+                ArbiterMode::BudgetCapped => self.tenants[t.idx()]
+                    .budget
+                    .unwrap_or(self.ntotal)
+                    .clamp(1, self.ntotal),
+                ArbiterMode::Priority | ArbiterMode::FairShare => self.ntotal,
+            }
+        }
+
+        /// `ntotal · wᵢ / Σw`, summing the weights on every call.
+        fn fair_share(&self, i: usize) -> u32 {
+            let total: u64 = self
+                .tenants
+                .iter()
+                .filter(|s| s.active)
+                .map(|s| s.weight as u64)
+                .sum();
+            fair_guarantee(self.ntotal, self.tenants[i].weight, total)
+        }
+
+        /// Priority-mode guarantees, sorting the slab on every call.
+        fn priority_guarantees(&self) -> Vec<u32> {
+            let mut order: Vec<usize> = (0..self.tenants.len())
+                .filter(|&i| self.tenants[i].active)
+                .collect();
+            order.sort_by_key(|&i| (Reverse(self.tenants[i].weight), i));
+            let mut remaining = self.ntotal.saturating_sub(order.len() as u32);
+            let mut g = vec![1u32; self.tenants.len()];
+            for &i in &order {
+                let owned = self.tenants[i].owned.count() as u32;
+                let want = if self.demanding(i) {
+                    remaining
+                } else {
+                    owned.saturating_sub(1).min(remaining)
+                };
+                g[i] = 1 + want;
+                remaining -= want;
+            }
+            g
+        }
+
+        /// Whether any *other* tenant is starved — a scan.
+        fn someone_starved(&self, except: usize) -> bool {
+            self.tenants
+                .iter()
+                .enumerate()
+                .any(|(i, s)| i != except && s.active && s.starved_streak >= STARVE_AFTER)
+        }
+
+        /// Per-control-step bookkeeping (see
+        /// [`TenantArbiter::note`](super::TenantArbiter::note)).
+        pub fn note(&mut self, t: TenantId, wants_grow: bool) {
+            let guarantee = self.guarantee(t);
+            let s = &mut self.tenants[t.idx()];
+            if wants_grow {
+                s.demand_ttl = DEMAND_TTL;
+            } else {
+                s.demand_ttl = s.demand_ttl.saturating_sub(1);
+            }
+            let starved = s.demand_ttl > 0 && (s.owned.count() as u32) < guarantee;
+            if starved {
+                s.starved_streak += 1;
+            } else {
+                s.starved_streak = 0;
+            }
+        }
+
+        /// Claims `core`; same denial rules as the indexed arbiter.
+        pub fn try_claim(&mut self, t: TenantId, core: CoreId) -> bool {
+            if self.foreign_mask(t).contains(core) {
+                self.denials += 1;
+                return false;
+            }
+            let after = self.tenants[t.idx()].owned.count() as u32 + 1;
+            if after > self.ceiling(t) {
+                self.denials += 1;
+                return false;
+            }
+            if after > self.guarantee(t) && self.someone_starved(t.idx()) {
+                self.denials += 1;
+                return false;
+            }
+            self.tenants[t.idx()].owned.insert(core);
+            true
+        }
+
+        /// Install-time claim; panics if the core is already owned.
+        pub fn claim_initial(&mut self, t: TenantId, core: CoreId) {
+            assert!(
+                !self.foreign_mask(t).contains(core),
+                "initial core {core:?} already owned by another tenant"
+            );
+            self.tenants[t.idx()].owned.insert(core);
+        }
+
+        /// Returns `core` to the free pool.
+        pub fn release(&mut self, t: TenantId, core: CoreId) {
+            self.tenants[t.idx()].owned.remove(core);
+        }
+
+        /// Whether the tenant must shed a core this step.
+        pub fn must_yield(&self, t: TenantId) -> bool {
+            if self.free_cores() > 0 {
+                return false;
+            }
+            let over = self.tenants[t.idx()].owned.count() as u32 > self.guarantee(t);
+            over && self.someone_starved(t.idx())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +916,7 @@ mod tests {
         arb.release(a, CoreId(3));
         assert!(arb.try_claim(b, CoreId(3)), "released core is claimable");
         assert_eq!(arb.free_cores(), 15);
+        arb.check_index_invariants();
     }
 
     #[test]
@@ -542,5 +1035,109 @@ mod tests {
         let (mut arb, a, b) = two(ArbiterMode::FairShare);
         arb.claim_initial(a, CoreId(0));
         arb.claim_initial(b, CoreId(0));
+    }
+
+    #[test]
+    fn deregister_reclaims_cores_and_weight() {
+        let mut arb = TenantArbiter::new(ArbiterMode::FairShare, 16);
+        let a = arb.register("a", 3, None);
+        let b = arb.register("b", 1, None);
+        for c in 0..6 {
+            assert!(arb.try_claim(a, CoreId(c)));
+        }
+        assert_eq!(arb.guarantee(b), 4);
+        let freed = arb.deregister(a);
+        assert_eq!(freed.count(), 6);
+        assert!(!arb.is_active(a));
+        assert_eq!(arb.free_cores(), 16, "departed cores return to the pool");
+        assert_eq!(arb.guarantee(b), 16, "survivor inherits the whole machine");
+        assert!(arb.foreign_mask(b).is_empty());
+        for c in 0..6 {
+            assert!(arb.try_claim(b, CoreId(c)), "reclaimed core {c} claimable");
+        }
+        arb.check_index_invariants();
+    }
+
+    #[test]
+    fn slots_are_reused_lowest_first() {
+        let mut arb = TenantArbiter::new(ArbiterMode::FairShare, 16);
+        let a = arb.register("a", 1, None);
+        let b = arb.register("b", 1, None);
+        let c = arb.register("c", 1, None);
+        arb.deregister(b);
+        arb.deregister(a);
+        let d = arb.register("d", 1, None);
+        assert_eq!(d, a, "lowest departed slot is reused first");
+        let e = arb.register("e", 1, None);
+        assert_eq!(e, b);
+        let f = arb.register("f", 1, None);
+        assert_eq!(f.idx(), 3, "no free slot left: slab grows");
+        assert_eq!(arb.n_tenants(), 4);
+        assert_eq!(arb.n_slots(), 4);
+        assert_eq!(arb.name(c), "c");
+        arb.check_index_invariants();
+    }
+
+    #[test]
+    fn departed_tenant_stops_starving_peers() {
+        let (mut arb, a, b) = two(ArbiterMode::FairShare);
+        for c in 0..16 {
+            assert!(arb.try_claim(a, CoreId(c)));
+        }
+        arb.note(b, true);
+        arb.note(b, true);
+        assert!(arb.must_yield(a), "starved b forces the yield");
+        arb.deregister(b);
+        assert!(!arb.must_yield(a), "departed tenant no longer starves");
+        arb.check_index_invariants();
+    }
+
+    #[test]
+    fn resident_cap_counts_only_active_tenants() {
+        let mut arb = TenantArbiter::new(ArbiterMode::FairShare, 4);
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            ids.push(arb.register(format!("t{i}"), 1, None));
+        }
+        assert_eq!(arb.n_tenants(), 4, "resident set at machine width");
+        // Churn far past the machine width: depart one, admit one.
+        for round in 0..16 {
+            let gone = ids.remove(0);
+            arb.deregister(gone);
+            ids.push(arb.register(format!("n{round}"), 1, None));
+            arb.check_index_invariants();
+        }
+        assert_eq!(arb.n_tenants(), 4);
+        assert!(arb.n_slots() <= 5, "slab reuses slots instead of growing");
+    }
+
+    #[test]
+    #[should_panic(expected = "more tenants than cores")]
+    fn resident_cap_rejects_overflow() {
+        let mut arb = TenantArbiter::new(ArbiterMode::FairShare, 2);
+        arb.register("a", 1, None);
+        arb.register("b", 1, None);
+        arb.register("c", 1, None);
+    }
+
+    #[test]
+    fn priority_ladder_tracks_churn() {
+        let mut arb = TenantArbiter::new(ArbiterMode::Priority, 16);
+        let hi = arb.register("hi", 3, None);
+        let mid = arb.register("mid", 2, None);
+        let lo = arb.register("lo", 1, None);
+        arb.note(hi, true);
+        arb.note(mid, true);
+        arb.note(lo, true);
+        assert_eq!(arb.guarantee(hi), 14);
+        arb.deregister(hi);
+        // mid now leads the ladder; the departed slot is ignored.
+        assert_eq!(arb.guarantee(mid), 15);
+        assert_eq!(arb.guarantee(lo), 1);
+        let back = arb.register("back", 4, None);
+        assert_eq!(back, hi, "slot reuse");
+        arb.note(back, true);
+        assert_eq!(arb.guarantee(back), 14, "new heaviest leads again");
+        arb.check_index_invariants();
     }
 }

@@ -20,6 +20,7 @@
 //!   and a dispatcher running admitted queries on either backend.
 
 pub mod backend;
+pub mod churn;
 pub mod config;
 pub mod handcoded_runner;
 pub mod report;
@@ -32,6 +33,7 @@ pub mod tenants;
 pub mod timing;
 
 pub use backend::Backend;
+pub use churn::{ChurnPlan, ChurnSpec, ChurnTenant};
 pub use config::{Alloc, PolicyFactory, RunConfig, Warmup};
 pub use handcoded_runner::{run_handcoded, HandcodedOutput};
 pub use runner::{run, run_all_allocs, RunOutput};

@@ -733,6 +733,327 @@ pub fn run_tenants_threads(config: MultiTenantConfig, data: &TpchData) -> MultiT
         ntotal,
         arbiter_denials: arbiter.denials,
         arbiter_yields: arbiter.yields,
+        arbiter_ticks: 0,
+        arbiter_ns: 0,
+        errors: client_errors,
+    }
+}
+
+/// Per-tenant live state for [`run_tenants_churn_threads`].
+struct ChurnThreadLive {
+    engine: Arc<ParEngine>,
+    /// `None` on the static-partition baseline.
+    controller: Option<PoolController>,
+    /// Arbiter registration (elastic only).
+    tid: Option<elastic_core::TenantId>,
+    /// Fixed machine slice (static baseline only).
+    static_slot: Option<usize>,
+    results: Arc<Mutex<Vec<QueryResult>>>,
+    remaining: Arc<AtomicUsize>,
+    finished_at: Arc<Mutex<SimTime>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    cores_series: TimeSeries,
+    load_series: TimeSeries,
+    qps_series: TimeSeries,
+    next_control: SimTime,
+    ctl_busy: u64,
+    ctl_at: SimTime,
+    sample_busy: u64,
+    sample_at: SimTime,
+    sample_completed: u64,
+    control_steps: u64,
+    started_at: SimTime,
+}
+
+/// The threads mirror of [`crate::churn::run_tenants_churn`]: the same
+/// admit-on-arrival / depart-on-completion lifecycle against real
+/// worker pools. A departing tenant's client threads are joined, its
+/// pool is dropped (shutting its workers down) and its arbiter slot is
+/// deregistered, so cores redistribute exactly as on sim. Arbitration
+/// cost is the wall-clock duration of each executed control block.
+pub fn run_tenants_churn_threads(config: MultiTenantConfig, data: &TpchData) -> MultiTenantOutput {
+    let width = capacity();
+    let ntotal = width as u32;
+    let n = config.tenants.len();
+    let resident_cap = config.resident_cap.unwrap_or(n).clamp(1, width);
+    let slice = width / resident_cap;
+    let base = Arc::new(BaseData::from_tpch(data));
+    let mut arbiter = TenantArbiter::new(config.arbiter, ntotal);
+    let t0 = Instant::now();
+    let errors = Arc::new(Mutex::new(Vec::new()));
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (config.tenants[i].start_after, i));
+    let mut next_pending = 0usize;
+
+    let mut lives: Vec<Option<ChurnThreadLive>> = (0..n).map(|_| None).collect();
+    let mut outputs: Vec<Option<TenantOutput>> = (0..n).map(|_| None).collect();
+    let mut static_free: Vec<bool> = vec![true; resident_cap];
+    let mut n_live = 0usize;
+    let mut arbiter_ticks = 0u64;
+    let mut arbiter_ns = 0u64;
+
+    let deadline = wall_deadline(config.deadline);
+    let mut next_sample = SimTime::ZERO;
+    loop {
+        std::thread::sleep(POLL);
+        let now = wall_now(t0);
+
+        // Departures: all clients done → join them, close the record,
+        // drop the pool (workers shut down) and free the slot.
+        for i in 0..n {
+            let done = lives[i]
+                .as_ref()
+                .is_some_and(|l| l.remaining.load(Ordering::SeqCst) == 0);
+            if !done {
+                continue;
+            }
+            if let Some(l) = lives[i].take() {
+                let panicked = l
+                    .handles
+                    .into_iter()
+                    .map(|h| h.join())
+                    .filter(Result::is_err)
+                    .count();
+                assert!(panicked == 0, "{panicked} client thread(s) panicked");
+                if let Some(tid) = l.tid {
+                    arbiter.deregister(tid);
+                }
+                if let Some(k) = l.static_slot {
+                    static_free[k] = true;
+                }
+                let finished = *lock(&l.finished_at);
+                outputs[i] = Some(TenantOutput {
+                    config: config.tenants[i].clone(),
+                    results: match Arc::try_unwrap(l.results) {
+                        Ok(m) => m.into_inner().unwrap_or_else(PoisonError::into_inner),
+                        Err(arc) => std::mem::take(&mut *lock(&arc)),
+                    },
+                    cores_series: l.cores_series,
+                    load_series: l.load_series,
+                    qps_series: l.qps_series,
+                    started_at: l.started_at,
+                    finished_at: finished.max(l.started_at),
+                    sla_violations: 0,
+                    control_steps: l.control_steps,
+                });
+                n_live -= 1;
+                // `l.engine` drops here: the last pool Arc (clients
+                // joined above), so its workers shut down.
+            }
+        }
+
+        // Admissions, in arrival order, gated on a resident slot and —
+        // on the elastic path — a free core for the initial claim.
+        while next_pending < n && n_live < resident_cap {
+            let i = order[next_pending];
+            let tcfg = &config.tenants[i];
+            if now.since(SimTime::ZERO) < tcfg.start_after {
+                break;
+            }
+            if !config.static_partition && arbiter.free_cores() == 0 {
+                break;
+            }
+            let engine = Arc::new(ParEngine::new(
+                ParEngineConfig {
+                    n_workers: width,
+                    initial_active: 1,
+                    ..ParEngineConfig::default()
+                },
+                Arc::clone(&base),
+            ));
+            if let Some(plan) = &config.faults {
+                engine.arm_faults(plan, config.scale.seed);
+            }
+            let (controller, tid, static_slot) = if config.static_partition {
+                let Some(k) = static_free.iter().position(|&f| f) else {
+                    // Unreachable: n_live < resident_cap means a slot
+                    // is free; bail out of admissions defensively.
+                    break;
+                };
+                static_free[k] = false;
+                let hi = if k + 1 == resident_cap {
+                    width
+                } else {
+                    (k + 1) * slice
+                };
+                engine.set_active(hi - k * slice);
+                (None, None, Some(k))
+            } else {
+                let tid = arbiter.register(tcfg.name.clone(), tcfg.weight, tcfg.sla.max_cores);
+                let seed_core = (0..ntotal)
+                    .map(|c| CoreId(c as u16))
+                    .find(|&c| !arbiter.foreign_mask(tid).contains(c))
+                    // emca-lint: allow(panic-freedom) — admission is gated on free_cores() > 0 above, so a free seed core exists; tripwire on the driver thread
+                    .expect("admission gate guarantees a free core");
+                arbiter.claim_initial(tid, seed_core);
+                (
+                    Some(PoolController::new(pool_cfg(ntotal, config.mech_interval))),
+                    Some(tid),
+                    None,
+                )
+            };
+            let results = Arc::new(Mutex::new(Vec::new()));
+            let remaining = Arc::new(AtomicUsize::new(tcfg.clients));
+            let finished_at = Arc::new(Mutex::new(SimTime::ZERO));
+            let handles = spawn_client_threads(
+                &engine,
+                &tcfg.workload,
+                tcfg.clients,
+                std::time::Duration::ZERO,
+                &results,
+                &remaining,
+                &finished_at,
+                &errors,
+                t0,
+            );
+            lives[i] = Some(ChurnThreadLive {
+                engine,
+                controller,
+                tid,
+                static_slot,
+                results,
+                remaining,
+                finished_at,
+                handles,
+                cores_series: TimeSeries::new(format!("{}_cores", tcfg.name)),
+                load_series: TimeSeries::new(format!("{}_load", tcfg.name)),
+                qps_series: TimeSeries::new(format!("{}_qps", tcfg.name)),
+                next_control: now,
+                ctl_busy: 0,
+                ctl_at: now,
+                sample_busy: 0,
+                sample_at: now,
+                sample_completed: 0,
+                control_steps: 0,
+                started_at: now,
+            });
+            next_pending += 1;
+            n_live += 1;
+        }
+
+        if outputs.iter().all(|o| o.is_some()) {
+            break;
+        }
+        assert!(
+            now.since(SimTime::ZERO) <= deadline,
+            "{}",
+            crate::timing::RunAborted {
+                label: "churn run".to_string(),
+                deadline_s: deadline.as_secs_f64(),
+                hint: "MultiTenantConfig::deadline or EMCA_RUN_DEADLINE_S",
+            }
+        );
+
+        // Control blocks, timed per executed tick: the measured span is
+        // the full arbitration path (observe + claim/release/yield).
+        for l in lives.iter_mut().flatten() {
+            let Some(controller) = l.controller.as_mut() else {
+                continue;
+            };
+            let Some(tid) = l.tid else { continue };
+            if now < l.next_control {
+                continue;
+            }
+            let t_tick = Instant::now();
+            let busy = l.engine.busy_ns();
+            let u = load_pct(
+                busy - l.ctl_busy,
+                l.engine.active(),
+                now.since(l.ctl_at).as_nanos(),
+            );
+            l.ctl_busy = busy;
+            l.ctl_at = now;
+            controller.note_capacity(l.engine.live_workers() as u32);
+            let d = controller.observe(now, u);
+            l.control_steps += 1;
+            arbiter.note(tid, d.action == AllocAction::Allocate);
+            let owned = arbiter.owned(tid);
+            match d.action {
+                AllocAction::Allocate => {
+                    let candidate = (0..ntotal)
+                        .map(|c| CoreId(c as u16))
+                        .find(|&c| !owned.contains(c) && !arbiter.foreign_mask(tid).contains(c));
+                    let granted = candidate.is_some_and(|c| arbiter.try_claim(tid, c));
+                    if !granted {
+                        if candidate.is_none() {
+                            arbiter.denials += 1;
+                        }
+                        controller.resync(owned.count() as u32);
+                    }
+                }
+                AllocAction::Release => {
+                    let victim = (owned.count() > 1)
+                        .then(|| owned.iter().max_by_key(|c| c.idx()))
+                        .flatten();
+                    match victim {
+                        Some(v) => arbiter.release(tid, v),
+                        None => controller.resync(1),
+                    }
+                }
+                AllocAction::Hold => {}
+            }
+            if arbiter.must_yield(tid) && arbiter.owned(tid).count() > 1 {
+                if let Some(victim) = arbiter.owned(tid).iter().max_by_key(|c| c.idx()) {
+                    arbiter.release(tid, victim);
+                    arbiter.yields += 1;
+                    controller.resync(arbiter.owned(tid).count() as u32);
+                }
+            }
+            l.engine.set_active(arbiter.owned(tid).count());
+            l.next_control = now + controller.interval();
+            arbiter_ns += t_tick.elapsed().as_nanos() as u64;
+            arbiter_ticks += 1;
+        }
+
+        if now >= next_sample {
+            for l in lives.iter_mut().flatten() {
+                let busy = l.engine.busy_ns();
+                let u = load_pct(
+                    busy - l.sample_busy,
+                    l.engine.active(),
+                    now.since(l.sample_at).as_nanos(),
+                );
+                let completed = l.engine.stats().queries_completed;
+                let dt = now.since(l.sample_at).as_secs_f64();
+                let qps = if dt > 0.0 {
+                    (completed - l.sample_completed) as f64 / dt
+                } else {
+                    0.0
+                };
+                l.sample_busy = busy;
+                l.sample_at = now;
+                l.sample_completed = completed;
+                l.load_series.push(now, u);
+                l.cores_series.push(now, l.engine.active() as f64);
+                l.qps_series.push(now, qps);
+            }
+            next_sample = now + config.sample_every;
+        }
+    }
+
+    let client_errors = std::mem::take(&mut *lock(&errors));
+    // Same policy as [`run_threads`]: expected under a fault plan,
+    // tripwire without one.
+    assert!(
+        config.faults.is_some() || client_errors.is_empty(),
+        "client queries failed in the engine: {client_errors:?}"
+    );
+    let tenants: Vec<TenantOutput> = outputs.into_iter().flatten().collect();
+    let wall = tenants
+        .iter()
+        .map(|t| t.finished_at)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .since(SimTime::ZERO);
+    MultiTenantOutput {
+        tenants,
+        wall,
+        ntotal,
+        arbiter_denials: arbiter.denials,
+        arbiter_yields: arbiter.yields,
+        arbiter_ticks,
+        arbiter_ns,
         errors: client_errors,
     }
 }

@@ -441,6 +441,9 @@ pub struct ExperimentSpec {
     /// e.g. `panic:worker=3@2s,badquery:rate=0.01`. Unset leaves the
     /// fault plane fully inert.
     pub faults: Option<FaultPlan>,
+    /// Serverless churn population for the churn scenarios
+    /// (`EMCA_CHURN` / `--churn`), e.g. `64:resident=12:skew=0.8`.
+    pub churn: Option<crate::churn::ChurnSpec>,
 }
 
 impl Default for ExperimentSpec {
@@ -465,6 +468,7 @@ impl Default for ExperimentSpec {
             admission: None,
             sla_ms: None,
             faults: None,
+            churn: None,
         }
     }
 }
@@ -695,6 +699,11 @@ impl std::fmt::Display for ExperimentSpec {
         if let Some(p) = &self.faults {
             pairs.push(format!("faults={p}"));
         }
+        // Rendered only when set (no whitespace in the canonical form),
+        // keeping pre-churn spec lines byte-identical.
+        if let Some(c) = &self.churn {
+            pairs.push(format!("churn={c}"));
+        }
         // Emitted only off the default, so pre-backend spec lines stay
         // byte-identical.
         if self.backend != Backend::default() {
@@ -772,6 +781,7 @@ impl ExperimentSpec {
         "admission",
         "sla_ms",
         "faults",
+        "churn",
         "backend",
     ];
 
@@ -838,6 +848,7 @@ impl ExperimentSpec {
                 // fault plane stays inert and the spec line unchanged.
                 self.faults = (!plan.is_empty()).then_some(plan);
             }
+            "churn" => self.churn = Some(crate::churn::ChurnSpec::parse(value)?),
             "sla_ms" => {
                 let s: f64 = parse_num(key, value)?;
                 if !(s > 0.0 && s.is_finite()) {
@@ -918,6 +929,9 @@ impl ExperimentSpec {
         if let Some(p) = &self.faults {
             keys.push(("faults", p.to_string()));
         }
+        if let Some(c) = &self.churn {
+            keys.push(("churn", c.to_string()));
+        }
         if self.backend != Backend::default() {
             keys.push(("backend", self.backend.to_string()));
         }
@@ -943,6 +957,7 @@ impl ExperimentSpec {
             "admission" => self.admission = None,
             "sla_ms" => self.sla_ms = None,
             "faults" => self.faults = None,
+            "churn" => self.churn = None,
             "backend" => self.backend = Backend::default(),
             _ => {}
         }
@@ -975,6 +990,7 @@ impl ExperimentSpec {
 /// | `EMCA_ADMISSION`   | `admission`   |
 /// | `EMCA_SLA_MS`      | `sla_ms`      |
 /// | `EMCA_FAULTS`      | `faults`      |
+/// | `EMCA_CHURN`       | `churn`       |
 ///
 /// `PROPTEST_CASES` is consumed by the vendored proptest shim with the
 /// same strict parsing; it is not a spec field.
@@ -1005,6 +1021,7 @@ pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> Result<ExperimentSpec,
         ("EMCA_ADMISSION", "admission"),
         ("EMCA_SLA_MS", "sla_ms"),
         ("EMCA_FAULTS", "faults"),
+        ("EMCA_CHURN", "churn"),
     ] {
         if let Some(value) = get(var) {
             // Re-key the error to the variable it came from: the user
@@ -1055,6 +1072,12 @@ mod tests {
                     .with_kill(3, emca_metrics::SimDuration::from_secs(2))
                     .with_badquery(0.01),
             ),
+            churn: Some(crate::churn::ChurnSpec {
+                n: 64,
+                resident: Some(12),
+                skew: Some(0.8),
+                spread: Some(6.0),
+            }),
         };
         let line = spec.to_string();
         let back: ExperimentSpec = line.parse().unwrap();

@@ -123,6 +123,18 @@ pub struct MultiTenantConfig {
     /// tenant's engine. `None` (the default) keeps the fault plane
     /// inert.
     pub faults: Option<FaultPlan>,
+    /// Serverless churn: cap on *simultaneously resident* tenants.
+    /// `Some(_)` switches to the churn runner — tenants are admitted at
+    /// their `start_after` arrival (queueing when the machine is full),
+    /// installed cold (data load + first allocation at admit time), and
+    /// depart when their clients finish (cores reclaimed and
+    /// redistributed). `None` installs every tenant up front (the
+    /// classic `mt_*` shape).
+    pub resident_cap: Option<usize>,
+    /// Static-partitioner baseline for the churn runner: each resident
+    /// slot owns a fixed slice of the machine and no elastic mechanism
+    /// runs — the strawman the adaptive arbiter is gated against.
+    pub static_partition: bool,
 }
 
 impl MultiTenantConfig {
@@ -141,7 +153,36 @@ impl MultiTenantConfig {
             drain: SimDuration::ZERO,
             backend: Backend::default(),
             faults: None,
+            resident_cap: None,
+            static_partition: false,
         }
+    }
+
+    /// Caps simultaneously resident tenants, switching to the churn
+    /// runner (admit-on-arrival / depart-on-completion lifecycle).
+    pub fn with_resident_cap(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "resident cap must admit at least one tenant");
+        self.resident_cap = Some(cap);
+        self
+    }
+
+    /// Runs the static-partitioner baseline instead of elastic
+    /// arbitration (churn runner only).
+    pub fn with_static_partition(mut self) -> Self {
+        self.static_partition = true;
+        self
+    }
+
+    /// Changes the metric sampling interval (default 100 ms). Churn
+    /// scenarios sample finer: short-lived tenants would otherwise
+    /// depart before their first cores/load/qps sample.
+    pub fn with_sample_every(mut self, every: SimDuration) -> Self {
+        assert!(
+            every > SimDuration::ZERO,
+            "sample interval must be positive"
+        );
+        self.sample_every = every;
+        self
     }
 
     /// Keeps the simulation ticking for `drain` after the last client
@@ -345,6 +386,13 @@ pub struct MultiTenantOutput {
     /// Arbiter forced yields (cores actually shed toward a starved
     /// peer) over the run.
     pub arbiter_yields: u64,
+    /// Control ticks whose arbitration cost was measured (churn runner
+    /// only; zero elsewhere).
+    pub arbiter_ticks: u64,
+    /// Total host-clock nanoseconds spent inside measured control
+    /// ticks — `arbiter_ns / arbiter_ticks` is the mean decision cost
+    /// the `mt_churn` gate holds below the control interval.
+    pub arbiter_ns: u64,
     /// Query failures surfaced by the engines (`"<tenant>: <error>"` on
     /// the sim backend, `"client <n>: <error>"` on threads, where the
     /// shared error sink loses tenant attribution). Empty on fault-free
@@ -423,6 +471,9 @@ struct TenantLive {
 /// *OLTP on Hardware Islands* co-location shape: instances share the
 /// machine, not the buffer pool).
 pub fn run_tenants(config: MultiTenantConfig, data: &TpchData) -> MultiTenantOutput {
+    if config.resident_cap.is_some() || config.static_partition {
+        return crate::churn::run_tenants_churn(config, data);
+    }
     if config.backend == Backend::Threads {
         return crate::runner_threads::run_tenants_threads(config, data);
     }
@@ -638,6 +689,8 @@ pub fn run_tenants(config: MultiTenantConfig, data: &TpchData) -> MultiTenantOut
         ntotal,
         arbiter_denials: denials,
         arbiter_yields: yields,
+        arbiter_ticks: 0,
+        arbiter_ns: 0,
         errors,
     }
 }
@@ -814,6 +867,60 @@ mod tests {
         assert_eq!(t.cores_between(from, to), Some(1.0));
         // One qps window cannot support a variability estimate.
         assert_eq!(t.qps_cov_between(from, to), None);
+    }
+
+    #[test]
+    fn windowed_metrics_on_a_tenant_departing_mid_window() {
+        // A churned tenant departs at 3s but the observation window runs
+        // to 10s: every metric clamps to what the tenant actually did —
+        // no extrapolation past the departure, no NaN from the empty
+        // tail of the window.
+        let t = synthetic_output(3);
+        let from = SimTime::from_secs(2);
+        let to = SimTime::from_secs(10);
+        // Completions at 2s and 3s fall in the window; the rate is over
+        // the full window span (the tenant is simply absent after 3s).
+        assert_eq!(t.qps_between(from, to), 2.0 / 8.0);
+        assert_eq!(
+            t.mean_response_between(from, to),
+            SimDuration::from_millis(100)
+        );
+        // Core samples exist only while resident (at 2s and 3s).
+        assert_eq!(t.cores_between(from, to), Some(2.5));
+        // Whole-run aggregates keep using the tenant's own span.
+        assert!(t.throughput_qps() > 0.0);
+        assert!(t.wall() == SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn cold_start_tenant_with_zero_completions_is_metric_safe() {
+        // An admitted-then-departed tenant that never finished a query
+        // (e.g. killed by a deadline assert upstream, or observed
+        // mid-cold-start): every metric must stay finite or None.
+        let started = SimTime::from_secs(5);
+        let t = TenantOutput {
+            config: TenantRunConfig::new("cold", q6(1), 1),
+            results: Vec::new(),
+            cores_series: TimeSeries::new("cold_cores"),
+            load_series: TimeSeries::new("cold_load"),
+            qps_series: TimeSeries::new("cold_qps"),
+            started_at: started,
+            finished_at: started,
+            sla_violations: 0,
+            control_steps: 0,
+        };
+        assert_eq!(t.wall(), SimDuration::ZERO);
+        assert_eq!(t.throughput_qps(), 0.0);
+        assert!(t.throughput_qps().is_finite());
+        assert_eq!(t.mean_response(), SimDuration::ZERO);
+        assert_eq!(t.response_percentile(0.99), SimDuration::ZERO);
+        assert_eq!(t.cores_mean(), 0.0);
+        assert_eq!(t.cores_max(), 0.0);
+        assert_eq!(t.qps_between(started, started), 0.0);
+        assert_eq!(
+            t.qps_cov_between(SimTime::ZERO, SimTime::from_secs(10)),
+            None
+        );
     }
 
     #[test]

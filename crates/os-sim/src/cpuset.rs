@@ -106,6 +106,11 @@ impl CoreMask {
         CoreMask(self.0 | other.0)
     }
 
+    /// Set difference: the cores of `self` not in `other`.
+    pub fn minus(&self, other: CoreMask) -> CoreMask {
+        CoreMask(self.0 & !other.0)
+    }
+
     /// Allowed cores on a given NUMA node.
     pub fn on_node(&self, topo: &Topology, node: NodeId) -> CoreMask {
         CoreMask::from_cores(topo.cores_of(node).filter(|c| self.contains(*c)))

@@ -1,0 +1,214 @@
+//! Decision-equivalence property suite: the indexed [`TenantArbiter`]
+//! against the retained O(tenants × cores) scan oracle
+//! ([`ReferenceArbiter`]). A random churn trace — register, deregister,
+//! demand notes, claims, releases and yield checks — is interpreted
+//! against both implementations in lock-step; after every operation the
+//! full observable surface must agree (slot assignment, ownership
+//! masks, guarantees, free-core count, yield predicates and the
+//! denial/yield counters), and the indexed arbiter's internal indexes
+//! must survive a full cross-check against its slab.
+//!
+//! Seeds are pinned by construction: the vendored proptest derives each
+//! test's case stream from the FNV hash of the test name, so a CI
+//! failure always reproduces locally.
+
+use elastic_core::tenant::reference::ReferenceArbiter;
+use elastic_core::{ArbiterMode, TenantArbiter, TenantId};
+use numa_sim::CoreId;
+use proptest::prelude::*;
+
+/// One step of the interpreted trace: an op selector plus generic
+/// operands (tenant pick, core pick, weight/budget material). What an
+/// operand means depends on the op and the live-tenant set at that
+/// point, so every generated trace is valid by construction.
+type RawOp = (u8, u32, u32, u32);
+
+/// Interprets `trace` against both arbiters and asserts the observable
+/// surfaces stay identical after every operation.
+fn run_trace(
+    mode: ArbiterMode,
+    ntotal: u32,
+    trace: &[RawOp],
+) -> Result<(), proptest::TestCaseError> {
+    let mut indexed = TenantArbiter::new(mode, ntotal);
+    let mut oracle = ReferenceArbiter::new(mode, ntotal);
+    let mut live: Vec<TenantId> = Vec::new();
+    let mut births = 0u32;
+
+    for &(op, a, b, c) in trace {
+        match op % 6 {
+            // Register (when a slot is free) and seed the lowest free
+            // core, as the churn runners do at admission.
+            0 => {
+                if live.len() < ntotal as usize {
+                    let weight = 1 + c % 4;
+                    let budget = (b % 3 == 0).then_some(1 + b % ntotal);
+                    let name = format!("t{births}");
+                    let ti = indexed.register(name.clone(), weight, budget);
+                    let to = oracle.register(name, weight, budget);
+                    prop_assert_eq!(ti, to, "slot reuse diverged");
+                    let seed = (0..ntotal)
+                        .map(|k| CoreId(k as u16))
+                        .find(|&k| !indexed.foreign_mask(ti).contains(k));
+                    if let Some(core) = seed {
+                        indexed.claim_initial(ti, core);
+                        oracle.claim_initial(to, core);
+                    }
+                    live.push(ti);
+                    births += 1;
+                }
+            }
+            // Deregister a random live tenant; reclaimed masks agree.
+            1 => {
+                if !live.is_empty() {
+                    let t = live.remove(a as usize % live.len());
+                    prop_assert_eq!(indexed.deregister(t), oracle.deregister(t));
+                }
+            }
+            // Demand note (grow or cool-down).
+            2 => {
+                if !live.is_empty() {
+                    let t = live[a as usize % live.len()];
+                    indexed.note(t, b % 2 == 0);
+                    oracle.note(t, b % 2 == 0);
+                }
+            }
+            // Claim attempt on an arbitrary core — owned, foreign and
+            // free targets all arise; grant/deny must agree.
+            3 => {
+                if !live.is_empty() {
+                    let t = live[a as usize % live.len()];
+                    let core = CoreId((b % ntotal) as u16);
+                    prop_assert_eq!(
+                        indexed.try_claim(t, core),
+                        oracle.try_claim(t, core),
+                        "claim decision diverged"
+                    );
+                }
+            }
+            // Release one of the tenant's cores (when it has any).
+            4 => {
+                if !live.is_empty() {
+                    let t = live[a as usize % live.len()];
+                    let owned: Vec<CoreId> = indexed.owned(t).iter().collect();
+                    if !owned.is_empty() {
+                        let core = owned[b as usize % owned.len()];
+                        indexed.release(t, core);
+                        oracle.release(t, core);
+                    }
+                }
+            }
+            // Yield check (pure predicate).
+            _ => {
+                if !live.is_empty() {
+                    let t = live[a as usize % live.len()];
+                    prop_assert_eq!(
+                        indexed.must_yield(t),
+                        oracle.must_yield(t),
+                        "yield decision diverged"
+                    );
+                }
+            }
+        }
+
+        // Full observable surface after every op.
+        indexed.check_index_invariants();
+        prop_assert_eq!(indexed.free_cores(), oracle.free_cores());
+        prop_assert_eq!(indexed.n_tenants(), oracle.n_tenants());
+        prop_assert_eq!(indexed.denials, oracle.denials, "denial counters diverged");
+        prop_assert_eq!(indexed.yields, oracle.yields);
+        for &t in &live {
+            prop_assert!(indexed.is_active(t) && oracle.is_active(t));
+            prop_assert_eq!(indexed.owned(t), oracle.owned(t), "ownership diverged");
+            prop_assert_eq!(indexed.foreign_mask(t), oracle.foreign_mask(t));
+            prop_assert_eq!(indexed.guarantee(t), oracle.guarantee(t));
+            prop_assert_eq!(indexed.must_yield(t), oracle.must_yield(t));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Strict-priority arbitration: indexed decisions equal the scan
+    /// oracle's over any churn trace.
+    #[test]
+    fn priority_mode_matches_reference(
+        ops in proptest::collection::vec((0u8..6, 0u32..64, 0u32..64, 0u32..8), 1..250),
+        ntotal in 2u32..24,
+    ) {
+        run_trace(ArbiterMode::Priority, ntotal, &ops)?;
+    }
+
+    /// Weighted fair-share arbitration: indexed decisions equal the
+    /// scan oracle's over any churn trace.
+    #[test]
+    fn fairshare_mode_matches_reference(
+        ops in proptest::collection::vec((0u8..6, 0u32..64, 0u32..64, 0u32..8), 1..250),
+        ntotal in 2u32..24,
+    ) {
+        run_trace(ArbiterMode::FairShare, ntotal, &ops)?;
+    }
+
+    /// Budget-capped arbitration: indexed decisions equal the scan
+    /// oracle's over any churn trace.
+    #[test]
+    fn budget_mode_matches_reference(
+        ops in proptest::collection::vec((0u8..6, 0u32..64, 0u32..64, 0u32..8), 1..250),
+        ntotal in 2u32..24,
+    ) {
+        run_trace(ArbiterMode::BudgetCapped, ntotal, &ops)?;
+    }
+}
+
+/// A deterministic serverless-shaped soak: 256 tenants churned through
+/// a 64-core arbiter at a 16-tenant resident cap, indexed vs oracle in
+/// lock-step — the same shape the `tab_arbiter` benchmark times.
+#[test]
+fn soak_256_tenants_through_64_cores() {
+    let mut indexed = TenantArbiter::new(ArbiterMode::FairShare, 64);
+    let mut oracle = ReferenceArbiter::new(ArbiterMode::FairShare, 64);
+    let mut live: std::collections::VecDeque<TenantId> = std::collections::VecDeque::new();
+    let mut births = 0u32;
+    while births < 256 || !live.is_empty() {
+        while births < 256 && live.len() < 16 {
+            let ti = indexed.register(format!("t{births}"), 1 + births % 5, None);
+            let to = oracle.register(format!("t{births}"), 1 + births % 5, None);
+            assert_eq!(ti, to);
+            if let Some(core) = (0..64)
+                .map(CoreId)
+                .find(|&c| !indexed.foreign_mask(ti).contains(c))
+            {
+                indexed.claim_initial(ti, core);
+                oracle.claim_initial(to, core);
+            }
+            live.push_back(ti);
+            births += 1;
+        }
+        for &t in &live {
+            indexed.note(t, true);
+            oracle.note(t, true);
+            let candidate = (0..64)
+                .map(CoreId)
+                .find(|&c| !indexed.owned(t).contains(c) && !indexed.foreign_mask(t).contains(c));
+            if let Some(c) = candidate {
+                assert_eq!(indexed.try_claim(t, c), oracle.try_claim(t, c));
+            }
+            assert_eq!(indexed.must_yield(t), oracle.must_yield(t));
+            if indexed.must_yield(t) {
+                if let Some(v) = indexed.owned(t).iter().last() {
+                    indexed.release(t, v);
+                    oracle.release(t, v);
+                }
+            }
+        }
+        indexed.check_index_invariants();
+        if let Some(t) = live.pop_front() {
+            assert_eq!(indexed.deregister(t), oracle.deregister(t));
+        }
+    }
+    assert_eq!(indexed.denials, oracle.denials);
+    assert_eq!(indexed.free_cores(), 64);
+    assert_eq!(oracle.free_cores(), 64);
+}

@@ -7,7 +7,7 @@
 
 use elastic_core::ArbiterMode;
 use emca_harness::{
-    run, run_tenants, Alloc, Backend, MultiTenantConfig, RunConfig, TenantRunConfig,
+    run, run_tenants, Alloc, Backend, ChurnSpec, MultiTenantConfig, RunConfig, TenantRunConfig,
 };
 use volcano_db::client::Workload;
 use volcano_db::exec::engine::QueryResult;
@@ -139,5 +139,89 @@ fn multi_tenant_threads_run_matches_sim_results() {
             s.config.name
         );
         assert!(t.control_steps > 0, "pool controller must run");
+    }
+}
+
+/// The shared 16-tenant churn plan of the churn-equivalence tests:
+/// admissions queue behind a 5-slot resident cap, demand is
+/// Zipf-skewed, and arrivals scatter over half a second.
+fn churn_16_config(data: &TpchData, backend: Backend) -> MultiTenantConfig {
+    let mut churn = ChurnSpec::new(16);
+    churn.resident = Some(5);
+    churn.spread = Some(0.5);
+    let plan = churn.plan(7, 2, 2);
+    MultiTenantConfig::new(ArbiterMode::FairShare, plan.tenant_configs())
+        .with_scale(data.scale)
+        .with_resident_cap(plan.resident)
+        .with_backend(backend)
+}
+
+#[test]
+fn churn_sim_runs_are_byte_identical_across_repeats() {
+    // Determinism of the sim churn lifecycle: two runs of the same
+    // seeded plan must agree byte-for-byte — results, admission times,
+    // every metric series.
+    let data = TpchData::generate(TpchScale::test_tiny());
+    let a = run_tenants(churn_16_config(&data, Backend::Sim), &data);
+    let b = run_tenants(churn_16_config(&data, Backend::Sim), &data);
+    assert_eq!(a.wall, b.wall);
+    assert_eq!(a.arbiter_denials, b.arbiter_denials);
+    assert_eq!(a.arbiter_yields, b.arbiter_yields);
+    assert_eq!(a.tenants.len(), b.tenants.len());
+    for (s, t) in a.tenants.iter().zip(&b.tenants) {
+        assert_eq!(s.config.name, t.config.name);
+        assert_eq!(
+            s.started_at, t.started_at,
+            "{} admission moved",
+            s.config.name
+        );
+        assert_eq!(s.finished_at, t.finished_at);
+        assert_eq!(
+            format!("{:?}", s.results),
+            format!("{:?}", t.results),
+            "tenant {} results diverged across repeats",
+            s.config.name
+        );
+        assert_eq!(
+            format!("{:?}{:?}{:?}", s.cores_series, s.load_series, s.qps_series),
+            format!("{:?}{:?}{:?}", t.cores_series, t.load_series, t.qps_series),
+            "tenant {} series diverged across repeats",
+            s.config.name
+        );
+    }
+}
+
+#[test]
+fn churn_threads_run_loses_nothing_and_matches_sim_values() {
+    if pool_is_capped() {
+        eprintln!("EMCA_THREADS caps the pool; skipping width-sensitive equivalence check");
+        return;
+    }
+    // The same 16-tenant plan on both backends: exact accounting (no
+    // query lost across any departure) and bitwise-identical per-query
+    // values; only timing may differ.
+    let data = TpchData::generate(TpchScale::test_tiny());
+    let mut churn = ChurnSpec::new(16);
+    churn.resident = Some(5);
+    churn.spread = Some(0.5);
+    let plan = churn.plan(7, 2, 2);
+    let expected = plan.expected_completions();
+
+    let sim = run_tenants(churn_16_config(&data, Backend::Sim), &data);
+    let thr = run_tenants(churn_16_config(&data, Backend::Threads), &data);
+    for out in [&sim, &thr] {
+        let total: u64 = out.tenants.iter().map(|t| t.results.len() as u64).sum();
+        assert_eq!(total, expected, "lost queries across departures");
+        assert!(out.errors.is_empty());
+    }
+    assert_eq!(sim.tenants.len(), thr.tenants.len());
+    for (s, t) in sim.tenants.iter().zip(&thr.tenants) {
+        assert_eq!(s.config.name, t.config.name);
+        assert_eq!(
+            digests(&s.results),
+            digests(&t.results),
+            "tenant {} diverged across backends",
+            s.config.name
+        );
     }
 }
